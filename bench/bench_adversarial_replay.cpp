@@ -1,0 +1,72 @@
+// §IV-D real-world interference reproduction: a second UAV (or a speaker
+// mounted on it) replays recorded rotor sound while flying 0.5-2 m from the
+// hovering target.  The paper finds NO measurable effect on the acceleration
+// predictions: the interferer's sound arrives heavily attenuated (46% of
+// on-frame intensity at 0.5 m) and without phase lock.
+#include <cmath>
+#include <cstdio>
+
+#include "acoustics/propagation.hpp"
+#include "attacks/sound_attack.hpp"
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace sb;
+
+int main() {
+  std::printf("=== §IV-D: real-world replay interference ===\n");
+  auto mapper = bench::standard_mapper();
+
+  // Target: benign hover flight.
+  core::FlightScenario hover;
+  hover.mission = sim::Mission::hover({0, 0, -10}, 30.0);
+  hover.wind.gust_stddev = 0.3;
+  hover.seed = 95001;
+  const auto flight = bench::lab().fly(hover);
+  const auto windows = mapper.synthesize_windows(bench::lab(), flight);
+  const auto clean = mapper.predict_windows(windows);
+
+  // "Recording" of the same UAV model's rotor sound (record-and-replay).
+  const auto synth = bench::lab().synthesizer(flight);
+  const auto recording_audio = synth.synthesize(flight.log, 3.0, 3.6);
+  std::vector<double> recording = recording_audio.channels[0];
+  // Played at maximum portable-speaker volume: normalize to the loudest
+  // plausible source level (~the rotor source amplitude itself).
+  double peak = 1e-9;
+  for (double x : recording) peak = std::max(peak, std::abs(x));
+  for (double& x : recording) x = x / peak * 0.8;
+
+  const auto geometry = synth.geometry();
+  Table table({"interferer distance", "mean |delta a'| (m/s^2)",
+               "max |delta a'|", "effect"});
+  for (double dist : {2.0, 1.5, 1.0, 0.5}) {
+    core::PredictionHooks hooks;
+    attacks::ReplayAttackConfig cfg;
+    cfg.source_pos = {0.0, dist, 0.0};
+    cfg.gain = 1.0;
+    hooks.audio_transform = [&, cfg](acoustics::MultiChannelAudio& audio) {
+      attacks::apply_replay_attack(audio, recording, cfg, geometry);
+    };
+    const auto attacked = mapper.predict_windows(windows, hooks);
+    std::vector<double> deltas;
+    for (std::size_t i = 0; i < clean.size(); ++i)
+      deltas.push_back((clean[i].accel - attacked[i].accel).norm());
+    const double m = mean(deltas);
+    table.add_row({Table::fmt(dist, 1) + " m", Table::fmt(m, 4),
+                   Table::fmt(max_of(deltas), 4),
+                   m < 0.15 ? "negligible" : "measurable"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf(
+      "aerodynamic intensity vs distance: on-frame (0.2 m) = %.2f,"
+      " at 0.5 m = %.2f -> %.0f%% of on-frame (paper: 46%%)\n",
+      acoustics::external_attenuation(0.2), acoustics::external_attenuation(0.5),
+      100.0 * acoustics::external_attenuation(0.5) /
+          acoustics::external_attenuation(0.2));
+  std::printf(
+      "(paper: neither a second UAV nor a replay speaker at >= 0.5 m has a\n"
+      " measurable effect on the acceleration predictions)\n");
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Shared experiment rig for the bench harnesses: the standard training
+// corpus, the benign/attack test flight sets, and the calibrated detectors.
+//
+// Workload scale note: the paper's flights are 1-3 minutes on a physical
+// testbed; the benches use 25-60 s simulated flights so the whole suite runs
+// in tens of minutes on one CPU core.  Durations scale the absolute delays,
+// not the comparative shape of the results.
+//
+// The trained acoustic model is cached on disk (after the first bench that
+// needs it trains it) so every bench binary does not pay the training cost
+// again.  Delete the cache file to force retraining.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/flight_lab.hpp"
+#include "core/gps_rca.hpp"
+#include "core/imu_rca.hpp"
+#include "core/rca_engine.hpp"
+#include "core/sensory_mapper.hpp"
+#include "util/table.hpp"
+
+namespace sb::bench {
+
+inline const core::FlightLab& lab() {
+  static const core::FlightLab kLab;
+  return kLab;
+}
+
+// The standard mapper configuration shared by the detection benches.
+inline core::SensoryMapperConfig standard_mapper_config() {
+  core::SensoryMapperConfig cfg;
+  cfg.model = ml::ModelKind::kMobileNetLite;
+  cfg.dataset.stride = 0.25;
+  cfg.train.epochs = 15;
+  cfg.train.lr = 2e-3;
+  cfg.train.lr_decay = 0.92;
+  return cfg;
+}
+
+inline std::string cache_path(const core::SensoryMapperConfig& cfg) {
+  return "/tmp/soundboost_bench_" + ml::to_string(cfg.model) + ".bin";
+}
+
+// Simulates the paper's 36-flight training campaign (6 maneuver families x
+// 6 wind conditions) at bench scale, trains the acoustic model (or loads it
+// from the cache) and returns the ready mapper.
+inline core::SensoryMapper standard_mapper(
+    core::SensoryMapperConfig cfg = standard_mapper_config(),
+    int flights_per_family = 4, double flight_duration = 25.0) {
+  core::SensoryMapper mapper{cfg};
+  const std::string cache = cache_path(cfg);
+  if (mapper.load(cache)) {
+    std::printf("[setup] loaded trained model from %s\n", cache.c_str());
+    return mapper;
+  }
+  std::printf("[setup] training %s on %d flights (cache: %s)...\n",
+              ml::to_string(cfg.model).c_str(), flights_per_family * 6,
+              cache.c_str());
+  const auto scenarios = lab().training_scenarios(flights_per_family, flight_duration);
+  std::vector<core::Flight> flights;
+  flights.reserve(scenarios.size());
+  for (const auto& s : scenarios) flights.push_back(lab().fly(s));
+  const auto result = mapper.fit(lab(), flights);
+  std::printf("[setup] trained: train MSE %.4f, val MSE %.4f\n",
+              result.final_train_mse, result.final_val_mse);
+  if (mapper.save(cache)) std::printf("[setup] cached model to %s\n", cache.c_str());
+  return mapper;
+}
+
+// Fits a mapper on the given flights unless a cached model tagged `tag`
+// exists.  Used by the sweep benches (Tab. I, model selection, window size)
+// so re-running the suite does not retrain every variant.  The training-time
+// train/val MSE is persisted in a sidecar so cached runs can still report it.
+struct FitMse {
+  double train = 0.0;
+  double val = 0.0;
+};
+
+inline FitMse fit_cached(core::SensoryMapper& mapper, const std::string& tag,
+                         std::span<const core::Flight> flights,
+                         const core::FlightLab& flight_lab = lab()) {
+  const std::string path = "/tmp/soundboost_bench_" + tag + ".bin";
+  const std::string sidecar = path + ".mse";
+  if (mapper.load(path)) {
+    FitMse mse;
+    if (std::FILE* f = std::fopen(sidecar.c_str(), "r")) {
+      if (std::fscanf(f, "%lf %lf", &mse.train, &mse.val) != 2) mse = {};
+      std::fclose(f);
+    }
+    std::printf("  [cache] %s\n", tag.c_str());
+    return mse;
+  }
+  const auto result = mapper.fit(flight_lab, flights);
+  mapper.save(path);
+  if (std::FILE* f = std::fopen(sidecar.c_str(), "w")) {
+    std::fprintf(f, "%.6f %.6f\n", result.final_train_mse, result.final_val_mse);
+    std::fclose(f);
+  }
+  return {result.final_train_mse, result.final_val_mse};
+}
+
+// Benign evaluation flights: a mission mix matching the training families
+// but with unseen trajectories, speeds and winds (paper §IV-A).
+inline core::FlightScenario benign_scenario(int i, double duration = 40.0) {
+  core::FlightScenario s;
+  // Mission/wind magnitudes cycle within the training envelope; only the
+  // seed grows with i, so large test sets stay in-distribution.
+  const double f = static_cast<double>(i % 8);
+  switch (i % 4) {
+    case 0:
+      s.mission = sim::Mission::hover({2, 1, -11 - 0.3 * f}, duration);
+      break;
+    case 1:
+      s.mission = sim::Mission::line({0, 0, -10}, {18 + f, 8, -12}, 2.5 + 0.1 * f,
+                                     duration);
+      break;
+    case 2:
+      s.mission = sim::Mission::figure_eight({0, 3, -12}, 8 + 0.3 * f, 2.4 + 0.1 * f,
+                                             duration);
+      break;
+    default:
+      s.mission = sim::Mission::square({0, 0, 0}, 13 + f, 11, 2.0 + 0.1 * f, duration);
+      break;
+  }
+  s.wind.mean = {0.4 * (f - 4.0), 0.25 * (f - 3.0), 0.0};
+  s.wind.gust_stddev = 0.3 + 0.07 * static_cast<double>(i % 5);
+  s.seed = 20000 + static_cast<std::uint64_t>(i);
+  return s;
+}
+
+// GPS drag-spoofing attack flights (§IV-C): hover and en-route missions,
+// varied drag direction/rate, spoof periods filling most of the flight.
+inline core::FlightScenario gps_attack_scenario(int i, double duration = 60.0) {
+  core::FlightScenario s;
+  const double f = static_cast<double>(i);
+  if (i % 2 == 0) {
+    s.mission = sim::Mission::hover({0, 0, -10 - 0.2 * (f < 8 ? f : 8.0)}, duration);
+  } else {
+    s.mission = sim::Mission::line({0, 0, -10}, {22, 4, -10}, 2.2, duration);
+  }
+  attacks::GpsSpoofConfig g;
+  g.start = 12.0 + static_cast<double>(i % 3);
+  g.end = duration - 10.0;
+  const double ang = 0.7 * f;
+  g.drag_direction = {std::cos(ang), std::sin(ang), 0.0};
+  g.drag_rate = 0.9 + 0.08 * static_cast<double>(i % 6);
+  s.gps_spoof = g;
+  s.wind.mean = {0.3 * (static_cast<double>(i % 8) - 4.0),
+                 0.2 * (static_cast<double>(i % 7) - 3.0), 0.0};
+  s.wind.gust_stddev = 0.3 + 0.05 * static_cast<double>(i % 4);
+  s.seed = 30000 + static_cast<std::uint64_t>(i);
+  return s;
+}
+
+// IMU biasing attack flights (§IV-B): hover missions, 10 s spoof windows,
+// alternating Side-Swing and accelerometer-DoS.
+inline core::FlightScenario imu_attack_scenario(int i, double duration = 40.0) {
+  core::FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -10}, duration);
+  attacks::ImuAttackConfig a;
+  a.type = i % 2 == 0 ? attacks::ImuAttackType::kSideSwing
+                      : attacks::ImuAttackType::kAccelDos;
+  a.start = 14.0 + static_cast<double>(i % 4);
+  a.end = a.start + 10.0;
+  a.axis = i % 3 == 2 ? 1 : 0;
+  s.imu_attack = a;
+  s.wind.gust_stddev = 0.3 + 0.05 * static_cast<double>(i % 4);
+  s.seed = 40000 + static_cast<std::uint64_t>(i);
+  return s;
+}
+
+struct CalibratedDetectors {
+  core::ImuRcaDetector imu{core::ImuRcaConfig{}};
+  core::GpsRcaDetector gps{core::GpsRcaConfig{}};
+};
+
+// Calibrates both detector stages on `n_benign` dedicated benign flights.
+inline CalibratedDetectors calibrate_detectors(const core::SensoryMapper& mapper,
+                                               int n_benign = 10,
+                                               double duration = 40.0) {
+  CalibratedDetectors det;
+  std::vector<core::WindowResiduals> imu_cal;
+  std::vector<core::GpsRcaDetector::Result> audio_results, fused_results;
+  for (int i = 0; i < n_benign; ++i) {
+    auto scenario = benign_scenario(i, duration);
+    scenario.seed += 500000;  // calibration set is disjoint from test benign
+    const auto flight = lab().fly(scenario);
+    const auto preds = mapper.predict_flight(lab(), flight);
+    const auto w = core::ImuRcaDetector::residuals(flight, preds);
+    imu_cal.insert(imu_cal.end(), w.begin(), w.end());
+    audio_results.push_back(
+        det.gps.analyze(flight, preds, core::GpsDetectorMode::kAudioOnly));
+    fused_results.push_back(
+        det.gps.analyze(flight, preds, core::GpsDetectorMode::kAudioImu));
+  }
+  det.imu.calibrate(imu_cal);
+  det.gps.calibrate(audio_results, core::GpsDetectorMode::kAudioOnly);
+  det.gps.calibrate(fused_results, core::GpsDetectorMode::kAudioImu);
+  return det;
+}
+
+}  // namespace sb::bench

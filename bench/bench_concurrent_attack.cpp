@@ -1,0 +1,56 @@
+// §V-A robustness: concurrent GPS + IMU spoofing.  Even when both sensors
+// are attacked in the same flight, the IMU stage still fires (its detection
+// is independent of GPS) and the GPS stage still fires through the
+// audio-only Kalman filter — the fallback the two-stage design exists for.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace sb;
+
+int main() {
+  std::printf("=== §V-A: concurrent GPS + IMU spoofing ===\n");
+  auto mapper = bench::standard_mapper();
+  auto det = bench::calibrate_detectors(mapper);
+  core::RcaEngine engine{mapper, det.imu, det.gps};
+
+  Table table({"flight", "IMU verdict", "GPS verdict", "KF used"});
+  int both_detected = 0;
+  constexpr int kFlights = 5;
+  for (int i = 0; i < kFlights; ++i) {
+    core::FlightScenario s;
+    s.mission = sim::Mission::hover({0, 0, -10}, 60.0);
+    s.wind.gust_stddev = 0.35;
+    attacks::ImuAttackConfig imu;
+    imu.type = i % 2 == 0 ? attacks::ImuAttackType::kAccelDos
+                          : attacks::ImuAttackType::kSideSwing;
+    imu.start = 14.0;
+    imu.end = 24.0;
+    s.imu_attack = imu;
+    attacks::GpsSpoofConfig gps;
+    gps.start = 18.0;
+    gps.end = 50.0;
+    gps.drag_rate = 1.1;
+    gps.drag_direction = {std::cos(0.9 * i), std::sin(0.9 * i), 0};
+    s.gps_spoof = gps;
+    s.seed = 98000 + static_cast<std::uint64_t>(i);
+
+    const auto flight = bench::lab().fly(s);
+    const auto report = engine.analyze(bench::lab(), flight);
+    if (report.imu_attacked && report.gps_attacked) ++both_detected;
+    table.add_row({"concurrent " + std::to_string(i),
+                   report.imu_attacked ? "ATTACKED" : "clean",
+                   report.gps_attacked ? "ATTACKED" : "clean",
+                   report.gps_mode_used == core::GpsDetectorMode::kAudioOnly
+                       ? "audio only"
+                       : "audio + IMU"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "both sensors attributed in %d/%d flights\n"
+      "(paper §V-A: under concurrent attacks the IMU RCA is unchanged and GPS\n"
+      " spoofing is still identified via the audio-only KF)\n",
+      both_detected, kFlights);
+  return 0;
+}

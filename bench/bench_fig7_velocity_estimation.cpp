@@ -1,0 +1,67 @@
+// Fig. 7 reproduction: z-axis position estimate (top panel) and velocity
+// estimates from GPS vs. SoundBoost (bottom panel) across a GPS-spoofed
+// hover mission.  During the spoof the GPS-reported velocity stays flat
+// while SoundBoost's estimate tracks the real physical motion — the
+// discrepancy that drives detection.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace sb;
+
+int main() {
+  std::printf("=== Fig. 7: position & velocity estimation under GPS spoofing ===\n");
+  auto mapper = bench::standard_mapper();
+  auto det = bench::calibrate_detectors(mapper);
+
+  core::FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -15}, 60.0);
+  s.wind.gust_stddev = 0.35;
+  attacks::GpsSpoofConfig g;
+  g.start = 18.0;
+  g.end = 46.0;
+  // Mostly horizontal pull with a gentle vertical component (keeps the
+  // hijacked vehicle clear of the ground for the full spoof).
+  g.drag_direction = {0.95, 0.0, -0.2};
+  g.drag_rate = 0.9;
+  s.gps_spoof = g;
+  s.seed = 90001;
+  const auto flight = bench::lab().fly(s);
+
+  const auto preds = mapper.predict_flight(bench::lab(), flight);
+  const auto trace = det.gps.trace(flight, preds, core::GpsDetectorMode::kAudioImu);
+
+  std::printf("spoof period: %.0f-%.0f s (pink region in the paper's figure)\n",
+              g.start, g.end);
+  std::printf("%6s %10s %10s %12s %12s %10s %6s\n", "t(s)", "z_est(m)", "z_gps(m)",
+              "|v|_est", "|v|_gps", "run-mean", "spoof");
+  for (std::size_t k = 0; k < trace.t.size(); k += 10) {
+    const bool in_attack = trace.t[k] >= g.start && trace.t[k] < g.end;
+    std::printf("%6.1f %10.2f %10.2f %12.2f %12.2f %10.2f %6s\n", trace.t[k],
+                trace.pos_est[k].z,
+                flight.log.gps[std::min(k + 25, flight.log.gps.size() - 1)].pos.z,
+                trace.v_est[k].norm(), trace.v_gps[k].norm(), trace.running_mean[k],
+                in_attack ? "<" : "");
+  }
+
+  // Summary: mean |v| discrepancy inside the spoof period vs. the clean
+  // pre-attack segment.  (The post-attack recovery is legitimately turbulent
+  // — the paper attributes its residual false positives to it.)
+  double in_err = 0, pre_err = 0;
+  std::size_t n_in = 0, n_pre = 0;
+  for (std::size_t k = 0; k < trace.t.size(); ++k) {
+    const double err = (trace.v_gps[k] - trace.v_est[k]).norm();
+    if (trace.t[k] >= g.start && trace.t[k] < g.end) {
+      in_err += err;
+      ++n_in;
+    } else if (trace.t[k] > 8.0 && trace.t[k] < g.start) {
+      pre_err += err;
+      ++n_pre;
+    }
+  }
+  std::printf(
+      "mean |v_gps - v_est|: %.2f m/s inside spoof vs %.2f m/s pre-attack "
+      "(paper: large discrepancies only inside the pink region)\n",
+      in_err / static_cast<double>(n_in), pre_err / static_cast<double>(n_pre));
+  return 0;
+}

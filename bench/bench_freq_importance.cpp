@@ -1,0 +1,54 @@
+// §IV-A "Frequency Importance" reproduction: counterfactual feature
+// importance by removing (silencing) each frequency group in the signature
+// and measuring the resulting acceleration-MSE inflation.
+//
+// Paper: removing the aerodynamic group inflates MSE ~3.8x; the blade
+// passing and mechanical groups add <0.12x; ambient/other bands <0.05x.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace sb;
+
+int main() {
+  std::printf("=== §IV-A: counterfactual frequency-group importance ===\n");
+  auto mapper = bench::standard_mapper();
+
+  std::vector<core::Flight> test_flights;
+  for (int i = 0; i < 5; ++i)
+    test_flights.push_back(bench::lab().fly(bench::benign_scenario(i, 25.0)));
+
+  const double base_mse = mapper.test_mse(bench::lab(), test_flights);
+  std::printf("baseline acceleration MSE: %.4f\n", base_mse);
+
+  struct Row {
+    const char* name;
+    dsp::FreqGroup group;
+  };
+  const Row rows[] = {
+      {"aerodynamic removed", dsp::FreqGroup::kAerodynamic},
+      {"blade passing removed", dsp::FreqGroup::kBladePassing},
+      {"mechanical removed", dsp::FreqGroup::kMechanical},
+      {"other bands removed", dsp::FreqGroup::kOther},
+  };
+
+  Table table({"counterfactual", "MSE", "inflation vs baseline"});
+  table.add_row({"none (baseline)", Table::fmt(base_mse, 4), "1.00x"});
+  for (const auto& row : rows) {
+    core::PredictionHooks hooks;
+    // Mean imputation (not hard silencing): measures pure information loss
+    // without pushing the signature out of the training distribution.
+    hooks.signature_transform = [&](ml::Tensor& sig) {
+      mapper.neutralize_frequency_group(sig, row.group);
+    };
+    const double mse = mapper.test_mse(bench::lab(), test_flights, hooks);
+    table.add_row({row.name, Table::fmt(mse, 4),
+                   Table::fmt(mse / base_mse, 2) + "x"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "(paper: aerodynamic removal -> 3.77x MSE; blade/mechanical < +0.12x;\n"
+      " other/ambient < +0.05x — the aerodynamic group carries the signal)\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// §IV-B reproduction: IMU biasing attack detection.
+//
+// 20 flights — 10 benign hovers (one with a degraded/low-battery vehicle,
+// the source of the paper's single false positive) and 10 attacked hovers
+// (5 Side-Swing + 5 accelerometer DoS, 10 s spoof windows).  The paper
+// reports 10/10 attacks identified with one benign false positive and an
+// average detection delay of 2.3 s.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace sb;
+
+int main() {
+  std::printf("=== §IV-B: IMU biasing attack detection (20 flights) ===\n");
+  auto mapper = bench::standard_mapper();
+  auto det = bench::calibrate_detectors(mapper);
+
+  Table table({"flight", "kind", "detected", "detect t (s)", "attack t (s)",
+               "max score"});
+  int tp = 0, fp = 0, attacks_total = 0, benign_total = 0;
+  double delay_sum = 0.0;
+  int delay_n = 0;
+
+  // 10 benign hovers; the last one flies with degraded motors (low battery).
+  for (int i = 0; i < 10; ++i) {
+    core::FlightScenario s;
+    s.mission = sim::Mission::hover({0, 0, -10}, 40.0);
+    s.wind.gust_stddev = 0.3 + 0.05 * (i % 4);
+    s.seed = 80000 + static_cast<std::uint64_t>(i);
+    const bool low_battery = i == 9;
+    if (low_battery) s.motor_health = 0.80;
+    const auto f = bench::lab().fly(s);
+    const auto preds = mapper.predict_flight(bench::lab(), f);
+    const auto r = det.imu.analyze(core::ImuRcaDetector::residuals(f, preds));
+    ++benign_total;
+    if (r.attacked) ++fp;
+    table.add_row({"benign " + std::to_string(i),
+                   low_battery ? "hover (low battery)" : "hover",
+                   r.attacked ? "YES (FP)" : "no", "-", "-",
+                   Table::fmt(r.max_score, 2)});
+  }
+
+  // 10 attacked hovers.
+  for (int i = 0; i < 10; ++i) {
+    const auto scenario = bench::imu_attack_scenario(i);
+    const auto f = bench::lab().fly(scenario);
+    const auto preds = mapper.predict_flight(bench::lab(), f);
+    const auto r = det.imu.analyze(core::ImuRcaDetector::residuals(f, preds));
+    ++attacks_total;
+    if (r.attacked) {
+      ++tp;
+      if (r.detect_time >= f.log.attack_start) {
+        delay_sum += r.detect_time - f.log.attack_start;
+        ++delay_n;
+      }
+    }
+    table.add_row({"attack " + std::to_string(i),
+                   i % 2 == 0 ? "side-swing" : "accel DoS",
+                   r.attacked ? "YES" : "no (FN)",
+                   r.attacked ? Table::fmt(r.detect_time, 1) : "-",
+                   Table::fmt(f.log.attack_start, 0) + "-" +
+                       Table::fmt(f.log.attack_end, 0),
+                   Table::fmt(r.max_score, 2)});
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("TPR: %d/%d = %.2f   FPR: %d/%d = %.2f   mean delay: %.1f s\n", tp,
+              attacks_total, static_cast<double>(tp) / attacks_total, fp, benign_total,
+              static_cast<double>(fp) / benign_total,
+              delay_n > 0 ? delay_sum / delay_n : -1.0);
+  std::printf(
+      "(paper: 10/10 attacks detected, 1/10 benign FP — attributed to a\n"
+      " critically low battery — mean delay 2.3 s)\n");
+  return 0;
+}

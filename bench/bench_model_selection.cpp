@@ -1,0 +1,54 @@
+// §III-B / §IV-A model selection: trains the three architecture families the
+// paper evaluates (MobileNetV2, ResNet, Neural ODE — here their CPU-sized
+// Lite versions) on the same corpus and compares validation/test MSE and
+// benign residual statistics.  The paper selects MobileNetV2.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace sb;
+
+int main() {
+  std::printf("=== Model selection: MobileNetLite vs ResNetLite vs NeuralODE ===\n");
+  const auto scenarios = bench::lab().training_scenarios(3, 18.0);
+  std::vector<core::Flight> train_flights;
+  for (const auto& s : scenarios) train_flights.push_back(bench::lab().fly(s));
+
+  std::vector<core::Flight> test_flights;
+  for (int i = 0; i < 4; ++i)
+    test_flights.push_back(bench::lab().fly(bench::benign_scenario(i, 20.0)));
+
+  Table table({"model", "val MSE", "test MSE", "resid mean(z)", "resid std(z)"});
+  for (auto kind : {ml::ModelKind::kMobileNetLite, ml::ModelKind::kResNetLite,
+                    ml::ModelKind::kNeuralOde}) {
+    core::SensoryMapperConfig cfg;
+    cfg.model = kind;
+    cfg.dataset.stride = 0.3;
+    cfg.train.epochs = 10;
+    cfg.train.lr = 2e-3;
+    cfg.train.lr_decay = 0.9;
+    core::SensoryMapper mapper{cfg};
+    const auto mse = bench::fit_cached(mapper, "modelsel_" + ml::to_string(kind),
+                                       train_flights);
+    const double test_mse = mapper.test_mse(bench::lab(), test_flights);
+
+    // Benign residual statistics on the z axis (the axis Fig. 6 shows).
+    std::vector<double> rz;
+    for (const auto& f : test_flights) {
+      const auto preds = mapper.predict_flight(bench::lab(), f);
+      for (const auto& p : preds)
+        rz.push_back(p.accel.z - f.log.mean_imu_accel(p.t0, p.t1).z);
+    }
+    table.add_row({ml::to_string(kind), Table::fmt(mse.val, 4),
+                   Table::fmt(test_mse, 4), Table::fmt(mean(rz), 3),
+                   Table::fmt(stddev(rz), 3)});
+    std::printf("  done: %s\n", ml::to_string(kind).c_str());
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "(paper: residual means near 0 with small std; MobileNetV2 performs\n"
+      " best overall and is selected for the RCA pipeline)\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Adversarial-sound walk-through (§IV-D): what happens when the attacker
+// goes after the microphones themselves?
+//
+//  1. Ultrasonic injection (>20 kHz): filtered out by construction.
+//  2. Record-and-replay from a second UAV at 0.5 m: heavily attenuated.
+//  3. Idealized phase-synchronized cancellation of the aerodynamic band:
+//     shifts predictions, but mostly toward false positives, not misses.
+//
+//   $ ./adversarial_sound
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "attacks/sound_attack.hpp"
+#include "core/sensory_mapper.hpp"
+#include "dsp/biquad.hpp"
+#include "util/stats.hpp"
+
+using namespace sb;
+
+int main() {
+  core::FlightLab lab;
+
+  std::printf("[setup] training a small acoustic model...\n");
+  const auto scenarios = lab.training_scenarios(2, 18.0);
+  std::vector<core::Flight> train_flights;
+  for (const auto& s : scenarios) train_flights.push_back(lab.fly(s));
+  core::SensoryMapperConfig cfg;
+  cfg.model = ml::ModelKind::kMlp;
+  cfg.train.epochs = 8;
+  core::SensoryMapper mapper{cfg};
+  mapper.fit(lab, train_flights);
+
+  core::FlightScenario hover;
+  hover.mission = sim::Mission::hover({0, 0, -10}, 25.0);
+  hover.wind.gust_stddev = 0.3;
+  hover.seed = 321;
+  const auto flight = lab.fly(hover);
+  const auto windows = mapper.synthesize_windows(lab, flight);
+  const auto clean = mapper.predict_windows(windows);
+
+  auto mean_delta = [&](const core::PredictionHooks& hooks) {
+    const auto attacked = mapper.predict_windows(windows, hooks);
+    std::vector<double> d;
+    for (std::size_t i = 0; i < clean.size(); ++i)
+      d.push_back((clean[i].accel - attacked[i].accel).norm());
+    return mean(d);
+  };
+
+  // 1. Ultrasonic injection: the 6 kHz pipeline low-pass kills a 21 kHz
+  //    carrier before it ever reaches the model.  (We inject an aliased
+  //    in-band image to show even that barely registers.)
+  std::printf("\n--- 1. ultrasonic IMU-injection carrier ---\n");
+  {
+    core::PredictionHooks hooks;
+    hooks.audio_transform = [](acoustics::MultiChannelAudio& audio) {
+      // What a 21 kHz carrier folds to at 16 kHz sampling: 5 kHz image,
+      // but any real carrier energy above 6 kHz is removed by the pipeline
+      // low-pass; emulate a tiny residual leak.
+      for (auto& ch : audio.channels)
+        for (std::size_t i = 0; i < ch.size(); ++i)
+          ch[i] += 0.002 * std::sin(2.0 * M_PI * 5000.0 * static_cast<double>(i) / 16000.0);
+    };
+    std::printf("prediction shift: %.4f m/s^2 (innately immune: the pipeline\n"
+                "low-passes at 6 kHz, below any ultrasonic carrier)\n",
+                mean_delta(hooks));
+  }
+
+  // 2. Record-and-replay at 0.5 m.
+  std::printf("\n--- 2. record-and-replay from a second UAV at 0.5 m ---\n");
+  {
+    const auto synth = lab.synthesizer(flight);
+    const auto rec = synth.synthesize(flight.log, 3.0, 3.6);
+    std::vector<double> recording = rec.channels[0];
+    double peak = 1e-9;
+    for (double x : recording) peak = std::max(peak, std::abs(x));
+    for (double& x : recording) x = x / peak * 0.8;
+    const auto geometry = synth.geometry();
+    core::PredictionHooks hooks;
+    hooks.audio_transform = [&](acoustics::MultiChannelAudio& audio) {
+      attacks::ReplayAttackConfig rcfg;
+      rcfg.source_pos = {0, 0.5, 0};
+      attacks::apply_replay_attack(audio, recording, rcfg, geometry);
+    };
+    std::printf("prediction shift: %.4f m/s^2 (sound arrives at ~46%% of\n"
+                "on-frame intensity and without phase lock: negligible)\n",
+                mean_delta(hooks));
+  }
+
+  // 3. Idealized phase-synchronized cancellation on all four channels.
+  std::printf("\n--- 3. idealized phase-synced aerodynamic cancellation ---\n");
+  {
+    core::PredictionHooks hooks;
+    hooks.audio_transform = [](acoustics::MultiChannelAudio& audio) {
+      attacks::PhaseSyncSoundAttackConfig acfg;
+      acfg.amplitude_factor = 0.0;
+      acfg.channels = {0, 1, 2, 3};
+      attacks::apply_phase_sync_attack(audio, acfg);
+    };
+    std::printf("prediction shift: %.4f m/s^2 (a worst-case attacker CAN move\n"
+                "the predictions — but mostly into implausible regions, which\n"
+                "raises false positives rather than hiding attacks; Tab. III)\n",
+                mean_delta(hooks));
+  }
+  std::printf("\nSee bench_tab3_sound_attack for the full TPR/FPR sweep.\n");
+  return 0;
+}

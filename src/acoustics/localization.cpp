@@ -1,0 +1,54 @@
+#include "acoustics/localization.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace sb::acoustics {
+
+std::array<double, sensors::kNumMics - 1> measure_pair_delays(
+    const MultiChannelAudio& audio, const dsp::GccConfig& config) {
+  std::array<double, sensors::kNumMics - 1> out{};
+  for (int m = 1; m < sensors::kNumMics; ++m) {
+    const auto est = dsp::estimate_tdoa(audio.channels[0],
+                                        audio.channels[static_cast<std::size_t>(m)],
+                                        config);
+    out[static_cast<std::size_t>(m - 1)] = est.delay_samples;
+  }
+  return out;
+}
+
+std::optional<LocalizationResult> localize_source(
+    const MultiChannelAudio& audio, const sensors::MicGeometry& geometry,
+    const LocalizationConfig& config) {
+  if (audio.num_samples() == 0) return std::nullopt;
+  const auto measured = measure_pair_delays(audio, config.gcc);
+
+  // Grid search in the rotor plane (z = 0 body frame).
+  LocalizationResult best;
+  double best_cost = std::numeric_limits<double>::max();
+  for (double x = -config.search_radius; x <= config.search_radius;
+       x += config.grid_step) {
+    for (double y = -config.search_radius; y <= config.search_radius;
+         y += config.grid_step) {
+      const Vec3 candidate{x, y, 0.0};
+      double cost = 0.0;
+      const double d0 = (geometry.mic_pos[0] - candidate).norm();
+      for (int m = 1; m < sensors::kNumMics; ++m) {
+        const auto mi = static_cast<std::size_t>(m);
+        const double dm = (geometry.mic_pos[mi] - candidate).norm();
+        const double predicted =
+            (dm - d0) / sensors::kSpeedOfSound * audio.sample_rate;
+        const double err = predicted - measured[mi - 1];
+        cost += err * err;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best.position = candidate;
+      }
+    }
+  }
+  best.residual = std::sqrt(best_cost / (sensors::kNumMics - 1));
+  return best;
+}
+
+}  // namespace sb::acoustics

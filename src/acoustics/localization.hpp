@@ -1,0 +1,40 @@
+// Rotor localization from the microphone array (paper §II-D): GCC-based
+// TDoA between mic pairs plus the known array geometry locates each rotor's
+// sound source on the airframe — the physical grounding of the claim that an
+// off-centre array can attribute sound to individual propellers.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "acoustics/propagation.hpp"
+#include "dsp/tdoa.hpp"
+#include "sensors/mic_array.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::acoustics {
+
+struct LocalizationConfig {
+  dsp::GccConfig gcc;
+  // Grid-search bounds (body frame, metres) and resolution.
+  double search_radius = 0.35;
+  double grid_step = 0.01;
+};
+
+struct LocalizationResult {
+  Vec3 position;       // body frame estimate
+  double residual = 0.0;  // RMS TDoA mismatch, samples
+};
+
+// Measured pairwise delays (mic j relative to mic 0), in samples.
+std::array<double, sensors::kNumMics - 1> measure_pair_delays(
+    const MultiChannelAudio& audio, const dsp::GccConfig& config = {});
+
+// Locates a single dominant source by matching the measured pairwise delays
+// against those predicted for candidate positions on a horizontal grid
+// around the airframe (rotors live in the rotor plane).
+std::optional<LocalizationResult> localize_source(
+    const MultiChannelAudio& audio, const sensors::MicGeometry& geometry,
+    const LocalizationConfig& config = {});
+
+}  // namespace sb::acoustics

@@ -1,0 +1,75 @@
+#include "acoustics/propagation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::acoustics {
+
+MultiChannelAudio mix_to_mics(
+    const std::array<std::vector<double>, sim::kNumRotors>& rotor_signals,
+    std::size_t lead_samples, const sensors::MicGeometry& geometry,
+    double sample_rate, double ambient_noise, Rng& rng,
+    std::span<const Vec3> flow_body, double directivity) {
+  const std::size_t total = rotor_signals[0].size();
+  if (total < lead_samples)
+    throw std::invalid_argument{"mix_to_mics: lead exceeds signal length"};
+  const std::size_t n = total - lead_samples;
+  const bool with_flow = directivity != 0.0 && flow_body.size() >= n;
+
+  MultiChannelAudio out;
+  out.sample_rate = sample_rate;
+  for (auto& ch : out.channels) ch.assign(n, 0.0);
+
+  for (int m = 0; m < sensors::kNumMics; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    auto& ch = out.channels[mi];
+    for (int r = 0; r < sim::kNumRotors; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      const double gain = geometry.gain[mi][ri];
+      const auto delay = static_cast<std::size_t>(
+          std::llround(geometry.delay_s[mi][ri] * sample_rate));
+      if (delay > lead_samples)
+        throw std::invalid_argument{"mix_to_mics: lead too short for delay"};
+      const auto& src = rotor_signals[ri];
+      if (with_flow) {
+        const Vec3 d = geometry.dir[mi][ri];
+        for (std::size_t i = 0; i < n; ++i) {
+          const double mod =
+              std::max(1.0 + directivity * flow_body[i].dot(d), 0.1);
+          ch[i] += gain * mod * src[i + lead_samples - delay];
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i)
+          ch[i] += gain * src[i + lead_samples - delay];
+      }
+    }
+    if (ambient_noise > 0.0)
+      for (auto& x : ch) x += rng.normal(0.0, ambient_noise);
+  }
+  return out;
+}
+
+double external_attenuation(double distance_m) {
+  // Same near-field law as the on-frame rotors.  At 0.5 m this yields ~45%
+  // of the level a rotor-distance (~0.2 m) source produces — matching the
+  // paper's measurement that the aerodynamic-band magnitude drops to 46% of
+  // its on-frame value 0.5 m away (§IV-D).
+  return 1.0 / (1.0 + distance_m / 0.05);
+}
+
+void add_external_source(MultiChannelAudio& audio, std::span<const double> source,
+                         const Vec3& source_pos_body,
+                         const sensors::MicGeometry& geometry) {
+  for (int m = 0; m < sensors::kNumMics; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    const double dist = (geometry.mic_pos[mi] - source_pos_body).norm();
+    const double gain = external_attenuation(dist);
+    const auto delay = static_cast<std::size_t>(
+        std::llround(dist / sensors::kSpeedOfSound * audio.sample_rate));
+    auto& ch = audio.channels[mi];
+    for (std::size_t i = delay; i < ch.size() && i - delay < source.size(); ++i)
+      ch[i] += gain * source[i - delay];
+  }
+}
+
+}  // namespace sb::acoustics

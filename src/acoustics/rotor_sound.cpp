@@ -1,0 +1,58 @@
+#include "acoustics/rotor_sound.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sb::acoustics {
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+RotorSound::RotorSound(const RotorSoundConfig& config, double sample_rate,
+                       double hover_omega, Rng rng)
+    : config_(config),
+      sample_rate_(sample_rate),
+      hover_omega_(hover_omega),
+      rng_(rng),
+      aero_filter_(dsp::Biquad::band_pass(config.aero_center_hz, sample_rate,
+                                          config.aero_bandwidth_q)) {
+  // Randomize initial phases so rotors are mutually incoherent.
+  blade_phase_ = rng_.uniform(0.0, kTwoPi);
+  mech_phase_ = rng_.uniform(0.0, kTwoPi);
+  tone_phase_ = rng_.uniform(0.0, kTwoPi);
+}
+
+double RotorSound::sample(double omega) {
+  const double rot_hz = omega / kTwoPi;              // rotation rate, Hz
+  const double ratio = omega / hover_omega_;
+  const double dt = 1.0 / sample_rate_;
+
+  // Blade passing: harmonics of blade_count x rotation rate; thrust-like
+  // quadratic amplitude dependence.
+  const double bpf = config_.blade_count * rot_hz;
+  blade_phase_ = std::fmod(blade_phase_ + kTwoPi * bpf * dt, kTwoPi);
+  double blade = 0.0;
+  double harmonic_amp = config_.blade_amp * ratio * ratio;
+  for (int h = 1; h <= config_.blade_harmonics; ++h) {
+    blade += harmonic_amp * std::sin(static_cast<double>(h) * blade_phase_);
+    harmonic_amp *= 0.45;
+  }
+
+  // Mechanical/ESC tone tracking the electrical frequency.
+  const double mech_hz = config_.mech_ratio * (1.0 + config_.detune) * rot_hz;
+  mech_phase_ = std::fmod(mech_phase_ + kTwoPi * mech_hz * dt, kTwoPi);
+  const double mech = config_.mech_amp * ratio * std::sin(mech_phase_);
+
+  // Aerodynamic: band-passed noise + vortex tone; steep cubic amplitude
+  // dependence makes this band the dominant acceleration cue (§IV-A).
+  const double aero_gain = config_.aero_amp * ratio * ratio * ratio;
+  const double aero_noise = aero_filter_.process(rng_.normal()) * aero_gain;
+  const double tone_hz = config_.aero_tone_ratio * (1.0 + config_.detune) * rot_hz;
+  tone_phase_ = std::fmod(tone_phase_ + kTwoPi * tone_hz * dt, kTwoPi);
+  const double aero_tone =
+      config_.aero_tone_amp * ratio * ratio * ratio * std::sin(tone_phase_);
+
+  return blade + mech + aero_noise + aero_tone;
+}
+
+}  // namespace sb::acoustics

@@ -1,0 +1,62 @@
+// Physics-based rotor sound synthesis.
+//
+// Reproduces the three noise mechanisms the paper identifies (§II-D, Fig. 2a):
+//  * blade passing noise  — low-frequency harmonics of blades x rotation rate
+//    (~200 Hz group at hover),
+//  * mechanical/ESC noise — mid-frequency tones tracking motor electrical
+//    frequency (~2.5 kHz group),
+//  * aerodynamic noise    — high-frequency broadband from blade-air
+//    interaction (~5.5 kHz group), with amplitude rising steeply with RPM.
+//
+// Amplitude and pitch of every component are functions of rotor speed, which
+// is what makes the acoustic side-channel informative about actuation.
+#pragma once
+
+#include "dsp/biquad.hpp"
+#include "util/rng.hpp"
+
+namespace sb::acoustics {
+
+struct RotorSoundConfig {
+  int blade_count = 2;
+  int blade_harmonics = 3;
+  double blade_amp = 0.30;       // at hover RPM; scales with (w/w_hover)^2
+  double mech_ratio = 20.0;      // mechanical tone frequency / rotation rate
+  double mech_amp = 0.25;        // scales with (w/w_hover)
+  double aero_center_hz = 5250;  // aerodynamic band centre
+  double aero_bandwidth_q = 3.0;
+  double aero_amp = 0.35;        // scales with (w/w_hover)^3
+  double aero_tone_ratio = 44.0; // vortex-shedding tone / rotation rate
+  double aero_tone_amp = 0.20;
+  // Per-rotor frequency detuning of the mechanical and vortex tones.  Real
+  // motor/ESC/propeller units are never identical — slightly different pole
+  // counts, blade wear and mounting give each rotor a recognizably shifted
+  // tone, which is what lets a single microphone attribute sound to
+  // individual rotors (the paper localizes rotors via TDoA + level
+  // differences; spectral fingerprints serve the same role here).
+  double detune = 0.0;           // fractional shift, e.g. -0.10 .. +0.10
+};
+
+// Sample-by-sample synthesizer for ONE rotor; keeps oscillator phases and
+// filter state continuous across calls.
+class RotorSound {
+ public:
+  RotorSound(const RotorSoundConfig& config, double sample_rate, double hover_omega,
+             Rng rng);
+
+  // Produces the next audio sample for the given instantaneous rotor speed
+  // (rad/s).
+  double sample(double omega);
+
+ private:
+  RotorSoundConfig config_;
+  double sample_rate_;
+  double hover_omega_;
+  Rng rng_;
+  dsp::Biquad aero_filter_;
+  double blade_phase_ = 0.0;
+  double mech_phase_ = 0.0;
+  double tone_phase_ = 0.0;
+};
+
+}  // namespace sb::acoustics

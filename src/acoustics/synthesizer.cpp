@@ -1,0 +1,79 @@
+#include "acoustics/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sb::acoustics {
+
+AudioSynthesizer::AudioSynthesizer(const SynthesizerConfig& config,
+                                   const sim::QuadrotorParams& quad,
+                                   std::uint64_t seed)
+    : config_(config),
+      quad_(quad),
+      geometry_(sensors::compute_geometry(config.mic_array, quad)),
+      seed_(seed) {}
+
+MultiChannelAudio AudioSynthesizer::synthesize(const sim::FlightLog& log, double t0,
+                                               double t1) const {
+  const double fs = config_.sample_rate;
+  const double physics_dt = log.rates.physics_dt();
+
+  // Pre-roll long enough to cover the largest mic/rotor delay.
+  double max_delay = 0.0;
+  for (const auto& per_mic : geometry_.delay_s)
+    for (double d : per_mic) max_delay = std::max(max_delay, d);
+  const auto lead = static_cast<std::size_t>(std::ceil(max_delay * fs)) + 1;
+
+  const auto n = static_cast<std::size_t>(std::llround((t1 - t0) * fs));
+  const std::size_t total = n + lead;
+  const double start_t = t0 - static_cast<double>(lead) / fs;
+
+  // Seed deterministically per (flight, window-start).
+  const auto window_tag =
+      static_cast<std::uint64_t>(std::llround(std::max(start_t, 0.0) * 1e6));
+  Rng base{seed_ ^ (window_tag * 0x2545F4914F6CDD1DULL + 0x9E3779B9ULL)};
+
+  // Per-rotor tone detuning (manufacturing spread); see RotorSoundConfig.
+  static constexpr std::array<double, sim::kNumRotors> kDetune{-0.10, -0.035, 0.035,
+                                                               0.10};
+  std::array<std::vector<double>, sim::kNumRotors> rotor_signals;
+  for (int r = 0; r < sim::kNumRotors; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    RotorSoundConfig rotor_cfg = config_.rotor;
+    rotor_cfg.detune += kDetune[ri];
+    RotorSound synth{rotor_cfg, fs, quad_.hover_omega(), base.split()};
+    auto& sig = rotor_signals[ri];
+    sig.resize(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      const double t = start_t + static_cast<double>(i) / fs;
+      // Sample-and-hold rotor speed from the physics-rate timeline.
+      double omega = quad_.hover_omega();
+      if (!log.rotor_omega.empty()) {
+        const auto idx = static_cast<std::size_t>(
+            std::clamp(t / physics_dt, 0.0,
+                       static_cast<double>(log.rotor_omega.size() - 1)));
+        omega = log.rotor_omega[idx][ri];
+      }
+      sig[i] = synth.sample(omega);
+    }
+  }
+
+  // Body-frame air velocity per output sample, for airflow directivity.
+  std::vector<Vec3> flow(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + static_cast<double>(i) / fs;
+    if (log.t.empty()) continue;
+    const auto idx = static_cast<std::size_t>(std::clamp(
+        t / physics_dt, 0.0, static_cast<double>(log.t.size() - 1)));
+    const Vec3& e = log.true_euler[idx];
+    const Mat3 r = rotation_from_euler(e.x, e.y, e.z);
+    flow[i] = r.transposed() * log.true_vel[idx];
+  }
+
+  Rng ambient_rng = base.split();
+  return mix_to_mics(rotor_signals, lead, geometry_, fs,
+                     config_.mic_array.ambient_noise, ambient_rng, flow,
+                     config_.flow_directivity);
+}
+
+}  // namespace sb::acoustics

@@ -1,0 +1,43 @@
+// Flight-audio synthesizer: turns a FlightLog's rotor-speed timeline into
+// the 4-channel microphone recording SoundBoost analyzes.
+#pragma once
+
+#include <cstdint>
+
+#include "acoustics/propagation.hpp"
+#include "acoustics/rotor_sound.hpp"
+#include "sensors/mic_array.hpp"
+#include "sim/simulator.hpp"
+
+namespace sb::acoustics {
+
+struct SynthesizerConfig {
+  RotorSoundConfig rotor;
+  sensors::MicArrayConfig mic_array;
+  double sample_rate = 16000.0;
+  // Airflow directivity coefficient per (m/s) of body-frame air velocity;
+  // see mix_to_mics.
+  double flow_directivity = 0.10;
+};
+
+class AudioSynthesizer {
+ public:
+  AudioSynthesizer(const SynthesizerConfig& config, const sim::QuadrotorParams& quad,
+                   std::uint64_t seed);
+
+  // Synthesizes the microphone recording for flight time [t0, t1).
+  // Deterministic given (seed, t0): the same window always produces the same
+  // audio, so pipeline stages can re-window a flight independently.
+  MultiChannelAudio synthesize(const sim::FlightLog& log, double t0, double t1) const;
+
+  const sensors::MicGeometry& geometry() const { return geometry_; }
+  const SynthesizerConfig& config() const { return config_; }
+
+ private:
+  SynthesizerConfig config_;
+  sim::QuadrotorParams quad_;
+  sensors::MicGeometry geometry_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sb::acoustics

@@ -1,0 +1,22 @@
+#include "attacks/actuator_attack.hpp"
+
+#include <cmath>
+
+namespace sb::attacks {
+
+bool ActuatorDosAttack::blocking(double t) const {
+  if (!active(t) || config_.period <= 0.0) return false;
+  const double phase = std::fmod(t - config_.start, config_.period);
+  return phase < config_.duty * config_.period;
+}
+
+void ActuatorDosAttack::apply(double t, sim::RotorCommand& cmd,
+                              double omega_min) const {
+  if (!blocking(t)) return;
+  for (int r = 0; r < sim::kNumRotors; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (config_.affects_rotor[ri]) cmd[ri] = omega_min;
+  }
+}
+
+}  // namespace sb::attacks

@@ -1,0 +1,42 @@
+// Actuator denial-of-service attack (paper §V-B, after Dayanıklı et al.):
+// a physical-layer block waveform on the PWM lines periodically forces the
+// ESCs to drop the commanded speed, so the motors coast.  The paper argues
+// SoundBoost generalizes to this threat: when actuators stop, the acoustic
+// side-channel shows near-zero actuation while the controller is commanding
+// hard — an audible inconsistency.
+#pragma once
+
+#include "sim/quadrotor.hpp"
+
+namespace sb::attacks {
+
+struct ActuatorDosConfig {
+  double start = 0.0;       // s
+  double end = 0.0;         // s
+  double period = 0.50;     // s, block-wave period
+  double duty = 0.5;        // fraction of each period the PWM is blocked
+  // Rotors affected (opposing pairs cannot be attacked uniformly on a
+  // quadcopter, as the paper notes; default hits one adjacent pair).
+  bool affects_rotor[sim::kNumRotors] = {true, true, false, false};
+};
+
+class ActuatorDosAttack {
+ public:
+  explicit ActuatorDosAttack(const ActuatorDosConfig& config) : config_(config) {}
+
+  bool active(double t) const { return t >= config_.start && t < config_.end; }
+
+  // True while the block waveform is suppressing the PWM at time t.
+  bool blocking(double t) const;
+
+  // Overrides the commanded rotor speeds in place: blocked rotors receive
+  // the minimum command (ESC output forced low), others pass through.
+  void apply(double t, sim::RotorCommand& cmd, double omega_min) const;
+
+  const ActuatorDosConfig& config() const { return config_; }
+
+ private:
+  ActuatorDosConfig config_;
+};
+
+}  // namespace sb::attacks

@@ -1,0 +1,42 @@
+#include "attacks/gps_spoofing.hpp"
+
+#include <algorithm>
+
+namespace sb::attacks {
+
+GpsSpoofAttack::GpsSpoofAttack(const GpsSpoofConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  config_.drag_direction = config_.drag_direction.normalized();
+}
+
+void GpsSpoofAttack::apply(sim::GpsSample& sample, const Vec3& true_pos,
+                           const Vec3& true_vel) {
+  if (!active(sample.t)) return;
+  const Vec3 pos_noise{rng_.normal(0.0, config_.residual_noise),
+                       rng_.normal(0.0, config_.residual_noise),
+                       rng_.normal(0.0, config_.residual_noise)};
+  const Vec3 vel_noise{rng_.normal(0.0, config_.vel_noise),
+                       rng_.normal(0.0, config_.vel_noise),
+                       rng_.normal(0.0, config_.vel_noise)};
+  switch (config_.mode) {
+    case GpsSpoofMode::kStatic:
+      sample.pos = config_.spoof_pos + pos_noise;
+      // A static spoofed location implies (near-)zero reported velocity.
+      sample.vel = vel_noise;
+      break;
+    case GpsSpoofMode::kDrag: {
+      const double elapsed = sample.t - config_.start;
+      const double offset = std::min(config_.drag_rate * elapsed, config_.max_offset);
+      const bool ramping = offset < config_.max_offset;
+      sample.pos = true_pos + config_.drag_direction * offset + pos_noise;
+      // Velocity consistent with the spoofed frame: while the offset ramps,
+      // the report absorbs the induced physical drift, hiding it.
+      const Vec3 spoof_vel =
+          true_vel + (ramping ? config_.drag_direction * config_.drag_rate : Vec3{});
+      sample.vel = spoof_vel + vel_noise;
+      break;
+    }
+  }
+}
+
+}  // namespace sb::attacks

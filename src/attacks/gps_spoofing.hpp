@@ -1,0 +1,61 @@
+// GPS spoofing attack model (paper §IV-C).
+//
+// The paper generates false satellite signals with GPS-SDR-SIM + HackRF One
+// and spoofs a STATIC location for 60–90 s while the UAV hovers or flies a
+// mission.  The detector only ever sees the falsified GPS *readings*, so we
+// model the attack at the reading level: during the attack window the
+// receiver reports the spoofed (static) position and near-zero velocity.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::attacks {
+
+enum class GpsSpoofMode {
+  // The receiver locks onto a fixed fake location and reports (near-)zero
+  // velocity.  Against a naive autopilot this produces the classic
+  // "tractor beam" flyaway: the position error never closes.
+  kStatic,
+  // Stealthy human-in-the-loop takeover (Sathaye et al.): the reported
+  // position is the true position plus a slowly ramping offset, so the
+  // autopilot calmly flies the negative offset.  The reported velocity is
+  // consistent with the spoofed frame — i.e. it hides the physical drift —
+  // which is exactly the discrepancy the acoustic side-channel exposes.
+  kDrag,
+};
+
+struct GpsSpoofConfig {
+  GpsSpoofMode mode = GpsSpoofMode::kDrag;
+  double start = 0.0;            // s
+  double end = 0.0;              // s
+  Vec3 spoof_pos;                // kStatic: reported NED position
+  Vec3 drag_direction{1, 0, 0};  // kDrag: offset direction (normalized)
+  double drag_rate = 1.0;        // kDrag: offset growth, m/s
+  double max_offset = 40.0;      // kDrag: offset cap, m
+  double residual_noise = 0.4;   // m, noise on the spoofed fix
+  double vel_noise = 0.08;       // m/s, noise on the spoofed velocity
+};
+
+class GpsSpoofAttack {
+ public:
+  GpsSpoofAttack(const GpsSpoofConfig& config, Rng rng);
+
+  bool active(double t) const {
+    return t >= config_.start && t < config_.end;
+  }
+
+  // Falsifies the sample in place when the attack window covers t.  The
+  // true vehicle state anchors the kDrag trajectory (the attacker tracks
+  // the target, per the threat model).
+  void apply(sim::GpsSample& sample, const Vec3& true_pos, const Vec3& true_vel);
+
+  const GpsSpoofConfig& config() const { return config_; }
+
+ private:
+  GpsSpoofConfig config_;
+  Rng rng_;
+};
+
+}  // namespace sb::attacks

@@ -1,0 +1,52 @@
+#include "attacks/imu_attack.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sb::attacks {
+namespace {
+
+void add_axis(Vec3& v, int axis, double delta) {
+  switch (axis) {
+    case 0: v.x += delta; break;
+    case 1: v.y += delta; break;
+    default: v.z += delta; break;
+  }
+}
+
+}  // namespace
+
+ImuBiasAttack::ImuBiasAttack(const ImuAttackConfig& config, Rng rng)
+    : config_(config), rng_(rng) {
+  dos_freq_ = rng_.uniform(config_.dos_freq_lo, config_.dos_freq_hi);
+  dos_phase_ = rng_.uniform(0.0, 2.0 * 3.14159265358979);
+}
+
+void ImuBiasAttack::apply(sim::ImuSample& sample) {
+  if (!active(sample.t)) return;
+  switch (config_.type) {
+    case ImuAttackType::kSideSwing: {
+      // Incrementally added small positive biases (paper: "incrementally
+      // adding small biases for a short time period").
+      const double ramp =
+          std::clamp((sample.t - config_.start) / config_.ramp_time, 0.0, 1.0);
+      add_axis(sample.gyro, config_.axis, config_.swing_bias * ramp);
+      break;
+    }
+    case ImuAttackType::kAccelDos: {
+      // Zero-mean oscillatory disruption: the out-of-band resonance aliases
+      // to a low-frequency sinusoid on the target axis, with wideband noise
+      // leaking into the other axes.
+      const double osc = config_.dos_amplitude *
+                         std::sin(2.0 * 3.14159265358979 * dos_freq_ * sample.t +
+                                  dos_phase_);
+      add_axis(sample.specific_force, config_.axis == 0 ? 2 : config_.axis, osc);
+      sample.specific_force.x += rng_.normal(0.0, config_.dos_noise * 0.5);
+      sample.specific_force.y += rng_.normal(0.0, config_.dos_noise * 0.5);
+      sample.specific_force.z += rng_.normal(0.0, config_.dos_noise);
+      break;
+    }
+  }
+}
+
+}  // namespace sb::attacks

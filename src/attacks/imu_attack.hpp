@@ -1,0 +1,57 @@
+// IMU biasing attacks (paper §IV-B), synthesized at the firmware level
+// exactly as the paper does:
+//  * Side-Swing — a ramp of positive-biased signals injected into the gyro
+//    output on a target axis (controllable spoofing, Tu et al.).
+//  * Accelerometer DoS — random oscillatory noise injected into the
+//    accelerometer (control of the accelerometer cannot be achieved, so the
+//    injection is zero-mean but large).
+//
+// The falsified readings feed BOTH the flight controller (causing the real
+// erratic behaviour) and the detector under test.
+#pragma once
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::attacks {
+
+enum class ImuAttackType { kSideSwing, kAccelDos };
+
+struct ImuAttackConfig {
+  ImuAttackType type = ImuAttackType::kSideSwing;
+  double start = 0.0;        // s
+  double end = 0.0;          // s
+  int axis = 0;              // gyro axis: 0=roll, 1=pitch, 2=yaw (side-swing)
+  double swing_bias = 0.15;  // rad/s gyro bias at full ramp (side-swing)
+  double ramp_time = 3.0;    // s to reach full bias
+  // Accelerometer DoS: the injected resonance aliases to a low-frequency
+  // oscillating bias (WALNUT-style) plus wideband noise.
+  double dos_amplitude = 1.8;   // m/s^2 oscillation amplitude
+  double dos_freq_lo = 0.8;     // Hz, aliased oscillation band
+  double dos_freq_hi = 2.5;     // Hz
+  double dos_noise = 0.9;       // m/s^2 white-noise component
+};
+
+class ImuBiasAttack {
+ public:
+  ImuBiasAttack(const ImuAttackConfig& config, Rng rng);
+
+  bool active(double t) const {
+    return t >= config_.start && t < config_.end;
+  }
+
+  // Falsifies the body-frame reading in place; the caller re-derives the NED
+  // acceleration afterwards so the falsification propagates consistently.
+  void apply(sim::ImuSample& sample);
+
+  const ImuAttackConfig& config() const { return config_; }
+
+ private:
+  ImuAttackConfig config_;
+  Rng rng_;
+  double dos_freq_ = 0.0;   // aliased oscillation frequency for this attack
+  double dos_phase_ = 0.0;
+};
+
+}  // namespace sb::attacks

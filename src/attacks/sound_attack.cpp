@@ -1,0 +1,35 @@
+#include "attacks/sound_attack.hpp"
+
+#include <cmath>
+
+#include "dsp/biquad.hpp"
+
+namespace sb::attacks {
+
+void apply_phase_sync_attack(acoustics::MultiChannelAudio& audio,
+                             const PhaseSyncSoundAttackConfig& config) {
+  const double center = 0.5 * (config.band_lo_hz + config.band_hi_hz);
+  const double bw = config.band_hi_hz - config.band_lo_hz;
+  const double q = center / bw;
+  const double delta = config.amplitude_factor - 1.0;
+  if (delta == 0.0) return;
+
+  for (int c : config.channels) {
+    if (c < 0 || c >= sensors::kNumMics) continue;
+    auto& ch = audio.channels[static_cast<std::size_t>(c)];
+    dsp::Biquad bp = dsp::Biquad::band_pass(center, audio.sample_rate, q);
+    for (auto& x : ch) x += delta * bp.process(x);
+  }
+}
+
+void apply_replay_attack(acoustics::MultiChannelAudio& audio,
+                         const std::vector<double>& recording,
+                         const ReplayAttackConfig& config,
+                         const sensors::MicGeometry& geometry) {
+  std::vector<double> scaled(recording.size());
+  for (std::size_t i = 0; i < recording.size(); ++i)
+    scaled[i] = recording[i] * config.gain;
+  acoustics::add_external_source(audio, scaled, config.source_pos, geometry);
+}
+
+}  // namespace sb::attacks

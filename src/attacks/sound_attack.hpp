@@ -1,0 +1,54 @@
+// Adversarial attacks against the acoustic side-channel itself (§IV-D).
+//
+// Two families, matching the paper's two experiments:
+//  1. Real-world interference — a second UAV or a speaker replaying recorded
+//     rotor sound near the target.  Modeled through the propagation module:
+//     the interferer couples into the mics with distance attenuation and no
+//     phase relationship to the target's own rotors.
+//  2. Idealized phase-synchronized manipulation — an attacker with perfect
+//     phase/amplitude control scales the AERODYNAMIC frequency band on a
+//     chosen subset of microphone channels (cancel 0–75%, amplify 125–200%,
+//     Tab. III).  Implemented by band-passing each attacked channel and
+//     adding (factor - 1) x band back, which is exactly what a
+//     phase-locked emitter achieves.
+#pragma once
+
+#include <vector>
+
+#include "acoustics/propagation.hpp"
+#include "dsp/features.hpp"
+
+namespace sb::attacks {
+
+struct PhaseSyncSoundAttackConfig {
+  // Amplitude factor applied to the aerodynamic band: 0.0 = full
+  // cancellation, 1.0 = no-op, 2.0 = 200% amplification.
+  double amplitude_factor = 1.0;
+  // Which microphone channels (0..3) the attacker reaches.
+  std::vector<int> channels;
+  // Band under manipulation (defaults to the aerodynamic group — the most
+  // important one per the feature-importance analysis).
+  double band_lo_hz = 4500.0;
+  double band_hi_hz = 6000.0;
+};
+
+// Applies the phase-synchronized manipulation in place.
+void apply_phase_sync_attack(acoustics::MultiChannelAudio& audio,
+                             const PhaseSyncSoundAttackConfig& config);
+
+struct ReplayAttackConfig {
+  // Interferer position in the target's body frame (m).  The paper flew the
+  // attacker at 0.5–2 m.
+  Vec3 source_pos{0.0, 0.0, -0.5};
+  // Playback gain relative to a rotor source at full volume (~100 dB
+  // portable-speaker ceiling in the threat model).
+  double gain = 1.0;
+};
+
+// Adds replayed rotor-like sound (the `recording`) as an external source.
+void apply_replay_attack(acoustics::MultiChannelAudio& audio,
+                         const std::vector<double>& recording,
+                         const ReplayAttackConfig& config,
+                         const sensors::MicGeometry& geometry);
+
+}  // namespace sb::attacks

@@ -1,0 +1,62 @@
+// Control-Invariant (LTI) baseline (Choi et al., CCS'18; paper Tab. II).
+//
+// System Identification fits a linear time-invariant ARX model
+//   y_{k+1} = sum_i a_i y_{k-i} + sum_j b_j u_{k-j}
+// of the monitored output (yaw, vx or vy from the autopilot's navigation
+// telemetry) driven by the position-error control input, on benign flights.
+// The fitted model is then used as an invariant monitor: the running mean of
+// |y_model - y_measured| above a benign-calibrated threshold flags an attack.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/flight_lab.hpp"
+#include "detect/running_mean.hpp"
+#include "detect/threshold.hpp"
+
+namespace sb::baselines {
+
+enum class LtiOutput { kYaw, kVx, kVy };
+
+std::string to_string(LtiOutput output);
+
+struct LtiConfig {
+  int na = 3;  // autoregressive order
+  int nb = 3;  // exogenous-input order
+  detect::ThresholdConfig threshold;
+  double warmup = 2.0;
+};
+
+class LtiInvariantDetector {
+ public:
+  LtiInvariantDetector(const LtiConfig& config, LtiOutput output);
+
+  // Least-squares system identification over benign flights.
+  void fit(std::span<const core::Flight> benign);
+
+  struct Result {
+    bool attacked = false;
+    double detect_time = -1.0;
+    double peak_running_mean = 0.0;
+  };
+
+  double calibrate(std::span<const Result> benign_results);
+  Result analyze(const core::Flight& flight) const;
+
+  const std::vector<double>& coefficients() const { return coeffs_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  // Extracts (y, u) series at nav-telemetry rate for this detector's output.
+  static void series(const core::Flight& flight, LtiOutput output,
+                     std::vector<double>& y, std::vector<double>& u);
+
+  LtiConfig config_;
+  LtiOutput output_;
+  std::vector<double> coeffs_;  // [a_0..a_{na-1}, b_0..b_{nb-1}]
+  bool fitted_ = false;
+  double threshold_ = -1.0;
+};
+
+}  // namespace sb::baselines

@@ -1,0 +1,49 @@
+#include "core/dataset.hpp"
+
+namespace sb::core {
+
+DatasetBuilder::DatasetBuilder(const DatasetConfig& config, const FlightLab& lab)
+    : config_(config), lab_(&lab), shape_(signature_shape(config.signature)) {}
+
+void DatasetBuilder::append_window(const Flight& flight,
+                                   const acoustics::AudioSynthesizer& synth,
+                                   double t0, double capture_len) {
+  const double t1 = t0 + capture_len;
+  if (t1 > flight.log.duration()) return;
+
+  const auto audio = synth.synthesize(flight.log, t0, t1);
+  const ml::Tensor sig = compute_signature(audio, config_.signature);
+  xs_.insert(xs_.end(), sig.flat().begin(), sig.flat().end());
+
+  // Labels: intact-IMU acceleration (paper §III-B) plus the benign
+  // autopilot's navigation velocity — the "audio-derived velocity" target
+  // the GPS-stage Kalman filters consume as their measurement.
+  const Vec3 accel = flight.log.mean_imu_accel(t0, t1);
+  const Vec3 vel = flight.log.mean_nav_vel(t0, t1);
+  for (double v : {accel.x, accel.y, accel.z, vel.x, vel.y, vel.z})
+    ys_.push_back(static_cast<float>(v));
+  ++count_;
+}
+
+void DatasetBuilder::add_flight(const Flight& flight) {
+  const auto synth = lab_->synthesizer(flight);
+  const double base = config_.signature.window_seconds;
+  const double end = flight.log.duration();
+
+  for (double t0 = config_.settle_time; t0 + base <= end; t0 += config_.stride) {
+    append_window(flight, synth, t0, base);
+    for (double factor : config_.augmentation_factors)
+      append_window(flight, synth, t0, factor * base);
+  }
+}
+
+ml::RegressionDataset DatasetBuilder::build() const {
+  ml::RegressionDataset data;
+  data.x = ml::Tensor({count_, shape_.channels, shape_.frames, shape_.bands});
+  std::copy(xs_.begin(), xs_.end(), data.x.data());
+  data.y = ml::Tensor({count_, kLabelDim});
+  std::copy(ys_.begin(), ys_.end(), data.y.data());
+  return data;
+}
+
+}  // namespace sb::core

@@ -1,0 +1,53 @@
+// Training-corpus construction: slides the signature window over recorded
+// flights, pairs each window with the intact IMU's mean NED acceleration
+// (the ground-truth label, §III-B), and applies time-shift augmentation —
+// re-capturing each window at stretched lengths to simulate head/tail winds
+// (Fig. 3, Tab. I).
+#pragma once
+
+#include <vector>
+
+#include "core/flight_lab.hpp"
+#include "core/signature.hpp"
+#include "ml/trainer.hpp"
+
+namespace sb::core {
+
+// Regression targets per window: NED acceleration (3) + NED velocity (3).
+inline constexpr std::size_t kLabelDim = 6;
+
+struct DatasetConfig {
+  SignatureConfig signature;
+  double stride = 0.25;   // s between window starts
+  double settle_time = 2.0;  // s skipped at flight start (takeoff transient)
+  // Capture-length multipliers added on top of the base (1x) windows.
+  // Tab. I explores {0.5}, {}, {1}, {2}, {3}, {5}.
+  std::vector<double> augmentation_factors;
+};
+
+class DatasetBuilder {
+ public:
+  DatasetBuilder(const DatasetConfig& config, const FlightLab& lab);
+
+  // Extracts all windows of one flight and appends them to the corpus.
+  void add_flight(const Flight& flight);
+
+  std::size_t size() const { return count_; }
+
+  // Assembles the accumulated windows into a dataset ([N,C,H,W] / [N,3]).
+  ml::RegressionDataset build() const;
+
+ private:
+  void append_window(const Flight& flight,
+                     const acoustics::AudioSynthesizer& synth, double t0,
+                     double capture_len);
+
+  DatasetConfig config_;
+  const FlightLab* lab_;
+  SignatureShape shape_;
+  std::vector<float> xs_;
+  std::vector<float> ys_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sb::core

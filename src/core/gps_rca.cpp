@@ -1,0 +1,120 @@
+#include "core/gps_rca.hpp"
+
+#include <stdexcept>
+
+namespace sb::core {
+namespace {
+
+std::size_t mode_index(GpsDetectorMode mode) {
+  return mode == GpsDetectorMode::kAudioOnly ? 0 : 1;
+}
+
+}  // namespace
+
+GpsRcaDetector::GpsRcaDetector(const GpsRcaConfig& config) : config_(config) {}
+
+double GpsRcaDetector::threshold(GpsDetectorMode mode) const {
+  return vel_thresholds_[mode_index(mode)];
+}
+
+double GpsRcaDetector::pos_threshold(GpsDetectorMode mode) const {
+  return pos_thresholds_[mode_index(mode)];
+}
+
+bool GpsRcaDetector::calibrated(GpsDetectorMode mode) const {
+  return vel_thresholds_[mode_index(mode)] >= 0.0;
+}
+
+double GpsRcaDetector::calibrate(std::span<const Result> benign_results,
+                                 GpsDetectorMode mode) {
+  std::vector<double> vel_peaks, pos_peaks;
+  vel_peaks.reserve(benign_results.size());
+  pos_peaks.reserve(benign_results.size());
+  for (const auto& r : benign_results) {
+    vel_peaks.push_back(r.peak_running_mean);
+    pos_peaks.push_back(r.peak_pos_dev);
+  }
+  const double vt = detect::calibrate_threshold(vel_peaks, config_.threshold);
+  const double pt = detect::calibrate_threshold(pos_peaks, config_.threshold);
+  vel_thresholds_[mode_index(mode)] = vt;
+  pos_thresholds_[mode_index(mode)] = pt;
+  return vt;
+}
+
+GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
+                                           std::span<const TimedPrediction> preds,
+                                           GpsDetectorMode mode, double vel_threshold,
+                                           double pos_threshold,
+                                           Trace* trace_out) const {
+  Result result;
+  if (preds.empty()) return result;
+
+  // Initial state from the first GPS fix (pre-attack per the threat model:
+  // attacks start only after takeoff completes).
+  const Vec3 v0 = flight.log.gps.empty() ? Vec3{} : flight.log.gps.front().vel;
+  est::AudioOnlyVelocityKf audio_kf{config_.kf, v0};
+  est::AudioImuVelocityKf fused_kf{config_.kf, v0};
+
+  detect::RunningVecMeanMonitor monitor{config_.mean_window};
+  Vec3 pos_est = flight.log.gps.empty() ? Vec3{} : flight.log.gps.front().pos;
+
+  std::size_t gps_idx = 0;
+  double prev_t = preds.front().t0;
+  for (const auto& p : preds) {
+    const double dt = p.t1 - prev_t;
+    prev_t = p.t1;
+    if (dt <= 0.0) continue;
+
+    Vec3 v_est;
+    if (mode == GpsDetectorMode::kAudioOnly) {
+      v_est = audio_kf.step(p.accel, p.vel, dt);
+    } else {
+      const Vec3 imu_accel = flight.log.mean_imu_accel(p.t0, p.t1);
+      v_est = fused_kf.step(imu_accel, p.vel, dt);
+    }
+    pos_est += v_est * dt;
+
+    // Consume GPS fixes up to the current time.
+    while (gps_idx < flight.log.gps.size() && flight.log.gps[gps_idx].t <= p.t1) {
+      const auto& fix = flight.log.gps[gps_idx];
+      ++gps_idx;
+      if (fix.t < config_.warmup) continue;
+      const double mean_err = monitor.add(fix.vel - v_est);
+      const double pos_dev = (fix.pos - pos_est).norm();
+      result.peak_running_mean = std::max(result.peak_running_mean, mean_err);
+      result.peak_pos_dev = std::max(result.peak_pos_dev, pos_dev);
+      const bool vel_hit = vel_threshold >= 0.0 && mean_err > vel_threshold;
+      const bool pos_hit = pos_threshold >= 0.0 && pos_dev > pos_threshold;
+      if ((vel_hit || pos_hit) && !result.attacked) {
+        result.attacked = true;
+        result.detect_time = fix.t;
+      }
+      if (trace_out) {
+        trace_out->t.push_back(fix.t);
+        trace_out->v_est.push_back(v_est);
+        trace_out->v_gps.push_back(fix.vel);
+        trace_out->pos_est.push_back(pos_est);
+        trace_out->running_mean.push_back(mean_err);
+      }
+    }
+  }
+  return result;
+}
+
+GpsRcaDetector::Result GpsRcaDetector::analyze(const Flight& flight,
+                                               std::span<const TimedPrediction> preds,
+                                               GpsDetectorMode mode) const {
+  const std::size_t m = mode_index(mode);
+  return run(flight, preds, mode, vel_thresholds_[m], pos_thresholds_[m], nullptr);
+}
+
+GpsRcaDetector::Trace GpsRcaDetector::trace(const Flight& flight,
+                                            std::span<const TimedPrediction> preds,
+                                            GpsDetectorMode mode) const {
+  Trace t;
+  const std::size_t m = mode_index(mode);
+  run(flight, preds, mode, vel_thresholds_[m], pos_thresholds_[m], &t);
+  return t;
+}
+
+}  // namespace sb::core

@@ -1,0 +1,85 @@
+// GPS-stage RCA (paper §III-C2): estimates the UAV's velocity from the
+// acoustic side-channel (optionally fused with a trusted IMU), accumulates
+// the deviation between GPS-reported velocity and the estimate, and alerts
+// when the running mean exceeds the benign-calibrated threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/flight_lab.hpp"
+#include "core/sensory_mapper.hpp"
+#include "detect/running_mean.hpp"
+#include "detect/threshold.hpp"
+#include "estimation/velocity_kf.hpp"
+
+namespace sb::core {
+
+enum class GpsDetectorMode {
+  kAudioOnly,  // Version 1 KF: IMU deemed compromised
+  kAudioImu,   // Version 2 KF: IMU trusted, customized fusion
+};
+
+struct GpsRcaConfig {
+  est::VelocityKfConfig kf;
+  detect::ThresholdConfig threshold;
+  // Warm-up time before errors are accumulated (filter convergence).
+  double warmup = 5.0;
+  // Running-mean horizon in GPS fixes (0 = cumulative).  A windowed mean
+  // keeps brief benign transients from dominating the calibration while a
+  // sustained spoof still saturates it.
+  std::size_t mean_window = 50;  // 10 s at 5 Hz
+};
+
+class GpsRcaDetector {
+ public:
+  explicit GpsRcaDetector(const GpsRcaConfig& config);
+
+  struct Result {
+    bool attacked = false;
+    double detect_time = -1.0;
+    // Peak of the windowed vector-mean velocity error |mean(v_gps - v_est)|.
+    double peak_running_mean = 0.0;
+    // Peak of the location deviation |p_gps - p_est| (p_est integrates the
+    // audio-anchored velocity estimate; it drifts like a random walk on
+    // benign flights but diverges linearly under a drag spoof).
+    double peak_pos_dev = 0.0;
+  };
+
+  // Full velocity/position trace for plotting (Fig. 7).
+  struct Trace {
+    std::vector<double> t;          // GPS fix times
+    std::vector<Vec3> v_est;        // SoundBoost velocity estimate
+    std::vector<Vec3> v_gps;        // GPS-reported velocity
+    std::vector<Vec3> pos_est;      // integrated estimate (z-position panel)
+    std::vector<double> running_mean;
+  };
+
+  // Calibrates the alert threshold from benign flights (max benign running
+  // mean after outlier removal).  Returns the threshold.
+  double calibrate(std::span<const Result> benign_results, GpsDetectorMode mode);
+
+  // Runs detection on one flight given its audio acceleration predictions.
+  Result analyze(const Flight& flight, std::span<const TimedPrediction> preds,
+                 GpsDetectorMode mode) const;
+
+  Trace trace(const Flight& flight, std::span<const TimedPrediction> preds,
+              GpsDetectorMode mode) const;
+
+  double threshold(GpsDetectorMode mode) const;
+  double pos_threshold(GpsDetectorMode mode) const;
+  bool calibrated(GpsDetectorMode mode) const;
+
+ private:
+  // Shared implementation: walks predictions + GPS fixes, returns both the
+  // result (against the thresholds) and optionally the full trace.
+  Result run(const Flight& flight, std::span<const TimedPrediction> preds,
+             GpsDetectorMode mode, double vel_threshold, double pos_threshold,
+             Trace* trace_out) const;
+
+  GpsRcaConfig config_;
+  double vel_thresholds_[2] = {-1.0, -1.0};
+  double pos_thresholds_[2] = {-1.0, -1.0};
+};
+
+}  // namespace sb::core

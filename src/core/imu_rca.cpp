@@ -1,0 +1,148 @@
+#include "core/imu_rca.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace sb::core {
+namespace {
+
+void axis_stats(const WindowResiduals& w, double mean_out[3], double std_out[3]) {
+  std::vector<double> axis[3];
+  for (const auto& r : w.samples) {
+    axis[0].push_back(r.x);
+    axis[1].push_back(r.y);
+    axis[2].push_back(r.z);
+  }
+  for (int a = 0; a < 3; ++a) {
+    mean_out[a] = sb::mean(axis[static_cast<std::size_t>(a)]);
+    std_out[a] = sb::stddev(axis[static_cast<std::size_t>(a)]);
+  }
+}
+
+}  // namespace
+
+ImuRcaDetector::ImuRcaDetector(const ImuRcaConfig& config) : config_(config) {}
+
+std::vector<WindowResiduals> ImuRcaDetector::residuals(
+    const Flight& flight, std::span<const TimedPrediction> preds,
+    std::size_t reference_windows) {
+  std::vector<WindowResiduals> out;
+  out.reserve(preds.size());
+  const auto& imu = flight.log.imu;
+  std::size_t lo = 0;
+  for (const auto& p : preds) {
+    WindowResiduals w;
+    w.t0 = p.t0;
+    w.t1 = p.t1;
+    // IMU samples are time-ordered; advance to the window start.  Windows
+    // overlap when stride < window, so scan from a remembered lower bound.
+    while (lo < imu.size() && imu[lo].t < p.t0) ++lo;
+    for (std::size_t i = lo; i < imu.size() && imu[i].t < p.t1; ++i)
+      w.samples.push_back(p.accel - imu[i].accel_ned);
+    out.push_back(std::move(w));
+  }
+
+  // Flight-local baseline from the attack-free early windows.
+  if (reference_windows > 0 && !out.empty()) {
+    Vec3 baseline;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < std::min(reference_windows, out.size()); ++i)
+      for (const auto& r : out[i].samples) {
+        baseline += r;
+        ++n;
+      }
+    if (n > 0) {
+      baseline = baseline / static_cast<double>(n);
+      for (auto& w : out)
+        for (auto& r : w.samples) r -= baseline;
+    }
+  }
+  return out;
+}
+
+void ImuRcaDetector::calibrate(std::span<const WindowResiduals> benign_windows) {
+  std::vector<double> pooled[3], means[3], spreads[3];
+  for (const auto& w : benign_windows) {
+    if (w.samples.size() < 8) continue;
+    for (const auto& r : w.samples) {
+      pooled[0].push_back(r.x);
+      pooled[1].push_back(r.y);
+      pooled[2].push_back(r.z);
+    }
+    double m[3], s[3];
+    axis_stats(w, m, s);
+    for (int a = 0; a < 3; ++a) {
+      means[a].push_back(m[a]);
+      spreads[a].push_back(s[a]);
+    }
+  }
+  for (int a = 0; a < 3; ++a) {
+    const auto ai = static_cast<std::size_t>(a);
+    pooled_[ai] = detect::fit_normal(pooled[a]);
+    mean_fit_[ai] = detect::fit_normal(means[a]);
+    spread_fit_[ai] = detect::fit_normal(spreads[a]);
+  }
+  calibrated_ = true;
+
+  std::vector<double> benign_scores;
+  benign_scores.reserve(benign_windows.size());
+  for (const auto& w : benign_windows)
+    if (w.samples.size() >= 8) benign_scores.push_back(window_score(w));
+  if (!benign_scores.empty())
+    score_threshold_ =
+        sb::percentile(benign_scores, config_.score_percentile) * config_.score_margin;
+}
+
+double ImuRcaDetector::window_score(const WindowResiduals& window) const {
+  if (!calibrated_) throw std::logic_error{"ImuRcaDetector: score before calibrate"};
+  double m[3], s[3];
+  axis_stats(window, m, s);
+  double score = 0.0;
+  for (int a = 0; a < 3; ++a) {
+    const auto ai = static_cast<std::size_t>(a);
+    score = std::max(score, std::abs(m[a] - mean_fit_[ai].mean) / mean_fit_[ai].stddev);
+    score =
+        std::max(score, std::abs(s[a] - spread_fit_[ai].mean) / spread_fit_[ai].stddev);
+  }
+  return score;
+}
+
+double ImuRcaDetector::window_ks(const WindowResiduals& window) const {
+  if (!calibrated_) throw std::logic_error{"ImuRcaDetector: ks before calibrate"};
+  std::vector<double> pool;
+  pool.reserve(window.samples.size() * 3);
+  for (const auto& r : window.samples) {
+    pool.push_back((r.x - pooled_[0].mean) / pooled_[0].stddev);
+    pool.push_back((r.y - pooled_[1].mean) / pooled_[1].stddev);
+    pool.push_back((r.z - pooled_[2].mean) / pooled_[2].stddev);
+  }
+  return detect::ks_test_normal(pool, 0.0, 1.0).statistic;
+}
+
+ImuRcaDetector::Result ImuRcaDetector::analyze(
+    std::span<const WindowResiduals> windows) const {
+  if (!calibrated_) throw std::logic_error{"ImuRcaDetector: analyze before calibrate"};
+  Result result;
+  int consecutive = 0;
+  for (const auto& w : windows) {
+    if (w.samples.size() < 8) continue;
+    const double score = window_score(w);
+    ++result.windows_tested;
+    result.max_score = std::max(result.max_score, score);
+    if (score > score_threshold_) {
+      ++result.windows_flagged;
+      ++consecutive;
+      if (consecutive >= config_.consecutive_required && !result.attacked) {
+        result.attacked = true;
+        result.detect_time = w.t1;
+      }
+    } else {
+      consecutive = 0;
+    }
+  }
+  return result;
+}
+
+}  // namespace sb::core

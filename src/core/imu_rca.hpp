@@ -1,0 +1,88 @@
+// IMU-stage RCA (paper §III-C1): for every 0.5 s signature window, the
+// audio acceleration prediction is compared against the ~100 IMU readings
+// inside the window.  The residual distribution of a benign window matches
+// the normal distribution fitted on benign flights; under an IMU biasing
+// attack it shifts (Side-Swing) or widens (accelerometer DoS), and a
+// Kolmogorov–Smirnov test flags the window (Fig. 6).
+//
+// Within-window residuals share the window's single model prediction and are
+// therefore correlated, so instead of asymptotic iid p-values the detector
+// calibrates an empirical KS-statistic threshold on benign windows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/flight_lab.hpp"
+#include "core/sensory_mapper.hpp"
+#include "detect/ks_test.hpp"
+#include "detect/threshold.hpp"
+
+namespace sb::core {
+
+struct ImuRcaConfig {
+  int consecutive_required = 3;    // consecutive flagged windows -> attack
+  double score_percentile = 98.0;  // benign OOD-score percentile
+  double score_margin = 1.10;      // pad on the calibrated threshold
+};
+
+// Residuals of one signature window: prediction minus each IMU reading.
+struct WindowResiduals {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::vector<Vec3> samples;
+};
+
+class ImuRcaDetector {
+ public:
+  explicit ImuRcaDetector(const ImuRcaConfig& config);
+
+  // IMU-rate residual series of one flight given its window predictions.
+  // Residuals are baselined against the flight's first `reference_windows`
+  // windows: the threat model guarantees attacks begin only after takeoff
+  // completes, so the early flight provides a per-flight reference that
+  // removes flight-specific model bias before the distribution test.
+  static std::vector<WindowResiduals> residuals(const Flight& flight,
+                                                std::span<const TimedPrediction> preds,
+                                                std::size_t reference_windows = 10);
+
+  // Fits the benign residual statistics (Fig. 6's blue curve): per-axis
+  // distributions of the window MEAN (Side-Swing shifts it) and of the
+  // within-window STANDARD DEVIATION (DoS inflates it), plus the empirical
+  // alert threshold on the combined out-of-distribution score.
+  void calibrate(std::span<const WindowResiduals> benign_windows);
+
+  struct Result {
+    bool attacked = false;
+    double detect_time = -1.0;  // first flagged window end, s
+    double max_score = 0.0;
+    std::size_t windows_tested = 0;
+    std::size_t windows_flagged = 0;
+  };
+
+  Result analyze(std::span<const WindowResiduals> windows) const;
+
+  // Out-of-distribution score of one window against the benign calibration:
+  // the largest per-axis z-score of (window mean, window spread).
+  double window_score(const WindowResiduals& window) const;
+
+  // KS statistic of the window's residuals against the pooled benign normal
+  // fit — the quantity Fig. 6 visualizes.
+  double window_ks(const WindowResiduals& window) const;
+
+  bool calibrated() const { return calibrated_; }
+  double score_threshold() const { return score_threshold_; }
+  const detect::NormalFit& benign_fit(int axis) const {
+    return pooled_[static_cast<std::size_t>(axis)];
+  }
+
+ private:
+  ImuRcaConfig config_;
+  detect::NormalFit pooled_[3];      // all benign residuals (Fig. 6 curve)
+  detect::NormalFit mean_fit_[3];    // benign window means
+  detect::NormalFit spread_fit_[3];  // benign window stddevs
+  double score_threshold_ = 1e9;
+  bool calibrated_ = false;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,29 @@
+#include "core/rca_engine.hpp"
+
+namespace sb::core {
+
+RcaEngine::RcaEngine(const SensoryMapper& mapper, const ImuRcaDetector& imu_detector,
+                     const GpsRcaDetector& gps_detector)
+    : mapper_(&mapper), imu_(&imu_detector), gps_(&gps_detector) {}
+
+RcaReport RcaEngine::analyze(const FlightLab& lab, const Flight& flight,
+                             const PredictionHooks& hooks) const {
+  RcaReport report;
+  const auto preds = mapper_->predict_flight(lab, flight, hooks);
+
+  // Stage 1: IMU integrity.
+  const auto residuals = ImuRcaDetector::residuals(flight, preds);
+  const auto imu_result = imu_->analyze(residuals);
+  report.imu_attacked = imu_result.attacked;
+  report.imu_detect_time = imu_result.detect_time;
+
+  // Stage 2: GPS integrity with the KF variant matching the IMU verdict.
+  report.gps_mode_used = report.imu_attacked ? GpsDetectorMode::kAudioOnly
+                                             : GpsDetectorMode::kAudioImu;
+  const auto gps_result = gps_->analyze(flight, preds, report.gps_mode_used);
+  report.gps_attacked = gps_result.attacked;
+  report.gps_detect_time = gps_result.detect_time;
+  return report;
+}
+
+}  // namespace sb::core

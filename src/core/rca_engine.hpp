@@ -1,0 +1,40 @@
+// Two-stage RCA orchestration (paper §III-C): first decide whether the IMU
+// is compromised; then run GPS spoofing detection with the Kalman filter
+// variant matching that verdict (audio-only when the IMU is untrusted,
+// audio+IMU fusion when it is trusted).
+#pragma once
+
+#include "core/gps_rca.hpp"
+#include "core/imu_rca.hpp"
+#include "core/sensory_mapper.hpp"
+
+namespace sb::core {
+
+struct RcaReport {
+  // Stage 1.
+  bool imu_attacked = false;
+  double imu_detect_time = -1.0;
+  // Stage 2.
+  bool gps_attacked = false;
+  double gps_detect_time = -1.0;
+  GpsDetectorMode gps_mode_used = GpsDetectorMode::kAudioImu;
+
+  bool any_attack() const { return imu_attacked || gps_attacked; }
+};
+
+class RcaEngine {
+ public:
+  RcaEngine(const SensoryMapper& mapper, const ImuRcaDetector& imu_detector,
+            const GpsRcaDetector& gps_detector);
+
+  // Post-incident analysis of one flight recording.
+  RcaReport analyze(const FlightLab& lab, const Flight& flight,
+                    const PredictionHooks& hooks = {}) const;
+
+ private:
+  const SensoryMapper* mapper_;
+  const ImuRcaDetector* imu_;
+  const GpsRcaDetector* gps_;
+};
+
+}  // namespace sb::core

@@ -1,0 +1,297 @@
+#include "core/sensory_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace sb::core {
+
+SensoryMapper::SensoryMapper(const SensoryMapperConfig& config) : config_(config) {
+  Rng rng{config_.model_seed};
+  const auto shape = signature_shape(config_.dataset.signature);
+  ml::ModelInputShape in{shape.channels, shape.frames, shape.bands};
+  model_ = ml::make_model(config_.model, in, kLabelDim, rng);
+}
+
+ml::TrainResult SensoryMapper::fit(const FlightLab& lab,
+                                   std::span<const Flight> flights) {
+  DatasetBuilder builder{config_.dataset, lab};
+  for (const Flight& f : flights) builder.add_flight(f);
+  return fit_dataset(builder.build());
+}
+
+ml::TrainResult SensoryMapper::fit_dataset(const ml::RegressionDataset& data) {
+  // Fit per-feature standardization on the corpus, then train on the
+  // standardized copy.  Rotor-tone amplitude changes are percent-level on a
+  // dB-like scale; standardization puts every band on comparable footing.
+  const std::size_t d = data.x.row_size();
+  const std::size_t n = data.x.dim(0);
+  feat_mean_.assign(d, 0.0f);
+  feat_inv_std_.assign(d, 1.0f);
+  if (n > 0) {
+    std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = data.x.data() + i * d;
+      for (std::size_t k = 0; k < d; ++k) {
+        sum[k] += row[k];
+        sum_sq[k] += static_cast<double>(row[k]) * row[k];
+      }
+    }
+    for (std::size_t k = 0; k < d; ++k) {
+      const double m = sum[k] / static_cast<double>(n);
+      const double var = sum_sq[k] / static_cast<double>(n) - m * m;
+      feat_mean_[k] = static_cast<float>(m);
+      feat_inv_std_[k] = static_cast<float>(1.0 / std::sqrt(std::max(var, 1e-8)));
+    }
+  }
+  ml::RegressionDataset standardized{data.x, data.y};
+  standardize(standardized.x);
+
+  Rng split_rng{config_.model_seed ^ 0xabcdef};
+  auto [train, val] = ml::split_dataset(standardized, config_.val_fraction, split_rng);
+  const auto result = ml::train_regressor(*model_, train, val, config_.train);
+  trained_ = true;
+  fit_output_calibration(standardized);
+  return result;
+}
+
+void SensoryMapper::fit_output_calibration(const ml::RegressionDataset& data) {
+  calib_a_.fill(1.0);
+  calib_b_.fill(0.0);
+  const std::size_t n = data.x.empty() ? 0 : data.x.dim(0);
+  if (n < 16) return;
+
+  // Accumulate per-dim first/second moments of (pred, label) pairs.
+  std::array<double, kLabelDim> sp{}, sl{}, spp{}, spl{};
+  constexpr std::size_t kBatch = 64;
+  for (std::size_t start = 0; start < n; start += kBatch) {
+    const std::size_t end = std::min(start + kBatch, n);
+    const ml::Tensor pred = model_->forward(data.x.slice_rows(start, end), false);
+    for (std::size_t i = 0; i < end - start; ++i) {
+      for (std::size_t d = 0; d < kLabelDim; ++d) {
+        const double p = pred[i * kLabelDim + d];
+        const double l = data.y[(start + i) * kLabelDim + d];
+        sp[d] += p;
+        sl[d] += l;
+        spp[d] += p * p;
+        spl[d] += p * l;
+      }
+    }
+  }
+  for (std::size_t d = 0; d < kLabelDim; ++d) {
+    const double nn = static_cast<double>(n);
+    const double var_p = spp[d] / nn - (sp[d] / nn) * (sp[d] / nn);
+    const double cov = spl[d] / nn - (sp[d] / nn) * (sl[d] / nn);
+    if (var_p > 1e-8) {
+      // Clamp: recalibration may stretch, never wildly amplify noise.
+      calib_a_[d] = std::clamp(cov / var_p, 0.5, 3.0);
+      calib_b_[d] = sl[d] / nn - calib_a_[d] * sp[d] / nn;
+    }
+  }
+}
+
+void SensoryMapper::neutralize_frequency_group(ml::Tensor& sig,
+                                               dsp::FreqGroup group) const {
+  if (sig.ndim() != 4 || sig.row_size() != feat_mean_.size()) return;
+  const std::size_t bands = sig.dim(3);
+  const auto& band_cfg = config_.dataset.signature.bands;
+  for (std::size_t i = 0; i < sig.numel(); ++i) {
+    const std::size_t band = i % bands;
+    if (dsp::group_of_band(band, band_cfg) == group)
+      sig[i] = feat_mean_[i % sig.row_size()];
+  }
+}
+
+void SensoryMapper::standardize(ml::Tensor& x) const {
+  const std::size_t d = x.row_size();
+  if (d != feat_mean_.size()) return;
+  const std::size_t n = x.dim(0);
+  // Clamp to +/-4 sigma: robust input conditioning.  Benign features never
+  // reach the clamp; an adversary who silences or saturates a band (Tab.
+  // III) is bounded instead of driving the model into unconstrained
+  // extrapolation.
+  constexpr float kClamp = 4.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    float* row = x.data() + i * d;
+    for (std::size_t k = 0; k < d; ++k)
+      row[k] = std::clamp((row[k] - feat_mean_[k]) * feat_inv_std_[k], -kClamp,
+                          kClamp);
+  }
+}
+
+std::vector<SensoryMapper::WindowAudio> SensoryMapper::synthesize_windows(
+    const FlightLab& lab, const Flight& flight) const {
+  const auto synth = lab.synthesizer(flight);
+  const double window = config_.dataset.signature.window_seconds;
+  const double stride = config_.dataset.stride;
+  const double end = flight.log.duration();
+
+  std::vector<WindowAudio> out;
+  for (double t0 = config_.dataset.settle_time; t0 + window <= end; t0 += stride)
+    out.push_back({t0, t0 + window, synth.synthesize(flight.log, t0, t0 + window)});
+  return out;
+}
+
+std::vector<TimedPrediction> SensoryMapper::predict_windows(
+    std::span<const WindowAudio> windows, const PredictionHooks& hooks) const {
+  if (!trained_) throw std::logic_error{"SensoryMapper: predict before fit"};
+  std::vector<TimedPrediction> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) {
+    ml::Tensor sig;
+    if (hooks.audio_transform) {
+      acoustics::MultiChannelAudio audio = w.audio;  // transform a copy
+      hooks.audio_transform(audio);
+      sig = compute_signature(audio, config_.dataset.signature);
+    } else {
+      sig = compute_signature(w.audio, config_.dataset.signature);
+    }
+    if (hooks.signature_transform) hooks.signature_transform(sig);
+    standardize(sig);
+    const ml::Tensor pred = model_->forward(sig, false);
+    std::array<double, kLabelDim> y{};
+    for (std::size_t d = 0; d < kLabelDim; ++d)
+      y[d] = calib_a_[d] * static_cast<double>(pred[d]) + calib_b_[d];
+    out.push_back(
+        {w.t0, w.t1, Vec3{y[0], y[1], y[2]}, Vec3{y[3], y[4], y[5]}});
+  }
+  return out;
+}
+
+std::vector<TimedPrediction> SensoryMapper::predict_flight(
+    const FlightLab& lab, const Flight& flight, const PredictionHooks& hooks) const {
+  return predict_windows(synthesize_windows(lab, flight), hooks);
+}
+
+namespace {
+
+constexpr std::uint64_t kModelMagic = 0x53424d4150313032ULL;  // "SBMAP102"
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+bool SensoryMapper::save(const std::string& path) const {
+  if (!trained_) return false;
+  std::ofstream os{path, std::ios::binary};
+  if (!os) return false;
+  write_pod(os, kModelMagic);
+  write_pod(os, static_cast<std::uint32_t>(config_.model));
+
+  const auto params = model_->params();
+  write_pod(os, static_cast<std::uint64_t>(params.size()));
+  for (const ml::Param* p : params) {
+    write_pod(os, static_cast<std::uint64_t>(p->value.numel()));
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+
+  // Persistent non-learnable state (batch-norm running statistics).
+  const auto state = model_->state();
+  write_pod(os, static_cast<std::uint64_t>(state.size()));
+  for (const ml::Tensor* t : state) {
+    write_pod(os, static_cast<std::uint64_t>(t->numel()));
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+
+  write_pod(os, static_cast<std::uint64_t>(feat_mean_.size()));
+  os.write(reinterpret_cast<const char*>(feat_mean_.data()),
+           static_cast<std::streamsize>(feat_mean_.size() * sizeof(float)));
+  os.write(reinterpret_cast<const char*>(feat_inv_std_.data()),
+           static_cast<std::streamsize>(feat_inv_std_.size() * sizeof(float)));
+  for (double a : calib_a_) write_pod(os, a);
+  for (double b : calib_b_) write_pod(os, b);
+  return static_cast<bool>(os);
+}
+
+bool SensoryMapper::load(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) return false;
+  std::uint64_t magic = 0;
+  std::uint32_t kind = 0;
+  if (!read_pod(is, magic) || magic != kModelMagic) return false;
+  if (!read_pod(is, kind) || kind != static_cast<std::uint32_t>(config_.model))
+    return false;
+
+  const auto params = model_->params();
+  std::uint64_t count = 0;
+  if (!read_pod(is, count) || count != params.size()) return false;
+  for (ml::Param* p : params) {
+    std::uint64_t numel = 0;
+    if (!read_pod(is, numel) || numel != p->value.numel()) return false;
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!is) return false;
+  }
+
+  const auto state = model_->state();
+  std::uint64_t state_count = 0;
+  if (!read_pod(is, state_count) || state_count != state.size()) return false;
+  for (ml::Tensor* t : state) {
+    std::uint64_t numel = 0;
+    if (!read_pod(is, numel) || numel != t->numel()) return false;
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!is) return false;
+  }
+
+  std::uint64_t feat = 0;
+  if (!read_pod(is, feat)) return false;
+  feat_mean_.resize(feat);
+  feat_inv_std_.resize(feat);
+  is.read(reinterpret_cast<char*>(feat_mean_.data()),
+          static_cast<std::streamsize>(feat * sizeof(float)));
+  is.read(reinterpret_cast<char*>(feat_inv_std_.data()),
+          static_cast<std::streamsize>(feat * sizeof(float)));
+  for (double& a : calib_a_)
+    if (!read_pod(is, a)) return false;
+  for (double& b : calib_b_)
+    if (!read_pod(is, b)) return false;
+  trained_ = static_cast<bool>(is);
+  return trained_;
+}
+
+double SensoryMapper::test_mse(const FlightLab& lab, std::span<const Flight> flights,
+                               const PredictionHooks& hooks) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Flight& f : flights) {
+    const auto preds = predict_flight(lab, f, hooks);
+    for (const auto& p : preds) {
+      const Vec3 d = p.accel - f.log.mean_imu_accel(p.t0, p.t1);
+      sum += d.norm_sq();
+      n += 3;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double SensoryMapper::test_vel_mse(const FlightLab& lab,
+                                   std::span<const Flight> flights,
+                                   const PredictionHooks& hooks) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Flight& f : flights) {
+    const auto preds = predict_flight(lab, f, hooks);
+    for (const auto& p : preds) {
+      const Vec3 d = p.vel - f.log.mean_nav_vel(p.t0, p.t1);
+      sum += d.norm_sq();
+      n += 3;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace sb::core

@@ -1,0 +1,125 @@
+// Sensory mapping (paper §III-B): trains a DL model that maps acoustic
+// signatures to the UAV's NED acceleration vector, and serves predictions
+// over recorded flights.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/flight_lab.hpp"
+#include "core/signature.hpp"
+#include "ml/models.hpp"
+#include "ml/trainer.hpp"
+
+namespace sb::core {
+
+struct SensoryMapperConfig {
+  ml::ModelKind model = ml::ModelKind::kMobileNetLite;
+  DatasetConfig dataset;  // signature window, stride, augmentation
+  ml::TrainConfig train;
+  double val_fraction = 0.15;
+  std::uint64_t model_seed = 7;
+};
+
+// One prediction with its source window.
+struct TimedPrediction {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  Vec3 accel;  // NED, m/s^2
+  Vec3 vel;    // NED, m/s — the audio-derived velocity (KF measurement)
+};
+
+// Optional hooks for the adversarial and ablation experiments.
+struct PredictionHooks {
+  // Mutates the raw microphone audio before signature extraction
+  // (sound-spoofing attacks, Tab. III).
+  std::function<void(acoustics::MultiChannelAudio&)> audio_transform;
+  // Mutates the signature tensor before inference (counterfactual
+  // frequency-group removal, §IV-A).
+  std::function<void(ml::Tensor&)> signature_transform;
+};
+
+class SensoryMapper {
+ public:
+  explicit SensoryMapper(const SensoryMapperConfig& config);
+
+  // Builds the training corpus from the given benign flights and trains the
+  // model.  Returns per-epoch train/val MSE.
+  ml::TrainResult fit(const FlightLab& lab, std::span<const Flight> flights);
+
+  // Trains on a pre-built dataset (used by the augmentation sweep).
+  ml::TrainResult fit_dataset(const ml::RegressionDataset& data);
+
+  // One synthesized analysis window of a flight.
+  struct WindowAudio {
+    double t0 = 0.0;
+    double t1 = 0.0;
+    acoustics::MultiChannelAudio audio;
+  };
+
+  // Synthesizes all analysis windows of a flight once; the result can be fed
+  // to predict_windows repeatedly (e.g. under different sound-attack
+  // transforms) without re-synthesizing.
+  std::vector<WindowAudio> synthesize_windows(const FlightLab& lab,
+                                              const Flight& flight) const;
+
+  // Predictions from pre-synthesized windows.
+  std::vector<TimedPrediction> predict_windows(std::span<const WindowAudio> windows,
+                                               const PredictionHooks& hooks = {}) const;
+
+  // Acceleration predictions at `stride` spacing across a flight.
+  std::vector<TimedPrediction> predict_flight(const FlightLab& lab,
+                                              const Flight& flight,
+                                              const PredictionHooks& hooks = {}) const;
+
+  // Test acceleration MSE of the model against the (intact) IMU labels of
+  // the flights — the quantity Tab. I reports.
+  double test_mse(const FlightLab& lab, std::span<const Flight> flights,
+                  const PredictionHooks& hooks = {}) const;
+
+  // Velocity-head test MSE against the benign navigation velocity.
+  double test_vel_mse(const FlightLab& lab, std::span<const Flight> flights,
+                      const PredictionHooks& hooks = {}) const;
+
+  const SensoryMapperConfig& config() const { return config_; }
+  ml::Layer& model() { return *model_; }
+  bool trained() const { return trained_; }
+
+  // Counterfactual feature-importance helper (§IV-A): replaces every
+  // feature of `group` with its TRAINING-CORPUS MEAN (neutral imputation).
+  // Unlike hard silencing, this measures information loss without pushing
+  // the signature far out of the training distribution.
+  void neutralize_frequency_group(ml::Tensor& sig, dsp::FreqGroup group) const;
+
+  // Persistence: serializes the trained weights, feature standardization and
+  // output calibration.  `load` validates that the stored model matches this
+  // mapper's configuration (model kind + parameter shapes) and returns false
+  // on any mismatch or I/O failure, leaving the mapper untrained.
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+ private:
+  // Applies the training-set feature standardization in place.
+  void standardize(ml::Tensor& x) const;
+
+  // Fits the per-output affine recalibration on the (standardized) corpus.
+  void fit_output_calibration(const ml::RegressionDataset& data);
+
+  SensoryMapperConfig config_;
+  std::unique_ptr<ml::Layer> model_;
+  bool trained_ = false;
+  // Per-feature standardization fitted on the training corpus.
+  std::vector<float> feat_mean_;
+  std::vector<float> feat_inv_std_;
+  // Per-output linear recalibration (label ~ a*pred + b) fitted on the
+  // training corpus after training.  MSE regressors compress extreme
+  // targets toward the mean; the affine correction undoes that bias.
+  std::array<double, kLabelDim> calib_a_{};
+  std::array<double, kLabelDim> calib_b_{};
+};
+
+}  // namespace sb::core

@@ -1,0 +1,70 @@
+#include "core/signature.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/biquad.hpp"
+
+namespace sb::core {
+
+SignatureShape signature_shape(const SignatureConfig& config) {
+  return {static_cast<std::size_t>(sensors::kNumMics), config.target_frames,
+          config.bands.bands_per_frame};
+}
+
+ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
+                             const SignatureConfig& config) {
+  const std::size_t n = audio.num_samples();
+  if (n < config.frame_size)
+    throw std::invalid_argument{"compute_signature: window shorter than one frame"};
+
+  // Stretch the hop so any capture length yields target_frames frames.
+  const std::size_t span = n - config.frame_size;
+  const std::size_t hop =
+      std::max<std::size_t>(1, span / std::max<std::size_t>(config.target_frames - 1, 1));
+
+  dsp::StftConfig stft_cfg;
+  stft_cfg.frame_size = config.frame_size;
+  stft_cfg.hop_size = hop;
+  stft_cfg.sample_rate = audio.sample_rate;
+
+  const auto shape = signature_shape(config);
+  ml::Tensor out({1, shape.channels, shape.frames, shape.bands});
+
+  for (int c = 0; c < sensors::kNumMics; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    // 6 kHz anti-spoofing low-pass before analysis.
+    dsp::BiquadCascade lp = dsp::BiquadCascade::low_pass(
+        config.lowpass_hz, audio.sample_rate, config.lowpass_sections);
+    const auto filtered = lp.process(audio.channels[ci]);
+
+    const auto spec = dsp::stft(filtered, stft_cfg);
+    const auto feats = dsp::band_features(spec, config.bands);
+    const std::size_t frames = std::min<std::size_t>(spec.num_frames, shape.frames);
+    for (std::size_t f = 0; f < frames; ++f)
+      for (std::size_t b = 0; b < shape.bands; ++b)
+        out[(ci * shape.frames + f) * shape.bands + b] =
+            static_cast<float>(feats[f * config.bands.bands_per_frame + b]);
+    // If the STFT produced fewer frames than the target (rounding), repeat
+    // the last frame so the grid is always dense.
+    for (std::size_t f = frames; f < shape.frames && frames > 0; ++f)
+      for (std::size_t b = 0; b < shape.bands; ++b)
+        out[(ci * shape.frames + f) * shape.bands + b] =
+            out[(ci * shape.frames + frames - 1) * shape.bands + b];
+  }
+  return out;
+}
+
+void remove_frequency_group(ml::Tensor& signatures, dsp::FreqGroup group,
+                            const SignatureConfig& config) {
+  if (signatures.ndim() != 4)
+    throw std::invalid_argument{"remove_frequency_group: expected [N,C,H,W]"};
+  const std::size_t bands = signatures.dim(3);
+  for (std::size_t i = 0; i < signatures.numel(); ++i) {
+    const std::size_t band = i % bands;
+    if (dsp::group_of_band(band, config.bands) == group)
+      signatures[i] = static_cast<float>(dsp::kSilenceFeature);
+  }
+}
+
+}  // namespace sb::core

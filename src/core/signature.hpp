@@ -1,0 +1,47 @@
+// Acoustic signature generation (paper §III-A).
+//
+// A signature is the model input for one time window: the 4 microphone
+// channels are low-passed at 6 kHz (making ultrasonic IMU-injection
+// carriers unreachable by construction), STFT'd, and reduced to banded
+// log-magnitude features, giving a [channels x frames x bands] grid.
+#pragma once
+
+#include "acoustics/propagation.hpp"
+#include "dsp/features.hpp"
+#include "dsp/spectrogram.hpp"
+#include "ml/tensor.hpp"
+
+namespace sb::core {
+
+struct SignatureConfig {
+  double window_seconds = 0.5;   // base analysis window (tuned in Tab. I)
+  std::size_t frame_size = 1024; // STFT frame
+  std::size_t target_frames = 14;  // fixed time resolution of the grid
+  dsp::BandFeatureConfig bands;  // 32 bands up to 6 kHz by default
+  double lowpass_hz = dsp::kPipelineCutoffHz;
+  int lowpass_sections = 2;
+};
+
+// Model input dimensions implied by a signature configuration.
+struct SignatureShape {
+  std::size_t channels = 0;
+  std::size_t frames = 0;
+  std::size_t bands = 0;
+};
+
+SignatureShape signature_shape(const SignatureConfig& config);
+
+// Computes the signature of one audio window.  The window may be LONGER than
+// the base window (time-shift augmentation): the STFT hop is stretched so the
+// output grid always has exactly `target_frames` frames, exposing the whole
+// (head-wind-lengthened) actuation process at the same resolution.
+// Returns a [1, C, H, W] tensor ready to batch.
+ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
+                             const SignatureConfig& config);
+
+// Convenience: zeroes one frequency group in a precomputed signature batch
+// (counterfactual feature-importance analysis, §IV-A).
+void remove_frequency_group(ml::Tensor& signatures, dsp::FreqGroup group,
+                            const SignatureConfig& config);
+
+}  // namespace sb::core

@@ -1,0 +1,79 @@
+#include "detect/running_mean.hpp"
+
+#include <algorithm>
+
+namespace sb::detect {
+
+RunningMeanMonitor::RunningMeanMonitor(std::size_t window) : window_(window) {
+  if (window_ > 0) buffer_.assign(window_, 0.0);
+}
+
+double RunningMeanMonitor::add(double error) {
+  if (window_ == 0) {
+    sum_ += error;
+    ++count_;
+  } else {
+    if (count_ < window_) {
+      buffer_[head_] = error;
+      sum_ += error;
+      ++count_;
+    } else {
+      sum_ += error - buffer_[head_];
+      buffer_[head_] = error;
+    }
+    head_ = (head_ + 1) % window_;
+  }
+  peak_ = std::max(peak_, current());
+  return current();
+}
+
+double RunningMeanMonitor::current() const {
+  const std::size_t n = window_ == 0 ? count_ : std::min(count_, window_);
+  return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
+}
+
+void RunningMeanMonitor::reset() {
+  head_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  peak_ = 0.0;
+  if (window_ > 0) std::fill(buffer_.begin(), buffer_.end(), 0.0);
+}
+
+RunningVecMeanMonitor::RunningVecMeanMonitor(std::size_t window) : window_(window) {
+  if (window_ > 0) buffer_.assign(window_, Vec3{});
+}
+
+double RunningVecMeanMonitor::add(const Vec3& error) {
+  if (window_ == 0) {
+    sum_ += error;
+    ++count_;
+  } else {
+    if (count_ < window_) {
+      buffer_[head_] = error;
+      sum_ += error;
+      ++count_;
+    } else {
+      sum_ += error - buffer_[head_];
+      buffer_[head_] = error;
+    }
+    head_ = (head_ + 1) % window_;
+  }
+  peak_ = std::max(peak_, current());
+  return current();
+}
+
+double RunningVecMeanMonitor::current() const {
+  const std::size_t n = window_ == 0 ? count_ : std::min(count_, window_);
+  return n == 0 ? 0.0 : (sum_ / static_cast<double>(n)).norm();
+}
+
+void RunningVecMeanMonitor::reset() {
+  head_ = 0;
+  count_ = 0;
+  sum_ = {};
+  peak_ = 0.0;
+  if (window_ > 0) std::fill(buffer_.begin(), buffer_.end(), Vec3{});
+}
+
+}  // namespace sb::detect

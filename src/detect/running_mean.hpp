@@ -1,0 +1,61 @@
+// Running-mean error monitor for GPS attack detection (§III-C2): SoundBoost
+// accumulates |v_GPS - v_ref| and alerts when the running mean exceeds the
+// calibrated benign threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace sb::detect {
+
+class RunningMeanMonitor {
+ public:
+  // window = 0 -> cumulative mean over everything seen; otherwise the mean
+  // over the last `window` observations.
+  explicit RunningMeanMonitor(std::size_t window = 0);
+
+  // Adds one error observation; returns the current running mean.
+  double add(double error);
+
+  double current() const;
+  double peak() const { return peak_; }
+  std::size_t count() const { return count_; }
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::vector<double> buffer_;  // circular when windowed
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double peak_ = 0.0;
+};
+
+// Windowed mean of error VECTORS.  `current()` is the norm of the vector
+// mean: benign errors fluctuate in direction and cancel, while a spoofing
+// bias is directionally sustained and survives the averaging — this is the
+// GPS-stage discriminator.
+class RunningVecMeanMonitor {
+ public:
+  explicit RunningVecMeanMonitor(std::size_t window = 0);
+
+  // Adds one error vector; returns |windowed mean|.
+  double add(const Vec3& error);
+
+  double current() const;
+  double peak() const { return peak_; }
+  std::size_t count() const { return count_; }
+  void reset();
+
+ private:
+  std::size_t window_;
+  std::vector<Vec3> buffer_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  Vec3 sum_;
+  double peak_ = 0.0;
+};
+
+}  // namespace sb::detect

@@ -1,0 +1,23 @@
+#include "detect/threshold.hpp"
+
+#include "util/stats.hpp"
+
+namespace sb::detect {
+
+double calibrate_threshold(std::span<const double> benign_peaks,
+                           const ThresholdConfig& config) {
+  if (benign_peaks.empty()) return 0.0;
+  const auto kept = sb::remove_outliers(benign_peaks, config.outlier_sigma);
+  const double m = kept.empty() ? sb::max_of(benign_peaks) : sb::max_of(kept);
+  return m * config.margin;
+}
+
+NormalFit fit_normal(std::span<const double> xs) {
+  NormalFit f;
+  f.mean = sb::mean(xs);
+  f.stddev = sb::sample_stddev(xs);
+  if (f.stddev <= 0.0) f.stddev = 1e-9;
+  return f;
+}
+
+}  // namespace sb::detect

@@ -1,0 +1,28 @@
+// Threshold calibration from benign reference runs (§III-C2): the alert
+// threshold is the maximum benign running-mean error after outlier removal,
+// optionally padded by a safety margin.
+#pragma once
+
+#include <span>
+
+namespace sb::detect {
+
+struct ThresholdConfig {
+  double outlier_sigma = 3.0;  // drop benign maxima beyond this many stddevs
+  double margin = 1.05;        // multiplicative pad on the calibrated max
+};
+
+// benign_peaks: per-benign-run peak running-mean errors.
+double calibrate_threshold(std::span<const double> benign_peaks,
+                           const ThresholdConfig& config = {});
+
+// Normal-distribution fit (mean + sample stddev) used by the IMU stage to
+// characterize benign residuals.
+struct NormalFit {
+  double mean = 0.0;
+  double stddev = 1.0;
+};
+
+NormalFit fit_normal(std::span<const double> xs);
+
+}  // namespace sb::detect

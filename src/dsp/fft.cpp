@@ -1,0 +1,93 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sb::dsp {
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_impl(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (!is_pow2(n)) throw std::invalid_argument{"fft: size must be a power of two"};
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const auto u = a[i + k];
+        const auto v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse)
+    for (auto& x : a) x /= static_cast<double>(n);
+}
+
+}  // namespace
+
+void fft(std::vector<std::complex<double>>& data) { fft_impl(data, false); }
+void ifft(std::vector<std::complex<double>>& data) { fft_impl(data, true); }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> signal) {
+  const std::size_t n = next_pow2(std::max<std::size_t>(signal.size(), 1));
+  std::vector<std::complex<double>> a(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) a[i] = signal[i];
+  fft(a);
+  return a;
+}
+
+std::vector<double> magnitude_spectrum(std::span<const double> signal) {
+  auto spec = fft_real(signal);
+  const std::size_t n = spec.size();
+  std::vector<double> mags(n / 2 + 1);
+  const double scale = 2.0 / static_cast<double>(signal.empty() ? 1 : signal.size());
+  for (std::size_t k = 0; k < mags.size(); ++k) mags[k] = std::abs(spec[k]) * scale;
+  mags[0] *= 0.5;  // DC is not doubled
+  return mags;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate) {
+  return static_cast<double>(k) * sample_rate / static_cast<double>(n);
+}
+
+double goertzel(std::span<const double> signal, double target_hz, double sample_rate) {
+  if (signal.empty()) return 0.0;
+  const double n = static_cast<double>(signal.size());
+  const double k = std::round(target_hz / sample_rate * n);
+  const double omega = 2.0 * std::numbers::pi * k / n;
+  const double coeff = 2.0 * std::cos(omega);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+  for (double x : signal) {
+    s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const double power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+  return std::sqrt(std::max(power, 0.0)) * 2.0 / n;
+}
+
+}  // namespace sb::dsp

@@ -1,0 +1,37 @@
+// Radix-2 FFT and helpers.  Used by signature generation (spectrograms,
+// band energies) and by the acoustics benches (Fig. 2 spectrum).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sb::dsp {
+
+// In-place iterative radix-2 Cooley–Tukey FFT.  data.size() must be a power
+// of two (throws std::invalid_argument otherwise).
+void fft(std::vector<std::complex<double>>& data);
+
+// Inverse FFT (normalized by 1/N).
+void ifft(std::vector<std::complex<double>>& data);
+
+// FFT of a real signal; input is zero-padded to the next power of two.
+// Returns the full complex spectrum of length next_pow2(n).
+std::vector<std::complex<double>> fft_real(std::span<const double> signal);
+
+// Magnitude spectrum of a real signal: bins [0, N/2], scaled by 2/N so a
+// unit-amplitude sinusoid at a bin centre reads ~1.0.
+std::vector<double> magnitude_spectrum(std::span<const double> signal);
+
+// Frequency (Hz) of bin k for an N-point FFT at the given sample rate.
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate);
+
+// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+// Single-bin DFT (Goertzel algorithm): magnitude of the component at
+// target_hz.  Cheaper than a full FFT when only a few bins are needed.
+double goertzel(std::span<const double> signal, double target_hz, double sample_rate);
+
+}  // namespace sb::dsp

@@ -1,0 +1,54 @@
+#include "dsp/spectrogram.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace sb::dsp {
+
+Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
+  if (config.frame_size == 0 || config.hop_size == 0)
+    throw std::invalid_argument{"stft: frame_size and hop_size must be positive"};
+  if (next_pow2(config.frame_size) != config.frame_size)
+    throw std::invalid_argument{"stft: frame_size must be a power of two"};
+
+  const auto window = make_window(config.window, config.frame_size);
+  const double norm = 2.0 / window_sum(window);
+
+  Spectrogram out;
+  out.num_bins = config.frame_size / 2 + 1;
+  out.sample_rate = config.sample_rate;
+  out.bin_hz = config.sample_rate / static_cast<double>(config.frame_size);
+
+  std::vector<double> frame(config.frame_size);
+  for (std::size_t start = 0; start + config.frame_size <= signal.size();
+       start += config.hop_size) {
+    std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start),
+                config.frame_size, frame.begin());
+    apply_window(frame, window);
+    auto spec = fft_real(frame);
+    for (std::size_t k = 0; k < out.num_bins; ++k)
+      out.mags.push_back(std::abs(spec[k]) * norm);
+    ++out.num_frames;
+  }
+  return out;
+}
+
+std::vector<double> band_amplitude_over_time(const Spectrogram& spec, double lo_hz,
+                                             double hi_hz) {
+  std::vector<double> out(spec.num_frames, 0.0);
+  if (spec.num_frames == 0 || spec.bin_hz <= 0.0) return out;
+  const auto lo = static_cast<std::size_t>(std::max(0.0, lo_hz / spec.bin_hz));
+  const auto hi = std::min(static_cast<std::size_t>(hi_hz / spec.bin_hz),
+                           spec.num_bins);
+  const std::size_t count = hi > lo ? hi - lo : 1;
+  for (std::size_t f = 0; f < spec.num_frames; ++f) {
+    double s = 0.0;
+    for (std::size_t k = lo; k < hi; ++k) s += spec.at(f, k);
+    out[f] = s / static_cast<double>(count);
+  }
+  return out;
+}
+
+}  // namespace sb::dsp

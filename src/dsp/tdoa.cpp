@@ -1,0 +1,97 @@
+#include "dsp/tdoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "dsp/fft.hpp"
+
+namespace sb::dsp {
+namespace {
+
+// Cross-power spectrum of (a, b) zero-padded to avoid circular wrap within
+// +/- max_lag.
+std::vector<std::complex<double>> cross_spectrum(std::span<const double> a,
+                                                 std::span<const double> b,
+                                                 std::size_t fft_size) {
+  std::vector<std::complex<double>> fa(fft_size), fb(fft_size);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft(fa);
+  fft(fb);
+  std::vector<std::complex<double>> cross(fft_size);
+  for (std::size_t k = 0; k < fft_size; ++k) cross[k] = fb[k] * std::conj(fa[k]);
+  return cross;
+}
+
+}  // namespace
+
+std::vector<double> cross_correlation(std::span<const double> a,
+                                      std::span<const double> b,
+                                      std::size_t max_lag) {
+  const std::size_t n = std::max(a.size(), b.size());
+  const std::size_t fft_size = next_pow2(n + max_lag + 1);
+  auto cross = cross_spectrum(a, b, fft_size);
+  ifft(cross);
+
+  std::vector<double> out(2 * max_lag + 1);
+  for (std::size_t i = 0; i <= 2 * max_lag; ++i) {
+    // Lag l in [-max_lag, +max_lag]; negative lags wrap to the end.
+    const auto l = static_cast<std::ptrdiff_t>(i) -
+                   static_cast<std::ptrdiff_t>(max_lag);
+    const std::size_t idx =
+        l >= 0 ? static_cast<std::size_t>(l)
+               : fft_size - static_cast<std::size_t>(-l);
+    out[i] = cross[idx].real();
+  }
+  return out;
+}
+
+TdoaEstimate estimate_tdoa(std::span<const double> a, std::span<const double> b,
+                           const GccConfig& config) {
+  TdoaEstimate out;
+  if (a.empty() || b.empty()) return out;
+  const auto max_lag =
+      static_cast<std::size_t>(std::ceil(config.max_delay_samples));
+  const std::size_t n = std::max(a.size(), b.size());
+  const std::size_t fft_size = next_pow2(n + max_lag + 1);
+
+  auto cross = cross_spectrum(a, b, fft_size);
+  if (config.phat)
+    for (auto& c : cross) {
+      const double mag = std::abs(c);
+      c /= (mag + config.epsilon);
+    }
+  ifft(cross);
+
+  // Peak search over the physical lag range.
+  double best = -1e300;
+  std::ptrdiff_t best_lag = 0;
+  for (std::ptrdiff_t l = -static_cast<std::ptrdiff_t>(max_lag);
+       l <= static_cast<std::ptrdiff_t>(max_lag); ++l) {
+    const std::size_t idx = l >= 0 ? static_cast<std::size_t>(l)
+                                   : fft_size - static_cast<std::size_t>(-l);
+    const double v = cross[idx].real();
+    if (v > best) {
+      best = v;
+      best_lag = l;
+    }
+  }
+
+  // Parabolic sub-sample interpolation around the peak.
+  auto at = [&](std::ptrdiff_t l) {
+    const std::size_t idx = l >= 0 ? static_cast<std::size_t>(l)
+                                   : fft_size - static_cast<std::size_t>(-l);
+    return cross[idx].real();
+  };
+  double frac = 0.0;
+  const double y0 = at(best_lag - 1), y1 = best, y2 = at(best_lag + 1);
+  const double denom = y0 - 2.0 * y1 + y2;
+  if (std::abs(denom) > 1e-12) frac = std::clamp(0.5 * (y0 - y2) / denom, -0.5, 0.5);
+
+  out.delay_samples = static_cast<double>(best_lag) + frac;
+  out.peak_value = best;
+  return out;
+}
+
+}  // namespace sb::dsp

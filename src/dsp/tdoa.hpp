@@ -1,0 +1,43 @@
+// Time-difference-of-arrival estimation via generalized cross-correlation.
+//
+// The paper's §II-D: "each propeller can be located by employing the
+// Time-Difference-of-Arrival (TDoA) technique ... calculates the differences
+// in the time it takes for the sound waves from each propeller to reach the
+// microphones, allowing for triangulation of the position of each sound
+// source."  This module implements that primitive: GCC (optionally with PHAT
+// weighting) between microphone pairs, with sub-sample (parabolic) peak
+// interpolation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sb::dsp {
+
+struct GccConfig {
+  // PHAT (phase transform) whitening: robust for broadband sources,
+  // counterproductive for pure tones.  Default on.
+  bool phat = true;
+  // Search range for the delay, in samples (physical bound: max mic-source
+  // distance difference / speed of sound).
+  double max_delay_samples = 32.0;
+  // Spectral floor used when whitening.
+  double epsilon = 1e-9;
+};
+
+struct TdoaEstimate {
+  double delay_samples = 0.0;  // positive: `b` lags `a`
+  double peak_value = 0.0;     // correlation peak (confidence proxy)
+};
+
+// Estimates the delay of signal `b` relative to `a` (equal lengths).
+TdoaEstimate estimate_tdoa(std::span<const double> a, std::span<const double> b,
+                           const GccConfig& config = {});
+
+// Plain (unwhitened) cross-correlation sequence via FFT, circular, centred:
+// index 0 of the result corresponds to -max_lag.  Exposed for tests.
+std::vector<double> cross_correlation(std::span<const double> a,
+                                      std::span<const double> b, std::size_t max_lag);
+
+}  // namespace sb::dsp

@@ -1,0 +1,46 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace sb::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t length) {
+  std::vector<double> w(length, 1.0);
+  if (length <= 1) return w;
+  const double n1 = static_cast<double>(length - 1);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < length; ++i) {
+    const double t = static_cast<double>(i) / n1;
+    switch (type) {
+      case WindowType::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * t) + 0.08 * std::cos(2.0 * kTwoPi * t);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(std::span<double> frame, std::span<const double> window) {
+  if (frame.size() != window.size())
+    throw std::invalid_argument{"apply_window: size mismatch"};
+  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+}
+
+double window_sum(std::span<const double> window) {
+  double s = 0.0;
+  for (double w : window) s += w;
+  return s;
+}
+
+}  // namespace sb::dsp

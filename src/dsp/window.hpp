@@ -1,0 +1,21 @@
+// Analysis window functions for STFT framing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sb::dsp {
+
+enum class WindowType { kRect, kHann, kHamming, kBlackman };
+
+// Returns the window coefficients of the given length.
+std::vector<double> make_window(WindowType type, std::size_t length);
+
+// Multiplies the frame by the window in place.  Sizes must match.
+void apply_window(std::span<double> frame, std::span<const double> window);
+
+// Sum of window coefficients (used for amplitude normalization).
+double window_sum(std::span<const double> window);
+
+}  // namespace sb::dsp

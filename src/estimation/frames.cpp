@@ -1,0 +1,28 @@
+#include "estimation/frames.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sb::est {
+
+namespace {
+constexpr double kGravity = 9.81;
+}
+
+Vec3 accel_ned_from_specific_force(const Vec3& specific_force_body, const Vec3& euler) {
+  const Mat3 r = rotation_from_euler(euler.x, euler.y, euler.z);
+  return r * specific_force_body + Vec3{0.0, 0.0, kGravity};
+}
+
+Vec3 specific_force_from_accel_ned(const Vec3& accel_ned, const Vec3& euler) {
+  const Mat3 r = rotation_from_euler(euler.x, euler.y, euler.z);
+  return r.transposed() * (accel_ned - Vec3{0.0, 0.0, kGravity});
+}
+
+double wrap_angle(double a) {
+  while (a > std::numbers::pi) a -= 2.0 * std::numbers::pi;
+  while (a <= -std::numbers::pi) a += 2.0 * std::numbers::pi;
+  return a;
+}
+
+}  // namespace sb::est

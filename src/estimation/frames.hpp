@@ -1,0 +1,19 @@
+// Reference-frame conversions (body <-> North-East-Down).
+#pragma once
+
+#include "util/vec3.hpp"
+
+namespace sb::est {
+
+// NED linear acceleration from a body-frame specific-force reading and the
+// vehicle attitude: a_ned = R(euler) f_b + g.
+Vec3 accel_ned_from_specific_force(const Vec3& specific_force_body, const Vec3& euler);
+
+// Body-frame specific force that an ideal IMU would report for a given NED
+// acceleration and attitude (inverse of the above).
+Vec3 specific_force_from_accel_ned(const Vec3& accel_ned, const Vec3& euler);
+
+// Wraps an angle to (-pi, pi].
+double wrap_angle(double a);
+
+}  // namespace sb::est

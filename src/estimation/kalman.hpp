@@ -1,0 +1,67 @@
+// Dense matrix algebra and a generic linear Kalman filter.
+//
+// SoundBoost's control-analysis stage (§III-C2) instantiates this filter in
+// two configurations (audio-only, audio+IMU); the baselines reuse it too.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace sb::est {
+
+// Small dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const std::vector<double>& d);
+  static Matrix column(const std::vector<double>& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;
+  Matrix operator*(double s) const;
+  Matrix transposed() const;
+
+  // Inverse via Gauss–Jordan with partial pivoting; throws on singularity.
+  Matrix inverse() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Standard linear Kalman filter:
+//   predict: x = F x + B u;  P = F P F^T + Q
+//   update:  K = P H^T (H P H^T + R)^-1;  x += K (z - H x);  P = (I - K H) P
+class LinearKalmanFilter {
+ public:
+  LinearKalmanFilter(Matrix x0, Matrix p0);
+
+  void predict(const Matrix& f, const Matrix& b, const Matrix& u, const Matrix& q);
+  // Predict without control input.
+  void predict(const Matrix& f, const Matrix& q);
+  void update(const Matrix& h, const Matrix& r, const Matrix& z);
+
+  const Matrix& state() const { return x_; }
+  const Matrix& covariance() const { return p_; }
+  // Direct state override (used by the customized audio+IMU filter, which
+  // re-seeds the predicted state from the IMU-measured kinematics).
+  void set_state(Matrix x) { x_ = std::move(x); }
+
+ private:
+  Matrix x_;
+  Matrix p_;
+};
+
+}  // namespace sb::est

@@ -1,0 +1,80 @@
+// SoundBoost's two velocity-estimation Kalman filters (paper §III-C2).
+//
+// Both estimate the UAV's NED velocity WITHOUT using GPS — GPS is the sensor
+// under validation.  The measurement in the update step is the velocity
+// derived from the acoustic side-channel; the prediction step uses audio
+// acceleration (Version 1, compromised IMU) or the IMU-measured kinematics
+// (Version 2, benign IMU).  The Kalman gain weights the two sources by their
+// covariances and adapts dynamically, as the paper describes (Fig. 4).
+//
+// A third variant (DeadReckonVelocityKf) implements the Failsafe baseline:
+// the same filter structure fed ONLY by an acceleration stream, whose
+// dead-reckoned velocity serves as the (drifting) measurement.
+#pragma once
+
+#include "estimation/kalman.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::est {
+
+struct VelocityKfConfig {
+  double p0 = 1.0;            // initial velocity variance
+  double q_audio = 0.35;      // process noise density with audio prediction
+  double q_imu = 0.15;        // process noise density with IMU prediction
+  double r_audio_vel = 0.60;  // audio-velocity measurement variance
+  double r_base = 0.30;       // dead-reckoned measurement variance, base
+  double r_drift = 0.004;     // variance growth per second of dead-reckoning
+};
+
+// Version 1: "Audio Only KF (with compromised IMU)".
+class AudioOnlyVelocityKf {
+ public:
+  AudioOnlyVelocityKf(const VelocityKfConfig& config, const Vec3& v0);
+
+  // Advances the filter by dt: the audio acceleration prediction (NED)
+  // drives the prediction step; the audio-derived velocity is the update
+  // measurement.  Returns the fused velocity estimate.
+  Vec3 step(const Vec3& audio_accel, const Vec3& audio_vel, double dt);
+
+  Vec3 velocity() const;
+
+ private:
+  VelocityKfConfig config_;
+  LinearKalmanFilter kf_;
+};
+
+// Version 2: "Audio + IMU KF (with benign IMU)" — the customized design of
+// Fig. 4: IMU acceleration drives the prediction step; the audio-derived
+// velocity is the weighted measurement in the update step.
+class AudioImuVelocityKf {
+ public:
+  AudioImuVelocityKf(const VelocityKfConfig& config, const Vec3& v0);
+
+  Vec3 step(const Vec3& imu_accel, const Vec3& audio_vel, double dt);
+
+  Vec3 velocity() const;
+
+ private:
+  VelocityKfConfig config_;
+  LinearKalmanFilter kf_;
+};
+
+// Failsafe-style filter: a single acceleration stream drives the prediction
+// step, and its own dead-reckoned integral is the measurement.  The
+// measurement variance grows with time (integration drift).
+class DeadReckonVelocityKf {
+ public:
+  DeadReckonVelocityKf(const VelocityKfConfig& config, const Vec3& v0);
+
+  Vec3 step(const Vec3& accel, double dt);
+
+  Vec3 velocity() const;
+
+ private:
+  VelocityKfConfig config_;
+  LinearKalmanFilter kf_;
+  Vec3 reckoned_vel_;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace sb::est

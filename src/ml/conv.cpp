@@ -1,0 +1,263 @@
+#include "ml/conv.hpp"
+
+#include <stdexcept>
+
+namespace sb::ml {
+namespace {
+
+std::size_t out_dim(std::size_t in, std::size_t k, std::size_t stride, std::size_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t padding, Rng& rng)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      weight_(Tensor::he_normal({out_channels, in_channels, kernel, kernel},
+                                in_channels * kernel * kernel, rng)),
+      bias_(Tensor::zeros({out_channels})) {}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() != 4 || x.dim(1) != in_c_)
+    throw std::invalid_argument{"Conv2D::forward: expected [N,inC,H,W]"};
+  cached_x_ = x;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_dim(h, k_, stride_, pad_);
+  const std::size_t ow = out_dim(w, k_, stride_, pad_);
+  Tensor y({n, out_c_, oh, ow});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      float* py = y.data() + ((i * out_c_ + oc) * oh) * ow;
+      const float b = bias_.value[oc];
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float s = b;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* px = x.data() + ((i * in_c_ + ic) * h) * w;
+            const float* pw = weight_.value.data() + ((oc * in_c_ + ic) * k_) * k_;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                s += pw[ky * k_ + kx] *
+                     px[static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix)];
+              }
+            }
+          }
+          py[oy * ow + ox] = s;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_x_;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in(x.shape());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* g = grad_out.data() + ((i * out_c_ + oc) * oh) * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float gv = g[oy * ow + ox];
+          if (gv == 0.0f) continue;
+          bias_.grad[oc] += gv;
+          for (std::size_t ic = 0; ic < in_c_; ++ic) {
+            const float* px = x.data() + ((i * in_c_ + ic) * h) * w;
+            float* gx = grad_in.data() + ((i * in_c_ + ic) * h) * w;
+            const float* pw = weight_.value.data() + ((oc * in_c_ + ic) * k_) * k_;
+            float* gw = weight_.grad.data() + ((oc * in_c_ + ic) * k_) * k_;
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                  static_cast<std::ptrdiff_t>(pad_);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                    static_cast<std::ptrdiff_t>(pad_);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+                const std::size_t xi =
+                    static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix);
+                gw[ky * k_ + kx] += gv * px[xi];
+                gx[xi] += gv * pw[ky * k_ + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+DepthwiseConv2D::DepthwiseConv2D(std::size_t channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t padding, Rng& rng)
+    : c_(channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(padding),
+      weight_(Tensor::he_normal({channels, kernel, kernel}, kernel * kernel, rng)),
+      bias_(Tensor::zeros({channels})) {}
+
+Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() != 4 || x.dim(1) != c_)
+    throw std::invalid_argument{"DepthwiseConv2D::forward: expected [N,C,H,W]"};
+  cached_x_ = x;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_dim(h, k_, stride_, pad_);
+  const std::size_t ow = out_dim(w, k_, stride_, pad_);
+  Tensor y({n, c_, oh, ow});
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < c_; ++c) {
+      const float* px = x.data() + ((i * c_ + c) * h) * w;
+      const float* pw = weight_.value.data() + (c * k_) * k_;
+      float* py = y.data() + ((i * c_ + c) * oh) * ow;
+      const float b = bias_.value[c];
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float s = b;
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                                      static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              s += pw[ky * k_ + kx] *
+                   px[static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix)];
+            }
+          }
+          py[oy * ow + ox] = s;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_x_;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in(x.shape());
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < c_; ++c) {
+      const float* px = x.data() + ((i * c_ + c) * h) * w;
+      float* gx = grad_in.data() + ((i * c_ + c) * h) * w;
+      const float* pw = weight_.value.data() + (c * k_) * k_;
+      float* gw = weight_.grad.data() + (c * k_) * k_;
+      const float* g = grad_out.data() + ((i * c_ + c) * oh) * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float gv = g[oy * ow + ox];
+          if (gv == 0.0f) continue;
+          bias_.grad[c] += gv;
+          for (std::size_t ky = 0; ky < k_; ++ky) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                                      static_cast<std::ptrdiff_t>(pad_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < k_; ++kx) {
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                                        static_cast<std::ptrdiff_t>(pad_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              const std::size_t xi =
+                  static_cast<std::size_t>(iy) * w + static_cast<std::size_t>(ix);
+              gw[ky * k_ + kx] += gv * px[xi];
+              gx[xi] += gv * pw[ky * k_ + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+DepthwiseSeparableBlock::DepthwiseSeparableBlock(std::size_t in_channels,
+                                                 std::size_t out_channels,
+                                                 std::size_t stride, Rng& rng) {
+  body_.emplace<DepthwiseConv2D>(in_channels, 3, stride, 1, rng);
+  body_.emplace<BatchNorm>(in_channels);
+  body_.emplace<ReLU>(6.0f);
+  body_.emplace<Conv2D>(in_channels, out_channels, 1, 1, 0, rng);
+  body_.emplace<BatchNorm>(out_channels);
+  body_.emplace<ReLU>(6.0f);
+}
+
+Tensor DepthwiseSeparableBlock::forward(const Tensor& x, bool train) {
+  return body_.forward(x, train);
+}
+
+Tensor DepthwiseSeparableBlock::backward(const Tensor& grad_out) {
+  return body_.backward(grad_out);
+}
+
+ResidualBlock::ResidualBlock(std::size_t in_channels, std::size_t out_channels,
+                             std::size_t stride, Rng& rng) {
+  main_.emplace<Conv2D>(in_channels, out_channels, 3, stride, 1, rng);
+  main_.emplace<BatchNorm>(out_channels);
+  main_.emplace<ReLU>();
+  main_.emplace<Conv2D>(out_channels, out_channels, 3, 1, 1, rng);
+  main_.emplace<BatchNorm>(out_channels);
+  if (stride != 1 || in_channels != out_channels) {
+    shortcut_ = std::make_unique<Sequential>();
+    shortcut_->emplace<Conv2D>(in_channels, out_channels, 1, stride, 0, rng);
+    shortcut_->emplace<BatchNorm>(out_channels);
+  }
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor main_out = main_.forward(x, train);
+  Tensor short_out = shortcut_ ? shortcut_->forward(x, train) : x;
+  cached_sum_ = main_out;
+  cached_sum_.add_scaled(short_out, 1.0f);
+  Tensor y = cached_sum_;
+  for (auto& v : y.flat()) v = std::max(v, 0.0f);
+  return y;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i)
+    if (cached_sum_[i] <= 0.0f) g[i] = 0.0f;
+  Tensor grad_main = main_.backward(g);
+  Tensor grad_short = shortcut_ ? shortcut_->backward(g) : g;
+  grad_main.add_scaled(grad_short, 1.0f);
+  return grad_main;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  auto out = main_.params();
+  if (shortcut_)
+    for (Param* p : shortcut_->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> ResidualBlock::state() {
+  auto out = main_.state();
+  if (shortcut_)
+    for (Tensor* t : shortcut_->state()) out.push_back(t);
+  return out;
+}
+
+}  // namespace sb::ml

@@ -1,0 +1,78 @@
+// 2-D convolutions: standard and depthwise, plus the residual block used by
+// ResNetLite and the depthwise-separable block used by MobileNetLite.
+#pragma once
+
+#include "ml/layer.hpp"
+#include "ml/layers.hpp"
+
+namespace sb::ml {
+
+// Standard convolution: x [N, inC, H, W] -> [N, outC, H', W'].
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t padding, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  Param weight_;  // [outC, inC, k, k]
+  Param bias_;    // [outC]
+  Tensor cached_x_;
+};
+
+// Depthwise convolution: one k x k filter per channel.
+class DepthwiseConv2D final : public Layer {
+ public:
+  DepthwiseConv2D(std::size_t channels, std::size_t kernel, std::size_t stride,
+                  std::size_t padding, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+ private:
+  std::size_t c_, k_, stride_, pad_;
+  Param weight_;  // [C, k, k]
+  Param bias_;    // [C]
+  Tensor cached_x_;
+};
+
+// MobileNet-style depthwise-separable block:
+//   depthwise 3x3 (stride s) -> BN -> ReLU6 -> pointwise 1x1 -> BN -> ReLU6.
+class DepthwiseSeparableBlock final : public Layer {
+ public:
+  DepthwiseSeparableBlock(std::size_t in_channels, std::size_t out_channels,
+                          std::size_t stride, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return body_.params(); }
+  std::vector<Tensor*> state() override { return body_.state(); }
+
+ private:
+  Sequential body_;
+};
+
+// ResNet-style basic block: two 3x3 convs with BN, identity (or 1x1
+// projection) shortcut, ReLU after the sum.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::size_t in_channels, std::size_t out_channels, std::size_t stride,
+                Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  std::vector<Tensor*> state() override;
+
+ private:
+  Sequential main_;
+  std::unique_ptr<Sequential> shortcut_;  // null = identity
+  Tensor cached_sum_;                     // pre-ReLU sum, for the ReLU mask
+};
+
+}  // namespace sb::ml

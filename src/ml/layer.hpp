@@ -1,0 +1,89 @@
+// Layer abstraction: explicit forward/backward with parameter gradients
+// accumulated in place (classic define-by-layer design; no autograd graph).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace sb::ml {
+
+// A learnable parameter and its gradient accumulator.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  // Forward pass.  `train` enables training-only behaviour (batch-norm batch
+  // statistics, dropout).  Layers cache whatever backward needs.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  // Backward pass: receives dLoss/dOutput, returns dLoss/dInput and
+  // accumulates parameter gradients.  Must follow the matching forward.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual std::vector<Param*> params() { return {}; }
+
+  // Non-learnable persistent state (e.g. batch-norm running statistics).
+  // Serialization must persist these alongside params() or a reloaded model
+  // will not reproduce the trained one's eval-mode behaviour.
+  virtual std::vector<Tensor*> state() { return {}; }
+};
+
+// Runs sub-layers in order.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  Sequential& add(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Tensor forward(const Tensor& x, bool train) override {
+    Tensor h = x;
+    for (auto& l : layers_) h = l->forward(h, train);
+    return h;
+  }
+
+  Tensor backward(const Tensor& grad_out) override {
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+  }
+
+  std::vector<Param*> params() override {
+    std::vector<Param*> out;
+    for (auto& l : layers_)
+      for (Param* p : l->params()) out.push_back(p);
+    return out;
+  }
+
+  std::vector<Tensor*> state() override {
+    std::vector<Tensor*> out;
+    for (auto& l : layers_)
+      for (Tensor* t : l->state()) out.push_back(t);
+    return out;
+  }
+
+  std::size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace sb::ml

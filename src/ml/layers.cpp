@@ -1,0 +1,261 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::ml {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(Tensor::he_normal({out_features, in_features}, in_features, rng)),
+      bias_(Tensor::zeros({out_features})) {}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() != 2 || x.dim(1) != in_)
+    throw std::invalid_argument{"Dense::forward: expected [N, in]"};
+  cached_x_ = x;
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_});
+  const float* w = weight_.value.data();
+  const float* b = bias_.value.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * in_;
+    float* yi = y.data() + i * out_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float* wo = w + o * in_;
+      float s = b[o];
+      for (std::size_t k = 0; k < in_; ++k) s += wo[k] * xi[k];
+      yi[o] = s;
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const std::size_t n = cached_x_.dim(0);
+  Tensor grad_in({n, in_});
+  float* gw = weight_.grad.data();
+  float* gb = bias_.grad.data();
+  const float* w = weight_.value.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* gi = grad_out.data() + i * out_;
+    const float* xi = cached_x_.data() + i * in_;
+    float* gxi = grad_in.data() + i * in_;
+    for (std::size_t o = 0; o < out_; ++o) {
+      const float g = gi[o];
+      gb[o] += g;
+      float* gwo = gw + o * in_;
+      const float* wo = w + o * in_;
+      for (std::size_t k = 0; k < in_; ++k) {
+        gwo[k] += g * xi[k];
+        gxi[k] += g * wo[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  cached_x_ = x;
+  Tensor y = x;
+  for (auto& v : y.flat()) {
+    v = std::max(v, 0.0f);
+    if (cap_ > 0.0f) v = std::min(v, cap_);
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    const float x = cached_x_[i];
+    const bool pass = x > 0.0f && (cap_ <= 0.0f || x < cap_);
+    if (!pass) g[i] = 0.0f;
+  }
+  return g;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
+  Tensor y = x;
+  for (auto& v : y.flat()) v = std::tanh(v);
+  cached_y_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) {
+    const float y = cached_y_[i];
+    g[i] *= 1.0f - y * y;
+  }
+  return g;
+}
+
+BatchNorm::BatchNorm(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor({channels}, 1.0f)),
+      beta_(Tensor::zeros({channels})),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor({channels}, 1.0f)) {}
+
+Tensor BatchNorm::forward(const Tensor& x, bool train) {
+  std::size_t n, c, hw;
+  if (x.ndim() == 4) {
+    n = x.dim(0); c = x.dim(1); hw = x.dim(2) * x.dim(3);
+  } else if (x.ndim() == 2) {
+    n = x.dim(0); c = x.dim(1); hw = 1;
+  } else {
+    throw std::invalid_argument{"BatchNorm: expected [N,C,H,W] or [N,C]"};
+  }
+  if (c != channels_) throw std::invalid_argument{"BatchNorm: channel mismatch"};
+
+  cached_n_ = n;
+  cached_hw_ = hw;
+  cached_mean_.assign(c, 0.0f);
+  cached_inv_std_.assign(c, 0.0f);
+
+  Tensor y = x;
+  cached_xhat_ = Tensor(x.shape());
+  const float count = static_cast<float>(n * hw);
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    float mean_v, var_v;
+    if (train) {
+      float s = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * c + ch) * hw;
+        for (std::size_t k = 0; k < hw; ++k) s += p[k];
+      }
+      mean_v = s / count;
+      float v = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* p = x.data() + (i * c + ch) * hw;
+        for (std::size_t k = 0; k < hw; ++k) {
+          const float d = p[k] - mean_v;
+          v += d * d;
+        }
+      }
+      var_v = v / count;
+      running_mean_[ch] = momentum_ * running_mean_[ch] + (1 - momentum_) * mean_v;
+      running_var_[ch] = momentum_ * running_var_[ch] + (1 - momentum_) * var_v;
+    } else {
+      mean_v = running_mean_[ch];
+      var_v = running_var_[ch];
+    }
+    const float inv_std = 1.0f / std::sqrt(var_v + eps_);
+    cached_mean_[ch] = mean_v;
+    cached_inv_std_[ch] = inv_std;
+    const float g = gamma_.value[ch], b = beta_.value[ch];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* p = x.data() + (i * c + ch) * hw;
+      float* xh = cached_xhat_.data() + (i * c + ch) * hw;
+      float* py = y.data() + (i * c + ch) * hw;
+      for (std::size_t k = 0; k < hw; ++k) {
+        xh[k] = (p[k] - mean_v) * inv_std;
+        py[k] = g * xh[k] + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::backward(const Tensor& grad_out) {
+  const std::size_t n = cached_n_, c = channels_, hw = cached_hw_;
+  const float count = static_cast<float>(n * hw);
+  Tensor grad_in(grad_out.shape());
+
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    // Accumulate dgamma, dbeta and the two reduction terms.
+    float dgamma = 0.0f, dbeta = 0.0f, sum_gxhat = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* g = grad_out.data() + (i * c + ch) * hw;
+      const float* xh = cached_xhat_.data() + (i * c + ch) * hw;
+      for (std::size_t k = 0; k < hw; ++k) {
+        dgamma += g[k] * xh[k];
+        dbeta += g[k];
+      }
+    }
+    sum_gxhat = dgamma;
+    gamma_.grad[ch] += dgamma;
+    beta_.grad[ch] += dbeta;
+
+    const float gval = gamma_.value[ch];
+    const float inv_std = cached_inv_std_[ch];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* g = grad_out.data() + (i * c + ch) * hw;
+      const float* xh = cached_xhat_.data() + (i * c + ch) * hw;
+      float* gi = grad_in.data() + (i * c + ch) * hw;
+      for (std::size_t k = 0; k < hw; ++k) {
+        gi[k] = gval * inv_std / count *
+                (count * g[k] - dbeta - xh[k] * sum_gxhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  if (x.ndim() != 4) throw std::invalid_argument{"GlobalAvgPool: expected [N,C,H,W]"};
+  cached_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* p = x.data() + (i * c + ch) * hw;
+      float s = 0.0f;
+      for (std::size_t k = 0; k < hw; ++k) s += p[k];
+      y[i * c + ch] = s / static_cast<float>(hw);
+    }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const std::size_t n = cached_shape_[0], c = cached_shape_[1];
+  const std::size_t hw = cached_shape_[2] * cached_shape_[3];
+  Tensor grad_in(cached_shape_);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out[i * c + ch] / static_cast<float>(hw);
+      float* p = grad_in.data() + (i * c + ch) * hw;
+      for (std::size_t k = 0; k < hw; ++k) p[k] = g;
+    }
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  cached_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.row_size()});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_shape_);
+}
+
+Dropout::Dropout(float rate, Rng& rng) : rate_(rate), rng_(&rng) {}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  train_mode_ = train;
+  if (!train || rate_ <= 0.0f) return x;
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  const float keep = 1.0f - rate_;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    const bool on = rng_->uniform() < keep;
+    mask_[i] = on ? 1.0f / keep : 0.0f;
+    y[i] *= mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!train_mode_ || rate_ <= 0.0f) return grad_out;
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] *= mask_[i];
+  return g;
+}
+
+}  // namespace sb::ml

@@ -1,0 +1,104 @@
+// Core layers: Dense, activations, BatchNorm, pooling, Flatten, Dropout.
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace sb::ml {
+
+// Fully connected: x [N, in] -> [N, out].
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+
+ private:
+  std::size_t in_, out_;
+  Param weight_;  // [out, in]
+  Param bias_;    // [out]
+  Tensor cached_x_;
+};
+
+class ReLU final : public Layer {
+ public:
+  // cap <= 0 means plain ReLU; cap = 6 gives the ReLU6 used by MobileNet.
+  explicit ReLU(float cap = 0.0f) : cap_(cap) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  float cap_;
+  Tensor cached_x_;
+};
+
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  Tensor cached_y_;
+};
+
+// Batch normalization over a [N, C, H, W] tensor, per channel.  Also accepts
+// [N, C] (treated as H = W = 1).
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm(std::size_t channels, float momentum = 0.9f, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> state() override { return {&running_mean_, &running_var_}; }
+
+ private:
+  std::size_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // Caches for backward.
+  Tensor cached_xhat_;
+  std::vector<float> cached_mean_, cached_inv_std_;
+  std::size_t cached_n_ = 0, cached_hw_ = 0;
+};
+
+// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+// Collapses everything but dim 0: [N, ...] -> [N, D].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+// Inverted dropout; identity in eval mode.
+class Dropout final : public Layer {
+ public:
+  Dropout(float rate, Rng& rng);
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+ private:
+  float rate_;
+  Rng* rng_;
+  Tensor mask_;
+  bool train_mode_ = false;
+};
+
+}  // namespace sb::ml

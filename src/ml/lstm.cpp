@@ -1,0 +1,143 @@
+#include "ml/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::ml {
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, std::size_t seq_len,
+           Rng& rng)
+    : d_(input_size),
+      h_(hidden_size),
+      t_(seq_len),
+      wx_(Tensor::he_normal({4 * hidden_size, input_size}, input_size, rng)),
+      wh_(Tensor::he_normal({4 * hidden_size, hidden_size}, hidden_size, rng)),
+      b_(Tensor::zeros({4 * hidden_size})) {
+  // Positive forget-gate bias: standard trick for gradient flow.
+  for (std::size_t i = h_; i < 2 * h_; ++i) b_.value[i] = 1.0f;
+}
+
+Tensor Lstm::forward(const Tensor& x_in, bool /*train*/) {
+  Tensor x = x_in;
+  if (x.ndim() == 2) x = x.reshaped({x.dim(0), t_, d_});
+  if (x.ndim() != 3 || x.dim(1) != t_ || x.dim(2) != d_)
+    throw std::invalid_argument{"Lstm::forward: expected [N, T, D]"};
+  cached_x_ = x;
+  const std::size_t n = x.dim(0);
+
+  gates_.assign(t_, Tensor({n, 4 * h_}));
+  cells_.assign(t_, Tensor({n, h_}));
+  hiddens_.assign(t_, Tensor({n, h_}));
+
+  Tensor h_prev({n, h_});
+  Tensor c_prev({n, h_});
+  for (std::size_t t = 0; t < t_; ++t) {
+    auto& gate = gates_[t];
+    auto& cell = cells_[t];
+    auto& hidden = hiddens_[t];
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* xt = x.data() + (i * t_ + t) * d_;
+      const float* hp = h_prev.data() + i * h_;
+      const float* cp = c_prev.data() + i * h_;
+      float* gt = gate.data() + i * 4 * h_;
+      float* ct = cell.data() + i * h_;
+      float* ht = hidden.data() + i * h_;
+      for (std::size_t g = 0; g < 4 * h_; ++g) {
+        float s = b_.value[g];
+        const float* wxr = wx_.value.data() + g * d_;
+        for (std::size_t k = 0; k < d_; ++k) s += wxr[k] * xt[k];
+        const float* whr = wh_.value.data() + g * h_;
+        for (std::size_t k = 0; k < h_; ++k) s += whr[k] * hp[k];
+        gt[g] = s;
+      }
+      for (std::size_t k = 0; k < h_; ++k) {
+        const float ig = sigmoid(gt[k]);
+        const float fg = sigmoid(gt[h_ + k]);
+        const float gg = std::tanh(gt[2 * h_ + k]);
+        const float og = sigmoid(gt[3 * h_ + k]);
+        gt[k] = ig;
+        gt[h_ + k] = fg;
+        gt[2 * h_ + k] = gg;
+        gt[3 * h_ + k] = og;
+        ct[k] = fg * cp[k] + ig * gg;
+        ht[k] = og * std::tanh(ct[k]);
+      }
+    }
+    h_prev = hidden;
+    c_prev = cell;
+  }
+  return hiddens_.back();
+}
+
+Tensor Lstm::backward(const Tensor& grad_out) {
+  const std::size_t n = cached_x_.dim(0);
+  Tensor grad_x(cached_x_.shape());
+  Tensor dh = grad_out;        // [N, H] gradient flowing into h_t
+  Tensor dc({n, h_});          // gradient flowing into c_t
+
+  for (std::size_t t = t_; t-- > 0;) {
+    const Tensor& gate = gates_[t];
+    const Tensor& cell = cells_[t];
+    Tensor dh_prev({n, h_});
+    Tensor dc_prev({n, h_});
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* gt = gate.data() + i * 4 * h_;
+      const float* ct = cell.data() + i * h_;
+      const float* cp = t > 0 ? cells_[t - 1].data() + i * h_ : nullptr;
+      const float* hp = t > 0 ? hiddens_[t - 1].data() + i * h_ : nullptr;
+      const float* xt = cached_x_.data() + (i * t_ + t) * d_;
+      float* dxt = grad_x.data() + (i * t_ + t) * d_;
+      const float* dht = dh.data() + i * h_;
+      float* dct = dc.data() + i * h_;
+      float* dhp = dh_prev.data() + i * h_;
+      float* dcp = dc_prev.data() + i * h_;
+
+      for (std::size_t k = 0; k < h_; ++k) {
+        const float ig = gt[k], fg = gt[h_ + k], gg = gt[2 * h_ + k],
+                    og = gt[3 * h_ + k];
+        const float tanh_c = std::tanh(ct[k]);
+        const float dc_total = dct[k] + dht[k] * og * (1.0f - tanh_c * tanh_c);
+        const float c_prev_v = cp ? cp[k] : 0.0f;
+
+        // Pre-activation gate gradients.
+        const float d_i = dc_total * gg * ig * (1.0f - ig);
+        const float d_f = dc_total * c_prev_v * fg * (1.0f - fg);
+        const float d_g = dc_total * ig * (1.0f - gg * gg);
+        const float d_o = dht[k] * tanh_c * og * (1.0f - og);
+        const float dgate[4] = {d_i, d_f, d_g, d_o};
+
+        dcp[k] = dc_total * fg;
+
+        for (int gi = 0; gi < 4; ++gi) {
+          const std::size_t row = static_cast<std::size_t>(gi) * h_ + k;
+          const float dg = dgate[gi];
+          if (dg == 0.0f) continue;
+          b_.grad[row] += dg;
+          float* gwx = wx_.grad.data() + row * d_;
+          const float* vwx = wx_.value.data() + row * d_;
+          for (std::size_t kk = 0; kk < d_; ++kk) {
+            gwx[kk] += dg * xt[kk];
+            dxt[kk] += dg * vwx[kk];
+          }
+          float* gwh = wh_.grad.data() + row * h_;
+          const float* vwh = wh_.value.data() + row * h_;
+          for (std::size_t kk = 0; kk < h_; ++kk) {
+            if (hp) gwh[kk] += dg * hp[kk];
+            dhp[kk] += dg * vwh[kk];
+          }
+        }
+      }
+    }
+    dh = dh_prev;
+    dc = dc_prev;
+  }
+  return grad_x;
+}
+
+}  // namespace sb::ml

@@ -1,0 +1,36 @@
+// Single-layer LSTM returning the final hidden state, used by the DNN
+// baseline (Ding et al.) that approximates the UAV's control dynamics from
+// time-series data.
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace sb::ml {
+
+class Lstm final : public Layer {
+ public:
+  // Input [N, T, input_size] (or [N, T*input_size] reshaped by the caller);
+  // output [N, hidden_size] = h_T.
+  Lstm(std::size_t input_size, std::size_t hidden_size, std::size_t seq_len, Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&wx_, &wh_, &b_}; }
+
+  std::size_t hidden_size() const { return h_; }
+
+ private:
+  std::size_t d_, h_, t_;
+  // Gate order: [input, forget, cell(g), output], stacked along dim 0.
+  Param wx_;  // [4H, D]
+  Param wh_;  // [4H, H]
+  Param b_;   // [4H]
+
+  // Per-forward caches (batch x time).
+  Tensor cached_x_;                  // [N, T, D]
+  std::vector<Tensor> gates_;        // per t: [N, 4H] post-activation
+  std::vector<Tensor> cells_;        // per t: [N, H] (c_t)
+  std::vector<Tensor> hiddens_;      // per t: [N, H] (h_t)
+};
+
+}  // namespace sb::ml

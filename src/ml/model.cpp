@@ -1,0 +1,47 @@
+#include "ml/model.hpp"
+
+#include <stdexcept>
+
+namespace sb::ml {
+
+MseLoss mse_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.numel() != target.numel())
+    throw std::invalid_argument{"mse_loss: size mismatch"};
+  MseLoss out;
+  out.grad = Tensor(pred.shape());
+  const float scale = 2.0f / static_cast<float>(pred.numel());
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - static_cast<double>(target[i]);
+    s += d * d;
+    out.grad[i] = scale * static_cast<float>(d);
+  }
+  out.value = s / static_cast<double>(pred.numel());
+  return out;
+}
+
+Tensor predict(Layer& model, const Tensor& x) { return model.forward(x, false); }
+
+double evaluate_mse(Layer& model, const Tensor& x, const Tensor& y,
+                    std::size_t batch_size) {
+  const std::size_t n = x.dim(0);
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(start + batch_size, n);
+    const Tensor bx = x.slice_rows(start, end);
+    const Tensor by = y.slice_rows(start, end);
+    const Tensor pred = model.forward(bx, false);
+    double s = 0.0;
+    for (std::size_t i = 0; i < pred.numel(); ++i) {
+      const double d = static_cast<double>(pred[i]) - static_cast<double>(by[i]);
+      s += d * d;
+    }
+    total += s;
+    count += pred.numel();
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace sb::ml

@@ -1,0 +1,24 @@
+// Loss functions and inference helpers shared by the trainer and by the
+// SoundBoost sensory-mapping stage.
+#pragma once
+
+#include "ml/layer.hpp"
+
+namespace sb::ml {
+
+// Mean squared error over all elements; grad is dLoss/dPred.
+struct MseLoss {
+  double value = 0.0;
+  Tensor grad;
+};
+
+MseLoss mse_loss(const Tensor& pred, const Tensor& target);
+
+// Eval-mode prediction (no caching needed beyond the forward pass).
+Tensor predict(Layer& model, const Tensor& x);
+
+// Eval-mode MSE of the model over a dataset, computed in batches.
+double evaluate_mse(Layer& model, const Tensor& x, const Tensor& y,
+                    std::size_t batch_size = 64);
+
+}  // namespace sb::ml

@@ -1,0 +1,59 @@
+#include "ml/optimizer.hpp"
+
+#include <cmath>
+
+namespace sb::ml {
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (Param* p : params_) velocity_.emplace(p, Tensor::zeros(p->value.shape()));
+}
+
+void Sgd::step() {
+  for (Param* p : params_) {
+    Tensor& vel = velocity_.at(p);
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      vel[i] = static_cast<float>(momentum_) * vel[i] - static_cast<float>(lr_) * p->grad[i];
+      p->value[i] += vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  for (Param* p : params_) {
+    m_.emplace(p, Tensor::zeros(p->value.shape()));
+    v_.emplace(p, Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, step_count_);
+  const double bc2 = 1.0 - std::pow(beta2_, step_count_);
+  for (Param* p : params_) {
+    Tensor& m = m_.at(p);
+    Tensor& v = v_.at(p);
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const double g = p->grad[i];
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * g);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * g * g);
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p->value[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_) +
+                                        lr_ * weight_decay_ * p->value[i]);
+    }
+  }
+}
+
+}  // namespace sb::ml

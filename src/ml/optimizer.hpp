@@ -1,0 +1,48 @@
+// First-order optimizers over a parameter set.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ml/layer.hpp"
+
+namespace sb::ml {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  void zero_grad();
+  virtual void step() = 0;
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, double lr, double momentum = 0.9);
+  void step() override;
+
+ private:
+  double lr_, momentum_;
+  std::unordered_map<Param*, Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  // weight_decay is decoupled (AdamW-style).
+  Adam(std::vector<Param*> params, double lr, double beta1 = 0.9, double beta2 = 0.999,
+       double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  long step_count_ = 0;
+  std::unordered_map<Param*, Tensor> m_, v_;
+};
+
+}  // namespace sb::ml

@@ -1,0 +1,57 @@
+// Minimal dense tensor used by the neural-network library.  Row-major,
+// float32, up to 4 dimensions ([N, C, H, W] for convolutional inputs,
+// [N, D] for dense inputs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sb::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+
+  static Tensor zeros(std::vector<std::size_t> shape);
+  // He-normal initialization with fan_in; used for conv/dense weights.
+  static Tensor he_normal(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t ndim() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_[i]; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float operator[](std::size_t i) const { return data_[i]; }
+  float& operator[](std::size_t i) { return data_[i]; }
+
+  std::span<const float> flat() const { return data_; }
+  std::span<float> flat() { return data_; }
+
+  // Reinterprets the buffer with a new shape of equal element count.
+  Tensor reshaped(std::vector<std::size_t> shape) const;
+
+  // Returns rows [begin, end) along dim 0 as a new tensor.
+  Tensor slice_rows(std::size_t begin, std::size_t end) const;
+
+  // Gathers the given dim-0 indices into a new tensor (minibatch assembly).
+  Tensor gather_rows(std::span<const std::size_t> indices) const;
+
+  void fill(float v);
+  void add_scaled(const Tensor& other, float scale);  // this += scale*other
+
+  // Elements per dim-0 row.
+  std::size_t row_size() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace sb::ml

@@ -1,0 +1,72 @@
+#include "ml/trainer.hpp"
+
+#include <cstdio>
+
+#include "ml/optimizer.hpp"
+
+namespace sb::ml {
+
+std::pair<RegressionDataset, RegressionDataset> split_dataset(
+    const RegressionDataset& data, double val_fraction, Rng& rng) {
+  const std::size_t n = data.size();
+  const auto perm = rng.permutation(n);
+  const auto n_val = static_cast<std::size_t>(static_cast<double>(n) * val_fraction);
+  const std::size_t n_train = n - n_val;
+
+  std::vector<std::size_t> train_idx(perm.begin(),
+                                     perm.begin() + static_cast<std::ptrdiff_t>(n_train));
+  std::vector<std::size_t> val_idx(perm.begin() + static_cast<std::ptrdiff_t>(n_train),
+                                   perm.end());
+  RegressionDataset train{data.x.gather_rows(train_idx), data.y.gather_rows(train_idx)};
+  RegressionDataset val{data.x.gather_rows(val_idx), data.y.gather_rows(val_idx)};
+  return {std::move(train), std::move(val)};
+}
+
+TrainResult train_regressor(Layer& model, const RegressionDataset& train,
+                            const RegressionDataset& val, const TrainConfig& config) {
+  TrainResult result;
+  const std::size_t n = train.size();
+  if (n == 0) return result;
+
+  Adam opt{model.params(), config.lr, 0.9, 0.999, 1e-8, config.weight_decay};
+  Rng shuffle_rng{config.shuffle_seed};
+
+  double lr = config.lr;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    opt.set_lr(lr);
+    lr *= config.lr_decay;
+    const auto perm = shuffle_rng.permutation(n);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, n);
+      std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(start),
+                                   perm.begin() + static_cast<std::ptrdiff_t>(end));
+      const Tensor bx = train.x.gather_rows(idx);
+      const Tensor by = train.y.gather_rows(idx);
+
+      opt.zero_grad();
+      const Tensor pred = model.forward(bx, true);
+      const MseLoss loss = mse_loss(pred, by);
+      model.backward(loss.grad);
+      opt.step();
+
+      epoch_loss += loss.value;
+      ++batches;
+    }
+    const double train_mse = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    result.train_mse_per_epoch.push_back(train_mse);
+    const double val_mse =
+        val.size() > 0 ? evaluate_mse(model, val.x, val.y) : train_mse;
+    result.val_mse_per_epoch.push_back(val_mse);
+    if (config.verbose)
+      std::printf("epoch %zu: train MSE %.4f, val MSE %.4f\n", epoch + 1, train_mse,
+                  val_mse);
+  }
+  result.final_train_mse = evaluate_mse(model, train.x, train.y);
+  result.final_val_mse =
+      val.size() > 0 ? evaluate_mse(model, val.x, val.y) : result.final_train_mse;
+  return result;
+}
+
+}  // namespace sb::ml

@@ -1,0 +1,43 @@
+// Minibatch training loop for regression models (MSE loss, Adam).
+#pragma once
+
+#include <vector>
+
+#include "ml/layer.hpp"
+#include "ml/model.hpp"
+
+namespace sb::ml {
+
+struct RegressionDataset {
+  Tensor x;  // [N, ...]
+  Tensor y;  // [N, output_dim]
+
+  std::size_t size() const { return x.empty() ? 0 : x.dim(0); }
+};
+
+// Splits a dataset into (train, val) with the given validation fraction,
+// shuffling with the provided rng.
+std::pair<RegressionDataset, RegressionDataset> split_dataset(
+    const RegressionDataset& data, double val_fraction, Rng& rng);
+
+struct TrainConfig {
+  std::size_t epochs = 12;
+  std::size_t batch_size = 32;
+  double lr = 1e-3;
+  double weight_decay = 1e-4;
+  double lr_decay = 1.0;  // per-epoch multiplicative decay
+  std::uint64_t shuffle_seed = 1;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<double> train_mse_per_epoch;
+  std::vector<double> val_mse_per_epoch;
+  double final_train_mse = 0.0;
+  double final_val_mse = 0.0;
+};
+
+TrainResult train_regressor(Layer& model, const RegressionDataset& train,
+                            const RegressionDataset& val, const TrainConfig& config);
+
+}  // namespace sb::ml

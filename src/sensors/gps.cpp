@@ -1,0 +1,19 @@
+#include "sensors/gps.hpp"
+
+namespace sb::sensors {
+
+Gps::Gps(const GpsConfig& config, Rng rng) : config_(config), rng_(rng) {}
+
+sim::GpsSample Gps::sample(double t, const sim::QuadState& truth) {
+  sim::GpsSample s;
+  s.t = t;
+  s.pos = truth.pos + Vec3{rng_.normal(0.0, config_.pos_noise_h),
+                           rng_.normal(0.0, config_.pos_noise_h),
+                           rng_.normal(0.0, config_.pos_noise_v)};
+  s.vel = truth.vel + Vec3{rng_.normal(0.0, config_.vel_noise),
+                           rng_.normal(0.0, config_.vel_noise),
+                           rng_.normal(0.0, config_.vel_noise)};
+  return s;
+}
+
+}  // namespace sb::sensors

@@ -1,0 +1,28 @@
+// GPS receiver model: low-rate position/velocity fixes with white noise.
+#pragma once
+
+#include "sim/quadrotor.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::sensors {
+
+struct GpsConfig {
+  double pos_noise_h = 0.6;   // m horizontal
+  double pos_noise_v = 1.0;   // m vertical
+  double vel_noise = 0.12;    // m/s per axis
+};
+
+class Gps {
+ public:
+  Gps(const GpsConfig& config, Rng rng);
+
+  sim::GpsSample sample(double t, const sim::QuadState& truth);
+
+ private:
+  GpsConfig config_;
+  Rng rng_;
+};
+
+}  // namespace sb::sensors

@@ -1,0 +1,35 @@
+#include "sensors/imu.hpp"
+
+namespace sb::sensors {
+
+Imu::Imu(const ImuConfig& config, Rng rng) : config_(config), rng_(rng) {
+  accel_bias_ = {rng_.normal(0.0, config_.accel_bias),
+                 rng_.normal(0.0, config_.accel_bias),
+                 rng_.normal(0.0, config_.accel_bias)};
+  gyro_bias_ = {rng_.normal(0.0, config_.gyro_bias),
+                rng_.normal(0.0, config_.gyro_bias),
+                rng_.normal(0.0, config_.gyro_bias)};
+}
+
+Vec3 Imu::to_accel_ned(const Vec3& specific_force_body, const Vec3& euler) {
+  const Mat3 r = rotation_from_euler(euler.x, euler.y, euler.z);
+  return r * specific_force_body + Vec3{0.0, 0.0, sim::kGravity};
+}
+
+sim::ImuSample Imu::sample(double t, const sim::QuadState& truth,
+                           const Vec3& specific_force_body) {
+  sim::ImuSample s;
+  s.t = t;
+  s.gyro = truth.rates + gyro_bias_ +
+           Vec3{rng_.normal(0.0, config_.gyro_noise),
+                rng_.normal(0.0, config_.gyro_noise),
+                rng_.normal(0.0, config_.gyro_noise)};
+  s.specific_force = specific_force_body + accel_bias_ +
+                     Vec3{rng_.normal(0.0, config_.accel_noise),
+                          rng_.normal(0.0, config_.accel_noise),
+                          rng_.normal(0.0, config_.accel_noise)};
+  s.accel_ned = to_accel_ned(s.specific_force, truth.euler);
+  return s;
+}
+
+}  // namespace sb::sensors

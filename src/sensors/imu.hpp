@@ -1,0 +1,42 @@
+// IMU measurement model: accelerometer + gyroscope with constant bias and
+// white noise, sampled at the IMU rate.  The "intact IMU" readings are the
+// training labels for the acoustic model (paper §III-B).
+#pragma once
+
+#include "sim/quadrotor.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::sensors {
+
+struct ImuConfig {
+  double accel_noise = 0.08;   // m/s^2 white noise, per axis
+  double gyro_noise = 0.004;   // rad/s white noise, per axis
+  double accel_bias = 0.03;    // m/s^2, constant bias magnitude scale
+  double gyro_bias = 0.002;    // rad/s, constant bias magnitude scale
+};
+
+class Imu {
+ public:
+  Imu(const ImuConfig& config, Rng rng);
+
+  // Samples the IMU from the true vehicle state at time t.  Returns the
+  // measurement in the body frame plus the NED-transformed acceleration
+  // (the quantity the SoundBoost pipeline consumes).
+  sim::ImuSample sample(double t, const sim::QuadState& truth,
+                        const Vec3& specific_force_body);
+
+  // Recomputes the NED acceleration of an (externally modified) body-frame
+  // reading using the vehicle attitude — used after attack injection so the
+  // falsified specific force propagates into the falsified NED acceleration.
+  static Vec3 to_accel_ned(const Vec3& specific_force_body, const Vec3& euler);
+
+ private:
+  ImuConfig config_;
+  Rng rng_;
+  Vec3 accel_bias_;
+  Vec3 gyro_bias_;
+};
+
+}  // namespace sb::sensors

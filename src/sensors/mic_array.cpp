@@ -1,0 +1,35 @@
+#include "sensors/mic_array.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sb::sensors {
+
+MicGeometry compute_geometry(const MicArrayConfig& config,
+                             const sim::QuadrotorParams& quad) {
+  MicGeometry g;
+  for (int m = 0; m < kNumMics; ++m) {
+    const double ang = 2.0 * std::numbers::pi * m / kNumMics + std::numbers::pi / 4.0;
+    g.mic_pos[static_cast<std::size_t>(m)] =
+        config.mount + Vec3{config.ring_radius * std::cos(ang),
+                            config.ring_radius * std::sin(ang), 0.0};
+  }
+
+  const std::array<Vec3, sim::kNumRotors> rotor_pos{
+      Vec3{+quad.arm_lx, -quad.arm_ly, 0.0}, Vec3{+quad.arm_lx, +quad.arm_ly, 0.0},
+      Vec3{-quad.arm_lx, +quad.arm_ly, 0.0}, Vec3{-quad.arm_lx, -quad.arm_ly, 0.0}};
+
+  for (int m = 0; m < kNumMics; ++m) {
+    for (int r = 0; r < sim::kNumRotors; ++r) {
+      const auto mi = static_cast<std::size_t>(m);
+      const auto ri = static_cast<std::size_t>(r);
+      const double dist = (g.mic_pos[mi] - rotor_pos[ri]).norm();
+      g.gain[mi][ri] = 1.0 / (1.0 + dist / 0.05);  // near-field 1/(1+r/r0)
+      g.delay_s[mi][ri] = dist / kSpeedOfSound;
+      g.dir[mi][ri] = (g.mic_pos[mi] - rotor_pos[ri]).normalized();
+    }
+  }
+  return g;
+}
+
+}  // namespace sb::sensors

@@ -1,0 +1,126 @@
+#include "sim/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sb::sim {
+namespace {
+
+double wrap_angle(double a) {
+  while (a > std::numbers::pi) a -= 2.0 * std::numbers::pi;
+  while (a < -std::numbers::pi) a += 2.0 * std::numbers::pi;
+  return a;
+}
+
+}  // namespace
+
+StateEstimator::StateEstimator(const Config& config, const NavState& initial)
+    : config_(config), state_(initial) {}
+
+void StateEstimator::on_imu(const Vec3& gyro, const Vec3& specific_force, double dt) {
+  state_.rates = gyro;
+
+  // Attitude: integrate gyro through the Euler kinematics, then blend toward
+  // the accelerometer-implied tilt (valid when acceleration is small).
+  const double cphi = std::cos(state_.euler.x), sphi = std::sin(state_.euler.x);
+  const double ttheta = std::tan(std::clamp(state_.euler.y, -1.4, 1.4));
+  const double ctheta = std::cos(state_.euler.y);
+  state_.euler.x += (gyro.x + gyro.y * sphi * ttheta + gyro.z * cphi * ttheta) * dt;
+  state_.euler.y += (gyro.y * cphi - gyro.z * sphi) * dt;
+  state_.euler.z += ((gyro.y * sphi + gyro.z * cphi) / std::max(ctheta, 0.05)) * dt;
+  state_.euler.z = wrap_angle(state_.euler.z);
+
+  // Accelerometer tilt correction is only valid when the vehicle is close to
+  // static: during coordinated acceleration the specific force aligns with
+  // the body -z (thrust) axis and carries no tilt information — blending it
+  // in would leak the attitude estimate toward zero and destabilize the
+  // position loop.
+  const double f_norm = specific_force.norm();
+  const bool near_static = std::abs(f_norm - kGravity) < 0.08 * kGravity &&
+                           gyro.norm() < 0.15;
+  if (near_static) {
+    const double roll_acc = std::atan2(-specific_force.y, -specific_force.z);
+    const double pitch_acc = std::asin(std::clamp(specific_force.x / f_norm, -1.0, 1.0));
+    const double w = config_.att_accel_blend;
+    state_.euler.x = (1.0 - w) * state_.euler.x + w * roll_acc;
+    state_.euler.y = (1.0 - w) * state_.euler.y + w * pitch_acc;
+  }
+
+  // Dead-reckon velocity/position from the NED-transformed specific force.
+  const Mat3 r = rotation_from_euler(state_.euler.x, state_.euler.y, state_.euler.z);
+  const Vec3 accel_ned = r * specific_force + Vec3{0.0, 0.0, kGravity};
+  state_.vel += accel_ned * dt;
+  state_.pos += state_.vel * dt;
+}
+
+void StateEstimator::on_gps(const Vec3& pos, const Vec3& vel) {
+  state_.pos += (pos - state_.pos) * config_.gps_pos_gain;
+  state_.vel += (vel - state_.vel) * config_.gps_vel_gain;
+}
+
+CascadedController::CascadedController(const Config& config, const QuadrotorParams& quad)
+    : config_(config),
+      quad_(quad),
+      vel_x_({.kp = config.vel_kp, .ki = config.vel_ki,
+              .out_min = -config.max_accel, .out_max = config.max_accel,
+              .i_limit = config.max_accel * 0.5}),
+      vel_y_({.kp = config.vel_kp, .ki = config.vel_ki,
+              .out_min = -config.max_accel, .out_max = config.max_accel,
+              .i_limit = config.max_accel * 0.5}),
+      vel_z_({.kp = config.vel_kp, .ki = config.vel_ki,
+              .out_min = -config.max_accel, .out_max = config.max_accel,
+              .i_limit = config.max_accel * 0.5}),
+      rate_p_({.kp = config.rate_kp, .kd = config.rate_kd}),
+      rate_q_({.kp = config.rate_kp, .kd = config.rate_kd}),
+      rate_r_({.kp = config.yaw_rate_kp}) {}
+
+RotorCommand CascadedController::update(const NavState& est, const Vec3& pos_sp,
+                                        double yaw_sp, double dt) {
+  // Position P -> velocity setpoint.
+  Vec3 v_sp = (pos_sp - est.pos) * config_.pos_kp;
+  const double v_norm = v_sp.norm();
+  if (v_norm > config_.max_speed) v_sp *= config_.max_speed / v_norm;
+
+  // Velocity PI -> acceleration setpoint (NED).
+  const Vec3 a_sp{vel_x_.update(v_sp.x - est.vel.x, dt),
+                  vel_y_.update(v_sp.y - est.vel.y, dt),
+                  vel_z_.update(v_sp.z - est.vel.z, dt)};
+
+  // Acceleration -> desired tilt and collective thrust.
+  const double cy = std::cos(est.euler.z), sy = std::sin(est.euler.z);
+  const double ax_b = cy * a_sp.x + sy * a_sp.y;
+  const double ay_b = -sy * a_sp.x + cy * a_sp.y;
+  const double pitch_des = std::clamp(-ax_b / kGravity, -config_.max_tilt, config_.max_tilt);
+  const double roll_des = std::clamp(ay_b / kGravity, -config_.max_tilt, config_.max_tilt);
+
+  const double tilt_comp =
+      std::max(std::cos(est.euler.x) * std::cos(est.euler.y), 0.5);
+  const double hover_thrust = quad_.mass * kGravity;
+  double thrust = quad_.mass * (kGravity - a_sp.z) / tilt_comp;
+  thrust = std::clamp(thrust, config_.min_thrust_frac * 2.0 * hover_thrust,
+                      config_.max_thrust_frac * 2.0 * hover_thrust);
+
+  // Attitude P -> body-rate setpoints.
+  const Vec3 rate_sp{config_.att_kp * (roll_des - est.euler.x),
+                     config_.att_kp * (pitch_des - est.euler.y),
+                     config_.att_kp * 0.5 * wrap_angle(yaw_sp - est.euler.z)};
+
+  // Rate PID -> torques.
+  const Vec3 torque{rate_p_.update(rate_sp.x - est.rates.x, dt),
+                    rate_q_.update(rate_sp.y - est.rates.y, dt),
+                    rate_r_.update(rate_sp.z - est.rates.z, dt)};
+
+  return mix_to_rotors(quad_, thrust, torque);
+}
+
+void CascadedController::reset() {
+  vel_x_.reset();
+  vel_y_.reset();
+  vel_z_.reset();
+  rate_p_.reset();
+  rate_q_.reset();
+  rate_r_.reset();
+}
+
+}  // namespace sb::sim

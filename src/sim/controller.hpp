@@ -1,0 +1,86 @@
+// Flight control stack: the navigation state estimator (the attackable
+// sensor-fusion path) and the cascaded position→velocity→attitude→rate
+// controller that drives the rotors.
+//
+// The estimator consumes plain sensor values (possibly falsified by an
+// attack) so that sensor spoofing propagates into real physical behaviour,
+// exactly as on a real autopilot.
+#pragma once
+
+#include "sim/pid.hpp"
+#include "sim/quadrotor.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::sim {
+
+// Navigation estimate the controller acts on.
+struct NavState {
+  Vec3 pos;    // NED
+  Vec3 vel;    // NED
+  Vec3 euler;  // roll, pitch, yaw
+  Vec3 rates;  // body rates
+};
+
+// Complementary-filter attitude + IMU-integrated velocity corrected by GPS.
+// This mirrors the structure (not the implementation detail) of the EKF-based
+// estimators in PX4/ArduPilot: gyro integration with accelerometer tilt
+// correction, IMU dead-reckoning pulled toward GPS fixes.
+class StateEstimator {
+ public:
+  struct Config {
+    double att_accel_blend = 0.01;  // complementary-filter accel weight
+    double gps_pos_gain = 0.15;     // per-fix position correction
+    double gps_vel_gain = 0.25;     // per-fix velocity correction
+  };
+
+  StateEstimator(const Config& config, const NavState& initial);
+
+  // IMU update at the IMU rate: gyro (rad/s, body) and specific force
+  // (m/s^2, body).  Advances attitude, velocity and position by dt.
+  void on_imu(const Vec3& gyro, const Vec3& specific_force, double dt);
+
+  // GPS fix: position (NED, m) and velocity (NED, m/s).
+  void on_gps(const Vec3& pos, const Vec3& vel);
+
+  const NavState& state() const { return state_; }
+
+ private:
+  Config config_;
+  NavState state_;
+};
+
+// Cascaded PID flight controller.  Produces rotor-speed commands from the
+// estimated state and the mission position setpoint.
+class CascadedController {
+ public:
+  struct Config {
+    double pos_kp = 1.1;
+    double vel_kp = 2.4;
+    double vel_ki = 0.4;
+    double max_speed = 8.0;      // m/s, velocity setpoint clamp
+    double max_accel = 5.0;      // m/s^2, acceleration setpoint clamp
+    double max_tilt = 0.45;      // rad
+    double att_kp = 7.0;
+    double rate_kp = 0.14;       // N m per (rad/s), roll/pitch
+    double rate_kd = 0.002;
+    double yaw_rate_kp = 0.10;
+    double min_thrust_frac = 0.15;  // of 2x hover thrust
+    double max_thrust_frac = 0.95;
+  };
+
+  CascadedController(const Config& config, const QuadrotorParams& quad);
+
+  // One control step; yaw setpoint is held at yaw_sp (rad).
+  RotorCommand update(const NavState& est, const Vec3& pos_sp, double yaw_sp,
+                      double dt);
+
+  void reset();
+
+ private:
+  Config config_;
+  QuadrotorParams quad_;
+  Pid vel_x_, vel_y_, vel_z_;
+  Pid rate_p_, rate_q_, rate_r_;
+};
+
+}  // namespace sb::sim

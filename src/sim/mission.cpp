@@ -1,0 +1,97 @@
+#include "sim/mission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace sb::sim {
+namespace {
+
+// Compiles a waypoint list (starting from wps[0]) into time/position knots
+// assuming constant speed along each leg.
+void compile_knots(const std::vector<Waypoint>& wps, std::vector<double>& ts,
+                   std::vector<Vec3>& ps) {
+  ts.clear();
+  ps.clear();
+  if (wps.empty()) return;
+  double t = 0.0;
+  ts.push_back(t);
+  ps.push_back(wps.front().pos);
+  for (std::size_t i = 1; i < wps.size(); ++i) {
+    const double dist = (wps[i].pos - wps[i - 1].pos).norm();
+    const double speed = std::max(wps[i].speed, 0.1);
+    t += dist / speed;
+    ts.push_back(t);
+    ps.push_back(wps[i].pos);
+  }
+}
+
+}  // namespace
+
+Mission Mission::hover(const Vec3& point, double duration) {
+  Mission m;
+  m.name_ = "hover";
+  m.duration_ = duration;
+  m.knot_t_ = {0.0};
+  m.knot_p_ = {point};
+  return m;
+}
+
+Mission Mission::waypoints(std::vector<Waypoint> wps, double duration) {
+  Mission m;
+  m.name_ = "waypoints";
+  m.duration_ = duration;
+  compile_knots(wps, m.knot_t_, m.knot_p_);
+  return m;
+}
+
+Mission Mission::square(const Vec3& corner, double side, double alt, double speed,
+                        double duration) {
+  std::vector<Waypoint> wps;
+  const Vec3 base{corner.x, corner.y, -alt};
+  wps.push_back({base, speed});
+  wps.push_back({base + Vec3{side, 0, 0}, speed});
+  wps.push_back({base + Vec3{side, side, 0}, speed});
+  wps.push_back({base + Vec3{0, side, 0}, speed});
+  wps.push_back({base, speed});
+  Mission m = waypoints(std::move(wps), duration);
+  m.name_ = "square";
+  return m;
+}
+
+Mission Mission::figure_eight(const Vec3& center, double radius, double speed,
+                              double duration) {
+  Mission m;
+  m.kind_ = Kind::kFigureEight;
+  m.name_ = "figure_eight";
+  m.duration_ = duration;
+  m.center_ = center;
+  m.radius_ = radius;
+  m.angular_rate_ = speed / std::max(radius, 0.1);
+  return m;
+}
+
+Mission Mission::line(const Vec3& from, const Vec3& to, double speed, double duration) {
+  Mission m = waypoints({{from, speed}, {to, speed}, {from, speed}}, duration);
+  m.name_ = "line";
+  return m;
+}
+
+Vec3 Mission::setpoint(double t) const {
+  if (kind_ == Kind::kFigureEight) {
+    // Lemniscate of Gerono: x = R sin(wt), y = R sin(wt) cos(wt).
+    const double a = angular_rate_ * std::max(t, 0.0);
+    return center_ + Vec3{radius_ * std::sin(a), radius_ * std::sin(a) * std::cos(a), 0.0};
+  }
+  if (knot_t_.empty()) return {};
+  if (t <= knot_t_.front()) return knot_p_.front();
+  if (t >= knot_t_.back()) return knot_p_.back();
+  const auto it = std::upper_bound(knot_t_.begin(), knot_t_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - knot_t_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = knot_t_[hi] - knot_t_[lo];
+  const double frac = span > 0.0 ? (t - knot_t_[lo]) / span : 0.0;
+  return knot_p_[lo] + (knot_p_[hi] - knot_p_[lo]) * frac;
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,57 @@
+// Flight missions: time-parameterized position setpoints.
+//
+// The training corpus (paper §IV-A) covers hovering, ascent/descent, forward
+// flight and turns across several extended navigation scenarios; the mission
+// library below generates the same maneuver variety.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace sb::sim {
+
+struct Waypoint {
+  Vec3 pos;        // NED, m
+  double speed;    // cruise speed toward this waypoint, m/s
+};
+
+class Mission {
+ public:
+  // Hover at a fixed point for the whole flight.
+  static Mission hover(const Vec3& point, double duration);
+  // Visit waypoints in order at per-leg cruise speed, then hold the last.
+  static Mission waypoints(std::vector<Waypoint> wps, double duration);
+  // Square circuit in the horizontal plane at constant altitude.
+  static Mission square(const Vec3& corner, double side, double alt, double speed,
+                        double duration);
+  // Figure-8 (lemniscate) trajectory; exercises continuous turning.
+  static Mission figure_eight(const Vec3& center, double radius, double speed,
+                              double duration);
+  // Straight out-and-back line; exercises acceleration/deceleration.
+  static Mission line(const Vec3& from, const Vec3& to, double speed, double duration);
+
+  // Position setpoint at mission time t (clamped to the mission's end state).
+  Vec3 setpoint(double t) const;
+
+  double duration() const { return duration_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  enum class Kind { kWaypoints, kFigureEight };
+  Mission() = default;
+
+  Kind kind_ = Kind::kWaypoints;
+  std::string name_;
+  double duration_ = 0.0;
+  // Waypoint-style missions are pre-compiled into (time, position) knots.
+  std::vector<double> knot_t_;
+  std::vector<Vec3> knot_p_;
+  // Figure-8 parameters.
+  Vec3 center_;
+  double radius_ = 0.0;
+  double angular_rate_ = 0.0;
+};
+
+}  // namespace sb::sim

@@ -1,0 +1,30 @@
+#include "sim/pid.hpp"
+
+#include <algorithm>
+
+namespace sb::sim {
+
+Pid::Pid(const PidGains& gains) : g_(gains) {}
+
+double Pid::update(double error, double dt) {
+  if (dt <= 0.0) return 0.0;
+  integral_ += error * dt;
+  // Anti-windup: clamp the integral contribution.
+  if (g_.ki > 0.0) {
+    const double max_i = g_.i_limit / g_.ki;
+    integral_ = std::clamp(integral_, -max_i, max_i);
+  }
+  const double derivative = has_prev_ ? (error - prev_error_) / dt : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+  const double out = g_.kp * error + g_.ki * integral_ + g_.kd * derivative;
+  return std::clamp(out, g_.out_min, g_.out_max);
+}
+
+void Pid::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,34 @@
+// Scalar PID controller with output clamping and integral anti-windup,
+// the building block of the cascaded flight controller (§II-A).
+#pragma once
+
+namespace sb::sim {
+
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  double out_min = -1e9;
+  double out_max = 1e9;
+  double i_limit = 1e9;  // |integral * ki| clamp
+};
+
+class Pid {
+ public:
+  explicit Pid(const PidGains& gains);
+
+  // Advances the controller by dt with the given error; returns the output.
+  double update(double error, double dt);
+
+  void reset();
+
+  double integral() const { return integral_; }
+
+ private:
+  PidGains g_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+}  // namespace sb::sim

@@ -1,0 +1,87 @@
+// Six-degree-of-freedom rigid-body quadrotor model in the NED world frame
+// (x north, y east, z down), X rotor configuration.
+//
+// Rotor layout (viewed from above, x forward, y right):
+//   0: front-left  (+lx, -ly)  spins CW
+//   1: front-right (+lx, +ly)  spins CCW
+//   2: back-right  (-lx, +ly)  spins CW
+//   3: back-left   (-lx, -ly)  spins CCW
+#pragma once
+
+#include <array>
+
+#include "util/vec3.hpp"
+
+namespace sb::sim {
+
+inline constexpr int kNumRotors = 4;
+inline constexpr double kGravity = 9.81;
+
+struct QuadrotorParams {
+  double mass = 2.0;                 // kg (Holybro X500-class)
+  Vec3 inertia{0.02, 0.02, 0.04};   // kg m^2, diagonal
+  double arm_lx = 0.18;              // m, rotor x offset
+  double arm_ly = 0.18;              // m, rotor y offset
+  double kf = 8.0e-6;                // thrust coefficient, N per (rad/s)^2
+  double km_over_kf = 0.016;         // yaw drag torque per unit thrust, m
+  double motor_tau = 0.05;           // s, first-order rotor-speed lag
+  double omega_min = 150.0;          // rad/s
+  double omega_max = 1200.0;         // rad/s
+  double drag_lin = 0.35;            // N per (m/s), linear body drag
+
+  // Hover rotor speed: 4 kf w^2 = m g.
+  double hover_omega() const;
+  // Rotor spin direction: +1 = CW viewed from above.
+  static constexpr std::array<double, kNumRotors> spin{+1.0, -1.0, +1.0, -1.0};
+};
+
+struct QuadState {
+  Vec3 pos;                                   // NED position, m
+  Vec3 vel;                                   // NED velocity, m/s
+  Vec3 euler;                                 // roll, pitch, yaw (rad)
+  Vec3 rates;                                 // body angular rates p,q,r (rad/s)
+  std::array<double, kNumRotors> omega{};     // rotor speeds, rad/s
+
+  // Derived at the last dynamics evaluation.
+  Vec3 accel;                                 // NED linear acceleration, m/s^2
+};
+
+// Per-rotor commanded speeds, rad/s.
+using RotorCommand = std::array<double, kNumRotors>;
+
+class Quadrotor {
+ public:
+  explicit Quadrotor(const QuadrotorParams& params);
+
+  const QuadrotorParams& params() const { return params_; }
+  const QuadState& state() const { return state_; }
+  QuadState& mutable_state() { return state_; }
+
+  // Advances the physics by dt (RK4) with the given rotor-speed commands and
+  // ambient wind velocity (NED, m/s).  Updates state().accel as a byproduct.
+  void step(const RotorCommand& cmd, const Vec3& wind, double dt);
+
+  // Specific force the IMU senses in the body frame:
+  // f_b = R^T (a_ned - g), where a_ned is the linear acceleration.
+  Vec3 specific_force_body() const;
+
+  // Thrust (N) produced by one rotor at speed omega.
+  double rotor_thrust(double omega) const;
+
+ private:
+  struct Derivative {
+    Vec3 dpos, dvel, deuler, drates;
+    std::array<double, kNumRotors> domega{};
+  };
+  Derivative derivative(const QuadState& s, const RotorCommand& cmd,
+                        const Vec3& wind) const;
+
+  QuadrotorParams params_;
+  QuadState state_;
+};
+
+// Inverse mixer: distributes a desired collective thrust (N) and body torques
+// (N m) to per-rotor thrusts, then converts to rotor-speed commands.
+RotorCommand mix_to_rotors(const QuadrotorParams& p, double thrust, const Vec3& torque);
+
+}  // namespace sb::sim

@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace sb::sim {
+namespace {
+
+// Index range [lo, hi) of timestamps within [t0, t1).
+template <typename GetT, typename Size>
+std::pair<std::size_t, std::size_t> time_range(GetT get_t, Size n, double t0, double t1) {
+  std::size_t lo = 0;
+  while (lo < n && get_t(lo) < t0) ++lo;
+  std::size_t hi = lo;
+  while (hi < n && get_t(hi) < t1) ++hi;
+  return {lo, hi};
+}
+
+}  // namespace
+
+Vec3 FlightLog::mean_true_accel(double t0, double t1) const {
+  const auto [lo, hi] =
+      time_range([this](std::size_t i) { return t[i]; }, t.size(), t0, t1);
+  if (hi <= lo) return {};
+  Vec3 s;
+  for (std::size_t i = lo; i < hi; ++i) s += true_accel[i];
+  return s / static_cast<double>(hi - lo);
+}
+
+Vec3 FlightLog::mean_imu_accel(double t0, double t1) const {
+  const auto [lo, hi] =
+      time_range([this](std::size_t i) { return imu[i].t; }, imu.size(), t0, t1);
+  if (hi <= lo) return {};
+  Vec3 s;
+  for (std::size_t i = lo; i < hi; ++i) s += imu[i].accel_ned;
+  return s / static_cast<double>(hi - lo);
+}
+
+Vec3 FlightLog::mean_nav_vel(double t0, double t1) const {
+  const auto [lo, hi] =
+      time_range([this](std::size_t i) { return nav[i].t; }, nav.size(), t0, t1);
+  if (hi > lo) {
+    Vec3 s;
+    for (std::size_t i = lo; i < hi; ++i) s += nav[i].vel;
+    return s / static_cast<double>(hi - lo);
+  }
+  if (nav.empty()) return {};
+  // Nearest sample: lo is the first index at/after t0 (or the end).
+  const std::size_t idx = std::min(lo, nav.size() - 1);
+  return nav[idx].vel;
+}
+
+std::array<double, kNumRotors> FlightLog::mean_omega(double t0, double t1) const {
+  std::array<double, kNumRotors> out{};
+  const auto [lo, hi] =
+      time_range([this](std::size_t i) { return t[i]; }, t.size(), t0, t1);
+  if (hi <= lo) return out;
+  for (std::size_t i = lo; i < hi; ++i)
+    for (int r = 0; r < kNumRotors; ++r)
+      out[static_cast<std::size_t>(r)] += rotor_omega[i][static_cast<std::size_t>(r)];
+  for (auto& v : out) v /= static_cast<double>(hi - lo);
+  return out;
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,23 @@
+#include "sim/wind.hpp"
+
+#include <cmath>
+
+namespace sb::sim {
+
+WindModel::WindModel(const WindConfig& config, Rng rng)
+    : config_(config), rng_(rng) {}
+
+Vec3 WindModel::step(double dt) {
+  if (config_.gust_stddev > 0.0 && config_.gust_tau > 0.0) {
+    // Exact discretization of the OU process so the stationary standard
+    // deviation equals gust_stddev regardless of dt.
+    const double a = std::exp(-dt / config_.gust_tau);
+    const double q = config_.gust_stddev * std::sqrt(1.0 - a * a);
+    gust_.x = a * gust_.x + q * rng_.normal();
+    gust_.y = a * gust_.y + q * rng_.normal();
+    gust_.z = a * gust_.z + q * rng_.normal() * 0.3;  // vertical gusts weaker
+  }
+  return current();
+}
+
+}  // namespace sb::sim

@@ -1,0 +1,35 @@
+// Wind model: constant mean wind plus first-order Gauss–Markov gusts
+// (a discrete Ornstein–Uhlenbeck process), per NED axis.
+//
+// Head/tail winds change how long the controller must actuate to reach a
+// velocity setpoint — the effect SoundBoost's time-shift augmentation
+// compensates for (paper §III-B, Fig. 3).
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace sb::sim {
+
+struct WindConfig {
+  Vec3 mean;                 // steady wind, NED m/s
+  double gust_stddev = 0.0;  // stationary std of the gust process, m/s
+  double gust_tau = 2.0;     // gust correlation time, s
+};
+
+class WindModel {
+ public:
+  WindModel(const WindConfig& config, Rng rng);
+
+  // Advances the gust process and returns the total wind velocity.
+  Vec3 step(double dt);
+
+  Vec3 current() const { return config_.mean + gust_; }
+
+ private:
+  WindConfig config_;
+  Rng rng_;
+  Vec3 gust_;
+};
+
+}  // namespace sb::sim

@@ -1,0 +1,50 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components in the library (sensor noise, wind gusts, ML
+// weight init, attack schedules) draw from an explicitly passed Rng so that
+// every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sb {
+
+// xoshiro256** — small, fast, high-quality PRNG.  Not cryptographic; this
+// library only needs statistical quality and reproducibility.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  // Standard normal via Box–Muller (cached second deviate).
+  double normal();
+
+  // Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  // Derive an independent child stream (e.g. one per flight) so that adding
+  // draws to one component does not perturb another.
+  Rng split();
+
+  // Fisher–Yates shuffle of an index set [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sb

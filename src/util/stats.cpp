@@ -1,0 +1,103 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sb {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double min_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mse(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.size());
+}
+
+std::vector<double> remove_outliers(std::span<const double> xs, double k) {
+  const double m = mean(xs);
+  const double sd = sample_stddev(xs);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs)
+    if (sd == 0.0 || std::abs(x - m) <= k * sd) out.push_back(x);
+  return out;
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace sb

@@ -1,0 +1,47 @@
+// Descriptive statistics helpers shared by detectors, threshold calibration
+// and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sb {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);     // population standard deviation
+double sample_stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+double percentile(std::span<const double> xs, double p);  // p in [0, 100]
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+// Pearson correlation coefficient; returns 0 for degenerate inputs.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+// Mean squared error between two equally sized sequences.
+double mse(std::span<const double> a, std::span<const double> b);
+
+// Remove values more than k sample standard deviations from the mean.
+std::vector<double> remove_outliers(std::span<const double> xs, double k = 3.0);
+
+// Standard normal CDF.
+double normal_cdf(double z);
+
+// Online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace sb

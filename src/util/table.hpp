@@ -1,0 +1,26 @@
+// Plain-text table rendering for the benchmark harnesses, which print the
+// same rows/columns as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+
+  // Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sb

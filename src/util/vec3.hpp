@@ -1,0 +1,93 @@
+// Small fixed-size linear algebra used across the simulator and estimators.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace sb {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  double norm_sq() const { return dot(*this); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+  double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+};
+
+inline constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+// Row-major 3x3 matrix; used for body<->world rotations.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static Mat3 identity() { return {}; }
+
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(3 * r + c)]; }
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(3 * r + c)]; }
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) {
+        double s = 0;
+        for (int k = 0; k < 3; ++k) s += (*this)(i, k) * o(k, j);
+        r(i, j) = s;
+      }
+    return r;
+  }
+
+  Mat3 transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r(i, j) = (*this)(j, i);
+    return r;
+  }
+};
+
+// Rotation matrix from ZYX Euler angles (roll phi, pitch theta, yaw psi):
+// transforms body-frame vectors into the world (NED) frame.
+inline Mat3 rotation_from_euler(double roll, double pitch, double yaw) {
+  const double cr = std::cos(roll), sr = std::sin(roll);
+  const double cp = std::cos(pitch), sp = std::sin(pitch);
+  const double cy = std::cos(yaw), sy = std::sin(yaw);
+  Mat3 r;
+  r(0, 0) = cy * cp;
+  r(0, 1) = cy * sp * sr - sy * cr;
+  r(0, 2) = cy * sp * cr + sy * sr;
+  r(1, 0) = sy * cp;
+  r(1, 1) = sy * sp * sr + cy * cr;
+  r(1, 2) = sy * sp * cr - cy * sr;
+  r(2, 0) = -sp;
+  r(2, 1) = cp * sr;
+  r(2, 2) = cp * cr;
+  return r;
+}
+
+}  // namespace sb

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acoustics/propagation.hpp"
+#include "acoustics/rotor_sound.hpp"
+#include "acoustics/synthesizer.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrogram.hpp"
+#include "util/stats.hpp"
+
+namespace sb::acoustics {
+namespace {
+
+constexpr double kFs = 16000.0;
+
+std::vector<double> render(RotorSound& synth, double omega, std::size_t n) {
+  std::vector<double> out(n);
+  for (auto& x : out) x = synth.sample(omega);
+  return out;
+}
+
+double band_rms(std::span<const double> signal, double lo, double hi) {
+  dsp::StftConfig cfg;
+  cfg.frame_size = 2048;
+  cfg.hop_size = 1024;
+  cfg.sample_rate = kFs;
+  const auto spec = dsp::stft(signal, cfg);
+  const auto amps = dsp::band_amplitude_over_time(spec, lo, hi);
+  double s = 0;
+  for (double a : amps) s += a * a;
+  return std::sqrt(s / static_cast<double>(amps.size()));
+}
+
+TEST(RotorSound, EmitsAllThreeFrequencyGroups) {
+  const double hover = sim::QuadrotorParams{}.hover_omega();
+  RotorSound synth{{}, kFs, hover, Rng{1}};
+  const auto sig = render(synth, hover, 16000);
+  // Each group's characteristic region is compared against a quiet
+  // neighbouring region of the same width.  (The aerodynamic band-pass has
+  // a broad skirt, so the 3.3-4.3 kHz gap is not silent; the reference
+  // regions below sit clear of it.)
+  const double blade = band_rms(sig, 100, 600);
+  const double mech = band_rms(sig, 2300, 2700);
+  const double aero = band_rms(sig, 4800, 5800);
+  const double ref_low = band_rms(sig, 900, 1400);    // above blade harmonics
+  const double ref_mid = band_rms(sig, 1500, 1900);   // below the mech tone
+  EXPECT_GT(blade, 2.0 * ref_low);
+  EXPECT_GT(mech, 2.0 * ref_mid);
+  EXPECT_GT(aero, 2.0 * ref_mid);
+}
+
+TEST(RotorSound, AmplitudeRisesWithRotorSpeed) {
+  const double hover = sim::QuadrotorParams{}.hover_omega();
+  RotorSound slow{{}, kFs, hover, Rng{2}};
+  RotorSound fast{{}, kFs, hover, Rng{2}};
+  const auto s_slow = render(slow, hover * 0.9, 16000);
+  const auto s_fast = render(fast, hover * 1.1, 16000);
+  EXPECT_GT(band_rms(s_fast, 4500, 6000), 1.5 * band_rms(s_slow, 4500, 6000));
+  EXPECT_GT(band_rms(s_fast, 100, 600), 1.2 * band_rms(s_slow, 100, 600));
+}
+
+TEST(RotorSound, PitchTracksRotorSpeed) {
+  // The mechanical tone frequency scales with rotation rate.
+  const double hover = sim::QuadrotorParams{}.hover_omega();
+  RotorSoundConfig cfg;
+  RotorSound synth{cfg, kFs, hover, Rng{3}};
+  const auto sig = render(synth, hover * 1.1, 32768);
+  const auto mags = dsp::magnitude_spectrum(sig);
+  // Expected tone: mech_ratio * rot_hz * 1.1
+  const double rot_hz = hover / (2.0 * M_PI);
+  const double expect_hz = cfg.mech_ratio * rot_hz * 1.1;
+  std::size_t peak = 0;
+  const auto lo = static_cast<std::size_t>((expect_hz - 400) / kFs * 32768);
+  const auto hi = static_cast<std::size_t>((expect_hz + 400) / kFs * 32768);
+  for (std::size_t k = lo; k < hi; ++k)
+    if (mags[k] > mags[peak]) peak = k;
+  EXPECT_NEAR(dsp::bin_frequency(peak, 32768, kFs), expect_hz, 60.0);
+}
+
+TEST(RotorSound, DetuneShiftsTone) {
+  const double hover = sim::QuadrotorParams{}.hover_omega();
+  RotorSoundConfig a, b;
+  b.detune = 0.1;
+  RotorSound sa{a, kFs, hover, Rng{4}};
+  RotorSound sb{b, kFs, hover, Rng{4}};
+  const auto siga = render(sa, hover, 32768);
+  const auto sigb = render(sb, hover, 32768);
+  const double rot_hz = hover / (2.0 * M_PI);
+  const double fa = a.mech_ratio * rot_hz;
+  const double fb = a.mech_ratio * 1.1 * rot_hz;
+  EXPECT_GT(dsp::goertzel(siga, fa, kFs), 3.0 * dsp::goertzel(siga, fb, kFs));
+  EXPECT_GT(dsp::goertzel(sigb, fb, kFs), 3.0 * dsp::goertzel(sigb, fa, kFs));
+}
+
+TEST(Propagation, MixAppliesGains) {
+  const auto geom = sensors::compute_geometry({}, sim::QuadrotorParams{});
+  std::array<std::vector<double>, sim::kNumRotors> rotors;
+  // Only rotor 0 active, constant signal.
+  for (auto& r : rotors) r.assign(200, 0.0);
+  std::fill(rotors[0].begin(), rotors[0].end(), 1.0);
+  Rng rng{5};
+  const auto audio = mix_to_mics(rotors, 100, geom, kFs, 0.0, rng);
+  for (int m = 0; m < sensors::kNumMics; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    EXPECT_NEAR(audio.channels[mi].back(), geom.gain[mi][0], 1e-12);
+  }
+}
+
+TEST(Propagation, MixAppliesDelays) {
+  const auto geom = sensors::compute_geometry({}, sim::QuadrotorParams{});
+  std::array<std::vector<double>, sim::kNumRotors> rotors;
+  for (auto& r : rotors) r.assign(120, 0.0);
+  rotors[0][100] = 1.0;  // impulse exactly at the window start (lead = 100)
+  Rng rng{6};
+  const auto audio = mix_to_mics(rotors, 100, geom, kFs, 0.0, rng);
+  for (int m = 0; m < sensors::kNumMics; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    const auto expected_delay = static_cast<std::size_t>(
+        std::llround(geom.delay_s[mi][0] * kFs));
+    // The impulse lands `expected_delay` samples into the output.
+    ASSERT_LT(expected_delay, audio.channels[mi].size());
+    EXPECT_NEAR(audio.channels[mi][expected_delay], geom.gain[mi][0], 1e-12);
+  }
+}
+
+TEST(Propagation, InsufficientLeadThrows) {
+  const auto geom = sensors::compute_geometry({}, sim::QuadrotorParams{});
+  std::array<std::vector<double>, sim::kNumRotors> rotors;
+  for (auto& r : rotors) r.assign(50, 0.0);
+  Rng rng{7};
+  EXPECT_THROW(mix_to_mics(rotors, 0, geom, kFs, 0.0, rng), std::invalid_argument);
+}
+
+TEST(Propagation, FlowDirectivityBreaksChannelBalance) {
+  const auto geom = sensors::compute_geometry({}, sim::QuadrotorParams{});
+  std::array<std::vector<double>, sim::kNumRotors> rotors;
+  for (auto& r : rotors) r.assign(300, 1.0);
+  Rng rng{8};
+  const auto still = mix_to_mics(rotors, 100, geom, kFs, 0.0, rng);
+  std::vector<Vec3> flow(200, Vec3{5, 0, 0});
+  Rng rng2{8};
+  const auto moving = mix_to_mics(rotors, 100, geom, kFs, 0.0, rng2, flow, 0.1);
+  double max_change = 0.0;
+  for (int m = 0; m < sensors::kNumMics; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    max_change = std::max(max_change,
+                          std::abs(moving.channels[mi].back() - still.channels[mi].back()));
+  }
+  EXPECT_GT(max_change, 0.01);
+}
+
+TEST(Propagation, ExternalAttenuationMatchesPaper) {
+  // The paper measured ~46% of on-frame intensity at 0.5 m (§IV-D); the
+  // rotor-to-mic distance is ~0.2 m.
+  const double on_frame = external_attenuation(0.2);
+  const double at_half_meter = external_attenuation(0.5);
+  EXPECT_NEAR(at_half_meter / on_frame, 0.46, 0.08);
+}
+
+TEST(Propagation, ExternalSourceAddsDelayedEnergy) {
+  const auto geom = sensors::compute_geometry({}, sim::QuadrotorParams{});
+  MultiChannelAudio audio;
+  audio.sample_rate = kFs;
+  for (auto& ch : audio.channels) ch.assign(200, 0.0);
+  std::vector<double> source(200, 1.0);
+  add_external_source(audio, source, Vec3{0, 0, -0.5}, geom);
+  for (const auto& ch : audio.channels) {
+    EXPECT_NEAR(ch.front(), 0.0, 1e-12);  // before the propagation delay
+    EXPECT_GT(ch.back(), 0.01);
+  }
+}
+
+TEST(Synthesizer, DeterministicPerWindow) {
+  sim::QuadrotorParams quad;
+  AudioSynthesizer synth{{}, quad, 42};
+  sim::FlightLog log;
+  log.rates = sim::SimRates{};
+  const double w = quad.hover_omega();
+  for (int i = 0; i < 2000; ++i) {
+    log.t.push_back(i * log.rates.physics_dt());
+    log.rotor_omega.push_back({w, w, w, w});
+    log.true_euler.push_back({});
+    log.true_vel.push_back({});
+  }
+  const auto a = synth.synthesize(log, 1.0, 1.5);
+  const auto b = synth.synthesize(log, 1.0, 1.5);
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  for (std::size_t i = 0; i < a.num_samples(); ++i)
+    EXPECT_DOUBLE_EQ(a.channels[0][i], b.channels[0][i]);
+}
+
+TEST(Synthesizer, DifferentSeedsDiffer) {
+  sim::QuadrotorParams quad;
+  AudioSynthesizer s1{{}, quad, 42};
+  AudioSynthesizer s2{{}, quad, 43};
+  sim::FlightLog log;
+  log.rates = sim::SimRates{};
+  const double w = quad.hover_omega();
+  for (int i = 0; i < 1000; ++i) {
+    log.t.push_back(i * log.rates.physics_dt());
+    log.rotor_omega.push_back({w, w, w, w});
+    log.true_euler.push_back({});
+    log.true_vel.push_back({});
+  }
+  const auto a = s1.synthesize(log, 0.5, 1.0);
+  const auto b = s2.synthesize(log, 0.5, 1.0);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.num_samples(); ++i)
+    diff += std::abs(a.channels[0][i] - b.channels[0][i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Synthesizer, WindowLengthMatchesRequest) {
+  sim::QuadrotorParams quad;
+  AudioSynthesizer synth{{}, quad, 1};
+  sim::FlightLog log;
+  log.rates = sim::SimRates{};
+  const double w = quad.hover_omega();
+  for (int i = 0; i < 2000; ++i) {
+    log.t.push_back(i * log.rates.physics_dt());
+    log.rotor_omega.push_back({w, w, w, w});
+    log.true_euler.push_back({});
+    log.true_vel.push_back({});
+  }
+  const auto audio = synth.synthesize(log, 0.0, 0.5);
+  EXPECT_EQ(audio.num_samples(), 8000u);
+}
+
+TEST(Synthesizer, FasterRotorsAreLouder) {
+  sim::QuadrotorParams quad;
+  AudioSynthesizer synth{{}, quad, 9};
+  const double w = quad.hover_omega();
+  auto make_log = [&](double scale) {
+    sim::FlightLog log;
+    log.rates = sim::SimRates{};
+    for (int i = 0; i < 1000; ++i) {
+      log.t.push_back(i * log.rates.physics_dt());
+      log.rotor_omega.push_back({w * scale, w * scale, w * scale, w * scale});
+      log.true_euler.push_back({});
+      log.true_vel.push_back({});
+    }
+    return log;
+  };
+  const auto slow = synth.synthesize(make_log(0.9), 0.5, 1.5);
+  const auto fast = synth.synthesize(make_log(1.1), 0.5, 1.5);
+  double e_slow = 0, e_fast = 0;
+  for (double x : slow.channels[0]) e_slow += x * x;
+  for (double x : fast.channels[0]) e_fast += x * x;
+  EXPECT_GT(e_fast, 1.5 * e_slow);
+}
+
+}  // namespace
+}  // namespace sb::acoustics

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/actuator_attack.hpp"
+#include "attacks/gps_spoofing.hpp"
+#include "attacks/imu_attack.hpp"
+#include "attacks/sound_attack.hpp"
+#include "dsp/spectrogram.hpp"
+#include "util/stats.hpp"
+
+namespace sb::attacks {
+namespace {
+
+TEST(GpsSpoof, InactiveOutsideWindow) {
+  GpsSpoofConfig cfg;
+  cfg.mode = GpsSpoofMode::kStatic;
+  cfg.start = 10.0;
+  cfg.end = 20.0;
+  cfg.spoof_pos = {100, 0, 0};
+  GpsSpoofAttack attack{cfg, Rng{1}};
+  sim::GpsSample s;
+  s.t = 5.0;
+  s.pos = {1, 2, 3};
+  attack.apply(s, {1, 2, 3}, {});
+  EXPECT_DOUBLE_EQ(s.pos.x, 1.0);
+  s.t = 25.0;
+  attack.apply(s, {1, 2, 3}, {});
+  EXPECT_DOUBLE_EQ(s.pos.x, 1.0);
+}
+
+TEST(GpsSpoof, StaticModeReportsSpoofLocation) {
+  GpsSpoofConfig cfg;
+  cfg.mode = GpsSpoofMode::kStatic;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  cfg.spoof_pos = {50, -20, -10};
+  cfg.residual_noise = 0.1;
+  GpsSpoofAttack attack{cfg, Rng{2}};
+  sim::GpsSample s;
+  s.t = 10.0;
+  attack.apply(s, {0, 0, -10}, {3, 0, 0});
+  EXPECT_NEAR(s.pos.x, 50.0, 1.0);
+  // A static spoof reports near-zero velocity regardless of true motion.
+  EXPECT_NEAR(s.vel.norm(), 0.0, 0.5);
+}
+
+TEST(GpsSpoof, DragModeRampsOffset) {
+  GpsSpoofConfig cfg;
+  cfg.mode = GpsSpoofMode::kDrag;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  cfg.drag_direction = {1, 0, 0};
+  cfg.drag_rate = 1.0;
+  cfg.residual_noise = 0.0;
+  cfg.vel_noise = 0.0;
+  GpsSpoofAttack attack{cfg, Rng{3}};
+  sim::GpsSample s;
+  s.t = 10.0;
+  attack.apply(s, {5, 0, -10}, {});
+  EXPECT_NEAR(s.pos.x, 15.0, 1e-9);  // 10 s * 1 m/s offset
+
+  // While ramping, the reported velocity hides the induced drift.
+  EXPECT_NEAR(s.vel.x, 1.0, 1e-9);
+}
+
+TEST(GpsSpoof, DragOffsetIsCapped) {
+  GpsSpoofConfig cfg;
+  cfg.mode = GpsSpoofMode::kDrag;
+  cfg.start = 0.0;
+  cfg.end = 1000.0;
+  cfg.drag_rate = 1.0;
+  cfg.max_offset = 30.0;
+  cfg.residual_noise = 0.0;
+  cfg.vel_noise = 0.0;
+  GpsSpoofAttack attack{cfg, Rng{4}};
+  sim::GpsSample s;
+  s.t = 500.0;
+  attack.apply(s, {0, 0, 0}, {});
+  EXPECT_NEAR(s.pos.x, 30.0, 1e-9);
+  EXPECT_NEAR(s.vel.x, 0.0, 1e-9);  // ramp finished -> velocity consistent
+}
+
+TEST(GpsSpoof, DragDirectionIsNormalized) {
+  GpsSpoofConfig cfg;
+  cfg.mode = GpsSpoofMode::kDrag;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  cfg.drag_direction = {3, 4, 0};  // unnormalized
+  cfg.drag_rate = 1.0;
+  cfg.residual_noise = 0.0;
+  cfg.vel_noise = 0.0;
+  GpsSpoofAttack attack{cfg, Rng{5}};
+  sim::GpsSample s;
+  s.t = 5.0;
+  attack.apply(s, {}, {});
+  EXPECT_NEAR(s.pos.norm(), 5.0, 1e-9);
+}
+
+TEST(ImuAttack, SideSwingRampsGyroBias) {
+  ImuAttackConfig cfg;
+  cfg.type = ImuAttackType::kSideSwing;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  cfg.axis = 0;
+  cfg.swing_bias = 0.2;
+  cfg.ramp_time = 4.0;
+  ImuBiasAttack attack{cfg, Rng{6}};
+  sim::ImuSample s;
+  s.t = 2.0;  // halfway through the ramp
+  attack.apply(s);
+  EXPECT_NEAR(s.gyro.x, 0.1, 1e-9);
+  sim::ImuSample s2;
+  s2.t = 50.0;  // full bias
+  attack.apply(s2);
+  EXPECT_NEAR(s2.gyro.x, 0.2, 1e-9);
+}
+
+TEST(ImuAttack, SideSwingIsPositiveBiased) {
+  // The Side-Swing attack amplifies output in a TARGET direction (never
+  // symmetric noise).
+  ImuAttackConfig cfg;
+  cfg.type = ImuAttackType::kSideSwing;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  ImuBiasAttack attack{cfg, Rng{7}};
+  for (double t = 4.0; t < 50.0; t += 1.0) {
+    sim::ImuSample s;
+    s.t = t;
+    attack.apply(s);
+    EXPECT_GT(s.gyro.x, 0.0);
+  }
+}
+
+TEST(ImuAttack, InactiveOutsideWindow) {
+  ImuAttackConfig cfg;
+  cfg.start = 10.0;
+  cfg.end = 20.0;
+  ImuBiasAttack attack{cfg, Rng{8}};
+  sim::ImuSample s;
+  s.t = 5.0;
+  attack.apply(s);
+  EXPECT_DOUBLE_EQ(s.gyro.norm(), 0.0);
+  EXPECT_DOUBLE_EQ(s.specific_force.norm(), 0.0);
+}
+
+TEST(ImuAttack, DosOscillatesZeroMean) {
+  ImuAttackConfig cfg;
+  cfg.type = ImuAttackType::kAccelDos;
+  cfg.start = 0.0;
+  cfg.end = 1000.0;
+  ImuBiasAttack attack{cfg, Rng{9}};
+  RunningStats z;
+  for (double t = 0.0; t < 100.0; t += 0.005) {
+    sim::ImuSample s;
+    s.t = t;
+    attack.apply(s);
+    z.add(s.specific_force.z);
+  }
+  // Oscillatory disruption: near-zero mean but large spread (the paper notes
+  // the injected signal "contributes almost equivalently to both directions").
+  EXPECT_NEAR(z.mean(), 0.0, 0.15);
+  EXPECT_GT(z.stddev(), 1.0);
+}
+
+TEST(ImuAttack, DosKeepsGyroIntact) {
+  ImuAttackConfig cfg;
+  cfg.type = ImuAttackType::kAccelDos;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  ImuBiasAttack attack{cfg, Rng{10}};
+  sim::ImuSample s;
+  s.t = 1.0;
+  attack.apply(s);
+  EXPECT_DOUBLE_EQ(s.gyro.norm(), 0.0);
+}
+
+acoustics::MultiChannelAudio tone_audio(double freq, double amp = 1.0) {
+  acoustics::MultiChannelAudio audio;
+  audio.sample_rate = 16000.0;
+  for (auto& ch : audio.channels) {
+    ch.resize(8000);
+    for (std::size_t i = 0; i < ch.size(); ++i)
+      ch[i] = amp * std::sin(2.0 * M_PI * freq * static_cast<double>(i) / 16000.0);
+  }
+  return audio;
+}
+
+double aero_band_level(const acoustics::MultiChannelAudio& audio, int channel) {
+  dsp::StftConfig cfg;
+  cfg.frame_size = 1024;
+  cfg.hop_size = 512;
+  cfg.sample_rate = audio.sample_rate;
+  const auto spec =
+      dsp::stft(audio.channels[static_cast<std::size_t>(channel)], cfg);
+  const auto amps = dsp::band_amplitude_over_time(spec, 4500, 6000);
+  double s = 0;
+  for (std::size_t i = 2; i < amps.size(); ++i) s += amps[i];
+  return s / static_cast<double>(amps.size() - 2);
+}
+
+TEST(SoundAttack, CancelReducesAeroBand) {
+  auto audio = tone_audio(5250.0);
+  const double before = aero_band_level(audio, 0);
+  PhaseSyncSoundAttackConfig cfg;
+  cfg.amplitude_factor = 0.0;  // full cancellation
+  cfg.channels = {0};
+  apply_phase_sync_attack(audio, cfg);
+  EXPECT_LT(aero_band_level(audio, 0), before * 0.2);
+}
+
+TEST(SoundAttack, AmplifyIncreasesAeroBand) {
+  auto audio = tone_audio(5250.0);
+  const double before = aero_band_level(audio, 1);
+  PhaseSyncSoundAttackConfig cfg;
+  cfg.amplitude_factor = 2.0;
+  cfg.channels = {1};
+  apply_phase_sync_attack(audio, cfg);
+  EXPECT_NEAR(aero_band_level(audio, 1) / before, 2.0, 0.3);
+}
+
+TEST(SoundAttack, UntouchedChannelsUnchanged) {
+  auto audio = tone_audio(5250.0);
+  const auto original = audio.channels[2];
+  PhaseSyncSoundAttackConfig cfg;
+  cfg.amplitude_factor = 0.0;
+  cfg.channels = {0, 1};
+  apply_phase_sync_attack(audio, cfg);
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_DOUBLE_EQ(audio.channels[2][i], original[i]);
+}
+
+TEST(SoundAttack, OutOfBandContentSurvivesCancellation) {
+  // The phase-synced attack targets the aerodynamic band only; the blade
+  // passing tone must pass through unharmed.
+  auto audio = tone_audio(250.0);
+  const auto original = audio.channels[0];
+  PhaseSyncSoundAttackConfig cfg;
+  cfg.amplitude_factor = 0.0;
+  cfg.channels = {0};
+  apply_phase_sync_attack(audio, cfg);
+  double diff = 0, energy = 0;
+  for (std::size_t i = 1000; i < original.size(); ++i) {
+    diff += std::abs(audio.channels[0][i] - original[i]);
+    energy += std::abs(original[i]);
+  }
+  EXPECT_LT(diff, 0.1 * energy);
+}
+
+TEST(SoundAttack, NoOpFactorLeavesAudioExactly) {
+  auto audio = tone_audio(5250.0);
+  const auto original = audio.channels[0];
+  PhaseSyncSoundAttackConfig cfg;
+  cfg.amplitude_factor = 1.0;
+  cfg.channels = {0, 1, 2, 3};
+  apply_phase_sync_attack(audio, cfg);
+  for (std::size_t i = 0; i < original.size(); ++i)
+    EXPECT_DOUBLE_EQ(audio.channels[0][i], original[i]);
+}
+
+TEST(SoundAttack, InvalidChannelsIgnored) {
+  auto audio = tone_audio(5250.0);
+  PhaseSyncSoundAttackConfig cfg;
+  cfg.amplitude_factor = 0.0;
+  cfg.channels = {-1, 7};
+  EXPECT_NO_THROW(apply_phase_sync_attack(audio, cfg));
+}
+
+TEST(ActuatorDos, BlockWaveTiming) {
+  ActuatorDosConfig cfg;
+  cfg.start = 10.0;
+  cfg.end = 20.0;
+  cfg.period = 1.0;
+  cfg.duty = 0.4;
+  ActuatorDosAttack attack{cfg};
+  EXPECT_FALSE(attack.blocking(9.9));   // before the attack
+  EXPECT_TRUE(attack.blocking(10.1));   // first block phase
+  EXPECT_FALSE(attack.blocking(10.7));  // pass phase
+  EXPECT_TRUE(attack.blocking(11.2));   // next period
+  EXPECT_FALSE(attack.blocking(20.5));  // after the attack
+}
+
+TEST(ActuatorDos, OnlyAffectsConfiguredRotors) {
+  ActuatorDosConfig cfg;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  cfg.duty = 1.0;  // always blocking while active
+  ActuatorDosAttack attack{cfg};
+  sim::RotorCommand cmd{800, 810, 820, 830};
+  attack.apply(5.0, cmd, 150.0);
+  EXPECT_DOUBLE_EQ(cmd[0], 150.0);
+  EXPECT_DOUBLE_EQ(cmd[1], 150.0);
+  EXPECT_DOUBLE_EQ(cmd[2], 820.0);
+  EXPECT_DOUBLE_EQ(cmd[3], 830.0);
+}
+
+TEST(ActuatorDos, NoOpOutsidePhase) {
+  ActuatorDosConfig cfg;
+  cfg.start = 0.0;
+  cfg.end = 100.0;
+  cfg.period = 1.0;
+  cfg.duty = 0.5;
+  ActuatorDosAttack attack{cfg};
+  sim::RotorCommand cmd{800, 810, 820, 830};
+  attack.apply(0.75, cmd, 150.0);  // pass phase of the block wave
+  EXPECT_DOUBLE_EQ(cmd[0], 800.0);
+}
+
+TEST(SoundAttack, ReplayAddsAttenuatedEnergy) {
+  auto audio = tone_audio(5250.0, 0.0);  // silence
+  const auto geom = sensors::compute_geometry({}, sim::QuadrotorParams{});
+  std::vector<double> recording(8000, 1.0);
+  ReplayAttackConfig cfg;
+  cfg.source_pos = {0, 0, -0.5};
+  cfg.gain = 1.0;
+  apply_replay_attack(audio, recording, cfg, geom);
+  // Energy appears but strongly attenuated (~0.09 of source at 0.5 m).
+  const double level = std::abs(audio.channels[0].back());
+  EXPECT_GT(level, 0.02);
+  EXPECT_LT(level, 0.2);
+}
+
+}  // namespace
+}  // namespace sb::attacks

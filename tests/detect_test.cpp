@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/ks_test.hpp"
+#include "detect/running_mean.hpp"
+#include "detect/threshold.hpp"
+#include "util/rng.hpp"
+
+namespace sb::detect {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double std,
+                                  std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> out(n);
+  for (auto& x : out) x = rng.normal(mean, std);
+  return out;
+}
+
+TEST(KsTest, AcceptsMatchingNormal) {
+  const auto xs = normal_sample(500, 0.0, 1.0, 1);
+  const auto r = ks_test_normal(xs, 0.0, 1.0);
+  EXPECT_GT(r.p_value, 0.05);
+  EXPECT_LT(r.statistic, 0.08);
+}
+
+TEST(KsTest, RejectsShiftedDistribution) {
+  const auto xs = normal_sample(500, 1.0, 1.0, 2);
+  const auto r = ks_test_normal(xs, 0.0, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+  EXPECT_GT(r.statistic, 0.3);
+}
+
+TEST(KsTest, RejectsWidenedDistribution) {
+  // The DoS attack signature: same mean, inflated spread.
+  const auto xs = normal_sample(500, 0.0, 3.0, 3);
+  const auto r = ks_test_normal(xs, 0.0, 1.0);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, EmptyAndDegenerateInputsAreSafe) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(ks_test_normal(empty, 0, 1).statistic, 0.0);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(ks_test_normal(xs, 0, 0).statistic, 0.0);
+}
+
+TEST(KsTest, TwoSampleSameDistribution) {
+  const auto a = normal_sample(400, 0.0, 1.0, 4);
+  const auto b = normal_sample(400, 0.0, 1.0, 5);
+  EXPECT_GT(ks_test_two_sample(a, b).p_value, 0.01);
+}
+
+TEST(KsTest, TwoSampleDifferentDistributions) {
+  const auto a = normal_sample(400, 0.0, 1.0, 6);
+  const auto b = normal_sample(400, 2.0, 1.0, 7);
+  EXPECT_LT(ks_test_two_sample(a, b).p_value, 1e-9);
+}
+
+TEST(KsTest, CriticalValueShrinksWithN) {
+  EXPECT_GT(ks_critical_value(50, 0.05), ks_critical_value(500, 0.05));
+  EXPECT_GT(ks_critical_value(100, 0.01), ks_critical_value(100, 0.10));
+}
+
+TEST(KsTest, KolmogorovQBounds) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.05, 0.01);
+  EXPECT_LT(kolmogorov_q(3.0), 1e-6);
+}
+
+TEST(RunningMean, CumulativeMean) {
+  RunningMeanMonitor m;
+  m.add(1.0);
+  m.add(2.0);
+  EXPECT_DOUBLE_EQ(m.add(3.0), 2.0);
+  EXPECT_EQ(m.count(), 3u);
+}
+
+TEST(RunningMean, WindowedForgetsOldValues) {
+  RunningMeanMonitor m{2};
+  m.add(10.0);
+  m.add(2.0);
+  EXPECT_DOUBLE_EQ(m.add(4.0), 3.0);  // 10 has left the window
+}
+
+TEST(RunningMean, PeakTracksMaximum) {
+  RunningMeanMonitor m{2};
+  m.add(10.0);
+  m.add(0.0);
+  m.add(0.0);
+  EXPECT_DOUBLE_EQ(m.peak(), 10.0);
+  EXPECT_DOUBLE_EQ(m.current(), 0.0);
+}
+
+TEST(RunningMean, ResetClears) {
+  RunningMeanMonitor m{3};
+  m.add(5.0);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_DOUBLE_EQ(m.current(), 0.0);
+  EXPECT_DOUBLE_EQ(m.peak(), 0.0);
+}
+
+TEST(RunningVecMean, FluctuatingDirectionsCancel) {
+  RunningVecMeanMonitor m{10};
+  for (int i = 0; i < 20; ++i)
+    m.add(Vec3{i % 2 == 0 ? 1.0 : -1.0, 0, 0});
+  EXPECT_NEAR(m.current(), 0.0, 1e-12);
+}
+
+TEST(RunningVecMean, SustainedBiasSurvives) {
+  RunningVecMeanMonitor m{10};
+  Rng rng{8};
+  double last = 0;
+  for (int i = 0; i < 50; ++i)
+    last = m.add(Vec3{0.8 + rng.normal(0, 0.3), rng.normal(0, 0.3), 0});
+  EXPECT_NEAR(last, 0.8, 0.25);
+}
+
+TEST(RunningVecMean, WindowSlides) {
+  RunningVecMeanMonitor m{2};
+  m.add({4, 0, 0});
+  m.add({2, 0, 0});
+  EXPECT_DOUBLE_EQ(m.add({0, 0, 0}), 1.0);  // mean of (2,0,0),(0,0,0)
+}
+
+TEST(Threshold, CalibrateUsesMaxAfterOutlierRemoval) {
+  std::vector<double> peaks(50, 1.0);
+  peaks[10] = 1.2;
+  peaks[20] = 100.0;  // outlier
+  ThresholdConfig cfg;
+  cfg.margin = 1.0;
+  const double th = calibrate_threshold(peaks, cfg);
+  EXPECT_NEAR(th, 1.2, 1e-9);
+}
+
+TEST(Threshold, MarginApplied) {
+  const std::vector<double> peaks{1.0, 2.0};
+  ThresholdConfig cfg;
+  cfg.margin = 1.5;
+  cfg.outlier_sigma = 10.0;
+  EXPECT_NEAR(calibrate_threshold(peaks, cfg), 3.0, 1e-9);
+}
+
+TEST(Threshold, EmptyInputGivesZero) {
+  EXPECT_DOUBLE_EQ(calibrate_threshold({}, {}), 0.0);
+}
+
+TEST(Threshold, FitNormal) {
+  const auto xs = normal_sample(20000, 2.0, 0.5, 9);
+  const auto fit = fit_normal(xs);
+  EXPECT_NEAR(fit.mean, 2.0, 0.02);
+  EXPECT_NEAR(fit.stddev, 0.5, 0.02);
+}
+
+TEST(Threshold, FitNormalDegenerateHasPositiveStd) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_GT(fit_normal(xs).stddev, 0.0);
+}
+
+class KsPowerSweep : public ::testing::TestWithParam<double> {};
+
+// Property: detection power grows monotonically-ish with the shift; any
+// shift >= 0.5 sigma on 300 samples must be detected at alpha = 1e-3.
+TEST_P(KsPowerSweep, DetectsShiftsAboveHalfSigma) {
+  const double shift = GetParam();
+  const auto xs = normal_sample(300, shift, 1.0, 11);
+  const auto r = ks_test_normal(xs, 0.0, 1.0);
+  if (shift >= 0.5) EXPECT_LT(r.p_value, 1e-3) << "shift " << shift;
+  if (shift == 0.0) EXPECT_GT(r.p_value, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, KsPowerSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace sb::detect

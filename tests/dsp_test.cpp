@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/biquad.hpp"
+#include "dsp/features.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrogram.hpp"
+#include "dsp/window.hpp"
+#include "util/rng.hpp"
+
+namespace sb::dsp {
+namespace {
+
+std::vector<double> sine(double freq, double fs, std::size_t n, double amp = 1.0) {
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s[i] = amp * std::sin(2.0 * std::numbers::pi * freq * static_cast<double>(i) / fs);
+  return s;
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(100);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(64);
+  data[0] = 1.0;
+  fft(data);
+  for (const auto& x : data) EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+}
+
+TEST(Fft, RoundTrip) {
+  Rng rng{3};
+  std::vector<std::complex<double>> data(128);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng{4};
+  std::vector<std::complex<double>> data(256);
+  double time_energy = 0.0;
+  for (auto& x : data) {
+    x = {rng.normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-6 * time_energy);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, MagnitudeSpectrumFindsTone) {
+  const double fs = 16000.0;
+  const auto s = sine(1000.0, fs, 1024, 2.0);
+  const auto mags = magnitude_spectrum(s);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < mags.size(); ++k)
+    if (mags[k] > mags[peak]) peak = k;
+  EXPECT_NEAR(bin_frequency(peak, 1024, fs), 1000.0, fs / 1024.0);
+  EXPECT_NEAR(mags[peak], 2.0, 0.3);
+}
+
+TEST(Fft, GoertzelMatchesFftAtBin) {
+  const double fs = 16000.0;
+  // Bin-centred frequency so there is no leakage.
+  const double f = 32.0 * fs / 1024.0;
+  const auto s = sine(f, fs, 1024, 1.5);
+  EXPECT_NEAR(goertzel(s, f, fs), 1.5, 0.05);
+  EXPECT_NEAR(goertzel(s, f * 2, fs), 0.0, 0.05);
+}
+
+TEST(Window, HannEndpointsAndPeak) {
+  const auto w = make_window(WindowType::kHann, 64);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[32], 1.0, 0.01);
+}
+
+TEST(Window, RectIsUnity) {
+  const auto w = make_window(WindowType::kRect, 16);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Window, SumMatchesApplied) {
+  const auto w = make_window(WindowType::kHamming, 128);
+  EXPECT_NEAR(window_sum(w), 0.54 * 128, 1.0);
+}
+
+TEST(Window, ApplyMismatchThrows) {
+  std::vector<double> frame(10);
+  const auto w = make_window(WindowType::kHann, 8);
+  EXPECT_THROW(apply_window(frame, w), std::invalid_argument);
+}
+
+class WindowTypeTest : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowTypeTest, NonNegativeAndBounded) {
+  const auto w = make_window(GetParam(), 101);
+  for (double v : w) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowTypeTest,
+                         ::testing::Values(WindowType::kRect, WindowType::kHann,
+                                           WindowType::kHamming,
+                                           WindowType::kBlackman));
+
+TEST(Stft, FrameCount) {
+  StftConfig cfg;
+  cfg.frame_size = 256;
+  cfg.hop_size = 128;
+  std::vector<double> signal(1024, 0.0);
+  const auto spec = stft(signal, cfg);
+  EXPECT_EQ(spec.num_frames, (1024 - 256) / 128 + 1);
+  EXPECT_EQ(spec.num_bins, 129u);
+}
+
+TEST(Stft, ShortSignalYieldsNoFrames) {
+  StftConfig cfg;
+  cfg.frame_size = 256;
+  std::vector<double> signal(100, 0.0);
+  EXPECT_EQ(stft(signal, cfg).num_frames, 0u);
+}
+
+TEST(Stft, RequiresPowerOfTwoFrame) {
+  StftConfig cfg;
+  cfg.frame_size = 300;
+  std::vector<double> signal(1024, 0.0);
+  EXPECT_THROW(stft(signal, cfg), std::invalid_argument);
+}
+
+TEST(Stft, ToneAppearsInCorrectBand) {
+  StftConfig cfg;
+  cfg.frame_size = 1024;
+  cfg.hop_size = 512;
+  cfg.sample_rate = 16000.0;
+  const auto s = sine(2500.0, cfg.sample_rate, 8000, 1.0);
+  const auto spec = stft(s, cfg);
+  const auto band = band_amplitude_over_time(spec, 2400.0, 2600.0);
+  const auto off_band = band_amplitude_over_time(spec, 5000.0, 5200.0);
+  ASSERT_FALSE(band.empty());
+  EXPECT_GT(band[0], 10.0 * (off_band[0] + 1e-9));
+}
+
+TEST(Stft, AmplitudeTracksToneLevel) {
+  StftConfig cfg;
+  cfg.frame_size = 1024;
+  cfg.hop_size = 512;
+  cfg.sample_rate = 16000.0;
+  auto quiet = sine(1000.0, cfg.sample_rate, 4096, 0.5);
+  auto loud = sine(1000.0, cfg.sample_rate, 4096, 1.5);
+  const auto bq = band_amplitude_over_time(stft(quiet, cfg), 900, 1100);
+  const auto bl = band_amplitude_over_time(stft(loud, cfg), 900, 1100);
+  EXPECT_NEAR(bl[0] / bq[0], 3.0, 0.2);
+}
+
+TEST(Biquad, LowPassAttenuatesHighFrequency) {
+  Biquad lp = Biquad::low_pass(1000.0, 16000.0);
+  EXPECT_NEAR(lp.magnitude_at(100.0, 16000.0), 1.0, 0.05);
+  EXPECT_LT(lp.magnitude_at(6000.0, 16000.0), 0.05);
+}
+
+TEST(Biquad, HighPassMirrorsLowPass) {
+  Biquad hp = Biquad::high_pass(1000.0, 16000.0);
+  EXPECT_LT(hp.magnitude_at(50.0, 16000.0), 0.01);
+  EXPECT_NEAR(hp.magnitude_at(7000.0, 16000.0), 1.0, 0.05);
+}
+
+TEST(Biquad, BandPassPeaksAtCenter) {
+  Biquad bp = Biquad::band_pass(2500.0, 16000.0, 3.0);
+  const double at_center = bp.magnitude_at(2500.0, 16000.0);
+  EXPECT_GT(at_center, bp.magnitude_at(1000.0, 16000.0) * 5.0);
+  EXPECT_GT(at_center, bp.magnitude_at(5000.0, 16000.0) * 5.0);
+}
+
+TEST(Biquad, NotchNullsCenter) {
+  Biquad n = Biquad::notch(2500.0, 16000.0, 5.0);
+  EXPECT_LT(n.magnitude_at(2500.0, 16000.0), 0.05);
+  EXPECT_NEAR(n.magnitude_at(100.0, 16000.0), 1.0, 0.05);
+}
+
+TEST(Biquad, TimeDomainMatchesMagnitudeResponse) {
+  Biquad lp = Biquad::low_pass(2000.0, 16000.0);
+  const auto s = sine(5500.0, 16000.0, 4000);
+  const auto y = lp.process(s);
+  // Steady-state amplitude after the transient.
+  double peak = 0.0;
+  for (std::size_t i = 2000; i < y.size(); ++i) peak = std::max(peak, std::abs(y[i]));
+  EXPECT_NEAR(peak, lp.magnitude_at(5500.0, 16000.0), 0.02);
+}
+
+TEST(Biquad, ResetClearsState) {
+  Biquad lp = Biquad::low_pass(2000.0, 16000.0);
+  lp.process(1.0);
+  lp.process(1.0);
+  lp.reset();
+  Biquad fresh = Biquad::low_pass(2000.0, 16000.0);
+  EXPECT_DOUBLE_EQ(lp.process(0.5), fresh.process(0.5));
+}
+
+TEST(BiquadCascade, SteeperThanSingleSection) {
+  Biquad one = Biquad::low_pass(1000.0, 16000.0);
+  BiquadCascade two = BiquadCascade::low_pass(1000.0, 16000.0, 2);
+  const auto s = sine(4000.0, 16000.0, 4000);
+  Biquad one_copy = one;
+  const auto y1 = one_copy.process(s);
+  const auto y2 = two.process(s);
+  double p1 = 0.0, p2 = 0.0;
+  for (std::size_t i = 2000; i < s.size(); ++i) {
+    p1 = std::max(p1, std::abs(y1[i]));
+    p2 = std::max(p2, std::abs(y2[i]));
+  }
+  EXPECT_LT(p2, p1 * 0.5);
+}
+
+TEST(Features, GroupBandsCoverExpectedFrequencies) {
+  BandFeatureConfig cfg;  // 32 bands to 6 kHz -> 187.5 Hz per band
+  // 200 Hz -> band 1 -> blade passing.
+  EXPECT_EQ(group_of_band(1, cfg), FreqGroup::kBladePassing);
+  // 2500 Hz -> band 13 -> mechanical.
+  EXPECT_EQ(group_of_band(13, cfg), FreqGroup::kMechanical);
+  // 5500 Hz -> band 29 -> aerodynamic.
+  EXPECT_EQ(group_of_band(29, cfg), FreqGroup::kAerodynamic);
+  // 3800 Hz -> none of the named groups.
+  EXPECT_EQ(group_of_band(20, cfg), FreqGroup::kOther);
+}
+
+TEST(Features, BandFeatureLayout) {
+  StftConfig scfg;
+  scfg.frame_size = 1024;
+  scfg.hop_size = 512;
+  const auto s = sine(2500.0, 16000.0, 4096);
+  const auto spec = stft(s, scfg);
+  BandFeatureConfig cfg;
+  const auto feats = band_features(spec, cfg);
+  EXPECT_EQ(feats.size(), spec.num_frames * cfg.bands_per_frame);
+}
+
+TEST(Features, ToneRaisesItsBandOnly) {
+  StftConfig scfg;
+  scfg.frame_size = 1024;
+  scfg.hop_size = 512;
+  const auto s = sine(2500.0, 16000.0, 4096, 1.0);
+  const auto spec = stft(s, scfg);
+  BandFeatureConfig cfg;
+  const auto feats = band_features(spec, cfg);
+  // Band 13 holds 2500 Hz; band 5 holds ~1 kHz.
+  EXPECT_GT(feats[13], feats[5] + 3.0);  // log scale: >3 nats apart
+}
+
+TEST(Features, RemoveGroupSilencesItsBands) {
+  BandFeatureConfig cfg;
+  std::vector<double> feats(2 * cfg.bands_per_frame, 1.0);
+  remove_group(feats, cfg.bands_per_frame, FreqGroup::kAerodynamic, cfg);
+  bool any_removed = false;
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    const auto band = i % cfg.bands_per_frame;
+    if (group_of_band(band, cfg) == FreqGroup::kAerodynamic) {
+      EXPECT_DOUBLE_EQ(feats[i], kSilenceFeature);
+      any_removed = true;
+    } else {
+      EXPECT_DOUBLE_EQ(feats[i], 1.0);
+    }
+  }
+  EXPECT_TRUE(any_removed);
+}
+
+TEST(Features, RemoveGroupRejectsBadLayout) {
+  BandFeatureConfig cfg;
+  std::vector<double> feats(cfg.bands_per_frame + 1, 1.0);
+  EXPECT_THROW(remove_group(feats, cfg.bands_per_frame, FreqGroup::kOther, cfg),
+               std::invalid_argument);
+}
+
+TEST(Features, PipelineCutoffIs6kHz) { EXPECT_DOUBLE_EQ(kPipelineCutoffHz, 6000.0); }
+
+class FftSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: FFT/IFFT round-trips at every power-of-two size.
+TEST_P(FftSizeSweep, RoundTripAtAllSizes) {
+  const std::size_t n = GetParam();
+  Rng rng{n};
+  std::vector<std::complex<double>> data(n);
+  for (auto& x : data) x = {rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  ifft(data);
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(data[i] - original[i]), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, FftSizeSweep,
+                         ::testing::Values(2, 8, 64, 512, 4096));
+
+class ToneFrequencySweep : public ::testing::TestWithParam<double> {};
+
+// Property: the magnitude spectrum localizes a tone at any in-band
+// frequency to within one bin.
+TEST_P(ToneFrequencySweep, PeakWithinOneBin) {
+  const double f = GetParam();
+  const double fs = 16000.0;
+  const auto s = sine(f, fs, 4096);
+  const auto mags = magnitude_spectrum(s);
+  std::size_t peak = 1;
+  for (std::size_t k = 1; k < mags.size(); ++k)
+    if (mags[k] > mags[peak]) peak = k;
+  EXPECT_NEAR(bin_frequency(peak, 4096, fs), f, fs / 4096.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossBand, ToneFrequencySweep,
+                         ::testing::Values(200.0, 1000.0, 2500.0, 5500.0, 7000.0));
+
+class LowPassCutoffSweep : public ::testing::TestWithParam<double> {};
+
+// Property: any RBJ low-pass passes DC and attenuates 4x its cutoff.
+TEST_P(LowPassCutoffSweep, PassbandAndStopband) {
+  const double cutoff = GetParam();
+  Biquad lp = Biquad::low_pass(cutoff, 16000.0);
+  EXPECT_NEAR(lp.magnitude_at(cutoff / 20.0, 16000.0), 1.0, 0.05);
+  EXPECT_LT(lp.magnitude_at(std::min(cutoff * 4.0, 7900.0), 16000.0), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, LowPassCutoffSweep,
+                         ::testing::Values(250.0, 1000.0, 1900.0));
+
+}  // namespace
+}  // namespace sb::dsp

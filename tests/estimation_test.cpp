@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimation/frames.hpp"
+#include "estimation/kalman.hpp"
+#include "estimation/velocity_kf.hpp"
+#include "util/rng.hpp"
+
+namespace sb::est {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Multiplication) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_NO_THROW(a + b);
+  EXPECT_THROW(a + Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeAndIdentity) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const Matrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+  const Matrix prod = at * Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(prod(1, 0), at(1, 0));
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  Rng rng{1};
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 3.0;  // well-conditioned
+  const Matrix inv = a.inverse();
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Matrix, SingularInverseThrows) {
+  Matrix a(2, 2);  // zero matrix
+  EXPECT_THROW(a.inverse(), std::runtime_error);
+}
+
+TEST(Matrix, DiagonalAndColumn) {
+  const Matrix d = Matrix::diagonal({1, 2, 3});
+  EXPECT_DOUBLE_EQ(d(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+  const Matrix c = Matrix::column({4, 5});
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 1u);
+}
+
+TEST(Kalman, ConvergesToConstantMeasurement) {
+  LinearKalmanFilter kf{Matrix::column({0.0}), Matrix::identity(1) * 10.0};
+  const Matrix f = Matrix::identity(1);
+  const Matrix q = Matrix::identity(1) * 0.01;
+  const Matrix h = Matrix::identity(1);
+  const Matrix r = Matrix::identity(1) * 1.0;
+  for (int i = 0; i < 100; ++i) {
+    kf.predict(f, q);
+    kf.update(h, r, Matrix::column({5.0}));
+  }
+  EXPECT_NEAR(kf.state()(0, 0), 5.0, 0.05);
+}
+
+TEST(Kalman, CovarianceShrinksWithMeasurements) {
+  LinearKalmanFilter kf{Matrix::column({0.0}), Matrix::identity(1) * 10.0};
+  const Matrix f = Matrix::identity(1);
+  const Matrix q = Matrix::identity(1) * 0.001;
+  const Matrix h = Matrix::identity(1);
+  const Matrix r = Matrix::identity(1);
+  const double p0 = kf.covariance()(0, 0);
+  for (int i = 0; i < 20; ++i) {
+    kf.predict(f, q);
+    kf.update(h, r, Matrix::column({1.0}));
+  }
+  EXPECT_LT(kf.covariance()(0, 0), p0 * 0.1);
+}
+
+TEST(Kalman, ControlInputIntegrates) {
+  LinearKalmanFilter kf{Matrix::column({0.0}), Matrix::identity(1)};
+  const Matrix f = Matrix::identity(1);
+  const Matrix b = Matrix::identity(1) * 0.1;  // dt
+  const Matrix q = Matrix::identity(1) * 0.01;
+  for (int i = 0; i < 10; ++i) kf.predict(f, b, Matrix::column({2.0}), q);
+  EXPECT_NEAR(kf.state()(0, 0), 2.0, 1e-9);  // 10 * 0.1 * 2
+}
+
+TEST(Kalman, GainBalancesNoiseRatio) {
+  // With huge measurement noise the update barely moves the state.
+  LinearKalmanFilter kf{Matrix::column({0.0}), Matrix::identity(1)};
+  kf.update(Matrix::identity(1), Matrix::identity(1) * 1e6, Matrix::column({100.0}));
+  EXPECT_LT(std::abs(kf.state()(0, 0)), 0.2);
+  // With tiny measurement noise the state jumps to the measurement.
+  LinearKalmanFilter kf2{Matrix::column({0.0}), Matrix::identity(1)};
+  kf2.update(Matrix::identity(1), Matrix::identity(1) * 1e-6, Matrix::column({100.0}));
+  EXPECT_NEAR(kf2.state()(0, 0), 100.0, 0.1);
+}
+
+TEST(VelocityKf, AudioOnlyTracksConstantAcceleration) {
+  AudioOnlyVelocityKf kf{{}, {}};
+  const Vec3 accel{1.0, 0.0, 0.0};
+  Vec3 audio_vel;
+  Vec3 v;
+  for (int i = 0; i < 100; ++i) {
+    audio_vel += accel * 0.1;
+    v = kf.step(accel, audio_vel, 0.1);
+  }
+  EXPECT_NEAR(v.x, 10.0, 0.5);
+  EXPECT_NEAR(v.y, 0.0, 0.1);
+}
+
+TEST(VelocityKf, AudioMeasurementCorrectsBiasedPrediction) {
+  // Biased acceleration in the predict step; unbiased audio velocity should
+  // keep the estimate anchored.
+  AudioImuVelocityKf kf{{}, {}};
+  Vec3 v;
+  for (int i = 0; i < 400; ++i)
+    v = kf.step(Vec3{0.2, 0, 0} /* biased imu accel */, Vec3{} /* true vel */, 0.1);
+  EXPECT_LT(std::abs(v.x), 0.5);  // without correction this would be 8 m/s
+}
+
+TEST(VelocityKf, FusedFollowsImuDynamicsBetweenMeasurements) {
+  AudioImuVelocityKf kf{{}, {}};
+  // Strong maneuvers visible in the IMU; audio velocity lags at zero.
+  Vec3 v = kf.step(Vec3{5.0, 0, 0}, Vec3{}, 0.25);
+  EXPECT_GT(v.x, 0.4);  // prediction moved the state before the update
+}
+
+TEST(VelocityKf, DeadReckonDriftsWithBiasedAccel) {
+  DeadReckonVelocityKf kf{{}, {}};
+  Vec3 v;
+  for (int i = 0; i < 400; ++i) v = kf.step(Vec3{0.2, 0, 0}, 0.1);
+  // Both predict and measurement integrate the same biased stream: the
+  // filter cannot reject the drift (the Failsafe baseline's weakness).
+  EXPECT_GT(v.x, 4.0);
+}
+
+TEST(Frames, AccelRoundTrip) {
+  const Vec3 euler{0.3, -0.2, 0.7};
+  const Vec3 accel{1.5, -0.5, 0.25};
+  const Vec3 sf = specific_force_from_accel_ned(accel, euler);
+  const Vec3 back = accel_ned_from_specific_force(sf, euler);
+  EXPECT_NEAR(back.x, accel.x, 1e-12);
+  EXPECT_NEAR(back.y, accel.y, 1e-12);
+  EXPECT_NEAR(back.z, accel.z, 1e-12);
+}
+
+TEST(Frames, HoverSpecificForce) {
+  const Vec3 sf = specific_force_from_accel_ned({}, {});
+  EXPECT_NEAR(sf.z, -9.81, 1e-12);
+}
+
+TEST(Frames, WrapAngle) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_angle(3 * M_PI), M_PI, 1e-9);
+  EXPECT_NEAR(wrap_angle(-3 * M_PI), M_PI, 1e-9);
+  EXPECT_NEAR(wrap_angle(M_PI + 0.1), -M_PI + 0.1, 1e-9);
+}
+
+class KfNoiseSweep : public ::testing::TestWithParam<double> {};
+
+// Property: for any measurement noise the fused estimate stays between the
+// prediction-only and measurement-only extremes.
+TEST_P(KfNoiseSweep, EstimateIsBlendOfSources) {
+  VelocityKfConfig cfg;
+  cfg.r_audio_vel = GetParam();
+  AudioImuVelocityKf kf{cfg, {}};
+  const Vec3 v = kf.step(Vec3{4.0, 0, 0} /* accel: predicts 1.0 */,
+                         Vec3{3.0, 0, 0} /* measurement */, 0.25);
+  EXPECT_GE(v.x, 1.0 - 1e-9);
+  EXPECT_LE(v.x, 3.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, KfNoiseSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 5.0, 50.0));
+
+}  // namespace
+}  // namespace sb::est

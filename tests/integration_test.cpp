@@ -1,0 +1,292 @@
+// End-to-end pipeline tests: train a small acoustic model once, then verify
+// the two-stage RCA (IMU KS-stage + GPS KF-stage) on attacked and benign
+// flights.  Uses the fast MLP model and short flights to stay test-sized;
+// the bench harnesses exercise the full-size configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "attacks/sound_attack.hpp"
+#include "core/gps_rca.hpp"
+#include "core/imu_rca.hpp"
+#include "core/rca_engine.hpp"
+#include "core/sensory_mapper.hpp"
+#include "test_helpers.hpp"
+
+namespace sb::core {
+namespace {
+
+struct Pipeline {
+  std::unique_ptr<SensoryMapper> mapper;
+  std::unique_ptr<ImuRcaDetector> imu_det;
+  std::unique_ptr<GpsRcaDetector> gps_det;
+  std::vector<Flight> benign;
+};
+
+const Pipeline& pipeline() {
+  static const Pipeline p = [] {
+    Pipeline out;
+    // Train on 12 short flights with the fast MLP.
+    auto scenarios = test::lab().training_scenarios(2, 18.0);
+    std::vector<Flight> train;
+    for (const auto& s : scenarios) train.push_back(test::lab().fly(s));
+
+    SensoryMapperConfig cfg;
+    cfg.model = ml::ModelKind::kMlp;
+    cfg.dataset.stride = 0.25;
+    cfg.train.epochs = 8;
+    cfg.train.lr = 1e-3;
+    out.mapper = std::make_unique<SensoryMapper>(cfg);
+    out.mapper->fit(test::lab(), train);
+
+    // Held-out benign flights for calibration.
+    for (std::uint64_t s = 300; s < 306; ++s)
+      out.benign.push_back(test::hover_flight(25.0, s, 0.4));
+    out.benign.push_back(test::line_flight(25.0, 306));
+    out.benign.push_back(test::line_flight(25.0, 307));
+
+    out.imu_det = std::make_unique<ImuRcaDetector>(ImuRcaConfig{});
+    std::vector<WindowResiduals> cal;
+    for (const auto& f : out.benign) {
+      const auto preds = out.mapper->predict_flight(test::lab(), f);
+      const auto w = ImuRcaDetector::residuals(f, preds);
+      cal.insert(cal.end(), w.begin(), w.end());
+    }
+    out.imu_det->calibrate(cal);
+
+    out.gps_det = std::make_unique<GpsRcaDetector>(GpsRcaConfig{});
+    std::vector<GpsRcaDetector::Result> audio_results, fused_results;
+    for (const auto& f : out.benign) {
+      const auto preds = out.mapper->predict_flight(test::lab(), f);
+      audio_results.push_back(
+          out.gps_det->analyze(f, preds, GpsDetectorMode::kAudioOnly));
+      fused_results.push_back(
+          out.gps_det->analyze(f, preds, GpsDetectorMode::kAudioImu));
+    }
+    out.gps_det->calibrate(audio_results, GpsDetectorMode::kAudioOnly);
+    out.gps_det->calibrate(fused_results, GpsDetectorMode::kAudioImu);
+    return out;
+  }();
+  return p;
+}
+
+Flight imu_attack_flight(attacks::ImuAttackType type, std::uint64_t seed) {
+  FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -10}, 25.0);
+  s.wind.gust_stddev = 0.4;
+  attacks::ImuAttackConfig a;
+  a.type = type;
+  a.start = 10.0;
+  a.end = 20.0;
+  s.imu_attack = a;
+  s.seed = seed;
+  return test::lab().fly(s);
+}
+
+Flight gps_attack_flight(std::uint64_t seed, double drag_rate = 1.2) {
+  FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -10}, 35.0);
+  s.wind.gust_stddev = 0.4;
+  attacks::GpsSpoofConfig g;
+  g.start = 10.0;
+  g.end = 30.0;
+  g.drag_rate = drag_rate;
+  s.gps_spoof = g;
+  s.seed = seed;
+  return test::lab().fly(s);
+}
+
+TEST(Integration, ModelPredictsFiniteAccelerations) {
+  const auto& p = pipeline();
+  const auto preds = p.mapper->predict_flight(test::lab(), p.benign.front());
+  ASSERT_FALSE(preds.empty());
+  for (const auto& pr : preds) {
+    EXPECT_TRUE(std::isfinite(pr.accel.norm()));
+    EXPECT_TRUE(std::isfinite(pr.vel.norm()));
+    EXPECT_LT(pr.accel.norm(), 30.0);
+  }
+}
+
+TEST(Integration, ModelBeatsZeroPredictorOnVerticalAxis) {
+  const auto& p = pipeline();
+  const auto& f = p.benign.back();  // line mission: real dynamics
+  const auto preds = p.mapper->predict_flight(test::lab(), f);
+  double model_se = 0, zero_se = 0;
+  for (const auto& pr : preds) {
+    const Vec3 label = f.log.mean_imu_accel(pr.t0, pr.t1);
+    model_se += (pr.accel.z - label.z) * (pr.accel.z - label.z);
+    zero_se += label.z * label.z;
+  }
+  EXPECT_LT(model_se, zero_se);
+}
+
+TEST(Integration, BenignResidualsApproximatelyZeroMean) {
+  const auto& p = pipeline();
+  for (int axis = 0; axis < 3; ++axis) {
+    const auto& fit = p.imu_det->benign_fit(axis);
+    EXPECT_LT(std::abs(fit.mean), 0.35) << "axis " << axis;
+    EXPECT_GT(fit.stddev, 0.0);
+  }
+}
+
+TEST(Integration, ImuStageDetectsAccelDos) {
+  const auto& p = pipeline();
+  const auto f = imu_attack_flight(attacks::ImuAttackType::kAccelDos, 400);
+  const auto preds = p.mapper->predict_flight(test::lab(), f);
+  const auto r = p.imu_det->analyze(ImuRcaDetector::residuals(f, preds));
+  EXPECT_TRUE(r.attacked);
+  EXPECT_GE(r.detect_time, 10.0);
+  EXPECT_LE(r.detect_time, 20.0);
+}
+
+TEST(Integration, ImuStageDetectsSideSwing) {
+  const auto& p = pipeline();
+  const auto f = imu_attack_flight(attacks::ImuAttackType::kSideSwing, 401);
+  const auto preds = p.mapper->predict_flight(test::lab(), f);
+  const auto r = p.imu_det->analyze(ImuRcaDetector::residuals(f, preds));
+  EXPECT_TRUE(r.attacked);
+}
+
+TEST(Integration, ImuStageQuietOnFreshBenignFlight) {
+  const auto& p = pipeline();
+  const auto f = test::hover_flight(25.0, 402, 0.4);
+  const auto preds = p.mapper->predict_flight(test::lab(), f);
+  const auto r = p.imu_det->analyze(ImuRcaDetector::residuals(f, preds));
+  EXPECT_FALSE(r.attacked);
+}
+
+TEST(Integration, GpsStageDetectsDragSpoofFused) {
+  const auto& p = pipeline();
+  const auto f = gps_attack_flight(403);
+  const auto preds = p.mapper->predict_flight(test::lab(), f);
+  const auto r = p.gps_det->analyze(f, preds, GpsDetectorMode::kAudioImu);
+  EXPECT_TRUE(r.attacked);
+  EXPECT_GE(r.detect_time, 10.0);
+}
+
+TEST(Integration, GpsStageDetectsDragSpoofAudioOnly) {
+  const auto& p = pipeline();
+  const auto f = gps_attack_flight(404);
+  const auto preds = p.mapper->predict_flight(test::lab(), f);
+  const auto r = p.gps_det->analyze(f, preds, GpsDetectorMode::kAudioOnly);
+  EXPECT_TRUE(r.attacked);
+}
+
+TEST(Integration, GpsStageQuietOnFreshBenignFlight) {
+  const auto& p = pipeline();
+  const auto f = test::hover_flight(30.0, 405, 0.4);
+  const auto preds = p.mapper->predict_flight(test::lab(), f);
+  const auto r = p.gps_det->analyze(f, preds, GpsDetectorMode::kAudioImu);
+  EXPECT_FALSE(r.attacked);
+}
+
+TEST(Integration, RcaEngineAttributesImuAttack) {
+  const auto& p = pipeline();
+  RcaEngine engine{*p.mapper, *p.imu_det, *p.gps_det};
+  const auto f = imu_attack_flight(attacks::ImuAttackType::kAccelDos, 406);
+  const auto report = engine.analyze(test::lab(), f);
+  EXPECT_TRUE(report.imu_attacked);
+  // With the IMU flagged, the GPS stage must fall back to audio-only.
+  EXPECT_EQ(report.gps_mode_used, GpsDetectorMode::kAudioOnly);
+}
+
+TEST(Integration, RcaEngineAttributesGpsAttack) {
+  const auto& p = pipeline();
+  RcaEngine engine{*p.mapper, *p.imu_det, *p.gps_det};
+  const auto f = gps_attack_flight(407);
+  const auto report = engine.analyze(test::lab(), f);
+  EXPECT_TRUE(report.gps_attacked);
+  EXPECT_TRUE(report.any_attack());
+}
+
+TEST(Integration, RcaEngineQuietOnBenign) {
+  const auto& p = pipeline();
+  RcaEngine engine{*p.mapper, *p.imu_det, *p.gps_det};
+  const auto f = test::hover_flight(25.0, 408, 0.4);
+  const auto report = engine.analyze(test::lab(), f);
+  EXPECT_FALSE(report.imu_attacked);
+  EXPECT_FALSE(report.gps_attacked);
+  EXPECT_FALSE(report.any_attack());
+}
+
+TEST(Integration, SaveLoadRoundTripPreservesPredictions) {
+  const auto& p = pipeline();
+  const std::string path = "/tmp/soundboost_test_model.bin";
+  ASSERT_TRUE(p.mapper->save(path));
+
+  core::SensoryMapper loaded{p.mapper->config()};
+  ASSERT_TRUE(loaded.load(path));
+
+  const auto& f = p.benign.front();
+  const auto a = p.mapper->predict_flight(test::lab(), f);
+  const auto b = loaded.predict_flight(test::lab(), f);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].accel.x, b[i].accel.x, 1e-9);
+    EXPECT_NEAR(a[i].accel.z, b[i].accel.z, 1e-9);
+    EXPECT_NEAR(a[i].vel.y, b[i].vel.y, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Integration, LoadRejectsWrongModelKind) {
+  const auto& p = pipeline();
+  const std::string path = "/tmp/soundboost_test_model2.bin";
+  ASSERT_TRUE(p.mapper->save(path));
+  core::SensoryMapperConfig other = p.mapper->config();
+  other.model = ml::ModelKind::kMobileNetLite;  // pipeline uses kMlp
+  core::SensoryMapper mismatched{other};
+  EXPECT_FALSE(mismatched.load(path));
+  EXPECT_FALSE(mismatched.trained());
+  std::remove(path.c_str());
+}
+
+TEST(Integration, PredictWindowsMatchesPredictFlight) {
+  const auto& p = pipeline();
+  const auto& f = p.benign.front();
+  const auto windows = p.mapper->synthesize_windows(test::lab(), f);
+  const auto a = p.mapper->predict_windows(windows);
+  const auto b = p.mapper->predict_flight(test::lab(), f);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].accel.x, b[i].accel.x);
+    EXPECT_DOUBLE_EQ(a[i].vel.z, b[i].vel.z);
+  }
+}
+
+TEST(Integration, SoundCancellationShiftsPredictions) {
+  const auto& p = pipeline();
+  const auto& f = p.benign.front();
+  const auto windows = p.mapper->synthesize_windows(test::lab(), f);
+  PredictionHooks hooks;
+  hooks.audio_transform = [](acoustics::MultiChannelAudio& audio) {
+    attacks::PhaseSyncSoundAttackConfig cfg;
+    cfg.amplitude_factor = 0.0;
+    cfg.channels = {0, 1, 2, 3};
+    attacks::apply_phase_sync_attack(audio, cfg);
+  };
+  const auto clean = p.mapper->predict_windows(windows);
+  const auto attacked = p.mapper->predict_windows(windows, hooks);
+  double diff = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i)
+    diff += (clean[i].accel - attacked[i].accel).norm();
+  EXPECT_GT(diff / static_cast<double>(clean.size()), 0.01);
+}
+
+TEST(Integration, FrequencyGroupRemovalDegradesAccuracy) {
+  const auto& p = pipeline();
+  const auto& f = p.benign.back();
+  PredictionHooks hooks;
+  hooks.signature_transform = [&](ml::Tensor& sig) {
+    remove_frequency_group(sig, dsp::FreqGroup::kAerodynamic,
+                           p.mapper->config().dataset.signature);
+  };
+  const double clean_mse = p.mapper->test_mse(test::lab(), std::span{&f, 1});
+  const double ablated_mse = p.mapper->test_mse(test::lab(), std::span{&f, 1}, hooks);
+  EXPECT_GT(ablated_mse, clean_mse);
+}
+
+}  // namespace
+}  // namespace sb::core

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "core/gps_rca.hpp"
+#include "io/flight_csv.hpp"
+#include "io/wav.hpp"
+#include "test_helpers.hpp"
+
+namespace sb::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string{"/tmp/soundboost_io_test_"} + name;
+}
+
+WavData make_tone(std::size_t channels, std::size_t n, double freq, double fs) {
+  WavData d;
+  d.sample_rate = fs;
+  for (std::size_t c = 0; c < channels; ++c) {
+    std::vector<double> s(n);
+    for (std::size_t i = 0; i < n; ++i)
+      s[i] = 0.5 * std::sin(2.0 * M_PI * freq * static_cast<double>(i) / fs +
+                            static_cast<double>(c));
+    d.channels.push_back(std::move(s));
+  }
+  return d;
+}
+
+TEST(Wav, RoundTripPreservesSamples) {
+  const auto path = temp_path("roundtrip.wav");
+  const auto original = make_tone(2, 1000, 440.0, 16000.0);
+  ASSERT_TRUE(write_wav(path, original));
+
+  WavData loaded;
+  ASSERT_TRUE(read_wav(path, loaded));
+  EXPECT_EQ(loaded.num_channels(), 2u);
+  EXPECT_EQ(loaded.num_samples(), 1000u);
+  EXPECT_DOUBLE_EQ(loaded.sample_rate, 16000.0);
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t i = 0; i < 1000; i += 37)
+      EXPECT_NEAR(loaded.channels[c][i], original.channels[c][i], 1.0 / 32767.0);
+  std::remove(path.c_str());
+}
+
+TEST(Wav, ClipsOutOfRangeSamples) {
+  const auto path = temp_path("clip.wav");
+  WavData d;
+  d.channels.push_back({5.0, -5.0, 0.0});
+  ASSERT_TRUE(write_wav(path, d));
+  WavData loaded;
+  ASSERT_TRUE(read_wav(path, loaded));
+  EXPECT_NEAR(loaded.channels[0][0], 1.0, 1e-3);
+  EXPECT_NEAR(loaded.channels[0][1], -1.0, 1e-3);
+  std::remove(path.c_str());
+}
+
+TEST(Wav, RejectsEmptyData) {
+  EXPECT_FALSE(write_wav(temp_path("empty.wav"), WavData{}));
+}
+
+TEST(Wav, RejectsRaggedChannels) {
+  WavData d;
+  d.channels.push_back(std::vector<double>(10, 0.0));
+  d.channels.push_back(std::vector<double>(5, 0.0));
+  EXPECT_FALSE(write_wav(temp_path("ragged.wav"), d));
+}
+
+TEST(Wav, RejectsMalformedFile) {
+  const auto path = temp_path("garbage.wav");
+  {
+    std::ofstream os{path, std::ios::binary};
+    os << "this is not a wav file at all, not even close";
+  }
+  WavData out;
+  EXPECT_FALSE(read_wav(path, out));
+  std::remove(path.c_str());
+}
+
+TEST(Wav, RejectsMissingFile) {
+  WavData out;
+  EXPECT_FALSE(read_wav("/nonexistent/dir/nope.wav", out));
+}
+
+TEST(Wav, ExportsMicArrayRecording) {
+  const auto flight = test::hover_flight(4.0, 70);
+  const auto synth = test::lab().synthesizer(flight);
+  const auto audio = synth.synthesize(flight.log, 1.0, 1.5);
+  const auto path = temp_path("mics.wav");
+  ASSERT_TRUE(write_wav(path, audio, 2.0));
+  WavData loaded;
+  ASSERT_TRUE(read_wav(path, loaded));
+  EXPECT_EQ(loaded.num_channels(), 4u);
+  EXPECT_EQ(loaded.num_samples(), audio.num_samples());
+  std::remove(path.c_str());
+}
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream is{path};
+  std::size_t n = 0;
+  std::string line;
+  while (std::getline(is, line)) ++n;
+  return n;
+}
+
+TEST(FlightCsv, TruthExport) {
+  const auto flight = test::hover_flight(3.0, 71);
+  const auto path = temp_path("truth.csv");
+  ASSERT_TRUE(write_truth_csv(path, flight.log, 8));
+  EXPECT_EQ(count_lines(path), 1 + flight.log.t.size() / 8 +
+                                   (flight.log.t.size() % 8 ? 1 : 0));
+  std::remove(path.c_str());
+}
+
+TEST(FlightCsv, ImuAndGpsExports) {
+  const auto flight = test::hover_flight(3.0, 72);
+  const auto imu_path = temp_path("imu.csv");
+  const auto gps_path = temp_path("gps.csv");
+  ASSERT_TRUE(write_imu_csv(imu_path, flight.log));
+  ASSERT_TRUE(write_gps_csv(gps_path, flight.log));
+  EXPECT_EQ(count_lines(imu_path), 1 + flight.log.imu.size());
+  EXPECT_EQ(count_lines(gps_path), 1 + flight.log.gps.size());
+  std::remove(imu_path.c_str());
+  std::remove(gps_path.c_str());
+}
+
+TEST(FlightCsv, TraceExport) {
+  core::GpsRcaDetector::Trace trace;
+  trace.t = {0.2, 0.4};
+  trace.v_est = {{1, 0, 0}, {1, 1, 0}};
+  trace.v_gps = {{0.9, 0, 0}, {1, 1, 0.1}};
+  trace.pos_est = {{0, 0, -10}, {0.2, 0, -10}};
+  trace.running_mean = {0.1, 0.12};
+  const auto path = temp_path("trace.csv");
+  ASSERT_TRUE(write_trace_csv(path, trace));
+  EXPECT_EQ(count_lines(path), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightCsv, ZeroStrideRejected) {
+  const auto flight = test::hover_flight(2.0, 73);
+  EXPECT_FALSE(write_truth_csv(temp_path("bad.csv"), flight.log, 0));
+}
+
+}  // namespace
+}  // namespace sb::io

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/gps.hpp"
+#include "sensors/imu.hpp"
+#include "sensors/mic_array.hpp"
+#include "util/stats.hpp"
+
+namespace sb::sensors {
+namespace {
+
+sim::QuadState hover_state() {
+  sim::QuadState s;
+  s.pos = {0, 0, -10};
+  s.accel = {};  // hovering: zero linear acceleration
+  return s;
+}
+
+TEST(Imu, NoiselessConfigReproducesTruth) {
+  Imu imu{{0, 0, 0, 0}, Rng{1}};
+  const auto state = hover_state();
+  const Vec3 sf{0, 0, -sim::kGravity};
+  const auto s = imu.sample(1.0, state, sf);
+  EXPECT_NEAR(s.specific_force.z, -sim::kGravity, 1e-12);
+  EXPECT_NEAR(s.gyro.norm(), 0.0, 1e-12);
+  EXPECT_NEAR(s.accel_ned.norm(), 0.0, 1e-9);
+}
+
+TEST(Imu, NoiseMatchesConfiguredStd) {
+  ImuConfig cfg;
+  cfg.accel_noise = 0.2;
+  cfg.gyro_noise = 0.01;
+  cfg.accel_bias = 0.0;
+  cfg.gyro_bias = 0.0;
+  Imu imu{cfg, Rng{2}};
+  const auto state = hover_state();
+  const Vec3 sf{0, 0, -sim::kGravity};
+  RunningStats ax, gx;
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = imu.sample(i * 0.005, state, sf);
+    ax.add(s.specific_force.x);
+    gx.add(s.gyro.x);
+  }
+  EXPECT_NEAR(ax.stddev(), 0.2, 0.01);
+  EXPECT_NEAR(gx.stddev(), 0.01, 0.001);
+}
+
+TEST(Imu, BiasIsConstantPerInstance) {
+  ImuConfig cfg;
+  cfg.accel_noise = 0.0;
+  cfg.gyro_noise = 0.0;
+  cfg.accel_bias = 0.5;
+  Imu imu{cfg, Rng{3}};
+  const auto state = hover_state();
+  const Vec3 sf{0, 0, -sim::kGravity};
+  const auto s1 = imu.sample(0.0, state, sf);
+  const auto s2 = imu.sample(1.0, state, sf);
+  EXPECT_DOUBLE_EQ(s1.specific_force.x, s2.specific_force.x);
+  EXPECT_NE(s1.specific_force.x, 0.0);
+}
+
+TEST(Imu, AccelNedRoundTrip) {
+  // to_accel_ned must invert the body-frame projection for any attitude.
+  const Vec3 euler{0.2, -0.3, 1.0};
+  const Vec3 accel_ned{1.0, -2.0, 0.5};
+  const Mat3 r = rotation_from_euler(euler.x, euler.y, euler.z);
+  const Vec3 sf = r.transposed() * (accel_ned - Vec3{0, 0, sim::kGravity});
+  const Vec3 back = Imu::to_accel_ned(sf, euler);
+  EXPECT_NEAR(back.x, accel_ned.x, 1e-9);
+  EXPECT_NEAR(back.y, accel_ned.y, 1e-9);
+  EXPECT_NEAR(back.z, accel_ned.z, 1e-9);
+}
+
+TEST(Gps, NoiselessReproducesTruth) {
+  Gps gps{{0, 0, 0}, Rng{4}};
+  sim::QuadState state;
+  state.pos = {3, -4, -12};
+  state.vel = {1, 0, -0.5};
+  const auto s = gps.sample(2.0, state);
+  EXPECT_DOUBLE_EQ(s.pos.x, 3.0);
+  EXPECT_DOUBLE_EQ(s.vel.z, -0.5);
+  EXPECT_DOUBLE_EQ(s.t, 2.0);
+}
+
+TEST(Gps, NoiseLevels) {
+  GpsConfig cfg;
+  Gps gps{cfg, Rng{5}};
+  sim::QuadState state;
+  RunningStats px, pz, vx;
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = gps.sample(i * 0.2, state);
+    px.add(s.pos.x);
+    pz.add(s.pos.z);
+    vx.add(s.vel.x);
+  }
+  EXPECT_NEAR(px.stddev(), cfg.pos_noise_h, 0.05);
+  EXPECT_NEAR(pz.stddev(), cfg.pos_noise_v, 0.05);
+  EXPECT_NEAR(vx.stddev(), cfg.vel_noise, 0.01);
+}
+
+TEST(MicArray, GeometryHasFourDistinctMics) {
+  const auto g = compute_geometry({}, sim::QuadrotorParams{});
+  for (int a = 0; a < kNumMics; ++a)
+    for (int b = a + 1; b < kNumMics; ++b)
+      EXPECT_GT((g.mic_pos[static_cast<std::size_t>(a)] -
+                 g.mic_pos[static_cast<std::size_t>(b)])
+                    .norm(),
+                0.01);
+}
+
+TEST(MicArray, OffCenterMountBreaksSymmetry) {
+  // The off-centre mount means at least one mic hears rotor 0 much louder
+  // than rotor 2 (the diagonal opposite).
+  const auto g = compute_geometry({}, sim::QuadrotorParams{});
+  double max_ratio = 0.0;
+  for (int m = 0; m < kNumMics; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    max_ratio = std::max(max_ratio, g.gain[mi][0] / g.gain[mi][2]);
+  }
+  EXPECT_GT(max_ratio, 1.3);
+}
+
+TEST(MicArray, GainsDecreaseWithDistance) {
+  const auto g = compute_geometry({}, sim::QuadrotorParams{});
+  for (int m = 0; m < kNumMics; ++m)
+    for (int r = 0; r < sim::kNumRotors; ++r) {
+      const auto mi = static_cast<std::size_t>(m);
+      const auto ri = static_cast<std::size_t>(r);
+      EXPECT_GT(g.gain[mi][ri], 0.0);
+      EXPECT_LT(g.gain[mi][ri], 1.0);
+    }
+}
+
+TEST(MicArray, DelaysMatchDistances) {
+  const auto g = compute_geometry({}, sim::QuadrotorParams{});
+  for (int m = 0; m < kNumMics; ++m)
+    for (int r = 0; r < sim::kNumRotors; ++r) {
+      const auto mi = static_cast<std::size_t>(m);
+      const auto ri = static_cast<std::size_t>(r);
+      EXPECT_GT(g.delay_s[mi][ri], 0.0);
+      EXPECT_LT(g.delay_s[mi][ri], 0.01);  // sub-frame delays on a small frame
+    }
+}
+
+TEST(MicArray, DirectionVectorsAreUnit) {
+  const auto g = compute_geometry({}, sim::QuadrotorParams{});
+  for (int m = 0; m < kNumMics; ++m)
+    for (int r = 0; r < sim::kNumRotors; ++r)
+      EXPECT_NEAR(g.dir[static_cast<std::size_t>(m)][static_cast<std::size_t>(r)].norm(),
+                  1.0, 1e-9);
+}
+
+TEST(MicArray, TdoaDiffersAcrossMics) {
+  // The TDoA principle requires the same rotor to arrive at different times
+  // at different mics.
+  const auto g = compute_geometry({}, sim::QuadrotorParams{});
+  double spread = 0.0;
+  for (int r = 0; r < sim::kNumRotors; ++r) {
+    double lo = 1e9, hi = 0.0;
+    for (int m = 0; m < kNumMics; ++m) {
+      const double d = g.delay_s[static_cast<std::size_t>(m)][static_cast<std::size_t>(r)];
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
+    spread = std::max(spread, hi - lo);
+  }
+  EXPECT_GT(spread, 1e-5);  // > 10 us somewhere
+}
+
+}  // namespace
+}  // namespace sb::sensors

@@ -1,0 +1,421 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/controller.hpp"
+#include "sim/mission.hpp"
+#include "sim/pid.hpp"
+#include "sim/quadrotor.hpp"
+#include "sim/simulator.hpp"
+#include "sim/wind.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sb::sim {
+namespace {
+
+TEST(Pid, ProportionalResponse) {
+  Pid pid{{.kp = 2.0}};
+  EXPECT_DOUBLE_EQ(pid.update(1.5, 0.01), 3.0);
+}
+
+TEST(Pid, OutputClamped) {
+  Pid pid{{.kp = 10.0, .out_min = -1.0, .out_max = 1.0}};
+  EXPECT_DOUBLE_EQ(pid.update(5.0, 0.01), 1.0);
+  EXPECT_DOUBLE_EQ(pid.update(-5.0, 0.01), -1.0);
+}
+
+TEST(Pid, IntegralAccumulates) {
+  Pid pid{{.ki = 1.0}};
+  pid.update(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 0.5), 1.0);  // integral = 1.0 after 2 steps
+}
+
+TEST(Pid, AntiWindupLimitsIntegral) {
+  Pid pid{{.ki = 1.0, .i_limit = 0.5}};
+  for (int i = 0; i < 100; ++i) pid.update(10.0, 0.1);
+  EXPECT_LE(std::abs(pid.update(0.0, 0.1)), 0.5 + 1e-12);
+}
+
+TEST(Pid, DerivativeRespondsToChange) {
+  Pid pid{{.kd = 1.0}};
+  pid.update(0.0, 0.1);
+  EXPECT_NEAR(pid.update(1.0, 0.1), 10.0, 1e-9);
+}
+
+TEST(Pid, FirstStepHasNoDerivativeKick) {
+  Pid pid{{.kd = 100.0}};
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 0.1), 0.0);
+}
+
+TEST(Pid, ZeroDtIsSafe) {
+  Pid pid{{.kp = 1.0}};
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 0.0), 0.0);
+}
+
+TEST(Pid, ResetClearsState) {
+  Pid pid{{.ki = 1.0, .kd = 1.0}};
+  pid.update(2.0, 0.1);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.integral(), 0.0);
+}
+
+TEST(Quadrotor, HoverOmegaBalancesGravity) {
+  QuadrotorParams p;
+  const double w = p.hover_omega();
+  EXPECT_NEAR(4.0 * p.kf * w * w, p.mass * kGravity, 1e-9);
+}
+
+TEST(Quadrotor, HoverIsEquilibrium) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -10};
+  RotorCommand cmd;
+  cmd.fill(p.hover_omega());
+  for (int i = 0; i < 1000; ++i) quad.step(cmd, {}, 0.0025);
+  EXPECT_NEAR(quad.state().pos.z, -10.0, 0.01);
+  EXPECT_NEAR(quad.state().vel.norm(), 0.0, 0.01);
+  EXPECT_NEAR(quad.state().euler.norm(), 0.0, 1e-6);
+}
+
+TEST(Quadrotor, ExcessThrustAccelerventsUp) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -10};
+  RotorCommand cmd;
+  cmd.fill(p.hover_omega() * 1.1);
+  for (int i = 0; i < 400; ++i) quad.step(cmd, {}, 0.0025);
+  EXPECT_LT(quad.state().vel.z, -0.5);  // NED: up is negative z
+}
+
+TEST(Quadrotor, DifferentialThrustRolls) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -50};
+  RotorCommand cmd;
+  const double w = p.hover_omega();
+  // More thrust on the left rotors (0 and 3) -> roll right (positive).
+  cmd = {w * 1.03, w * 0.97, w * 0.97, w * 1.03};
+  for (int i = 0; i < 100; ++i) quad.step(cmd, {}, 0.0025);
+  EXPECT_GT(quad.state().euler.x, 0.01);
+  EXPECT_NEAR(quad.state().euler.y, 0.0, 0.005);
+}
+
+TEST(Quadrotor, MotorLagSmoothsCommands) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  const double start = quad.state().omega[0];
+  RotorCommand cmd;
+  cmd.fill(p.omega_max);
+  quad.step(cmd, {}, 0.0025);
+  // One physics step covers dt/tau = 5% of the lag constant: the rotor moves
+  // toward the command but only by a few percent of the remaining gap.
+  const double moved = quad.state().omega[0] - start;
+  EXPECT_GT(moved, 0.0);
+  EXPECT_LT(moved, 0.1 * (p.omega_max - start));
+}
+
+TEST(Quadrotor, GroundStopsDescent) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -0.5};
+  RotorCommand cmd;
+  cmd.fill(p.omega_min);  // nearly no thrust
+  for (int i = 0; i < 2000; ++i) quad.step(cmd, {}, 0.0025);
+  EXPECT_LE(quad.state().pos.z, 0.0 + 1e-9);
+  EXPECT_NEAR(quad.state().vel.norm(), 0.0, 1e-9);
+}
+
+TEST(Quadrotor, MixerInverseRoundTrip) {
+  QuadrotorParams p;
+  const double thrust = p.mass * kGravity * 1.1;
+  const Vec3 torque{0.05, -0.08, 0.01};
+  const RotorCommand cmd = mix_to_rotors(p, thrust, torque);
+
+  // Reconstruct thrust and torques from the commanded speeds.
+  double total = 0.0;
+  Vec3 tq;
+  const std::array<Vec3, kNumRotors> pos{Vec3{p.arm_lx, -p.arm_ly, 0},
+                                         Vec3{p.arm_lx, p.arm_ly, 0},
+                                         Vec3{-p.arm_lx, p.arm_ly, 0},
+                                         Vec3{-p.arm_lx, -p.arm_ly, 0}};
+  for (int i = 0; i < kNumRotors; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double t = p.kf * cmd[idx] * cmd[idx];
+    total += t;
+    tq.x += -pos[idx].y * t;
+    tq.y += pos[idx].x * t;
+    tq.z += -QuadrotorParams::spin[idx] * p.km_over_kf * t;
+  }
+  EXPECT_NEAR(total, thrust, 1e-6);
+  EXPECT_NEAR(tq.x, torque.x, 1e-6);
+  EXPECT_NEAR(tq.y, torque.y, 1e-6);
+  EXPECT_NEAR(tq.z, torque.z, 1e-6);
+}
+
+TEST(Quadrotor, SpecificForceAtHoverIsMinusG) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  RotorCommand cmd;
+  cmd.fill(p.hover_omega());
+  quad.step(cmd, {}, 0.0025);
+  const Vec3 f = quad.specific_force_body();
+  EXPECT_NEAR(f.z, -kGravity, 0.1);
+  EXPECT_NEAR(f.x, 0.0, 0.01);
+}
+
+TEST(Wind, ZeroConfigIsCalm) {
+  WindModel wind{{}, Rng{1}};
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(wind.step(0.01).norm(), 0.0);
+}
+
+TEST(Wind, MeanWindReported) {
+  WindConfig cfg;
+  cfg.mean = {3.0, -1.0, 0.0};
+  WindModel wind{cfg, Rng{1}};
+  const Vec3 w = wind.step(0.01);
+  EXPECT_DOUBLE_EQ(w.x, 3.0);
+  EXPECT_DOUBLE_EQ(w.y, -1.0);
+}
+
+TEST(Wind, GustStationaryStdMatchesConfig) {
+  WindConfig cfg;
+  cfg.gust_stddev = 1.5;
+  cfg.gust_tau = 1.0;
+  WindModel wind{cfg, Rng{2}};
+  RunningStats sx;
+  for (int i = 0; i < 200000; ++i) sx.add(wind.step(0.01).x);
+  EXPECT_NEAR(sx.stddev(), 1.5, 0.15);
+  EXPECT_NEAR(sx.mean(), 0.0, 0.1);
+}
+
+TEST(Mission, HoverHoldsPoint) {
+  const auto m = Mission::hover({1, 2, -10}, 30.0);
+  EXPECT_DOUBLE_EQ(m.setpoint(0.0).x, 1.0);
+  EXPECT_DOUBLE_EQ(m.setpoint(15.0).y, 2.0);
+  EXPECT_DOUBLE_EQ(m.setpoint(100.0).z, -10.0);
+  EXPECT_DOUBLE_EQ(m.duration(), 30.0);
+}
+
+TEST(Mission, WaypointsInterpolateAtConstantSpeed) {
+  const auto m =
+      Mission::waypoints({{{0, 0, -10}, 2.0}, {{10, 0, -10}, 2.0}}, 30.0);
+  // 10 m at 2 m/s -> 5 s leg.
+  EXPECT_NEAR(m.setpoint(2.5).x, 5.0, 1e-9);
+  EXPECT_NEAR(m.setpoint(5.0).x, 10.0, 1e-9);
+  EXPECT_NEAR(m.setpoint(20.0).x, 10.0, 1e-9);  // holds last
+}
+
+TEST(Mission, LineGoesOutAndBack) {
+  const auto m = Mission::line({0, 0, -10}, {10, 0, -10}, 2.0, 30.0);
+  EXPECT_NEAR(m.setpoint(5.0).x, 10.0, 1e-9);
+  EXPECT_NEAR(m.setpoint(10.0).x, 0.0, 1e-9);
+}
+
+TEST(Mission, SquareVisitsCorners) {
+  const auto m = Mission::square({0, 0, 0}, 10.0, 12.0, 2.0, 60.0);
+  EXPECT_NEAR(m.setpoint(0.0).z, -12.0, 1e-9);
+  EXPECT_NEAR(m.setpoint(5.0).x, 10.0, 1e-9);   // first corner after 5 s
+  EXPECT_NEAR(m.setpoint(10.0).y, 10.0, 1e-9);  // second corner
+}
+
+TEST(Mission, FigureEightStaysWithinRadius) {
+  const auto m = Mission::figure_eight({0, 0, -12}, 8.0, 3.0, 60.0);
+  for (double t = 0; t < 60.0; t += 0.5) {
+    const Vec3 p = m.setpoint(t);
+    EXPECT_LE(std::abs(p.x), 8.0 + 1e-9);
+    EXPECT_LE(std::abs(p.y), 8.0 + 1e-9);
+    EXPECT_DOUBLE_EQ(p.z, -12.0);
+  }
+}
+
+TEST(StateEstimator, TracksGyroIntegration) {
+  StateEstimator est{{}, {}};
+  // Constant roll rate, thrust-like specific force (gate closed).
+  for (int i = 0; i < 200; ++i)
+    est.on_imu({0.1, 0, 0}, {0, 0, -12.0}, 0.005);
+  EXPECT_NEAR(est.state().euler.x, 0.1, 0.01);
+}
+
+TEST(StateEstimator, AccelBlendCorrectsTiltWhenStatic) {
+  NavState init;
+  init.euler = {0.2, 0, 0};  // wrong initial roll
+  StateEstimator est{{.att_accel_blend = 0.05}, init};
+  // Static: specific force is exactly -g in body frame (true tilt zero).
+  for (int i = 0; i < 500; ++i) est.on_imu({}, {0, 0, -9.81}, 0.005);
+  EXPECT_NEAR(est.state().euler.x, 0.0, 0.02);
+}
+
+TEST(StateEstimator, GpsPullsPosition) {
+  StateEstimator est{{}, {}};
+  for (int i = 0; i < 50; ++i) est.on_gps({10, 0, -5}, {});
+  EXPECT_NEAR(est.state().pos.x, 10.0, 0.1);
+  EXPECT_NEAR(est.state().pos.z, -5.0, 0.1);
+}
+
+TEST(Controller, HoldsHoverWithPerfectFeedback) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -10};
+  CascadedController ctl{{}, p};
+  for (int i = 0; i < 4000; ++i) {
+    const auto& s = quad.state();
+    const auto cmd = ctl.update({s.pos, s.vel, s.euler, s.rates}, {0, 0, -10}, 0.0, 0.0025);
+    quad.step(cmd, {}, 0.0025);
+  }
+  EXPECT_NEAR((quad.state().pos - Vec3{0, 0, -10}).norm(), 0.0, 0.05);
+}
+
+TEST(Controller, TracksStepSetpoint) {
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -10};
+  CascadedController ctl{{}, p};
+  for (int i = 0; i < 4000; ++i) {
+    const auto& s = quad.state();
+    const auto cmd = ctl.update({s.pos, s.vel, s.euler, s.rates}, {5, 0, -10}, 0.0, 0.0025);
+    quad.step(cmd, {}, 0.0025);
+  }
+  EXPECT_NEAR(quad.state().pos.x, 5.0, 0.5);
+  EXPECT_NEAR(quad.state().pos.z, -10.0, 0.2);
+}
+
+struct MissionCase {
+  const char* name;
+  Mission mission;
+};
+
+class ClosedLoopTest : public ::testing::TestWithParam<int> {};
+
+// Property sweep: the noisy sensor-driven closed loop stays near the
+// setpoint across mission families.
+TEST_P(ClosedLoopTest, TrackingErrorBounded) {
+  Mission mission = Mission::hover({0, 0, -10}, 15.0);
+  switch (GetParam()) {
+    case 0: break;
+    case 1: mission = Mission::line({0, 0, -10}, {12, 0, -10}, 2.5, 15.0); break;
+    case 2: mission = Mission::square({0, 0, 0}, 10, 10, 2.0, 15.0); break;
+    case 3: mission = Mission::figure_eight({0, 0, -11}, 8, 2.5, 15.0); break;
+  }
+
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = mission.setpoint(0.0);
+  CascadedController ctl{{}, p};
+  StateEstimator est{{}, {mission.setpoint(0.0), {}, {}, {}}};
+  Rng rng{static_cast<std::uint64_t>(GetParam()) + 77};
+
+  const double dt = 0.0025;
+  double max_err = 0.0;
+  for (int k = 0; k < 6000; ++k) {
+    const double t = k * dt;
+    const auto& s = quad.state();
+    if (k % 2 == 0) {
+      const Vec3 gyro = s.rates + Vec3{rng.normal(0, 0.004), rng.normal(0, 0.004),
+                                       rng.normal(0, 0.004)};
+      const Vec3 sf = quad.specific_force_body() +
+                      Vec3{rng.normal(0, 0.08), rng.normal(0, 0.08), rng.normal(0, 0.08)};
+      est.on_imu(gyro, sf, 0.005);
+    }
+    if (k % 80 == 0)
+      est.on_gps(s.pos + Vec3{rng.normal(0, 0.6), rng.normal(0, 0.6), rng.normal(0, 1.0)},
+                 s.vel + Vec3{rng.normal(0, 0.12), rng.normal(0, 0.12),
+                              rng.normal(0, 0.12)});
+    const auto cmd = ctl.update(est.state(), mission.setpoint(t), 0.0, dt);
+    quad.step(cmd, {}, dt);
+    if (t > 3.0)
+      max_err = std::max(max_err, (s.pos - mission.setpoint(t)).norm());
+  }
+  EXPECT_LT(max_err, 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Missions, ClosedLoopTest, ::testing::Range(0, 4));
+
+class MixerSweep : public ::testing::TestWithParam<int> {};
+
+// Property: the inverse mixer reconstructs any feasible (thrust, torque)
+// request exactly, for randomized requests within actuator authority.
+TEST_P(MixerSweep, RoundTripsRandomRequests) {
+  QuadrotorParams p;
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 5};
+  const double thrust = p.mass * kGravity * rng.uniform(0.8, 1.3);
+  const Vec3 torque{rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1),
+                    rng.uniform(-0.03, 0.03)};
+  const RotorCommand cmd = mix_to_rotors(p, thrust, torque);
+
+  double total = 0.0;
+  Vec3 tq;
+  const std::array<Vec3, kNumRotors> pos{Vec3{p.arm_lx, -p.arm_ly, 0},
+                                         Vec3{p.arm_lx, p.arm_ly, 0},
+                                         Vec3{-p.arm_lx, p.arm_ly, 0},
+                                         Vec3{-p.arm_lx, -p.arm_ly, 0}};
+  for (int i = 0; i < kNumRotors; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double t = p.kf * cmd[idx] * cmd[idx];
+    total += t;
+    tq.x += -pos[idx].y * t;
+    tq.y += pos[idx].x * t;
+    tq.z += -QuadrotorParams::spin[idx] * p.km_over_kf * t;
+  }
+  EXPECT_NEAR(total, thrust, 1e-6);
+  EXPECT_NEAR(tq.x, torque.x, 1e-6);
+  EXPECT_NEAR(tq.y, torque.y, 1e-6);
+  EXPECT_NEAR(tq.z, torque.z, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRequests, MixerSweep, ::testing::Range(0, 8));
+
+TEST(ActuatorDosFlight, BlockedRotorsGetQuieterAndVehicleSinks) {
+  // §V-B extension: a PWM block waveform on two rotors slows them audibly
+  // and costs altitude while active.
+  QuadrotorParams p;
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -30};
+  CascadedController ctl{{}, p};
+  double min_omega = 1e9;
+  for (int k = 0; k < 4000; ++k) {
+    const double t = k * 0.0025;
+    const auto& s = quad.state();
+    RotorCommand cmd = ctl.update({s.pos, s.vel, s.euler, s.rates}, {0, 0, -30}, 0.0,
+                                  0.0025);
+    // Block rotors 0 and 1 half the time between 3 s and 8 s.
+    if (t > 3.0 && t < 8.0 && std::fmod(t, 0.5) < 0.25) {
+      cmd[0] = p.omega_min;
+      cmd[1] = p.omega_min;
+    }
+    quad.step(cmd, {}, 0.0025);
+    if (t > 3.2 && t < 8.0) min_omega = std::min(min_omega, s.omega[0]);
+  }
+  EXPECT_LT(min_omega, 0.75 * p.hover_omega());  // audibly slowed
+  EXPECT_GT(quad.state().pos.z, -30.0 + 0.5);    // lost altitude (z down)
+}
+
+TEST(SimRates, DecimationConsistent) {
+  SimRates rates;
+  EXPECT_EQ(rates.imu_decimation(), 2u);
+  EXPECT_EQ(rates.gps_decimation(), 80u);
+  EXPECT_DOUBLE_EQ(rates.physics_dt(), 0.0025);
+}
+
+TEST(FlightLog, WindowAggregation) {
+  FlightLog log;
+  log.rates = SimRates{};
+  for (int i = 0; i < 100; ++i) {
+    log.t.push_back(i * 0.01);
+    log.true_accel.push_back({static_cast<double>(i), 0, 0});
+    log.rotor_omega.push_back({1.0, 2.0, 3.0, 4.0});
+  }
+  const Vec3 m = log.mean_true_accel(0.0, 0.5);  // samples 0..49
+  EXPECT_NEAR(m.x, 24.5, 1e-9);
+  const auto om = log.mean_omega(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(om[2], 3.0);
+}
+
+TEST(FlightLog, EmptyRangeYieldsZero) {
+  FlightLog log;
+  EXPECT_DOUBLE_EQ(log.mean_true_accel(0, 1).norm(), 0.0);
+  EXPECT_DOUBLE_EQ(log.mean_imu_accel(0, 1).norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace sb::sim

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "acoustics/localization.hpp"
+#include "acoustics/propagation.hpp"
+#include "dsp/tdoa.hpp"
+#include "util/rng.hpp"
+
+namespace sb::dsp {
+namespace {
+
+std::vector<double> noise_burst(std::size_t n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<double> s(n);
+  for (auto& x : s) x = rng.normal();
+  return s;
+}
+
+std::vector<double> shifted(const std::vector<double>& s, int delay) {
+  std::vector<double> out(s.size(), 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto j = static_cast<std::ptrdiff_t>(i) - delay;
+    if (j >= 0 && j < static_cast<std::ptrdiff_t>(s.size()))
+      out[i] = s[static_cast<std::size_t>(j)];
+  }
+  return out;
+}
+
+TEST(Tdoa, RecoversIntegerDelay) {
+  const auto a = noise_burst(4096, 1);
+  for (int delay : {-20, -7, 0, 3, 15}) {
+    const auto b = shifted(a, delay);
+    const auto est = estimate_tdoa(a, b);
+    EXPECT_NEAR(est.delay_samples, delay, 0.25) << "delay " << delay;
+  }
+}
+
+TEST(Tdoa, WorksWithoutPhat) {
+  const auto a = noise_burst(4096, 2);
+  const auto b = shifted(a, 9);
+  GccConfig cfg;
+  cfg.phat = false;
+  EXPECT_NEAR(estimate_tdoa(a, b, cfg).delay_samples, 9.0, 0.25);
+}
+
+TEST(Tdoa, RobustToIndependentNoise) {
+  const auto clean = noise_burst(8192, 3);
+  auto a = clean;
+  auto b = shifted(clean, 11);
+  Rng rng{4};
+  for (auto& x : a) x += rng.normal(0.0, 0.5);
+  for (auto& x : b) x += rng.normal(0.0, 0.5);
+  EXPECT_NEAR(estimate_tdoa(a, b).delay_samples, 11.0, 0.5);
+}
+
+TEST(Tdoa, RespectsSearchRange) {
+  const auto a = noise_burst(4096, 5);
+  const auto b = shifted(a, 25);
+  GccConfig cfg;
+  cfg.max_delay_samples = 10.0;  // true delay outside the physical bound
+  const auto est = estimate_tdoa(a, b, cfg);
+  EXPECT_LE(std::abs(est.delay_samples), 10.5);
+}
+
+TEST(Tdoa, EmptyInputIsSafe) {
+  std::vector<double> empty;
+  const auto est = estimate_tdoa(empty, empty);
+  EXPECT_DOUBLE_EQ(est.delay_samples, 0.0);
+}
+
+TEST(Tdoa, CrossCorrelationPeaksAtLag) {
+  const auto a = noise_burst(1024, 6);
+  const auto b = shifted(a, 5);
+  const auto xc = cross_correlation(a, b, 16);
+  std::size_t peak = 0;
+  for (std::size_t i = 0; i < xc.size(); ++i)
+    if (xc[i] > xc[peak]) peak = i;
+  EXPECT_EQ(static_cast<int>(peak) - 16, 5);
+}
+
+TEST(Tdoa, SubSampleInterpolation) {
+  // A fractional delay synthesized by linear interpolation between taps.
+  const auto a = noise_burst(8192, 7);
+  std::vector<double> b(a.size(), 0.0);
+  const double frac_delay = 6.4;
+  for (std::size_t i = 8; i < a.size(); ++i) {
+    const double j = static_cast<double>(i) - frac_delay;
+    const auto j0 = static_cast<std::size_t>(j);
+    const double f = j - static_cast<double>(j0);
+    b[i] = a[j0] * (1.0 - f) + a[j0 + 1] * f;
+  }
+  GccConfig cfg;
+  cfg.phat = false;  // interpolation acts as a low-pass; plain GCC is apt
+  EXPECT_NEAR(estimate_tdoa(a, b, cfg).delay_samples, frac_delay, 0.35);
+}
+
+}  // namespace
+}  // namespace sb::dsp
+
+namespace sb::acoustics {
+namespace {
+
+TEST(Localization, LocatesSingleRotorSource) {
+  // One rotor radiates broadband noise; the array should localize it near
+  // its true position.
+  const sim::QuadrotorParams quad;
+  const auto geom = sensors::compute_geometry({}, quad);
+  const double fs = 16000.0;
+
+  Rng rng{11};
+  std::array<std::vector<double>, sim::kNumRotors> rotors;
+  for (auto& r : rotors) r.assign(4096 + 64, 0.0);
+  for (auto& x : rotors[0]) x = rng.normal();  // front-left rotor only
+
+  Rng ambient{12};
+  const auto audio = mix_to_mics(rotors, 64, geom, fs, 0.0005, ambient);
+  const auto result = localize_source(audio, geom);
+  ASSERT_TRUE(result.has_value());
+  const Vec3 truth{quad.arm_lx, -quad.arm_ly, 0.0};
+  // The tiny array aperture (~0.1 m at 16 kHz -> ~2 cm path resolution per
+  // sample) limits absolute accuracy; what matters for rotor attribution is
+  // landing in the correct quadrant at rotor-arm distance.
+  EXPECT_LT((result->position - truth).norm(), 0.25)
+      << "estimated (" << result->position.x << ", " << result->position.y << ")";
+  EXPECT_GT(result->position.x, 0.0);
+  EXPECT_LT(result->position.y, 0.0);
+}
+
+TEST(Localization, DistinguishesOppositeRotors) {
+  const sim::QuadrotorParams quad;
+  const auto geom = sensors::compute_geometry({}, quad);
+  const double fs = 16000.0;
+
+  auto locate_rotor = [&](int rotor) {
+    Rng rng{20 + static_cast<std::uint64_t>(rotor)};
+    std::array<std::vector<double>, sim::kNumRotors> rotors;
+    for (auto& r : rotors) r.assign(4096 + 64, 0.0);
+    for (auto& x : rotors[static_cast<std::size_t>(rotor)]) x = rng.normal();
+    Rng ambient{30 + static_cast<std::uint64_t>(rotor)};
+    const auto audio = mix_to_mics(rotors, 64, geom, fs, 0.0005, ambient);
+    return localize_source(audio, geom)->position;
+  };
+
+  const Vec3 p0 = locate_rotor(0);  // (+lx, -ly)
+  const Vec3 p2 = locate_rotor(2);  // (-lx, +ly)
+  EXPECT_GT(p0.x, p2.x);
+  EXPECT_LT(p0.y, p2.y);
+}
+
+TEST(Localization, EmptyAudioReturnsNothing) {
+  const auto geom = sensors::compute_geometry({}, sim::QuadrotorParams{});
+  MultiChannelAudio empty;
+  EXPECT_FALSE(localize_source(empty, geom).has_value());
+}
+
+TEST(Localization, PairDelaysAreBoundedByGeometry) {
+  const sim::QuadrotorParams quad;
+  const auto geom = sensors::compute_geometry({}, quad);
+  Rng rng{40};
+  std::array<std::vector<double>, sim::kNumRotors> rotors;
+  for (auto& r : rotors) r.assign(2048 + 64, 0.0);
+  for (auto& x : rotors[1]) x = rng.normal();
+  Rng ambient{41};
+  const auto audio = mix_to_mics(rotors, 64, geom, 16000.0, 0.0005, ambient);
+  const auto delays = measure_pair_delays(audio);
+  // Mic spacing ~0.1 m -> at most ~5 samples of TDoA at 16 kHz.
+  for (double d : delays) EXPECT_LE(std::abs(d), 6.0);
+}
+
+}  // namespace
+}  // namespace sb::acoustics

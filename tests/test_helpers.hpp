@@ -1,0 +1,33 @@
+// Shared fixtures for the SoundBoost test suite: small, fast flights and a
+// cached FlightLab so expensive setup is not repeated per test.
+#pragma once
+
+#include "core/flight_lab.hpp"
+
+namespace sb::test {
+
+inline const core::FlightLab& lab() {
+  static const core::FlightLab kLab;
+  return kLab;
+}
+
+// Short hover flight (fast to simulate); deterministic in seed.
+inline core::Flight hover_flight(double duration = 10.0, std::uint64_t seed = 1,
+                                 double gust = 0.3) {
+  core::FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -10}, duration);
+  s.wind.gust_stddev = gust;
+  s.seed = seed;
+  return lab().fly(s);
+}
+
+// Short line mission exercising acceleration and deceleration.
+inline core::Flight line_flight(double duration = 12.0, std::uint64_t seed = 2) {
+  core::FlightScenario s;
+  s.mission = sim::Mission::line({0, 0, -10}, {15, 0, -10}, 3.0, duration);
+  s.wind.gust_stddev = 0.3;
+  s.seed = seed;
+  return lab().fly(s);
+}
+
+}  // namespace sb::test
