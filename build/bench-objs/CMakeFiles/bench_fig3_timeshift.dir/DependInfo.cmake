@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_timeshift.cpp" "bench-objs/CMakeFiles/bench_fig3_timeshift.dir/bench_fig3_timeshift.cpp.o" "gcc" "bench-objs/CMakeFiles/bench_fig3_timeshift.dir/bench_fig3_timeshift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_timeshift"
+  "../bench/bench_fig3_timeshift.pdb"
+  "CMakeFiles/bench_fig3_timeshift.dir/bench_fig3_timeshift.cpp.o"
+  "CMakeFiles/bench_fig3_timeshift.dir/bench_fig3_timeshift.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_timeshift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_imu_residuals"
+  "../bench/bench_fig6_imu_residuals.pdb"
+  "CMakeFiles/bench_fig6_imu_residuals.dir/bench_fig6_imu_residuals.cpp.o"
+  "CMakeFiles/bench_fig6_imu_residuals.dir/bench_fig6_imu_residuals.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_imu_residuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

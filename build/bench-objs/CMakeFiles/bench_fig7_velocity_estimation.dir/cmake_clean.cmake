@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_velocity_estimation"
+  "../bench/bench_fig7_velocity_estimation.pdb"
+  "CMakeFiles/bench_fig7_velocity_estimation.dir/bench_fig7_velocity_estimation.cpp.o"
+  "CMakeFiles/bench_fig7_velocity_estimation.dir/bench_fig7_velocity_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_velocity_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_freq_importance"
+  "../bench/bench_freq_importance.pdb"
+  "CMakeFiles/bench_freq_importance.dir/bench_freq_importance.cpp.o"
+  "CMakeFiles/bench_freq_importance.dir/bench_freq_importance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freq_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_model_selection"
+  "../bench/bench_model_selection.pdb"
+  "CMakeFiles/bench_model_selection.dir/bench_model_selection.cpp.o"
+  "CMakeFiles/bench_model_selection.dir/bench_model_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_augmentation"
+  "../bench/bench_tab1_augmentation.pdb"
+  "CMakeFiles/bench_tab1_augmentation.dir/bench_tab1_augmentation.cpp.o"
+  "CMakeFiles/bench_tab1_augmentation.dir/bench_tab1_augmentation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

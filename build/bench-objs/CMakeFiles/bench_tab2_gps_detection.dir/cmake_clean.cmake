@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab2_gps_detection"
+  "../bench/bench_tab2_gps_detection.pdb"
+  "CMakeFiles/bench_tab2_gps_detection.dir/bench_tab2_gps_detection.cpp.o"
+  "CMakeFiles/bench_tab2_gps_detection.dir/bench_tab2_gps_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_gps_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

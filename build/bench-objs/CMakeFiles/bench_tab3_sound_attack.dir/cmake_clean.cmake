@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_sound_attack"
+  "../bench/bench_tab3_sound_attack.pdb"
+  "CMakeFiles/bench_tab3_sound_attack.dir/bench_tab3_sound_attack.cpp.o"
+  "CMakeFiles/bench_tab3_sound_attack.dir/bench_tab3_sound_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_sound_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_window_size"
+  "../bench/bench_window_size.pdb"
+  "CMakeFiles/bench_window_size.dir/bench_window_size.cpp.o"
+  "CMakeFiles/bench_window_size.dir/bench_window_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_sound.dir/adversarial_sound.cpp.o"
+  "CMakeFiles/adversarial_sound.dir/adversarial_sound.cpp.o.d"
+  "adversarial_sound"
+  "adversarial_sound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_sound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

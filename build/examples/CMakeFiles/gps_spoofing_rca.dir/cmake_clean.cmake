@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_spoofing_rca.dir/gps_spoofing_rca.cpp.o"
+  "CMakeFiles/gps_spoofing_rca.dir/gps_spoofing_rca.cpp.o.d"
+  "gps_spoofing_rca"
+  "gps_spoofing_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_spoofing_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

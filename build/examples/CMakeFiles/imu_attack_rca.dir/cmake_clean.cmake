@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imu_attack_rca.dir/imu_attack_rca.cpp.o"
+  "CMakeFiles/imu_attack_rca.dir/imu_attack_rca.cpp.o.d"
+  "imu_attack_rca"
+  "imu_attack_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imu_attack_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

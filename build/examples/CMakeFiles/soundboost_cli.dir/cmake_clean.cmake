@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundboost_cli.dir/soundboost_cli.cpp.o"
+  "CMakeFiles/soundboost_cli.dir/soundboost_cli.cpp.o.d"
+  "soundboost_cli"
+  "soundboost_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundboost_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acoustics/localization.cpp" "src/CMakeFiles/sb_acoustics.dir/acoustics/localization.cpp.o" "gcc" "src/CMakeFiles/sb_acoustics.dir/acoustics/localization.cpp.o.d"
+  "/root/repo/src/acoustics/propagation.cpp" "src/CMakeFiles/sb_acoustics.dir/acoustics/propagation.cpp.o" "gcc" "src/CMakeFiles/sb_acoustics.dir/acoustics/propagation.cpp.o.d"
+  "/root/repo/src/acoustics/rotor_sound.cpp" "src/CMakeFiles/sb_acoustics.dir/acoustics/rotor_sound.cpp.o" "gcc" "src/CMakeFiles/sb_acoustics.dir/acoustics/rotor_sound.cpp.o.d"
+  "/root/repo/src/acoustics/synthesizer.cpp" "src/CMakeFiles/sb_acoustics.dir/acoustics/synthesizer.cpp.o" "gcc" "src/CMakeFiles/sb_acoustics.dir/acoustics/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_acoustics.dir/acoustics/localization.cpp.o"
+  "CMakeFiles/sb_acoustics.dir/acoustics/localization.cpp.o.d"
+  "CMakeFiles/sb_acoustics.dir/acoustics/propagation.cpp.o"
+  "CMakeFiles/sb_acoustics.dir/acoustics/propagation.cpp.o.d"
+  "CMakeFiles/sb_acoustics.dir/acoustics/rotor_sound.cpp.o"
+  "CMakeFiles/sb_acoustics.dir/acoustics/rotor_sound.cpp.o.d"
+  "CMakeFiles/sb_acoustics.dir/acoustics/synthesizer.cpp.o"
+  "CMakeFiles/sb_acoustics.dir/acoustics/synthesizer.cpp.o.d"
+  "libsb_acoustics.a"
+  "libsb_acoustics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_acoustics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

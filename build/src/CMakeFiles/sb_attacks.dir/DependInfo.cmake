@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/actuator_attack.cpp" "src/CMakeFiles/sb_attacks.dir/attacks/actuator_attack.cpp.o" "gcc" "src/CMakeFiles/sb_attacks.dir/attacks/actuator_attack.cpp.o.d"
+  "/root/repo/src/attacks/gps_spoofing.cpp" "src/CMakeFiles/sb_attacks.dir/attacks/gps_spoofing.cpp.o" "gcc" "src/CMakeFiles/sb_attacks.dir/attacks/gps_spoofing.cpp.o.d"
+  "/root/repo/src/attacks/imu_attack.cpp" "src/CMakeFiles/sb_attacks.dir/attacks/imu_attack.cpp.o" "gcc" "src/CMakeFiles/sb_attacks.dir/attacks/imu_attack.cpp.o.d"
+  "/root/repo/src/attacks/sound_attack.cpp" "src/CMakeFiles/sb_attacks.dir/attacks/sound_attack.cpp.o" "gcc" "src/CMakeFiles/sb_attacks.dir/attacks/sound_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

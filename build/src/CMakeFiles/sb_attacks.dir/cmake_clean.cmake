@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_attacks.dir/attacks/actuator_attack.cpp.o"
+  "CMakeFiles/sb_attacks.dir/attacks/actuator_attack.cpp.o.d"
+  "CMakeFiles/sb_attacks.dir/attacks/gps_spoofing.cpp.o"
+  "CMakeFiles/sb_attacks.dir/attacks/gps_spoofing.cpp.o.d"
+  "CMakeFiles/sb_attacks.dir/attacks/imu_attack.cpp.o"
+  "CMakeFiles/sb_attacks.dir/attacks/imu_attack.cpp.o.d"
+  "CMakeFiles/sb_attacks.dir/attacks/sound_attack.cpp.o"
+  "CMakeFiles/sb_attacks.dir/attacks/sound_attack.cpp.o.d"
+  "libsb_attacks.a"
+  "libsb_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dnn_lstm.cpp" "src/CMakeFiles/sb_baselines.dir/baselines/dnn_lstm.cpp.o" "gcc" "src/CMakeFiles/sb_baselines.dir/baselines/dnn_lstm.cpp.o.d"
+  "/root/repo/src/baselines/failsafe_kf.cpp" "src/CMakeFiles/sb_baselines.dir/baselines/failsafe_kf.cpp.o" "gcc" "src/CMakeFiles/sb_baselines.dir/baselines/failsafe_kf.cpp.o.d"
+  "/root/repo/src/baselines/lti_invariant.cpp" "src/CMakeFiles/sb_baselines.dir/baselines/lti_invariant.cpp.o" "gcc" "src/CMakeFiles/sb_baselines.dir/baselines/lti_invariant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_baselines.dir/baselines/dnn_lstm.cpp.o"
+  "CMakeFiles/sb_baselines.dir/baselines/dnn_lstm.cpp.o.d"
+  "CMakeFiles/sb_baselines.dir/baselines/failsafe_kf.cpp.o"
+  "CMakeFiles/sb_baselines.dir/baselines/failsafe_kf.cpp.o.d"
+  "CMakeFiles/sb_baselines.dir/baselines/lti_invariant.cpp.o"
+  "CMakeFiles/sb_baselines.dir/baselines/lti_invariant.cpp.o.d"
+  "libsb_baselines.a"
+  "libsb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

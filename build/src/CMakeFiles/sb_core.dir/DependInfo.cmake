@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cpp" "src/CMakeFiles/sb_core.dir/core/dataset.cpp.o" "gcc" "src/CMakeFiles/sb_core.dir/core/dataset.cpp.o.d"
+  "/root/repo/src/core/flight_lab.cpp" "src/CMakeFiles/sb_core.dir/core/flight_lab.cpp.o" "gcc" "src/CMakeFiles/sb_core.dir/core/flight_lab.cpp.o.d"
+  "/root/repo/src/core/gps_rca.cpp" "src/CMakeFiles/sb_core.dir/core/gps_rca.cpp.o" "gcc" "src/CMakeFiles/sb_core.dir/core/gps_rca.cpp.o.d"
+  "/root/repo/src/core/imu_rca.cpp" "src/CMakeFiles/sb_core.dir/core/imu_rca.cpp.o" "gcc" "src/CMakeFiles/sb_core.dir/core/imu_rca.cpp.o.d"
+  "/root/repo/src/core/rca_engine.cpp" "src/CMakeFiles/sb_core.dir/core/rca_engine.cpp.o" "gcc" "src/CMakeFiles/sb_core.dir/core/rca_engine.cpp.o.d"
+  "/root/repo/src/core/sensory_mapper.cpp" "src/CMakeFiles/sb_core.dir/core/sensory_mapper.cpp.o" "gcc" "src/CMakeFiles/sb_core.dir/core/sensory_mapper.cpp.o.d"
+  "/root/repo/src/core/signature.cpp" "src/CMakeFiles/sb_core.dir/core/signature.cpp.o" "gcc" "src/CMakeFiles/sb_core.dir/core/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_acoustics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_core.dir/core/dataset.cpp.o"
+  "CMakeFiles/sb_core.dir/core/dataset.cpp.o.d"
+  "CMakeFiles/sb_core.dir/core/flight_lab.cpp.o"
+  "CMakeFiles/sb_core.dir/core/flight_lab.cpp.o.d"
+  "CMakeFiles/sb_core.dir/core/gps_rca.cpp.o"
+  "CMakeFiles/sb_core.dir/core/gps_rca.cpp.o.d"
+  "CMakeFiles/sb_core.dir/core/imu_rca.cpp.o"
+  "CMakeFiles/sb_core.dir/core/imu_rca.cpp.o.d"
+  "CMakeFiles/sb_core.dir/core/rca_engine.cpp.o"
+  "CMakeFiles/sb_core.dir/core/rca_engine.cpp.o.d"
+  "CMakeFiles/sb_core.dir/core/sensory_mapper.cpp.o"
+  "CMakeFiles/sb_core.dir/core/sensory_mapper.cpp.o.d"
+  "CMakeFiles/sb_core.dir/core/signature.cpp.o"
+  "CMakeFiles/sb_core.dir/core/signature.cpp.o.d"
+  "libsb_core.a"
+  "libsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

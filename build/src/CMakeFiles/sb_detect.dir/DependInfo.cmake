@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/ks_test.cpp" "src/CMakeFiles/sb_detect.dir/detect/ks_test.cpp.o" "gcc" "src/CMakeFiles/sb_detect.dir/detect/ks_test.cpp.o.d"
+  "/root/repo/src/detect/running_mean.cpp" "src/CMakeFiles/sb_detect.dir/detect/running_mean.cpp.o" "gcc" "src/CMakeFiles/sb_detect.dir/detect/running_mean.cpp.o.d"
+  "/root/repo/src/detect/threshold.cpp" "src/CMakeFiles/sb_detect.dir/detect/threshold.cpp.o" "gcc" "src/CMakeFiles/sb_detect.dir/detect/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

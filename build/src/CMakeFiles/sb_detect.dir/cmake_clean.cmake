@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_detect.dir/detect/ks_test.cpp.o"
+  "CMakeFiles/sb_detect.dir/detect/ks_test.cpp.o.d"
+  "CMakeFiles/sb_detect.dir/detect/running_mean.cpp.o"
+  "CMakeFiles/sb_detect.dir/detect/running_mean.cpp.o.d"
+  "CMakeFiles/sb_detect.dir/detect/threshold.cpp.o"
+  "CMakeFiles/sb_detect.dir/detect/threshold.cpp.o.d"
+  "libsb_detect.a"
+  "libsb_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

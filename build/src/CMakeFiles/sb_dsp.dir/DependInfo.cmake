@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/CMakeFiles/sb_dsp.dir/dsp/biquad.cpp.o" "gcc" "src/CMakeFiles/sb_dsp.dir/dsp/biquad.cpp.o.d"
+  "/root/repo/src/dsp/features.cpp" "src/CMakeFiles/sb_dsp.dir/dsp/features.cpp.o" "gcc" "src/CMakeFiles/sb_dsp.dir/dsp/features.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/sb_dsp.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/sb_dsp.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/dsp/spectrogram.cpp" "src/CMakeFiles/sb_dsp.dir/dsp/spectrogram.cpp.o" "gcc" "src/CMakeFiles/sb_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "/root/repo/src/dsp/tdoa.cpp" "src/CMakeFiles/sb_dsp.dir/dsp/tdoa.cpp.o" "gcc" "src/CMakeFiles/sb_dsp.dir/dsp/tdoa.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/CMakeFiles/sb_dsp.dir/dsp/window.cpp.o" "gcc" "src/CMakeFiles/sb_dsp.dir/dsp/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_dsp.dir/dsp/biquad.cpp.o"
+  "CMakeFiles/sb_dsp.dir/dsp/biquad.cpp.o.d"
+  "CMakeFiles/sb_dsp.dir/dsp/features.cpp.o"
+  "CMakeFiles/sb_dsp.dir/dsp/features.cpp.o.d"
+  "CMakeFiles/sb_dsp.dir/dsp/fft.cpp.o"
+  "CMakeFiles/sb_dsp.dir/dsp/fft.cpp.o.d"
+  "CMakeFiles/sb_dsp.dir/dsp/spectrogram.cpp.o"
+  "CMakeFiles/sb_dsp.dir/dsp/spectrogram.cpp.o.d"
+  "CMakeFiles/sb_dsp.dir/dsp/tdoa.cpp.o"
+  "CMakeFiles/sb_dsp.dir/dsp/tdoa.cpp.o.d"
+  "CMakeFiles/sb_dsp.dir/dsp/window.cpp.o"
+  "CMakeFiles/sb_dsp.dir/dsp/window.cpp.o.d"
+  "libsb_dsp.a"
+  "libsb_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

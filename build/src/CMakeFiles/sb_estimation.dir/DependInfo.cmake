@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/frames.cpp" "src/CMakeFiles/sb_estimation.dir/estimation/frames.cpp.o" "gcc" "src/CMakeFiles/sb_estimation.dir/estimation/frames.cpp.o.d"
+  "/root/repo/src/estimation/kalman.cpp" "src/CMakeFiles/sb_estimation.dir/estimation/kalman.cpp.o" "gcc" "src/CMakeFiles/sb_estimation.dir/estimation/kalman.cpp.o.d"
+  "/root/repo/src/estimation/velocity_kf.cpp" "src/CMakeFiles/sb_estimation.dir/estimation/velocity_kf.cpp.o" "gcc" "src/CMakeFiles/sb_estimation.dir/estimation/velocity_kf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

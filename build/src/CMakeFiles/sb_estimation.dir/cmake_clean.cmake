@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_estimation.dir/estimation/frames.cpp.o"
+  "CMakeFiles/sb_estimation.dir/estimation/frames.cpp.o.d"
+  "CMakeFiles/sb_estimation.dir/estimation/kalman.cpp.o"
+  "CMakeFiles/sb_estimation.dir/estimation/kalman.cpp.o.d"
+  "CMakeFiles/sb_estimation.dir/estimation/velocity_kf.cpp.o"
+  "CMakeFiles/sb_estimation.dir/estimation/velocity_kf.cpp.o.d"
+  "libsb_estimation.a"
+  "libsb_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_io.dir/io/flight_csv.cpp.o"
+  "CMakeFiles/sb_io.dir/io/flight_csv.cpp.o.d"
+  "CMakeFiles/sb_io.dir/io/wav.cpp.o"
+  "CMakeFiles/sb_io.dir/io/wav.cpp.o.d"
+  "libsb_io.a"
+  "libsb_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

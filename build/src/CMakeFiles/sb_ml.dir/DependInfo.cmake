@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/conv.cpp" "src/CMakeFiles/sb_ml.dir/ml/conv.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/conv.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/CMakeFiles/sb_ml.dir/ml/layers.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/layers.cpp.o.d"
+  "/root/repo/src/ml/lstm.cpp" "src/CMakeFiles/sb_ml.dir/ml/lstm.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/lstm.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/CMakeFiles/sb_ml.dir/ml/model.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/model.cpp.o.d"
+  "/root/repo/src/ml/models.cpp" "src/CMakeFiles/sb_ml.dir/ml/models.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/models.cpp.o.d"
+  "/root/repo/src/ml/neural_ode.cpp" "src/CMakeFiles/sb_ml.dir/ml/neural_ode.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/neural_ode.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/CMakeFiles/sb_ml.dir/ml/optimizer.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/optimizer.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/CMakeFiles/sb_ml.dir/ml/tensor.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/tensor.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/CMakeFiles/sb_ml.dir/ml/trainer.cpp.o" "gcc" "src/CMakeFiles/sb_ml.dir/ml/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

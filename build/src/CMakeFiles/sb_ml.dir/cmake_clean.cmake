@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_ml.dir/ml/conv.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/conv.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/layers.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/layers.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/lstm.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/lstm.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/model.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/model.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/models.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/models.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/neural_ode.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/neural_ode.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/optimizer.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/optimizer.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/tensor.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/tensor.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/ml/trainer.cpp.o"
+  "CMakeFiles/sb_ml.dir/ml/trainer.cpp.o.d"
+  "libsb_ml.a"
+  "libsb_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

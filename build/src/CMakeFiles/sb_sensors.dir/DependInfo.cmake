@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensors/gps.cpp" "src/CMakeFiles/sb_sensors.dir/sensors/gps.cpp.o" "gcc" "src/CMakeFiles/sb_sensors.dir/sensors/gps.cpp.o.d"
+  "/root/repo/src/sensors/imu.cpp" "src/CMakeFiles/sb_sensors.dir/sensors/imu.cpp.o" "gcc" "src/CMakeFiles/sb_sensors.dir/sensors/imu.cpp.o.d"
+  "/root/repo/src/sensors/mic_array.cpp" "src/CMakeFiles/sb_sensors.dir/sensors/mic_array.cpp.o" "gcc" "src/CMakeFiles/sb_sensors.dir/sensors/mic_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_sensors.dir/sensors/gps.cpp.o"
+  "CMakeFiles/sb_sensors.dir/sensors/gps.cpp.o.d"
+  "CMakeFiles/sb_sensors.dir/sensors/imu.cpp.o"
+  "CMakeFiles/sb_sensors.dir/sensors/imu.cpp.o.d"
+  "CMakeFiles/sb_sensors.dir/sensors/mic_array.cpp.o"
+  "CMakeFiles/sb_sensors.dir/sensors/mic_array.cpp.o.d"
+  "libsb_sensors.a"
+  "libsb_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

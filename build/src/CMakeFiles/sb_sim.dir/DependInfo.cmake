@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/controller.cpp" "src/CMakeFiles/sb_sim.dir/sim/controller.cpp.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/controller.cpp.o.d"
+  "/root/repo/src/sim/mission.cpp" "src/CMakeFiles/sb_sim.dir/sim/mission.cpp.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/mission.cpp.o.d"
+  "/root/repo/src/sim/pid.cpp" "src/CMakeFiles/sb_sim.dir/sim/pid.cpp.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/pid.cpp.o.d"
+  "/root/repo/src/sim/quadrotor.cpp" "src/CMakeFiles/sb_sim.dir/sim/quadrotor.cpp.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/quadrotor.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/sb_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/wind.cpp" "src/CMakeFiles/sb_sim.dir/sim/wind.cpp.o" "gcc" "src/CMakeFiles/sb_sim.dir/sim/wind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_sim.dir/sim/controller.cpp.o"
+  "CMakeFiles/sb_sim.dir/sim/controller.cpp.o.d"
+  "CMakeFiles/sb_sim.dir/sim/mission.cpp.o"
+  "CMakeFiles/sb_sim.dir/sim/mission.cpp.o.d"
+  "CMakeFiles/sb_sim.dir/sim/pid.cpp.o"
+  "CMakeFiles/sb_sim.dir/sim/pid.cpp.o.d"
+  "CMakeFiles/sb_sim.dir/sim/quadrotor.cpp.o"
+  "CMakeFiles/sb_sim.dir/sim/quadrotor.cpp.o.d"
+  "CMakeFiles/sb_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/sb_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/sb_sim.dir/sim/wind.cpp.o"
+  "CMakeFiles/sb_sim.dir/sim/wind.cpp.o.d"
+  "libsb_sim.a"
+  "libsb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

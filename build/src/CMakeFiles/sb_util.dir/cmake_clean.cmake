@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_util.dir/util/rng.cpp.o"
+  "CMakeFiles/sb_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/sb_util.dir/util/stats.cpp.o"
+  "CMakeFiles/sb_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/sb_util.dir/util/table.cpp.o"
+  "CMakeFiles/sb_util.dir/util/table.cpp.o.d"
+  "libsb_util.a"
+  "libsb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

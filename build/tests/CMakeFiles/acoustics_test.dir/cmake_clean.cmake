@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustics_test.dir/acoustics_test.cpp.o"
+  "CMakeFiles/acoustics_test.dir/acoustics_test.cpp.o.d"
+  "acoustics_test"
+  "acoustics_test.pdb"
+  "acoustics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdoa_test.dir/tdoa_test.cpp.o"
+  "CMakeFiles/tdoa_test.dir/tdoa_test.cpp.o.d"
+  "tdoa_test"
+  "tdoa_test.pdb"
+  "tdoa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdoa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
