@@ -15,6 +15,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"adversarial_replay"};
   std::printf("=== §IV-D: real-world replay interference ===\n");
   auto mapper = bench::standard_mapper();
 

@@ -11,8 +11,12 @@
 // again.  Delete the cache file to force retraining.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/flight_lab.hpp"
@@ -21,8 +25,70 @@
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sb::bench {
+
+// Wall-clock stopwatch for the bench reports.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Directory of the running bench binary — reports land next to it.
+inline std::filesystem::path bench_output_dir() {
+  std::error_code ec;
+  const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  return ec ? std::filesystem::current_path() : exe.parent_path();
+}
+
+// Collects per-bench wall-clock and workload metadata, and writes
+// BENCH_<name>.json next to the bench binary on destruction (or flush()).
+// Instantiate once at the top of a bench main.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { flush(); }
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+  void note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, value);
+  }
+
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const auto path = bench_output_dir() / ("BENCH_" + name_ + ".json");
+    std::ofstream os{path};
+    if (!os) return;
+    os << "{\n  \"name\": \"" << name_ << "\",\n"
+       << "  \"wall_seconds\": " << timer_.seconds() << ",\n"
+       << "  \"threads\": " << util::ThreadPool::threads();
+    for (const auto& [k, v] : metrics_) os << ",\n  \"" << k << "\": " << v;
+    for (const auto& [k, v] : notes_) os << ",\n  \"" << k << "\": \"" << v << "\"";
+    os << "\n}\n";
+    std::printf("[bench] wrote %s (%.2f s)\n", path.c_str(), timer_.seconds());
+  }
+
+ private:
+  std::string name_;
+  Stopwatch timer_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  bool flushed_ = false;
+};
 
 inline const core::FlightLab& lab() {
   static const core::FlightLab kLab;
@@ -59,11 +125,18 @@ inline core::SensoryMapper standard_mapper(
   std::printf("[setup] training %s on %d flights (cache: %s)...\n",
               ml::to_string(cfg.model).c_str(), flights_per_family * 6,
               cache.c_str());
+  // Cold-cache training is the headline perf workload: record it.
+  BenchReport report{"standard_mapper_train_" + ml::to_string(cfg.model)};
+  Stopwatch fly_timer;
   const auto scenarios = lab().training_scenarios(flights_per_family, flight_duration);
-  std::vector<core::Flight> flights;
-  flights.reserve(scenarios.size());
-  for (const auto& s : scenarios) flights.push_back(lab().fly(s));
+  const auto flights = lab().fly_all(scenarios);
+  report.metric("flights", static_cast<double>(flights.size()));
+  report.metric("flight_seconds", fly_timer.seconds());
+  Stopwatch fit_timer;
   const auto result = mapper.fit(lab(), flights);
+  report.metric("fit_seconds", fit_timer.seconds());
+  report.metric("train_mse", result.final_train_mse);
+  report.metric("val_mse", result.final_val_mse);
   std::printf("[setup] trained: train MSE %.4f, val MSE %.4f\n",
               result.final_train_mse, result.final_val_mse);
   if (mapper.save(cache)) std::printf("[setup] cached model to %s\n", cache.c_str());
@@ -184,10 +257,14 @@ inline CalibratedDetectors calibrate_detectors(const core::SensoryMapper& mapper
   CalibratedDetectors det;
   std::vector<core::WindowResiduals> imu_cal;
   std::vector<core::GpsRcaDetector::Result> audio_results, fused_results;
+  std::vector<core::FlightScenario> scenarios;
   for (int i = 0; i < n_benign; ++i) {
     auto scenario = benign_scenario(i, duration);
     scenario.seed += 500000;  // calibration set is disjoint from test benign
-    const auto flight = lab().fly(scenario);
+    scenarios.push_back(scenario);
+  }
+  const auto flights = lab().fly_all(scenarios);
+  for (const auto& flight : flights) {
     const auto preds = mapper.predict_flight(lab(), flight);
     const auto w = core::ImuRcaDetector::residuals(flight, preds);
     imu_cal.insert(imu_cal.end(), w.begin(), w.end());

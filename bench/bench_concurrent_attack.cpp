@@ -10,6 +10,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"concurrent_attack"};
   std::printf("=== §V-A: concurrent GPS + IMU spoofing ===\n");
   auto mapper = bench::standard_mapper();
   auto det = bench::calibrate_detectors(mapper);

@@ -59,6 +59,7 @@ void report_segment(const char* name, const core::Flight& flight,
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig2_spectrum"};
   std::printf("=== Fig. 2a: frequency distribution of rotor audio (hover) ===\n");
   core::FlightScenario hover;
   hover.mission = sim::Mission::hover({0, 0, -10}, 20.0);

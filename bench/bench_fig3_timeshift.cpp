@@ -40,6 +40,7 @@ double cruise_omega(double wind_x) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig3_timeshift"};
   std::printf("=== Fig. 3: time-shift augmentation rationale ===\n");
   Table table({"wind", "time to 0.9*v_target (s)", "cruise rotor speed (rad/s)"});
   const double t_tail = time_to_speed(+3.0);

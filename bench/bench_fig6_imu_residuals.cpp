@@ -47,6 +47,7 @@ void print_histogram(const char* name, const std::vector<double>& xs) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"fig6_imu_residuals"};
   std::printf("=== Fig. 6: residual distributions, benign vs IMU attack ===\n");
   auto mapper = bench::standard_mapper();
 

@@ -10,6 +10,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"fig7_velocity_estimation"};
   std::printf("=== Fig. 7: position & velocity estimation under GPS spoofing ===\n");
   auto mapper = bench::standard_mapper();
   auto det = bench::calibrate_detectors(mapper);

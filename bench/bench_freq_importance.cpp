@@ -12,6 +12,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"freq_importance"};
   std::printf("=== §IV-A: counterfactual frequency-group importance ===\n");
   auto mapper = bench::standard_mapper();
 

@@ -13,6 +13,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"imu_detection"};
   std::printf("=== §IV-B: IMU biasing attack detection (20 flights) ===\n");
   auto mapper = bench::standard_mapper();
   auto det = bench::calibrate_detectors(mapper);

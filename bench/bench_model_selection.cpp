@@ -11,6 +11,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"model_selection"};
   std::printf("=== Model selection: MobileNetLite vs ResNetLite vs NeuralODE ===\n");
   const auto scenarios = bench::lab().training_scenarios(3, 18.0);
   std::vector<core::Flight> train_flights;

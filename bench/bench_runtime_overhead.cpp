@@ -107,4 +107,13 @@ BENCHMARK(BM_SignatureDutyCycle)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-written main (instead of BENCHMARK_MAIN) so the run still emits the
+// BENCH_runtime_overhead.json wall-clock report like the other benches.
+int main(int argc, char** argv) {
+  bench::BenchReport report{"runtime_overhead"};
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"tab1_augmentation"};
   std::printf("=== Tab. I: data augmentation choice (train/val/test MSE) ===\n");
   // Smaller corpus than the detection benches: this experiment trains six
   // models from scratch.

@@ -47,6 +47,7 @@ struct Tally {
 }  // namespace
 
 int main() {
+  bench::BenchReport report{"tab2_gps_detection"};
   constexpr int kBenign = 30;
   constexpr int kAttacks = 19;
   std::printf("=== Tab. II: GPS spoofing detection (%d benign + %d attacks) ===\n",

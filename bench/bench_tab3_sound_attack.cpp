@@ -17,6 +17,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"tab3_sound_attack"};
   // Reduced flight counts per cell: this bench evaluates 32 cells.
   constexpr int kBenign = 8;
   constexpr int kAttacks = 8;

@@ -11,6 +11,7 @@
 using namespace sb;
 
 int main() {
+  bench::BenchReport report{"window_size"};
   std::printf("=== §IV-A: signature window-size sweep ===\n");
   const auto scenarios = bench::lab().training_scenarios(3, 18.0);
   std::vector<core::Flight> train_flights;

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
 
 namespace sb::acoustics {
 
@@ -20,16 +23,24 @@ MultiChannelAudio mix_to_mics(
   out.sample_rate = sample_rate;
   for (auto& ch : out.channels) ch.assign(n, 0.0);
 
-  for (int m = 0; m < sensors::kNumMics; ++m) {
-    const auto mi = static_cast<std::size_t>(m);
+  // Delay validation stays serial so the throw cannot escape a worker.
+  for (int m = 0; m < sensors::kNumMics; ++m)
+    for (int r = 0; r < sim::kNumRotors; ++r) {
+      const auto delay = static_cast<std::size_t>(std::llround(
+          geometry.delay_s[static_cast<std::size_t>(m)][static_cast<std::size_t>(r)] *
+          sample_rate));
+      if (delay > lead_samples)
+        throw std::invalid_argument{"mix_to_mics: lead too short for delay"};
+    }
+
+  // Mics mix into disjoint channels, so the rotor superposition can fan out.
+  util::parallel_for(static_cast<std::size_t>(sensors::kNumMics), [&](std::size_t mi) {
     auto& ch = out.channels[mi];
     for (int r = 0; r < sim::kNumRotors; ++r) {
       const auto ri = static_cast<std::size_t>(r);
       const double gain = geometry.gain[mi][ri];
       const auto delay = static_cast<std::size_t>(
           std::llround(geometry.delay_s[mi][ri] * sample_rate));
-      if (delay > lead_samples)
-        throw std::invalid_argument{"mix_to_mics: lead too short for delay"};
       const auto& src = rotor_signals[ri];
       if (with_flow) {
         const Vec3 d = geometry.dir[mi][ri];
@@ -43,9 +54,13 @@ MultiChannelAudio mix_to_mics(
           ch[i] += gain * src[i + lead_samples - delay];
       }
     }
-    if (ambient_noise > 0.0)
+  }, 1);
+
+  // Ambient noise draws stay on the caller's thread, in mic order, so the
+  // shared rng consumes exactly the sequence the serial mix would.
+  if (ambient_noise > 0.0)
+    for (auto& ch : out.channels)
       for (auto& x : ch) x += rng.normal(0.0, ambient_noise);
-  }
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace sb::acoustics {
 
 AudioSynthesizer::AudioSynthesizer(const SynthesizerConfig& config,
@@ -36,12 +38,16 @@ MultiChannelAudio AudioSynthesizer::synthesize(const sim::FlightLog& log, double
   // Per-rotor tone detuning (manufacturing spread); see RotorSoundConfig.
   static constexpr std::array<double, sim::kNumRotors> kDetune{-0.10, -0.035, 0.035,
                                                                0.10};
+  // Split the per-rotor rngs up front, in rotor order, so the parallel
+  // synthesis below consumes exactly the streams the serial loop would.
+  std::array<Rng, sim::kNumRotors> rotor_rngs{};
+  for (auto& r : rotor_rngs) r = base.split();
+
   std::array<std::vector<double>, sim::kNumRotors> rotor_signals;
-  for (int r = 0; r < sim::kNumRotors; ++r) {
-    const auto ri = static_cast<std::size_t>(r);
+  util::parallel_for(static_cast<std::size_t>(sim::kNumRotors), [&](std::size_t ri) {
     RotorSoundConfig rotor_cfg = config_.rotor;
     rotor_cfg.detune += kDetune[ri];
-    RotorSound synth{rotor_cfg, fs, quad_.hover_omega(), base.split()};
+    RotorSound synth{rotor_cfg, fs, quad_.hover_omega(), rotor_rngs[ri]};
     auto& sig = rotor_signals[ri];
     sig.resize(total);
     for (std::size_t i = 0; i < total; ++i) {
@@ -56,19 +62,21 @@ MultiChannelAudio AudioSynthesizer::synthesize(const sim::FlightLog& log, double
       }
       sig[i] = synth.sample(omega);
     }
-  }
+  }, 1);
 
   // Body-frame air velocity per output sample, for airflow directivity.
   std::vector<Vec3> flow(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double t = t0 + static_cast<double>(i) / fs;
-    if (log.t.empty()) continue;
-    const auto idx = static_cast<std::size_t>(std::clamp(
-        t / physics_dt, 0.0, static_cast<double>(log.t.size() - 1)));
-    const Vec3& e = log.true_euler[idx];
-    const Mat3 r = rotation_from_euler(e.x, e.y, e.z);
-    flow[i] = r.transposed() * log.true_vel[idx];
-  }
+  util::parallel_for_ranges(n, [&](std::size_t i0, std::size_t i1) {
+    if (log.t.empty()) return;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double t = t0 + static_cast<double>(i) / fs;
+      const auto idx = static_cast<std::size_t>(std::clamp(
+          t / physics_dt, 0.0, static_cast<double>(log.t.size() - 1)));
+      const Vec3& e = log.true_euler[idx];
+      const Mat3 r = rotation_from_euler(e.x, e.y, e.z);
+      flow[i] = r.transposed() * log.true_vel[idx];
+    }
+  });
 
   Rng ambient_rng = base.split();
   return mix_to_mics(rotor_signals, lead, geometry_, fs,

@@ -1,6 +1,19 @@
 #include "core/dataset.hpp"
 
+#include <array>
+
+#include "util/thread_pool.hpp"
+
 namespace sb::core {
+namespace {
+
+struct WindowResult {
+  bool valid = false;
+  ml::Tensor sig;
+  std::array<float, kLabelDim> label{};
+};
+
+}  // namespace
 
 DatasetBuilder::DatasetBuilder(const DatasetConfig& config, const FlightLab& lab)
     : config_(config), lab_(&lab), shape_(signature_shape(config.signature)) {}
@@ -30,10 +43,39 @@ void DatasetBuilder::add_flight(const Flight& flight) {
   const double base = config_.signature.window_seconds;
   const double end = flight.log.duration();
 
+  // Enumerate the (start, length) grid up front; each window's synthesis +
+  // signature is independent, so they run in parallel into indexed slots and
+  // are appended in grid order afterwards — same corpus as the serial loop.
+  struct WindowTask {
+    double t0, len;
+  };
+  std::vector<WindowTask> tasks;
   for (double t0 = config_.settle_time; t0 + base <= end; t0 += config_.stride) {
-    append_window(flight, synth, t0, base);
+    tasks.push_back({t0, base});
     for (double factor : config_.augmentation_factors)
-      append_window(flight, synth, t0, factor * base);
+      tasks.push_back({t0, factor * base});
+  }
+
+  std::vector<WindowResult> results(tasks.size());
+  util::parallel_for(tasks.size(), [&](std::size_t w) {
+    const double t1 = tasks[w].t0 + tasks[w].len;
+    if (t1 > flight.log.duration()) return;
+    const auto audio = synth.synthesize(flight.log, tasks[w].t0, t1);
+    results[w].sig = compute_signature(audio, config_.signature);
+    const Vec3 accel = flight.log.mean_imu_accel(tasks[w].t0, t1);
+    const Vec3 vel = flight.log.mean_nav_vel(tasks[w].t0, t1);
+    const std::array<double, kLabelDim> label{accel.x, accel.y, accel.z,
+                                              vel.x,   vel.y,   vel.z};
+    for (std::size_t j = 0; j < kLabelDim; ++j)
+      results[w].label[j] = static_cast<float>(label[j]);
+    results[w].valid = true;
+  });
+
+  for (const auto& r : results) {
+    if (!r.valid) continue;
+    xs_.insert(xs_.end(), r.sig.flat().begin(), r.sig.flat().end());
+    ys_.insert(ys_.end(), r.label.begin(), r.label.end());
+    ++count_;
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace sb::core {
 
 FlightLab::FlightLab(const Config& config) : config_(config) {}
@@ -107,6 +109,14 @@ Flight FlightLab::fly(const FlightScenario& scenario) const {
     wind.step(dt);
   }
   return flight;
+}
+
+std::vector<Flight> FlightLab::fly_all(
+    std::span<const FlightScenario> scenarios) const {
+  std::vector<Flight> out(scenarios.size());
+  util::parallel_for(
+      scenarios.size(), [&](std::size_t i) { out[i] = fly(scenarios[i]); }, 1);
+  return out;
 }
 
 acoustics::AudioSynthesizer FlightLab::synthesizer(const Flight& flight) const {

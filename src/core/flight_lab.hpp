@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "acoustics/synthesizer.hpp"
@@ -56,6 +57,11 @@ class FlightLab {
 
   // Runs one closed-loop flight.  Deterministic in scenario.seed.
   Flight fly(const FlightScenario& scenario) const;
+
+  // Runs a batch of flights, one per scenario, in parallel.  Each flight is
+  // deterministic in its own seed, so the result is identical to calling
+  // fly() serially in order.
+  std::vector<Flight> fly_all(std::span<const FlightScenario> scenarios) const;
 
   // Audio synthesizer bound to a specific flight's seed.
   acoustics::AudioSynthesizer synthesizer(const Flight& flight) const;

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace sb::core {
 
 SensoryMapper::SensoryMapper(const SensoryMapperConfig& config) : config_(config) {
@@ -128,18 +130,29 @@ std::vector<SensoryMapper::WindowAudio> SensoryMapper::synthesize_windows(
   const double stride = config_.dataset.stride;
   const double end = flight.log.duration();
 
-  std::vector<WindowAudio> out;
+  std::vector<double> starts;
   for (double t0 = config_.dataset.settle_time; t0 + window <= end; t0 += stride)
-    out.push_back({t0, t0 + window, synth.synthesize(flight.log, t0, t0 + window)});
+    starts.push_back(t0);
+
+  // Window synthesis is seeded per (flight, window-start), so parallel
+  // filling of indexed slots reproduces the serial loop exactly.
+  std::vector<WindowAudio> out(starts.size());
+  util::parallel_for(starts.size(), [&](std::size_t i) {
+    out[i] = {starts[i], starts[i] + window,
+              synth.synthesize(flight.log, starts[i], starts[i] + window)};
+  });
   return out;
 }
 
 std::vector<TimedPrediction> SensoryMapper::predict_windows(
     std::span<const WindowAudio> windows, const PredictionHooks& hooks) const {
   if (!trained_) throw std::logic_error{"SensoryMapper: predict before fit"};
-  std::vector<TimedPrediction> out;
-  out.reserve(windows.size());
-  for (const auto& w : windows) {
+
+  // Signature extraction (the expensive part) is independent per window and
+  // runs in parallel; see PredictionHooks for the concurrency contract.
+  std::vector<ml::Tensor> sigs(windows.size());
+  util::parallel_for(windows.size(), [&](std::size_t i) {
+    const auto& w = windows[i];
     ml::Tensor sig;
     if (hooks.audio_transform) {
       acoustics::MultiChannelAudio audio = w.audio;  // transform a copy
@@ -150,12 +163,20 @@ std::vector<TimedPrediction> SensoryMapper::predict_windows(
     }
     if (hooks.signature_transform) hooks.signature_transform(sig);
     standardize(sig);
-    const ml::Tensor pred = model_->forward(sig, false);
+    sigs[i] = std::move(sig);
+  });
+
+  // The model keeps per-layer forward caches, so inference stays serial (in
+  // window order); each forward still parallelizes internally.
+  std::vector<TimedPrediction> out;
+  out.reserve(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const ml::Tensor pred = model_->forward(sigs[i], false);
     std::array<double, kLabelDim> y{};
     for (std::size_t d = 0; d < kLabelDim; ++d)
       y[d] = calib_a_[d] * static_cast<double>(pred[d]) + calib_b_[d];
-    out.push_back(
-        {w.t0, w.t1, Vec3{y[0], y[1], y[2]}, Vec3{y[3], y[4], y[5]}});
+    out.push_back({windows[i].t0, windows[i].t1, Vec3{y[0], y[1], y[2]},
+                   Vec3{y[3], y[4], y[5]}});
   }
   return out;
 }

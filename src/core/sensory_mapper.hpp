@@ -34,6 +34,9 @@ struct TimedPrediction {
 };
 
 // Optional hooks for the adversarial and ablation experiments.
+// Concurrency contract: predict_windows may invoke a hook from several pool
+// threads at once (one window each), so hooks must be pure transforms of
+// their argument — no mutable captured state, no rng draws.
 struct PredictionHooks {
   // Mutates the raw microphone audio before signature extraction
   // (sound-spoofing attacks, Tab. III).

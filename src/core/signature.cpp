@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/biquad.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sb::core {
 
@@ -31,8 +32,9 @@ ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
   const auto shape = signature_shape(config);
   ml::Tensor out({1, shape.channels, shape.frames, shape.bands});
 
-  for (int c = 0; c < sensors::kNumMics; ++c) {
-    const auto ci = static_cast<std::size_t>(c);
+  // Channels are filtered/analysed independently and fill disjoint slices of
+  // the output tensor.
+  util::parallel_for(static_cast<std::size_t>(sensors::kNumMics), [&](std::size_t ci) {
     // 6 kHz anti-spoofing low-pass before analysis.
     dsp::BiquadCascade lp = dsp::BiquadCascade::low_pass(
         config.lowpass_hz, audio.sample_rate, config.lowpass_sections);
@@ -51,7 +53,7 @@ ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
       for (std::size_t b = 0; b < shape.bands; ++b)
         out[(ci * shape.frames + f) * shape.bands + b] =
             out[(ci * shape.frames + frames - 1) * shape.bands + b];
-  }
+  }, 1);
   return out;
 }
 

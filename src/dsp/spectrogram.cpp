@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sb::dsp {
 
@@ -21,17 +22,24 @@ Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
   out.sample_rate = config.sample_rate;
   out.bin_hz = config.sample_rate / static_cast<double>(config.frame_size);
 
-  std::vector<double> frame(config.frame_size);
-  for (std::size_t start = 0; start + config.frame_size <= signal.size();
-       start += config.hop_size) {
-    std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start),
-                config.frame_size, frame.begin());
-    apply_window(frame, window);
-    auto spec = fft_real(frame);
-    for (std::size_t k = 0; k < out.num_bins; ++k)
-      out.mags.push_back(std::abs(spec[k]) * norm);
-    ++out.num_frames;
-  }
+  if (signal.size() >= config.frame_size)
+    out.num_frames = (signal.size() - config.frame_size) / config.hop_size + 1;
+  out.mags.resize(out.num_frames * out.num_bins);
+
+  // Frames are independent and write disjoint rows of the magnitude matrix.
+  util::parallel_for_ranges(out.num_frames, [&](std::size_t f0, std::size_t f1) {
+    std::vector<double> frame(config.frame_size);
+    for (std::size_t f = f0; f < f1; ++f) {
+      const std::size_t start = f * config.hop_size;
+      std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start),
+                  config.frame_size, frame.begin());
+      apply_window(frame, window);
+      auto spec = fft_real(frame);
+      double* row = out.mags.data() + f * out.num_bins;
+      for (std::size_t k = 0; k < out.num_bins; ++k)
+        row[k] = std::abs(spec[k]) * norm;
+    }
+  });
   return out;
 }
 

@@ -1,15 +1,89 @@
 #include "ml/conv.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "ml/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sb::ml {
 namespace {
+
+ConvBackend g_backend = ConvBackend::kGemm;
 
 std::size_t out_dim(std::size_t in, std::size_t k, std::size_t stride, std::size_t pad) {
   return (in + 2 * pad - k) / stride + 1;
 }
 
+// Unfolds one [C, H, W] input plane stack into the patch matrix
+// col[(c*k + ky)*k + kx][oy*ow + ox], zero-filling padding.  Row order
+// (c, ky, kx) matches the direct loop's accumulation order, so GEMM over
+// these rows reproduces the reference convolution's floating-point sums.
+void im2col(const float* x, std::size_t channels, std::size_t h, std::size_t w,
+            std::size_t ksize, std::size_t stride, std::size_t pad, std::size_t oh,
+            std::size_t ow, float* col) {
+  const std::size_t patches = oh * ow;
+  float* crow = col;
+  for (std::size_t c = 0; c < channels; ++c) {
+    const float* plane = x + c * h * w;
+    for (std::size_t ky = 0; ky < ksize; ++ky) {
+      for (std::size_t kx = 0; kx < ksize; ++kx, crow += patches) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          float* dst = crow + oy * ow;
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) {
+            std::fill_n(dst, ow, 0.0f);
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(iy) * w;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            dst[ox] = (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w))
+                          ? 0.0f
+                          : src[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+// Scatter-adds a patch-matrix gradient back onto the [C, H, W] input grid
+// (transpose of im2col).
+void col2im_add(const float* col, std::size_t channels, std::size_t h, std::size_t w,
+                std::size_t ksize, std::size_t stride, std::size_t pad,
+                std::size_t oh, std::size_t ow, float* gx) {
+  const std::size_t patches = oh * ow;
+  const float* crow = col;
+  for (std::size_t c = 0; c < channels; ++c) {
+    float* plane = gx + c * h * w;
+    for (std::size_t ky = 0; ky < ksize; ++ky) {
+      for (std::size_t kx = 0; kx < ksize; ++kx, crow += patches) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride + ky) -
+                                    static_cast<std::ptrdiff_t>(pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          float* dst = plane + static_cast<std::size_t>(iy) * w;
+          const float* src = crow + oy * ow;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride + kx) -
+                                      static_cast<std::ptrdiff_t>(pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+            dst[static_cast<std::size_t>(ix)] += src[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
+
+ConvBackend conv_backend() { return g_backend; }
+void set_conv_backend(ConvBackend backend) { g_backend = backend; }
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
                std::size_t stride, std::size_t padding, Rng& rng)
@@ -30,7 +104,34 @@ Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
   const std::size_t oh = out_dim(h, k_, stride_, pad_);
   const std::size_t ow = out_dim(w, k_, stride_, pad_);
   Tensor y({n, out_c_, oh, ow});
+  if (g_backend == ConvBackend::kReference) {
+    forward_reference(x, y, n, h, w, oh, ow);
+    return y;
+  }
 
+  const std::size_t kdim = in_c_ * k_ * k_;
+  const std::size_t patches = oh * ow;
+  util::parallel_for_ranges(
+      n,
+      [&](std::size_t i0, std::size_t i1) {
+        std::vector<float> col(kdim * patches);
+        for (std::size_t i = i0; i < i1; ++i) {
+          im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, k_, stride_, pad_, oh,
+                 ow, col.data());
+          float* yi = y.data() + i * out_c_ * patches;
+          for (std::size_t oc = 0; oc < out_c_; ++oc)
+            std::fill_n(yi + oc * patches, patches, bias_.value[oc]);
+          matmul_nn(weight_.value.data(), kdim, col.data(), patches, yi, patches,
+                    out_c_, kdim, patches, true);
+        }
+      },
+      1);
+  return y;
+}
+
+void Conv2D::forward_reference(const Tensor& x, Tensor& y, std::size_t n,
+                               std::size_t h, std::size_t w, std::size_t oh,
+                               std::size_t ow) const {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
       float* py = y.data() + ((i * out_c_ + oc) * oh) * ow;
@@ -61,7 +162,6 @@ Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
       }
     }
   }
-  return y;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_out) {
@@ -69,7 +169,55 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
   Tensor grad_in(x.shape());
+  if (g_backend == ConvBackend::kReference) {
+    backward_reference(grad_out, grad_in, n, h, w, oh, ow);
+    return grad_in;
+  }
 
+  const std::size_t kdim = in_c_ * k_ * k_;
+  const std::size_t patches = oh * ow;
+  // Per-item weight/bias gradient partials, reduced serially in batch order
+  // below so the result is independent of the thread count.
+  std::vector<float> gw_part(n * out_c_ * kdim);
+  std::vector<float> gb_part(n * out_c_);
+  util::parallel_for_ranges(
+      n,
+      [&](std::size_t i0, std::size_t i1) {
+        std::vector<float> col(kdim * patches);
+        std::vector<float> gcol(kdim * patches);
+        for (std::size_t i = i0; i < i1; ++i) {
+          im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, k_, stride_, pad_, oh,
+                 ow, col.data());
+          const float* gi = grad_out.data() + i * out_c_ * patches;
+          matmul_nt(gi, patches, col.data(), patches,
+                    gw_part.data() + i * out_c_ * kdim, kdim, out_c_, patches,
+                    kdim, false);
+          for (std::size_t oc = 0; oc < out_c_; ++oc) {
+            const float* grow = gi + oc * patches;
+            float s = 0.0f;
+            for (std::size_t p = 0; p < patches; ++p) s += grow[p];
+            gb_part[i * out_c_ + oc] = s;
+          }
+          matmul_tn(weight_.value.data(), kdim, gi, patches, gcol.data(), patches,
+                    kdim, out_c_, patches, false);
+          col2im_add(gcol.data(), in_c_, h, w, k_, stride_, pad_, oh, ow,
+                     grad_in.data() + i * in_c_ * h * w);
+        }
+      },
+      1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* gw = gw_part.data() + i * out_c_ * kdim;
+    for (std::size_t j = 0; j < out_c_ * kdim; ++j) weight_.grad[j] += gw[j];
+    for (std::size_t oc = 0; oc < out_c_; ++oc)
+      bias_.grad[oc] += gb_part[i * out_c_ + oc];
+  }
+  return grad_in;
+}
+
+void Conv2D::backward_reference(const Tensor& grad_out, Tensor& grad_in,
+                                std::size_t n, std::size_t h, std::size_t w,
+                                std::size_t oh, std::size_t ow) {
+  const Tensor& x = cached_x_;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
       const float* g = grad_out.data() + ((i * out_c_ + oc) * oh) * ow;
@@ -104,7 +252,6 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
       }
     }
   }
-  return grad_in;
 }
 
 DepthwiseConv2D::DepthwiseConv2D(std::size_t channels, std::size_t kernel,
@@ -124,7 +271,32 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*train*/) {
   const std::size_t oh = out_dim(h, k_, stride_, pad_);
   const std::size_t ow = out_dim(w, k_, stride_, pad_);
   Tensor y({n, c_, oh, ow});
+  if (g_backend == ConvBackend::kReference) {
+    forward_reference(x, y, n, h, w, oh, ow);
+    return y;
+  }
 
+  const std::size_t kdim = k_ * k_;
+  const std::size_t patches = oh * ow;
+  // Each (item, channel) plane is an independent single-filter convolution.
+  util::parallel_for_ranges(n * c_, [&](std::size_t p0, std::size_t p1) {
+    std::vector<float> col(kdim * patches);
+    for (std::size_t pair = p0; pair < p1; ++pair) {
+      const std::size_t c = pair % c_;
+      im2col(x.data() + pair * h * w, 1, h, w, k_, stride_, pad_, oh, ow,
+             col.data());
+      float* yrow = y.data() + pair * patches;
+      std::fill_n(yrow, patches, bias_.value[c]);
+      matmul_nn(weight_.value.data() + c * kdim, kdim, col.data(), patches, yrow,
+                patches, 1, kdim, patches, true);
+    }
+  });
+  return y;
+}
+
+void DepthwiseConv2D::forward_reference(const Tensor& x, Tensor& y, std::size_t n,
+                                        std::size_t h, std::size_t w,
+                                        std::size_t oh, std::size_t ow) const {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t c = 0; c < c_; ++c) {
       const float* px = x.data() + ((i * c_ + c) * h) * w;
@@ -151,7 +323,6 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*train*/) {
       }
     }
   }
-  return y;
 }
 
 Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
@@ -159,7 +330,53 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
   Tensor grad_in(x.shape());
+  if (g_backend == ConvBackend::kReference) {
+    backward_reference(grad_out, grad_in, n, h, w, oh, ow);
+    return grad_in;
+  }
 
+  const std::size_t kdim = k_ * k_;
+  const std::size_t patches = oh * ow;
+  std::vector<float> gw_part(n * c_ * kdim);
+  std::vector<float> gb_part(n * c_);
+  util::parallel_for_ranges(n * c_, [&](std::size_t p0, std::size_t p1) {
+    std::vector<float> col(kdim * patches);
+    std::vector<float> gcol(kdim * patches);
+    for (std::size_t pair = p0; pair < p1; ++pair) {
+      const std::size_t c = pair % c_;
+      im2col(x.data() + pair * h * w, 1, h, w, k_, stride_, pad_, oh, ow,
+             col.data());
+      const float* grow = grad_out.data() + pair * patches;
+      matmul_nt(grow, patches, col.data(), patches, gw_part.data() + pair * kdim,
+                kdim, 1, patches, kdim, false);
+      float s = 0.0f;
+      for (std::size_t p = 0; p < patches; ++p) s += grow[p];
+      gb_part[pair] = s;
+      const float* wc = weight_.value.data() + c * kdim;
+      for (std::size_t kk = 0; kk < kdim; ++kk) {
+        float* grow_col = gcol.data() + kk * patches;
+        const float wv = wc[kk];
+        for (std::size_t p = 0; p < patches; ++p) grow_col[p] = wv * grow[p];
+      }
+      col2im_add(gcol.data(), 1, h, w, k_, stride_, pad_, oh, ow,
+                 grad_in.data() + pair * h * w);
+    }
+  });
+  for (std::size_t pair = 0; pair < n * c_; ++pair) {
+    const std::size_t c = pair % c_;
+    const float* gw = gw_part.data() + pair * kdim;
+    float* dst = weight_.grad.data() + c * kdim;
+    for (std::size_t kk = 0; kk < kdim; ++kk) dst[kk] += gw[kk];
+    bias_.grad[c] += gb_part[pair];
+  }
+  return grad_in;
+}
+
+void DepthwiseConv2D::backward_reference(const Tensor& grad_out, Tensor& grad_in,
+                                         std::size_t n, std::size_t h,
+                                         std::size_t w, std::size_t oh,
+                                         std::size_t ow) {
+  const Tensor& x = cached_x_;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t c = 0; c < c_; ++c) {
       const float* px = x.data() + ((i * c_ + c) * h) * w;
@@ -190,7 +407,6 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
       }
     }
   }
-  return grad_in;
 }
 
 DepthwiseSeparableBlock::DepthwiseSeparableBlock(std::size_t in_channels,

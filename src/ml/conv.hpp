@@ -7,6 +7,12 @@
 
 namespace sb::ml {
 
+// kGemm (default) lowers convolutions to im2col + the shared GEMM kernels;
+// kReference is the original direct loop nest, kept for equivalence tests.
+enum class ConvBackend { kGemm, kReference };
+ConvBackend conv_backend();
+void set_conv_backend(ConvBackend backend);
+
 // Standard convolution: x [N, inC, H, W] -> [N, outC, H', W'].
 class Conv2D final : public Layer {
  public:
@@ -18,6 +24,12 @@ class Conv2D final : public Layer {
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
 
  private:
+  void forward_reference(const Tensor& x, Tensor& y, std::size_t n, std::size_t h,
+                         std::size_t w, std::size_t oh, std::size_t ow) const;
+  void backward_reference(const Tensor& grad_out, Tensor& grad_in, std::size_t n,
+                          std::size_t h, std::size_t w, std::size_t oh,
+                          std::size_t ow);
+
   std::size_t in_c_, out_c_, k_, stride_, pad_;
   Param weight_;  // [outC, inC, k, k]
   Param bias_;    // [outC]
@@ -35,6 +47,12 @@ class DepthwiseConv2D final : public Layer {
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
 
  private:
+  void forward_reference(const Tensor& x, Tensor& y, std::size_t n, std::size_t h,
+                         std::size_t w, std::size_t oh, std::size_t ow) const;
+  void backward_reference(const Tensor& grad_out, Tensor& grad_in, std::size_t n,
+                          std::size_t h, std::size_t w, std::size_t oh,
+                          std::size_t ow);
+
   std::size_t c_, k_, stride_, pad_;
   Param weight_;  // [C, k, k]
   Param bias_;    // [C]

@@ -1,0 +1,136 @@
+#include "ml/gemm.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace sb::ml {
+namespace {
+
+// Minimum per-chunk work (multiply-adds) before fanning out to the pool;
+// below this the dispatch overhead dominates.
+constexpr std::size_t kMinParallelWork = 16 * 1024;
+
+std::size_t row_grain(std::size_t m, std::size_t work_per_row) {
+  if (work_per_row == 0) return m;
+  const std::size_t rows = std::max<std::size_t>(1, kMinParallelWork / work_per_row);
+  return std::min(m, rows);
+}
+
+}  // namespace
+
+void matmul_nn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+               float* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate) {
+  util::parallel_for_ranges(
+      m,
+      [&](std::size_t i0, std::size_t i1) {
+        std::size_t i = i0;
+        // 4-row micro-kernel: each loaded B row feeds four C rows.  The
+        // per-element accumulation order over kk stays strictly ascending.
+        for (; i + 4 <= i1; i += 4) {
+          float* c0 = c + i * ldc;
+          float* c1 = c0 + ldc;
+          float* c2 = c1 + ldc;
+          float* c3 = c2 + ldc;
+          if (!accumulate) {
+            std::fill_n(c0, n, 0.0f);
+            std::fill_n(c1, n, 0.0f);
+            std::fill_n(c2, n, 0.0f);
+            std::fill_n(c3, n, 0.0f);
+          }
+          const float* a0 = a + i * lda;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float* br = b + kk * ldb;
+            const float v0 = a0[kk];
+            const float v1 = a0[lda + kk];
+            const float v2 = a0[2 * lda + kk];
+            const float v3 = a0[3 * lda + kk];
+            for (std::size_t j = 0; j < n; ++j) {
+              const float bj = br[j];
+              c0[j] += v0 * bj;
+              c1[j] += v1 * bj;
+              c2[j] += v2 * bj;
+              c3[j] += v3 * bj;
+            }
+          }
+        }
+        for (; i < i1; ++i) {
+          float* ci = c + i * ldc;
+          if (!accumulate) std::fill_n(ci, n, 0.0f);
+          const float* ai = a + i * lda;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float* br = b + kk * ldb;
+            const float v = ai[kk];
+            for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+          }
+        }
+      },
+      row_grain(m, k * n));
+}
+
+void matmul_nt(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+               float* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate) {
+  util::parallel_for_ranges(
+      m,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* ai = a + i * lda;
+          float* ci = c + i * ldc;
+          std::size_t j = 0;
+          // 4 dot products per A-row sweep; each is an independent ascending
+          // k accumulation.  When accumulating, the registers are seeded
+          // from C so the result equals the classic `s = c; s += a*b` loop.
+          for (; j + 4 <= n; j += 4) {
+            const float* b0 = b + j * ldb;
+            const float* b1 = b0 + ldb;
+            const float* b2 = b1 + ldb;
+            const float* b3 = b2 + ldb;
+            float s0 = accumulate ? ci[j] : 0.0f;
+            float s1 = accumulate ? ci[j + 1] : 0.0f;
+            float s2 = accumulate ? ci[j + 2] : 0.0f;
+            float s3 = accumulate ? ci[j + 3] : 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+              const float av = ai[kk];
+              s0 += av * b0[kk];
+              s1 += av * b1[kk];
+              s2 += av * b2[kk];
+              s3 += av * b3[kk];
+            }
+            ci[j] = s0;
+            ci[j + 1] = s1;
+            ci[j + 2] = s2;
+            ci[j + 3] = s3;
+          }
+          for (; j < n; ++j) {
+            const float* bj = b + j * ldb;
+            float s = accumulate ? ci[j] : 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) s += ai[kk] * bj[kk];
+            ci[j] = s;
+          }
+        }
+      },
+      row_grain(m, k * n));
+}
+
+void matmul_tn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+               float* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate) {
+  util::parallel_for_ranges(
+      m,
+      [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          float* ci = c + i * ldc;
+          if (!accumulate) std::fill_n(ci, n, 0.0f);
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            const float v = a[kk * lda + i];
+            const float* br = b + kk * ldb;
+            for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+          }
+        }
+      },
+      row_grain(m, k * n));
+}
+
+}  // namespace sb::ml

@@ -1,0 +1,35 @@
+// Shared dense matrix-multiply kernels backing the ML hot path (Dense,
+// Conv2D im2col, depthwise im2col, LSTM gate math).
+//
+// Determinism contract: for every output element, the K-dimension is
+// accumulated in ascending k order regardless of blocking or thread count —
+// parallelism only ever splits the (disjoint) output rows.  Results are
+// therefore bit-identical for any SB_THREADS value.
+//
+// All matrices are row-major.  `ld*` are row strides in elements (pass the
+// logical width for a packed matrix); they let callers multiply sub-blocks
+// of larger tensors (e.g. one LSTM time step of an [N, T, D] input) without
+// copying.
+#pragma once
+
+#include <cstddef>
+
+namespace sb::ml {
+
+// C[M,N] = (accumulate ? C : 0) + A[M,K] * B[K,N].
+void matmul_nn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+               float* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate);
+
+// C[M,N] = (accumulate ? C : 0) + A[M,K] * B^T, with B stored [N,K].
+// Both operands are read along contiguous rows (cache-friendly dot products).
+void matmul_nt(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+               float* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate);
+
+// C[M,N] = (accumulate ? C : 0) + A^T * B, with A stored [K,M], B stored [K,N].
+void matmul_tn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
+               float* c, std::size_t ldc, std::size_t m, std::size_t k,
+               std::size_t n, bool accumulate);
+
+}  // namespace sb::ml

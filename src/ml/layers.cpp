@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ml/gemm.hpp"
+#include "util/thread_pool.hpp"
+
 namespace sb::ml {
 
 Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
@@ -18,78 +21,68 @@ Tensor Dense::forward(const Tensor& x, bool /*train*/) {
   cached_x_ = x;
   const std::size_t n = x.dim(0);
   Tensor y({n, out_});
-  const float* w = weight_.value.data();
   const float* b = bias_.value.data();
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* xi = x.data() + i * in_;
-    float* yi = y.data() + i * out_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float* wo = w + o * in_;
-      float s = b[o];
-      for (std::size_t k = 0; k < in_; ++k) s += wo[k] * xi[k];
-      yi[o] = s;
-    }
-  }
+  // Seed each output row with the bias, then y += x * W^T with ascending-k
+  // dot products — the exact accumulation order of the classic loop.
+  for (std::size_t i = 0; i < n; ++i)
+    std::copy_n(b, out_, y.data() + i * out_);
+  matmul_nt(x.data(), in_, weight_.value.data(), in_, y.data(), out_, n, in_,
+            out_, true);
   return y;
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {
   const std::size_t n = cached_x_.dim(0);
   Tensor grad_in({n, in_});
-  float* gw = weight_.grad.data();
   float* gb = bias_.grad.data();
-  const float* w = weight_.value.data();
+  // dBias: batch items in ascending order, as in the classic loop.
   for (std::size_t i = 0; i < n; ++i) {
     const float* gi = grad_out.data() + i * out_;
-    const float* xi = cached_x_.data() + i * in_;
-    float* gxi = grad_in.data() + i * in_;
-    for (std::size_t o = 0; o < out_; ++o) {
-      const float g = gi[o];
-      gb[o] += g;
-      float* gwo = gw + o * in_;
-      const float* wo = w + o * in_;
-      for (std::size_t k = 0; k < in_; ++k) {
-        gwo[k] += g * xi[k];
-        gxi[k] += g * wo[k];
-      }
-    }
+    for (std::size_t o = 0; o < out_; ++o) gb[o] += gi[o];
   }
+  // dW += gy^T x (inner dim = batch, ascending); dX = gy W (inner dim =
+  // outputs, ascending) — both match the classic loop's summation order.
+  matmul_tn(grad_out.data(), out_, cached_x_.data(), in_, weight_.grad.data(),
+            in_, out_, n, in_, true);
+  matmul_nn(grad_out.data(), out_, weight_.value.data(), in_, grad_in.data(),
+            in_, n, out_, in_, false);
   return grad_in;
 }
 
 Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
   cached_x_ = x;
   Tensor y = x;
-  for (auto& v : y.flat()) {
-    v = std::max(v, 0.0f);
+  util::parallel_for(y.numel(), [&](std::size_t i) {
+    float v = std::max(y[i], 0.0f);
     if (cap_ > 0.0f) v = std::min(v, cap_);
-  }
+    y[i] = v;
+  });
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
-  for (std::size_t i = 0; i < g.numel(); ++i) {
+  util::parallel_for(g.numel(), [&](std::size_t i) {
     const float x = cached_x_[i];
     const bool pass = x > 0.0f && (cap_ <= 0.0f || x < cap_);
     if (!pass) g[i] = 0.0f;
-  }
+  });
   return g;
 }
 
 Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
   Tensor y = x;
-  for (auto& v : y.flat()) v = std::tanh(v);
+  util::parallel_for(y.numel(), [&](std::size_t i) { y[i] = std::tanh(y[i]); });
   cached_y_ = y;
   return y;
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
-  for (std::size_t i = 0; i < g.numel(); ++i) {
+  util::parallel_for(g.numel(), [&](std::size_t i) {
     const float y = cached_y_[i];
     g[i] *= 1.0f - y * y;
-  }
+  });
   return g;
 }
 
@@ -122,7 +115,10 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
   cached_xhat_ = Tensor(x.shape());
   const float count = static_cast<float>(n * hw);
 
-  for (std::size_t ch = 0; ch < c; ++ch) {
+  // Channels are independent: every write below (cached stats, running
+  // stats, xhat, y) is per-channel, and the in-channel reduction order is
+  // unchanged, so the parallel split cannot affect results.
+  util::parallel_for(c, [&](std::size_t ch) {
     float mean_v, var_v;
     if (train) {
       float s = 0.0f;
@@ -159,7 +155,7 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
         py[k] = g * xh[k] + b;
       }
     }
-  }
+  }, 1);
   return y;
 }
 
@@ -168,7 +164,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
   const float count = static_cast<float>(n * hw);
   Tensor grad_in(grad_out.shape());
 
-  for (std::size_t ch = 0; ch < c; ++ch) {
+  util::parallel_for(c, [&](std::size_t ch) {
     // Accumulate dgamma, dbeta and the two reduction terms.
     float dgamma = 0.0f, dbeta = 0.0f, sum_gxhat = 0.0f;
     for (std::size_t i = 0; i < n; ++i) {
@@ -194,7 +190,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
                 (count * g[k] - dbeta - xh[k] * sum_gxhat);
       }
     }
-  }
+  }, 1);
   return grad_in;
 }
 
@@ -203,13 +199,14 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   cached_shape_ = x.shape();
   const std::size_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
   Tensor y({n, c});
-  for (std::size_t i = 0; i < n; ++i)
+  util::parallel_for(n, [&](std::size_t i) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float* p = x.data() + (i * c + ch) * hw;
       float s = 0.0f;
       for (std::size_t k = 0; k < hw; ++k) s += p[k];
       y[i * c + ch] = s / static_cast<float>(hw);
     }
+  });
   return y;
 }
 
@@ -217,12 +214,13 @@ Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   const std::size_t n = cached_shape_[0], c = cached_shape_[1];
   const std::size_t hw = cached_shape_[2] * cached_shape_[3];
   Tensor grad_in(cached_shape_);
-  for (std::size_t i = 0; i < n; ++i)
+  util::parallel_for(n, [&](std::size_t i) {
     for (std::size_t ch = 0; ch < c; ++ch) {
       const float g = grad_out[i * c + ch] / static_cast<float>(hw);
       float* p = grad_in.data() + (i * c + ch) * hw;
       for (std::size_t k = 0; k < hw; ++k) p[k] = g;
     }
+  });
   return grad_in;
 }
 

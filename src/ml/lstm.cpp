@@ -2,6 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
+
+#include "ml/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sb::ml {
 namespace {
@@ -40,21 +44,25 @@ Tensor Lstm::forward(const Tensor& x_in, bool /*train*/) {
     auto& gate = gates_[t];
     auto& cell = cells_[t];
     auto& hidden = hiddens_[t];
+
+    // Gate pre-activations: bias, then += Wx x_t, then += Wh h_prev — both
+    // chained accumulating GEMMs with ascending-k dots, reproducing the
+    // classic per-gate loop's floating-point sums exactly.  x_t is a strided
+    // view into the [N, T, D] input (row stride T*D).
     for (std::size_t i = 0; i < n; ++i) {
-      const float* xt = x.data() + (i * t_ + t) * d_;
-      const float* hp = h_prev.data() + i * h_;
-      const float* cp = c_prev.data() + i * h_;
       float* gt = gate.data() + i * 4 * h_;
+      for (std::size_t g = 0; g < 4 * h_; ++g) gt[g] = b_.value[g];
+    }
+    matmul_nt(x.data() + t * d_, t_ * d_, wx_.value.data(), d_, gate.data(),
+              4 * h_, n, d_, 4 * h_, true);
+    matmul_nt(h_prev.data(), h_, wh_.value.data(), h_, gate.data(), 4 * h_, n,
+              h_, 4 * h_, true);
+
+    util::parallel_for(n, [&](std::size_t i) {
+      float* gt = gate.data() + i * 4 * h_;
+      const float* cp = c_prev.data() + i * h_;
       float* ct = cell.data() + i * h_;
       float* ht = hidden.data() + i * h_;
-      for (std::size_t g = 0; g < 4 * h_; ++g) {
-        float s = b_.value[g];
-        const float* wxr = wx_.value.data() + g * d_;
-        for (std::size_t k = 0; k < d_; ++k) s += wxr[k] * xt[k];
-        const float* whr = wh_.value.data() + g * h_;
-        for (std::size_t k = 0; k < h_; ++k) s += whr[k] * hp[k];
-        gt[g] = s;
-      }
       for (std::size_t k = 0; k < h_; ++k) {
         const float ig = sigmoid(gt[k]);
         const float fg = sigmoid(gt[h_ + k]);
@@ -67,7 +75,7 @@ Tensor Lstm::forward(const Tensor& x_in, bool /*train*/) {
         ct[k] = fg * cp[k] + ig * gg;
         ht[k] = og * std::tanh(ct[k]);
       }
-    }
+    });
     h_prev = hidden;
     c_prev = cell;
   }
@@ -79,6 +87,7 @@ Tensor Lstm::backward(const Tensor& grad_out) {
   Tensor grad_x(cached_x_.shape());
   Tensor dh = grad_out;        // [N, H] gradient flowing into h_t
   Tensor dc({n, h_});          // gradient flowing into c_t
+  Tensor dgates({n, 4 * h_});  // pre-activation gate gradients, per step
 
   for (std::size_t t = t_; t-- > 0;) {
     const Tensor& gate = gates_[t];
@@ -86,17 +95,15 @@ Tensor Lstm::backward(const Tensor& grad_out) {
     Tensor dh_prev({n, h_});
     Tensor dc_prev({n, h_});
 
-    for (std::size_t i = 0; i < n; ++i) {
+    // Per-item gate gradients (disjoint rows of dgates / dc_prev).
+    util::parallel_for(n, [&](std::size_t i) {
       const float* gt = gate.data() + i * 4 * h_;
       const float* ct = cell.data() + i * h_;
       const float* cp = t > 0 ? cells_[t - 1].data() + i * h_ : nullptr;
-      const float* hp = t > 0 ? hiddens_[t - 1].data() + i * h_ : nullptr;
-      const float* xt = cached_x_.data() + (i * t_ + t) * d_;
-      float* dxt = grad_x.data() + (i * t_ + t) * d_;
       const float* dht = dh.data() + i * h_;
       float* dct = dc.data() + i * h_;
-      float* dhp = dh_prev.data() + i * h_;
       float* dcp = dc_prev.data() + i * h_;
+      float* dgt = dgates.data() + i * 4 * h_;
 
       for (std::size_t k = 0; k < h_; ++k) {
         const float ig = gt[k], fg = gt[h_ + k], gg = gt[2 * h_ + k],
@@ -105,35 +112,33 @@ Tensor Lstm::backward(const Tensor& grad_out) {
         const float dc_total = dct[k] + dht[k] * og * (1.0f - tanh_c * tanh_c);
         const float c_prev_v = cp ? cp[k] : 0.0f;
 
-        // Pre-activation gate gradients.
-        const float d_i = dc_total * gg * ig * (1.0f - ig);
-        const float d_f = dc_total * c_prev_v * fg * (1.0f - fg);
-        const float d_g = dc_total * ig * (1.0f - gg * gg);
-        const float d_o = dht[k] * tanh_c * og * (1.0f - og);
-        const float dgate[4] = {d_i, d_f, d_g, d_o};
-
+        dgt[k] = dc_total * gg * ig * (1.0f - ig);
+        dgt[h_ + k] = dc_total * c_prev_v * fg * (1.0f - fg);
+        dgt[2 * h_ + k] = dc_total * ig * (1.0f - gg * gg);
+        dgt[3 * h_ + k] = dht[k] * tanh_c * og * (1.0f - og);
         dcp[k] = dc_total * fg;
-
-        for (int gi = 0; gi < 4; ++gi) {
-          const std::size_t row = static_cast<std::size_t>(gi) * h_ + k;
-          const float dg = dgate[gi];
-          if (dg == 0.0f) continue;
-          b_.grad[row] += dg;
-          float* gwx = wx_.grad.data() + row * d_;
-          const float* vwx = wx_.value.data() + row * d_;
-          for (std::size_t kk = 0; kk < d_; ++kk) {
-            gwx[kk] += dg * xt[kk];
-            dxt[kk] += dg * vwx[kk];
-          }
-          float* gwh = wh_.grad.data() + row * h_;
-          const float* vwh = wh_.value.data() + row * h_;
-          for (std::size_t kk = 0; kk < h_; ++kk) {
-            if (hp) gwh[kk] += dg * hp[kk];
-            dhp[kk] += dg * vwh[kk];
-          }
-        }
       }
+    });
+
+    // dBias: batch items in ascending order (matches the inner GEMM order).
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* dgt = dgates.data() + i * 4 * h_;
+      for (std::size_t g = 0; g < 4 * h_; ++g) b_.grad[g] += dgt[g];
     }
+
+    // dWx += dgates^T x_t; dX_t = dgates Wx (strided slices of the [N, T, D]
+    // gradient); dWh += dgates^T h_{t-1}; dh_prev = dgates Wh.
+    matmul_tn(dgates.data(), 4 * h_, cached_x_.data() + t * d_, t_ * d_,
+              wx_.grad.data(), d_, 4 * h_, n, d_, true);
+    matmul_nn(dgates.data(), 4 * h_, wx_.value.data(), d_,
+              grad_x.data() + t * d_, t_ * d_, n, 4 * h_, d_, false);
+    if (t > 0) {
+      matmul_tn(dgates.data(), 4 * h_, hiddens_[t - 1].data(), h_,
+                wh_.grad.data(), h_, 4 * h_, n, h_, true);
+    }
+    matmul_nn(dgates.data(), 4 * h_, wh_.value.data(), h_, dh_prev.data(), h_,
+              n, 4 * h_, h_, false);
+
     dh = dh_prev;
     dc = dc_prev;
   }

@@ -26,6 +26,7 @@ double evaluate_mse(Layer& model, const Tensor& x, const Tensor& y,
                     std::size_t batch_size) {
   const std::size_t n = x.dim(0);
   if (n == 0) return 0.0;
+  if (batch_size == 0) batch_size = n;
   double total = 0.0;
   std::size_t count = 0;
   for (std::size_t start = 0; start < n; start += batch_size) {

@@ -57,15 +57,18 @@ TrainResult train_regressor(Layer& model, const RegressionDataset& train,
     const double train_mse = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
     result.train_mse_per_epoch.push_back(train_mse);
     const double val_mse =
-        val.size() > 0 ? evaluate_mse(model, val.x, val.y) : train_mse;
+        val.size() > 0 ? evaluate_mse(model, val.x, val.y, config.eval_batch_size)
+                       : train_mse;
     result.val_mse_per_epoch.push_back(val_mse);
     if (config.verbose)
       std::printf("epoch %zu: train MSE %.4f, val MSE %.4f\n", epoch + 1, train_mse,
                   val_mse);
   }
-  result.final_train_mse = evaluate_mse(model, train.x, train.y);
+  result.final_train_mse =
+      evaluate_mse(model, train.x, train.y, config.eval_batch_size);
   result.final_val_mse =
-      val.size() > 0 ? evaluate_mse(model, val.x, val.y) : result.final_train_mse;
+      val.size() > 0 ? evaluate_mse(model, val.x, val.y, config.eval_batch_size)
+                     : result.final_train_mse;
   return result;
 }
 

@@ -27,6 +27,9 @@ struct TrainConfig {
   double weight_decay = 1e-4;
   double lr_decay = 1.0;  // per-epoch multiplicative decay
   std::uint64_t shuffle_seed = 1;
+  // Batch size for the epoch-end / final evaluate_mse passes.  Bounds eval
+  // peak memory to one batch of activations regardless of dataset size.
+  std::size_t eval_batch_size = 64;
   bool verbose = false;
 };
 

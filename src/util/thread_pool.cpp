@@ -1,0 +1,134 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace sb::util {
+namespace {
+
+std::size_t default_threads() {
+  if (const char* s = std::getenv("SB_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<std::size_t>(hc) : 1;
+}
+
+std::atomic<std::size_t> g_thread_override{0};
+thread_local bool tl_in_parallel = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void ensure_workers(std::size_t want) {
+    // Workers are capped at hardware_concurrency - 1 (the caller is the
+    // remaining lane); the effective thread count only gates how much work
+    // is enqueued, so a smaller set_threads() needs no teardown.
+    while (workers.size() + 1 < want) workers.emplace_back([this] { worker(); });
+  }
+
+  void worker() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock{mutex};
+        wake.wait(lock, [&] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      tl_in_parallel = true;
+      task();
+      tl_in_parallel = false;
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{impl_->mutex};
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::size_t ThreadPool::threads() {
+  const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  static const std::size_t env = default_threads();
+  return env;
+}
+
+void ThreadPool::set_threads(std::size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+bool ThreadPool::in_parallel_region() { return tl_in_parallel; }
+
+void ThreadPool::run(std::size_t num_chunks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+
+  // Shared completion state outlives any straggling worker notify.
+  struct JobState {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+  };
+  auto state = std::make_shared<JobState>();
+  state->remaining = num_chunks;
+
+  {
+    std::lock_guard<std::mutex> lock{impl_->mutex};
+    impl_->ensure_workers(threads());
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      impl_->queue.push_back([state, &fn, c] {
+        fn(c);
+        std::lock_guard<std::mutex> done_lock{state->mutex};
+        if (--state->remaining == 0) state->done.notify_all();
+      });
+    }
+  }
+  impl_->wake.notify_all();
+
+  // The calling thread participates instead of idling.
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock{impl_->mutex};
+      if (impl_->queue.empty()) break;
+      task = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+    tl_in_parallel = true;
+    task();
+    tl_in_parallel = false;
+  }
+
+  std::unique_lock<std::mutex> lock{state->mutex};
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+}
+
+}  // namespace sb::util

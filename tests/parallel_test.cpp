@@ -1,0 +1,277 @@
+// Tier-1 coverage for the deterministic thread pool and the GEMM-backed
+// convolution backend:
+//   * thread-pool semantics (disjoint coverage, deterministic reductions,
+//     nested regions run inline, set_threads override),
+//   * Conv2D / DepthwiseConv2D GEMM backend vs the reference loop nest on
+//     random shapes, forward AND backward,
+//   * the determinism regression: training the same model at 1 and 4 threads
+//     must produce bit-identical weights and predictions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "ml/conv.hpp"
+#include "ml/models.hpp"
+#include "ml/tensor.hpp"
+#include "ml/trainer.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sb {
+namespace {
+
+using ml::Tensor;
+
+// Restores the default thread count even if an assertion fails mid-test.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::size_t n) { util::ThreadPool::set_threads(n); }
+  ~ThreadCountGuard() { util::ThreadPool::set_threads(0); }
+};
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadCountGuard guard{4};
+  constexpr std::size_t kN = 4097;  // not a multiple of any grain
+  std::vector<std::atomic<int>> hits(kN);
+  util::parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForRangesCoverDisjointly) {
+  ThreadCountGuard guard{4};
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  util::parallel_for_ranges(
+      kN,
+      [&](std::size_t begin, std::size_t end) {
+        ASSERT_LT(begin, end);
+        ASSERT_LE(end, kN);
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      64);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelSumIsBitIdenticalAcrossThreadCounts) {
+  // Values of very different magnitude make the sum sensitive to any change
+  // in association order, so bit-equality is a strong check.
+  constexpr std::size_t kN = 10007;
+  constexpr std::size_t kGrain = 128;
+  auto body = [](std::size_t begin, std::size_t end) {
+    double s = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double x = static_cast<double>(i);
+      s += std::sin(x * 1.7) * std::exp2(static_cast<double>(i % 40) - 20.0);
+    }
+    return s;
+  };
+  std::vector<double> results;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{7}}) {
+    ThreadCountGuard guard{threads};
+    results.push_back(util::parallel_sum(kN, kGrain, body));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&results[0], &results[i], sizeof(double)), 0)
+        << "thread-count run " << i << " diverged: " << results[0] << " vs "
+        << results[i];
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelRegionsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard{4};
+  EXPECT_FALSE(util::ThreadPool::in_parallel_region());
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 100;
+  std::vector<std::atomic<int>> counts(kOuter);
+  util::parallel_for(
+      kOuter,
+      [&](std::size_t i) {
+        EXPECT_TRUE(util::ThreadPool::in_parallel_region());
+        // The nested loop must run inline on this worker — completing at all
+        // (no deadlock) and summing correctly proves it.
+        util::parallel_for(
+            kInner, [&](std::size_t) { counts[i].fetch_add(1); }, 10);
+      },
+      1);
+  EXPECT_FALSE(util::ThreadPool::in_parallel_region());
+  for (std::size_t i = 0; i < kOuter; ++i) EXPECT_EQ(counts[i].load(), kInner);
+}
+
+TEST(ThreadPoolTest, SetThreadsOverridesAndRestores) {
+  const std::size_t fallback = util::ThreadPool::threads();
+  EXPECT_GE(fallback, 1u);
+  {
+    ThreadCountGuard guard{3};
+    EXPECT_EQ(util::ThreadPool::threads(), 3u);
+  }
+  EXPECT_EQ(util::ThreadPool::threads(), fallback);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM conv backend vs the reference loop nest.
+
+Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+  Tensor t{std::move(shape)};
+  for (auto& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+void expect_close(const Tensor& a, const Tensor& b, double tol,
+                  const std::string& what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double scale = std::max(1.0, std::abs(static_cast<double>(a[i])));
+    ASSERT_NEAR(a[i], b[i], tol * scale) << what << " at flat index " << i;
+  }
+}
+
+struct ConvCase {
+  std::size_t n, in_c, out_c, k, stride, pad, h, w;
+};
+
+// Runs forward + backward through `gemm` (kGemm) and `ref` (kReference) on
+// identical inputs and compares outputs, input gradients and param gradients.
+void compare_backends(ml::Layer& gemm, ml::Layer& ref, const Tensor& x,
+                      Rng& grad_rng, const std::string& what) {
+  ml::set_conv_backend(ml::ConvBackend::kGemm);
+  const Tensor y_gemm = gemm.forward(x, true);
+  ml::set_conv_backend(ml::ConvBackend::kReference);
+  const Tensor y_ref = ref.forward(x, true);
+  ml::set_conv_backend(ml::ConvBackend::kGemm);
+  expect_close(y_gemm, y_ref, 1e-5, what + " forward");
+
+  Tensor grad_out{y_gemm.shape()};
+  for (auto& v : grad_out.flat()) v = static_cast<float>(grad_rng.normal(0.0, 1.0));
+  for (ml::Param* p : gemm.params()) p->zero_grad();
+  for (ml::Param* p : ref.params()) p->zero_grad();
+  const Tensor gx_gemm = gemm.backward(grad_out);
+  ml::set_conv_backend(ml::ConvBackend::kReference);
+  const Tensor gx_ref = ref.backward(grad_out);
+  ml::set_conv_backend(ml::ConvBackend::kGemm);
+  expect_close(gx_gemm, gx_ref, 1e-4, what + " grad_in");
+
+  const auto pg = gemm.params();
+  const auto pr = ref.params();
+  ASSERT_EQ(pg.size(), pr.size());
+  for (std::size_t i = 0; i < pg.size(); ++i) {
+    expect_close(pg[i]->grad, pr[i]->grad, 1e-4,
+                 what + " param grad " + std::to_string(i));
+  }
+}
+
+TEST(ConvBackendTest, Conv2DGemmMatchesReference) {
+  const ConvCase cases[] = {
+      {2, 3, 8, 3, 1, 1, 9, 11},   // same-padded 3x3
+      {3, 4, 6, 5, 2, 2, 12, 10},  // strided 5x5
+      {2, 1, 4, 3, 2, 0, 8, 8},    // no padding, stride 2
+      {1, 5, 7, 1, 1, 0, 6, 6},    // pointwise 1x1
+  };
+  std::uint64_t seed = 100;
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "k=" << c.k << " stride=" << c.stride
+                                      << " pad=" << c.pad);
+    Rng init_a{seed}, init_b{seed};
+    ml::Conv2D gemm{c.in_c, c.out_c, c.k, c.stride, c.pad, init_a};
+    ml::Conv2D ref{c.in_c, c.out_c, c.k, c.stride, c.pad, init_b};
+    Rng data_rng{seed + 1};
+    const Tensor x = random_tensor({c.n, c.in_c, c.h, c.w}, data_rng);
+    compare_backends(gemm, ref, x, data_rng, "Conv2D");
+    seed += 10;
+  }
+}
+
+TEST(ConvBackendTest, DepthwiseConv2DGemmMatchesReference) {
+  const ConvCase cases[] = {
+      {2, 6, 6, 3, 1, 1, 10, 9},  // same-padded 3x3
+      {3, 4, 4, 3, 2, 1, 11, 7},  // strided
+      {1, 8, 8, 5, 1, 2, 9, 9},   // 5x5
+  };
+  std::uint64_t seed = 500;
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "c=" << c.in_c << " k=" << c.k
+                                      << " stride=" << c.stride);
+    Rng init_a{seed}, init_b{seed};
+    ml::DepthwiseConv2D gemm{c.in_c, c.k, c.stride, c.pad, init_a};
+    ml::DepthwiseConv2D ref{c.in_c, c.k, c.stride, c.pad, init_b};
+    Rng data_rng{seed + 1};
+    const Tensor x = random_tensor({c.n, c.in_c, c.h, c.w}, data_rng);
+    compare_backends(gemm, ref, x, data_rng, "DepthwiseConv2D");
+    seed += 10;
+  }
+}
+
+TEST(ConvBackendTest, GemmBackendStaysParallelSafe) {
+  // Same comparison with a multi-thread pool active: chunking must not change
+  // the GEMM results (the reference path is serial either way).
+  ThreadCountGuard guard{4};
+  Rng init_a{42}, init_b{42};
+  ml::Conv2D gemm{4, 8, 3, 1, 1, init_a};
+  ml::Conv2D ref{4, 8, 3, 1, 1, init_b};
+  Rng data_rng{43};
+  const Tensor x = random_tensor({4, 4, 12, 12}, data_rng);
+  compare_backends(gemm, ref, x, data_rng, "Conv2D(4 threads)");
+}
+
+// ---------------------------------------------------------------------------
+// Determinism regression: thread count must not change training results.
+
+// Trains a small model end to end and returns every learned weight followed
+// by the model's predictions on a fixed probe batch.
+std::vector<float> train_and_fingerprint(ml::ModelKind kind,
+                                         std::size_t threads) {
+  ThreadCountGuard guard{threads};
+  const ml::ModelInputShape shape{.channels = 2, .height = 8, .width = 12};
+  Rng model_rng{900};
+  auto model = ml::make_model(kind, shape, 3, model_rng);
+
+  Rng data_rng{901};
+  ml::RegressionDataset data;
+  data.x = random_tensor({24, shape.channels, shape.height, shape.width}, data_rng);
+  data.y = random_tensor({24, 3}, data_rng);
+  Rng split_rng{902};
+  auto [train, val] = ml::split_dataset(data, 0.25, split_rng);
+
+  ml::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 8;
+  cfg.eval_batch_size = 8;
+  ml::train_regressor(*model, train, val, cfg);
+
+  std::vector<float> fingerprint;
+  for (ml::Param* p : model->params())
+    for (float v : p->value.flat()) fingerprint.push_back(v);
+  Rng probe_rng{903};
+  const Tensor probe =
+      random_tensor({5, shape.channels, shape.height, shape.width}, probe_rng);
+  const Tensor pred = model->forward(probe, false);
+  for (float v : pred.flat()) fingerprint.push_back(v);
+  return fingerprint;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<ml::ModelKind> {};
+
+TEST_P(DeterminismTest, TrainingIsBitIdenticalAcrossThreadCounts) {
+  const auto serial = train_and_fingerprint(GetParam(), 1);
+  const auto parallel = train_and_fingerprint(GetParam(), 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_FALSE(serial.empty());
+  // memcmp: float equality would pass -0.0 vs 0.0 and miss NaN divergence.
+  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
+                        serial.size() * sizeof(float)),
+            0)
+      << "training " << ml::to_string(GetParam())
+      << " diverged between 1 and 4 threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, DeterminismTest,
+                         ::testing::Values(ml::ModelKind::kMlp,
+                                           ml::ModelKind::kMobileNetLite),
+                         [](const auto& info) {
+                           return ml::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace sb
