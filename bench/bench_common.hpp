@@ -24,6 +24,10 @@
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,9 +57,19 @@ inline std::filesystem::path bench_output_dir() {
 // Collects per-bench wall-clock and workload metadata, and writes
 // BENCH_<name>.json next to the bench binary on destruction (or flush()).
 // Instantiate once at the top of a bench main.
+//
+// All string values are JSON-escaped and non-finite doubles serialize as
+// null (obs/json.hpp is the single serializer).  While tracing is enabled
+// (SB_TRACE=1) the report additionally carries the pipeline stage breakdown
+// accumulated over the report's lifetime — per-stage exclusive wall-clock
+// deltas against the construction-time snapshot, so several reports in one
+// process don't double-count — plus the full metrics registry, and the
+// Chrome timeline is exported to TRACE_<name>.json alongside.
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        stage_baseline_(obs::Trace::instance().stage_totals()) {}
   BenchReport(const BenchReport&) = delete;
   BenchReport& operator=(const BenchReport&) = delete;
   ~BenchReport() { flush(); }
@@ -70,21 +84,52 @@ class BenchReport {
   void flush() {
     if (flushed_) return;
     flushed_ = true;
+    const double wall = timer_.seconds();
     const auto path = bench_output_dir() / ("BENCH_" + name_ + ".json");
     std::ofstream os{path};
     if (!os) return;
-    os << "{\n  \"name\": \"" << name_ << "\",\n"
-       << "  \"wall_seconds\": " << timer_.seconds() << ",\n"
-       << "  \"threads\": " << util::ThreadPool::threads();
-    for (const auto& [k, v] : metrics_) os << ",\n  \"" << k << "\": " << v;
-    for (const auto& [k, v] : notes_) os << ",\n  \"" << k << "\": \"" << v << "\"";
-    os << "\n}\n";
-    std::printf("[bench] wrote %s (%.2f s)\n", path.c_str(), timer_.seconds());
+
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("name", name_);
+    w.kv("wall_seconds", wall);
+    w.kv("threads", static_cast<std::uint64_t>(util::ThreadPool::threads()));
+    for (const auto& [k, v] : metrics_) w.kv(k, v);
+    for (const auto& [k, v] : notes_) w.kv(k, std::string_view{v});
+    if (obs::enabled()) {
+      const auto totals = obs::Trace::instance().stage_totals();
+      double staged = 0.0;
+      w.key("stages");
+      w.begin_object();
+      for (std::size_t i = 1; i < obs::kNumStages; ++i) {  // skip kNone
+        const double seconds =
+            totals[i].seconds - stage_baseline_[i].seconds;
+        const std::uint64_t spans = totals[i].count - stage_baseline_[i].count;
+        staged += seconds;
+        w.key(obs::stage_name(static_cast<obs::Stage>(i)));
+        w.begin_object();
+        w.kv("seconds", seconds);
+        w.kv("spans", spans);
+        w.end_object();
+      }
+      w.end_object();
+      w.kv("stage_coverage", wall > 0.0 ? staged / wall : 0.0);
+      obs::Trace::instance().write_chrome_json(
+          (bench_output_dir() / ("TRACE_" + name_ + ".json")).string());
+    }
+    w.key("metrics");
+    obs::Registry::instance().write_json(w);
+    w.end_object();
+    w.write_to(os);
+    os << '\n';
+    obs::logf(obs::LogLevel::kInfo, "bench", "wrote %s (%.2f s)", path.c_str(),
+              wall);
   }
 
  private:
   std::string name_;
   Stopwatch timer_;
+  obs::Trace::StageTotals stage_baseline_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, std::string>> notes_;
   bool flushed_ = false;
@@ -119,12 +164,12 @@ inline core::SensoryMapper standard_mapper(
   core::SensoryMapper mapper{cfg};
   const std::string cache = cache_path(cfg);
   if (mapper.load(cache)) {
-    std::printf("[setup] loaded trained model from %s\n", cache.c_str());
+    obs::logf(obs::LogLevel::kInfo, "setup", "loaded trained model from %s",
+              cache.c_str());
     return mapper;
   }
-  std::printf("[setup] training %s on %d flights (cache: %s)...\n",
-              ml::to_string(cfg.model).c_str(), flights_per_family * 6,
-              cache.c_str());
+  obs::logf(obs::LogLevel::kInfo, "setup", "training %s on %d flights (cache: %s)...",
+            ml::to_string(cfg.model).c_str(), flights_per_family * 6, cache.c_str());
   // Cold-cache training is the headline perf workload: record it.
   BenchReport report{"standard_mapper_train_" + ml::to_string(cfg.model)};
   Stopwatch fly_timer;
@@ -137,9 +182,10 @@ inline core::SensoryMapper standard_mapper(
   report.metric("fit_seconds", fit_timer.seconds());
   report.metric("train_mse", result.final_train_mse);
   report.metric("val_mse", result.final_val_mse);
-  std::printf("[setup] trained: train MSE %.4f, val MSE %.4f\n",
-              result.final_train_mse, result.final_val_mse);
-  if (mapper.save(cache)) std::printf("[setup] cached model to %s\n", cache.c_str());
+  obs::logf(obs::LogLevel::kInfo, "setup", "trained: train MSE %.4f, val MSE %.4f",
+            result.final_train_mse, result.final_val_mse);
+  if (mapper.save(cache))
+    obs::logf(obs::LogLevel::kInfo, "setup", "cached model to %s", cache.c_str());
   return mapper;
 }
 
@@ -163,7 +209,7 @@ inline FitMse fit_cached(core::SensoryMapper& mapper, const std::string& tag,
       if (std::fscanf(f, "%lf %lf", &mse.train, &mse.val) != 2) mse = {};
       std::fclose(f);
     }
-    std::printf("  [cache] %s\n", tag.c_str());
+    obs::logf(obs::LogLevel::kInfo, "cache", "%s", tag.c_str());
     return mse;
   }
   const auto result = mapper.fit(flight_lab, flights);

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "io/decision_trace.hpp"
 #include "util/table.hpp"
 
 using namespace sb;
@@ -43,12 +44,30 @@ int main() {
                    Table::fmt(r.max_score, 2)});
   }
 
-  // 10 attacked hovers.
+  // 10 attacked hovers.  The first one also exports its per-decision
+  // evidence (both RCA stages) as JSONL + CSV next to the binary.
   for (int i = 0; i < 10; ++i) {
     const auto scenario = bench::imu_attack_scenario(i);
     const auto f = bench::lab().fly(scenario);
     const auto preds = mapper.predict_flight(bench::lab(), f);
-    const auto r = det.imu.analyze(core::ImuRcaDetector::residuals(f, preds));
+    core::RcaDecisionTrace trace;
+    const bool export_trace = i == 0;
+    const auto r = det.imu.analyze(core::ImuRcaDetector::residuals(f, preds),
+                                   export_trace ? &trace.imu : nullptr);
+    if (export_trace) {
+      trace.imu_attacked = r.attacked;
+      trace.gps_mode = r.attacked ? core::GpsDetectorMode::kAudioOnly
+                                  : core::GpsDetectorMode::kAudioImu;
+      trace.gps_attacked =
+          det.gps.analyze(f, preds, trace.gps_mode, &trace.gps).attacked;
+      const auto dir = bench::bench_output_dir();
+      io::write_decision_trace_jsonl((dir / "DECISIONS_imu_attack.jsonl").string(),
+                                     trace);
+      io::write_imu_decisions_csv((dir / "DECISIONS_imu_attack_windows.csv").string(),
+                                  trace.imu);
+      io::write_gps_decisions_csv((dir / "DECISIONS_imu_attack_gps.csv").string(),
+                                  trace.gps);
+    }
     ++attacks_total;
     if (r.attacked) {
       ++tp;
@@ -65,6 +84,10 @@ int main() {
                        Table::fmt(f.log.attack_end, 0),
                    Table::fmt(r.max_score, 2)});
   }
+
+  report.metric("tpr", static_cast<double>(tp) / attacks_total);
+  report.metric("fpr", static_cast<double>(fp) / benign_total);
+  report.metric("mean_delay_seconds", delay_n > 0 ? delay_sum / delay_n : -1.0);
 
   std::printf("%s", table.to_string().c_str());
   std::printf("TPR: %d/%d = %.2f   FPR: %d/%d = %.2f   mean delay: %.1f s\n", tp,

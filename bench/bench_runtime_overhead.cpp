@@ -83,6 +83,34 @@ void BM_KsWindowTest(benchmark::State& state) {
 }
 BENCHMARK(BM_KsWindowTest);
 
+// Observability probe costs: a disabled span must stay in the "one relaxed
+// atomic load" regime (tracing is off by default in production), an enabled
+// span pays two clock reads plus a thread-local buffer append.
+void BM_DisabledSpan(benchmark::State& state) {
+  const bool was = obs::enabled();
+  obs::set_enabled(false);
+  for (auto _ : state) {
+    obs::ScopedSpan span{"overhead_probe"};
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_enabled(was);
+}
+BENCHMARK(BM_DisabledSpan);
+
+void BM_EnabledSpan(benchmark::State& state) {
+  const bool was = obs::enabled();
+  obs::set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan span{"overhead_probe"};
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::set_enabled(was);
+  obs::Trace::instance().clear();  // don't let probe events swamp the export
+}
+// Bounded iterations: every enabled span appends an event, and the default
+// auto-tuned iteration count would buffer hundreds of MB of them.
+BENCHMARK(BM_EnabledSpan)->Iterations(1 << 16);
+
 // Signature-generation duty cycle: processing one 0.5 s window (filter +
 // STFT + banding; audio capture itself is a DMA transfer on real hardware)
 // relative to the 0.25 s stride budget.
@@ -105,6 +133,56 @@ void BM_SignatureDutyCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_SignatureDutyCycle)->Unit(benchmark::kMillisecond);
 
+// Headline observability metric: the default-off tracing cost on the online
+// per-window path.  Measures the cost of one disabled span, counts how many
+// spans that path actually executes (by running it once with tracing on),
+// and reports their product relative to the measured per-window time — an
+// upper bound on the overhead instrumentation adds when SB_TRACE is unset.
+void report_tracing_overhead(bench::BenchReport& report) {
+  auto& m = mapper();
+  const auto windows = m.synthesize_windows(bench::lab(), hover_flight());
+  const std::vector<core::SensoryMapper::WindowAudio> one{windows.front()};
+
+  const bool was = obs::enabled();
+  obs::set_enabled(false);
+  constexpr int kSpanIters = 1 << 20;
+  const double span_t0 = obs::now_us();
+  for (int i = 0; i < kSpanIters; ++i) {
+    obs::ScopedSpan span{"overhead_probe"};
+    benchmark::DoNotOptimize(&span);
+  }
+  const double disabled_span_ns = (obs::now_us() - span_t0) * 1e3 / kSpanIters;
+
+  constexpr int kWinIters = 20;
+  const double win_t0 = obs::now_us();
+  for (int i = 0; i < kWinIters; ++i) {
+    auto preds = m.predict_windows(one);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const double window_seconds = (obs::now_us() - win_t0) * 1e-6 / kWinIters;
+
+  obs::set_enabled(true);
+  obs::Trace::instance().clear();
+  {
+    auto preds = m.predict_windows(one);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const auto spans = static_cast<double>(obs::Trace::instance().event_count());
+  obs::Trace::instance().clear();
+  obs::set_enabled(was);
+
+  const double overhead_pct =
+      window_seconds > 0.0 ? 100.0 * spans * disabled_span_ns * 1e-9 / window_seconds
+                           : 0.0;
+  report.metric("disabled_span_ns", disabled_span_ns);
+  report.metric("spans_per_window", spans);
+  report.metric("window_seconds", window_seconds);
+  report.metric("tracing_disabled_overhead_pct", overhead_pct);
+  std::printf(
+      "tracing disabled: %.2f ns/span, %.0f spans/window -> %.5f%% overhead\n",
+      disabled_span_ns, spans, overhead_pct);
+}
+
 }  // namespace
 
 // Hand-written main (instead of BENCHMARK_MAIN) so the run still emits the
@@ -114,6 +192,7 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();
+  report_tracing_overhead(report);
   ::benchmark::Shutdown();
   return 0;
 }

@@ -83,7 +83,7 @@ int main() {
 
   baselines::DnnLstmDetector dnn{{}};
   {
-    std::printf("[setup] training DNN (LSTM) baseline...\n");
+    obs::logf(obs::LogLevel::kInfo, "setup", "training DNN (LSTM) baseline...");
     dnn.fit(baseline_benign);
     std::vector<baselines::DnnLstmDetector::Result> results;
     for (const auto& f : baseline_benign) results.push_back(dnn.analyze(f));
@@ -111,10 +111,10 @@ int main() {
     t_dnn.record(attacked, rd.attacked, rd.detect_time, a0);
   };
 
-  std::printf("[run] evaluating %d benign periods...\n", kBenign);
+  obs::logf(obs::LogLevel::kInfo, "run", "evaluating %d benign periods...", kBenign);
   for (int i = 0; i < kBenign; ++i)
     run_flight(bench::lab().fly(bench::benign_scenario(i, 40.0)), false);
-  std::printf("[run] evaluating %d attack periods...\n", kAttacks);
+  obs::logf(obs::LogLevel::kInfo, "run", "evaluating %d attack periods...", kAttacks);
   for (int i = 0; i < kAttacks; ++i)
     run_flight(bench::lab().fly(bench::gps_attack_scenario(i, 60.0)), true);
 

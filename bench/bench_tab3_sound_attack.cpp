@@ -37,8 +37,8 @@ int main() {
     bool attacked;
   };
   std::vector<Prepared> flights;
-  std::printf("[setup] simulating and synthesizing %d flights...\n",
-              kBenign + kAttacks);
+  obs::logf(obs::LogLevel::kInfo, "setup", "simulating and synthesizing %d flights...",
+            kBenign + kAttacks);
   for (int i = 0; i < kBenign; ++i) {
     Prepared p{bench::lab().fly(bench::benign_scenario(i, 40.0)), {}, false};
     p.windows = mapper.synthesize_windows(bench::lab(), p.flight);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::acoustics {
@@ -17,6 +18,7 @@ AudioSynthesizer::AudioSynthesizer(const SynthesizerConfig& config,
 
 MultiChannelAudio AudioSynthesizer::synthesize(const sim::FlightLog& log, double t0,
                                                double t1) const {
+  obs::ScopedSpan span{"synthesize", obs::Stage::kSynthesis};
   const double fs = config_.sample_rate;
   const double physics_dt = log.rates.physics_dt();
 

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::core {
@@ -39,6 +40,7 @@ void DatasetBuilder::append_window(const Flight& flight,
 }
 
 void DatasetBuilder::add_flight(const Flight& flight) {
+  obs::ScopedSpan span{"dataset_add_flight", obs::Stage::kSynthesis};
   const auto synth = lab_->synthesizer(flight);
   const double base = config_.signature.window_seconds;
   const double end = flight.log.duration();

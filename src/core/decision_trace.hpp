@@ -1,0 +1,55 @@
+// Per-decision evidence emitted by the RCA detectors (paper §III-C): every
+// signature window (IMU stage) and every GPS fix (GPS stage) records the
+// statistics it was judged on and the thresholds in force, so a verdict can
+// be audited offline.  Exported as JSONL/CSV by io/decision_trace.hpp.
+//
+// This is a leaf header: both detector headers include it, so the shared
+// GpsDetectorMode enum lives here.
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace sb::core {
+
+enum class GpsDetectorMode {
+  kAudioOnly,  // Version 1 KF: IMU deemed compromised
+  kAudioImu,   // Version 2 KF: IMU trusted, customized fusion
+};
+
+// One signature window through the IMU-stage detector.  The OOD score is
+// max(mean_z[], spread_z[]); `flagged` compares it to `threshold`, and
+// `alert` marks the window whose consecutive-run count fired the alarm.
+struct ImuWindowDecision {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::array<double, 3> mean_z{};    // |window mean - benign mean| / sigma
+  std::array<double, 3> spread_z{};  // |window stddev - benign stddev| / sigma
+  double score = 0.0;
+  double threshold = 0.0;
+  bool flagged = false;
+  bool alert = false;
+};
+
+// One GPS fix through the GPS-stage detector.
+struct GpsFixDecision {
+  double t = 0.0;
+  double running_mean_err = 0.0;  // windowed |mean(v_gps - v_est)|
+  double pos_dev = 0.0;           // |p_gps - p_est|
+  double vel_threshold = -1.0;    // active thresholds (-1 = uncalibrated)
+  double pos_threshold = -1.0;
+  bool vel_hit = false;
+  bool pos_hit = false;
+  bool alert = false;  // first hit of the flight
+};
+
+// Both stages of one RcaEngine::analyze call plus its verdicts.
+struct RcaDecisionTrace {
+  std::vector<ImuWindowDecision> imu;
+  std::vector<GpsFixDecision> gps;
+  bool imu_attacked = false;
+  bool gps_attacked = false;
+  GpsDetectorMode gps_mode = GpsDetectorMode::kAudioImu;
+};
+
+}  // namespace sb::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::core {
@@ -9,6 +10,7 @@ namespace sb::core {
 FlightLab::FlightLab(const Config& config) : config_(config) {}
 
 Flight FlightLab::fly(const FlightScenario& scenario) const {
+  obs::ScopedSpan span{"fly", obs::Stage::kCorpus};
   Rng rng{scenario.seed};
 
   sim::QuadrotorParams quad_params = config_.quad;
@@ -113,6 +115,7 @@ Flight FlightLab::fly(const FlightScenario& scenario) const {
 
 std::vector<Flight> FlightLab::fly_all(
     std::span<const FlightScenario> scenarios) const {
+  obs::ScopedSpan span{"fly_all", obs::Stage::kCorpus};
   std::vector<Flight> out(scenarios.size());
   util::parallel_for(
       scenarios.size(), [&](std::size_t i) { out[i] = fly(scenarios[i]); }, 1);

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sb::core {
 namespace {
 
@@ -44,10 +47,13 @@ double GpsRcaDetector::calibrate(std::span<const Result> benign_results,
 GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
                                            std::span<const TimedPrediction> preds,
                                            GpsDetectorMode mode, double vel_threshold,
-                                           double pos_threshold,
-                                           Trace* trace_out) const {
+                                           double pos_threshold, Trace* trace_out,
+                                           std::vector<GpsFixDecision>* decisions_out)
+    const {
+  obs::ScopedSpan span{"gps_rca", obs::Stage::kDetect};
   Result result;
   if (preds.empty()) return result;
+  const bool telemetry = obs::enabled();
 
   // Initial state from the first GPS fix (pre-attack per the threat model:
   // attacks start only after takeoff completes).
@@ -65,12 +71,18 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
     prev_t = p.t1;
     if (dt <= 0.0) continue;
 
+    const double kf_start_us = telemetry ? obs::now_us() : 0.0;
     Vec3 v_est;
     if (mode == GpsDetectorMode::kAudioOnly) {
       v_est = audio_kf.step(p.accel, p.vel, dt);
     } else {
       const Vec3 imu_accel = flight.log.mean_imu_accel(p.t0, p.t1);
       v_est = fused_kf.step(imu_accel, p.vel, dt);
+    }
+    if (telemetry) {
+      static obs::Histogram& kf_step =
+          obs::Registry::instance().histogram("detect.kf_step_seconds");
+      kf_step.record((obs::now_us() - kf_start_us) * 1e-6);
     }
     pos_est += v_est * dt;
 
@@ -85,9 +97,22 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
       result.peak_pos_dev = std::max(result.peak_pos_dev, pos_dev);
       const bool vel_hit = vel_threshold >= 0.0 && mean_err > vel_threshold;
       const bool pos_hit = pos_threshold >= 0.0 && pos_dev > pos_threshold;
-      if ((vel_hit || pos_hit) && !result.attacked) {
+      const bool first_hit = (vel_hit || pos_hit) && !result.attacked;
+      if (first_hit) {
         result.attacked = true;
         result.detect_time = fix.t;
+      }
+      if (decisions_out) {
+        GpsFixDecision d;
+        d.t = fix.t;
+        d.running_mean_err = mean_err;
+        d.pos_dev = pos_dev;
+        d.vel_threshold = vel_threshold;
+        d.pos_threshold = pos_threshold;
+        d.vel_hit = vel_hit;
+        d.pos_hit = pos_hit;
+        d.alert = first_hit;
+        decisions_out->push_back(d);
       }
       if (trace_out) {
         trace_out->t.push_back(fix.t);
@@ -101,11 +126,12 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
   return result;
 }
 
-GpsRcaDetector::Result GpsRcaDetector::analyze(const Flight& flight,
-                                               std::span<const TimedPrediction> preds,
-                                               GpsDetectorMode mode) const {
+GpsRcaDetector::Result GpsRcaDetector::analyze(
+    const Flight& flight, std::span<const TimedPrediction> preds,
+    GpsDetectorMode mode, std::vector<GpsFixDecision>* decisions_out) const {
   const std::size_t m = mode_index(mode);
-  return run(flight, preds, mode, vel_thresholds_[m], pos_thresholds_[m], nullptr);
+  return run(flight, preds, mode, vel_thresholds_[m], pos_thresholds_[m], nullptr,
+             decisions_out);
 }
 
 GpsRcaDetector::Trace GpsRcaDetector::trace(const Flight& flight,

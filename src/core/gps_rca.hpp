@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "core/decision_trace.hpp"
 #include "core/flight_lab.hpp"
 #include "core/sensory_mapper.hpp"
 #include "detect/running_mean.hpp"
@@ -14,11 +15,6 @@
 #include "estimation/velocity_kf.hpp"
 
 namespace sb::core {
-
-enum class GpsDetectorMode {
-  kAudioOnly,  // Version 1 KF: IMU deemed compromised
-  kAudioImu,   // Version 2 KF: IMU trusted, customized fusion
-};
 
 struct GpsRcaConfig {
   est::VelocityKfConfig kf;
@@ -60,8 +56,11 @@ class GpsRcaDetector {
   double calibrate(std::span<const Result> benign_results, GpsDetectorMode mode);
 
   // Runs detection on one flight given its audio acceleration predictions.
+  // With `decisions_out`, every post-warmup GPS fix appends its evidence
+  // (running-mean error, location deviation, thresholds, verdict).
   Result analyze(const Flight& flight, std::span<const TimedPrediction> preds,
-                 GpsDetectorMode mode) const;
+                 GpsDetectorMode mode,
+                 std::vector<GpsFixDecision>* decisions_out = nullptr) const;
 
   Trace trace(const Flight& flight, std::span<const TimedPrediction> preds,
               GpsDetectorMode mode) const;
@@ -75,7 +74,8 @@ class GpsRcaDetector {
   // result (against the thresholds) and optionally the full trace.
   Result run(const Flight& flight, std::span<const TimedPrediction> preds,
              GpsDetectorMode mode, double vel_threshold, double pos_threshold,
-             Trace* trace_out) const;
+             Trace* trace_out,
+             std::vector<GpsFixDecision>* decisions_out = nullptr) const;
 
   GpsRcaConfig config_;
   double vel_thresholds_[2] = {-1.0, -1.0};

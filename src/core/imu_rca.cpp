@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace sb::core {
@@ -95,17 +96,24 @@ void ImuRcaDetector::calibrate(std::span<const WindowResiduals> benign_windows) 
         sb::percentile(benign_scores, config_.score_percentile) * config_.score_margin;
 }
 
-double ImuRcaDetector::window_score(const WindowResiduals& window) const {
+void ImuRcaDetector::window_components(const WindowResiduals& window,
+                                       std::array<double, 3>& mean_z,
+                                       std::array<double, 3>& spread_z) const {
   if (!calibrated_) throw std::logic_error{"ImuRcaDetector: score before calibrate"};
   double m[3], s[3];
   axis_stats(window, m, s);
-  double score = 0.0;
-  for (int a = 0; a < 3; ++a) {
-    const auto ai = static_cast<std::size_t>(a);
-    score = std::max(score, std::abs(m[a] - mean_fit_[ai].mean) / mean_fit_[ai].stddev);
-    score =
-        std::max(score, std::abs(s[a] - spread_fit_[ai].mean) / spread_fit_[ai].stddev);
+  for (std::size_t a = 0; a < 3; ++a) {
+    mean_z[a] = std::abs(m[a] - mean_fit_[a].mean) / mean_fit_[a].stddev;
+    spread_z[a] = std::abs(s[a] - spread_fit_[a].mean) / spread_fit_[a].stddev;
   }
+}
+
+double ImuRcaDetector::window_score(const WindowResiduals& window) const {
+  std::array<double, 3> mean_z{}, spread_z{};
+  window_components(window, mean_z, spread_z);
+  double score = 0.0;
+  for (std::size_t a = 0; a < 3; ++a)
+    score = std::max({score, mean_z[a], spread_z[a]});
   return score;
 }
 
@@ -122,24 +130,45 @@ double ImuRcaDetector::window_ks(const WindowResiduals& window) const {
 }
 
 ImuRcaDetector::Result ImuRcaDetector::analyze(
-    std::span<const WindowResiduals> windows) const {
+    std::span<const WindowResiduals> windows,
+    std::vector<ImuWindowDecision>* decisions_out) const {
   if (!calibrated_) throw std::logic_error{"ImuRcaDetector: analyze before calibrate"};
+  obs::ScopedSpan span{"imu_rca", obs::Stage::kDetect};
   Result result;
   int consecutive = 0;
   for (const auto& w : windows) {
     if (w.samples.size() < 8) continue;
-    const double score = window_score(w);
+    std::array<double, 3> mean_z{}, spread_z{};
+    window_components(w, mean_z, spread_z);
+    double score = 0.0;
+    for (std::size_t a = 0; a < 3; ++a)
+      score = std::max({score, mean_z[a], spread_z[a]});
     ++result.windows_tested;
     result.max_score = std::max(result.max_score, score);
-    if (score > score_threshold_) {
+    const bool flagged = score > score_threshold_;
+    bool alert = false;
+    if (flagged) {
       ++result.windows_flagged;
       ++consecutive;
       if (consecutive >= config_.consecutive_required && !result.attacked) {
         result.attacked = true;
         result.detect_time = w.t1;
+        alert = true;
       }
     } else {
       consecutive = 0;
+    }
+    if (decisions_out) {
+      ImuWindowDecision d;
+      d.t0 = w.t0;
+      d.t1 = w.t1;
+      d.mean_z = mean_z;
+      d.spread_z = spread_z;
+      d.score = score;
+      d.threshold = score_threshold_;
+      d.flagged = flagged;
+      d.alert = alert;
+      decisions_out->push_back(d);
     }
   }
   return result;

@@ -10,9 +10,11 @@
 // calibrates an empirical KS-statistic threshold on benign windows.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
+#include "core/decision_trace.hpp"
 #include "core/flight_lab.hpp"
 #include "core/sensory_mapper.hpp"
 #include "detect/ks_test.hpp"
@@ -60,11 +62,20 @@ class ImuRcaDetector {
     std::size_t windows_flagged = 0;
   };
 
-  Result analyze(std::span<const WindowResiduals> windows) const;
+  // With `decisions_out`, every tested window appends its evidence (per-axis
+  // z-scores, OOD score, active threshold, verdict).
+  Result analyze(std::span<const WindowResiduals> windows,
+                 std::vector<ImuWindowDecision>* decisions_out = nullptr) const;
 
   // Out-of-distribution score of one window against the benign calibration:
   // the largest per-axis z-score of (window mean, window spread).
   double window_score(const WindowResiduals& window) const;
+
+  // The individual z-scores window_score maximizes over: per-axis mean shift
+  // (Side-Swing's signature) and spread inflation (accelerometer DoS's).
+  void window_components(const WindowResiduals& window,
+                         std::array<double, 3>& mean_z,
+                         std::array<double, 3>& spread_z) const;
 
   // KS statistic of the window's residuals against the pooled benign normal
   // fit — the quantity Fig. 6 visualizes.

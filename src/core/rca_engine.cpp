@@ -7,22 +7,30 @@ RcaEngine::RcaEngine(const SensoryMapper& mapper, const ImuRcaDetector& imu_dete
     : mapper_(&mapper), imu_(&imu_detector), gps_(&gps_detector) {}
 
 RcaReport RcaEngine::analyze(const FlightLab& lab, const Flight& flight,
-                             const PredictionHooks& hooks) const {
+                             const PredictionHooks& hooks,
+                             RcaDecisionTrace* trace_out) const {
   RcaReport report;
   const auto preds = mapper_->predict_flight(lab, flight, hooks);
 
   // Stage 1: IMU integrity.
   const auto residuals = ImuRcaDetector::residuals(flight, preds);
-  const auto imu_result = imu_->analyze(residuals);
+  const auto imu_result =
+      imu_->analyze(residuals, trace_out ? &trace_out->imu : nullptr);
   report.imu_attacked = imu_result.attacked;
   report.imu_detect_time = imu_result.detect_time;
 
   // Stage 2: GPS integrity with the KF variant matching the IMU verdict.
   report.gps_mode_used = report.imu_attacked ? GpsDetectorMode::kAudioOnly
                                              : GpsDetectorMode::kAudioImu;
-  const auto gps_result = gps_->analyze(flight, preds, report.gps_mode_used);
+  const auto gps_result = gps_->analyze(flight, preds, report.gps_mode_used,
+                                        trace_out ? &trace_out->gps : nullptr);
   report.gps_attacked = gps_result.attacked;
   report.gps_detect_time = gps_result.detect_time;
+  if (trace_out) {
+    trace_out->imu_attacked = report.imu_attacked;
+    trace_out->gps_attacked = report.gps_attacked;
+    trace_out->gps_mode = report.gps_mode_used;
+  }
   return report;
 }
 

@@ -27,9 +27,11 @@ class RcaEngine {
   RcaEngine(const SensoryMapper& mapper, const ImuRcaDetector& imu_detector,
             const GpsRcaDetector& gps_detector);
 
-  // Post-incident analysis of one flight recording.
+  // Post-incident analysis of one flight recording.  With `trace_out`, both
+  // stages record their per-decision evidence (see decision_trace.hpp).
   RcaReport analyze(const FlightLab& lab, const Flight& flight,
-                    const PredictionHooks& hooks = {}) const;
+                    const PredictionHooks& hooks = {},
+                    RcaDecisionTrace* trace_out = nullptr) const;
 
  private:
   const SensoryMapper* mapper_;

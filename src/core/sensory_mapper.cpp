@@ -6,6 +6,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::core {
@@ -25,6 +26,7 @@ ml::TrainResult SensoryMapper::fit(const FlightLab& lab,
 }
 
 ml::TrainResult SensoryMapper::fit_dataset(const ml::RegressionDataset& data) {
+  obs::ScopedSpan span{"fit_dataset", obs::Stage::kTrain};
   // Fit per-feature standardization on the corpus, then train on the
   // standardized copy.  Rotor-tone amplitude changes are percent-level on a
   // dB-like scale; standardization puts every band on comparable footing.
@@ -125,6 +127,7 @@ void SensoryMapper::standardize(ml::Tensor& x) const {
 
 std::vector<SensoryMapper::WindowAudio> SensoryMapper::synthesize_windows(
     const FlightLab& lab, const Flight& flight) const {
+  obs::ScopedSpan span{"synthesize_windows", obs::Stage::kSynthesis};
   const auto synth = lab.synthesizer(flight);
   const double window = config_.dataset.signature.window_seconds;
   const double stride = config_.dataset.stride;
@@ -146,6 +149,7 @@ std::vector<SensoryMapper::WindowAudio> SensoryMapper::synthesize_windows(
 
 std::vector<TimedPrediction> SensoryMapper::predict_windows(
     std::span<const WindowAudio> windows, const PredictionHooks& hooks) const {
+  obs::ScopedSpan span{"predict_windows", obs::Stage::kPredict};
   if (!trained_) throw std::logic_error{"SensoryMapper: predict before fit"};
 
   // Signature extraction (the expensive part) is independent per window and

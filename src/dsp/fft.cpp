@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+
 namespace sb::dsp {
 namespace {
 
@@ -35,9 +37,18 @@ struct FftPlan {
 std::shared_ptr<const FftPlan> get_plan(std::size_t n) {
   static std::mutex mutex;
   static std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> cache;
+  // Hit/miss counters are always on: one relaxed add under a mutex we hold
+  // anyway, and the registry lookup is a one-time static init.
+  static obs::Counter& hits = obs::Registry::instance().counter("fft.plan_hits");
+  static obs::Counter& misses = obs::Registry::instance().counter("fft.plan_misses");
   std::lock_guard<std::mutex> lock{mutex};
   auto& slot = cache[n];
-  if (!slot) slot = std::make_shared<const FftPlan>(n);
+  if (!slot) {
+    slot = std::make_shared<const FftPlan>(n);
+    misses.add();
+  } else {
+    hits.add();
+  }
   return slot;
 }
 

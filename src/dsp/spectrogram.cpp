@@ -4,11 +4,13 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::dsp {
 
 Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
+  obs::ScopedSpan span{"stft", obs::Stage::kStft};
   if (config.frame_size == 0 || config.hop_size == 0)
     throw std::invalid_argument{"stft: frame_size and hop_size must be positive"};
   if (next_pow2(config.frame_size) != config.frame_size)

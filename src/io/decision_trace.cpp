@@ -1,0 +1,108 @@
+#include "io/decision_trace.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace sb::io {
+namespace {
+
+void append_imu_line(std::string& out, const core::ImuWindowDecision& d) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("type", "imu_window");
+  w.kv("t0", d.t0);
+  w.kv("t1", d.t1);
+  w.key("mean_z");
+  w.begin_array();
+  for (double z : d.mean_z) w.value(z);
+  w.end_array();
+  w.key("spread_z");
+  w.begin_array();
+  for (double z : d.spread_z) w.value(z);
+  w.end_array();
+  w.kv("score", d.score);
+  w.kv("threshold", d.threshold);
+  w.kv("flagged", d.flagged);
+  w.kv("alert", d.alert);
+  w.end_object();
+  out += w.str();
+  out += '\n';
+}
+
+void append_gps_line(std::string& out, const core::GpsFixDecision& d) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("type", "gps_fix");
+  w.kv("t", d.t);
+  w.kv("running_mean_err", d.running_mean_err);
+  w.kv("pos_dev", d.pos_dev);
+  w.kv("vel_threshold", d.vel_threshold);
+  w.kv("pos_threshold", d.pos_threshold);
+  w.kv("vel_hit", d.vel_hit);
+  w.kv("pos_hit", d.pos_hit);
+  w.kv("alert", d.alert);
+  w.end_object();
+  out += w.str();
+  out += '\n';
+}
+
+}  // namespace
+
+std::string decision_trace_jsonl(const core::RcaDecisionTrace& trace) {
+  std::string out;
+  for (const auto& d : trace.imu) append_imu_line(out, d);
+  for (const auto& d : trace.gps) append_gps_line(out, d);
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("type", "summary");
+  w.kv("imu_attacked", trace.imu_attacked);
+  w.kv("gps_attacked", trace.gps_attacked);
+  w.kv("gps_mode", trace.gps_mode == core::GpsDetectorMode::kAudioOnly
+                       ? "audio_only"
+                       : "audio_imu");
+  w.end_object();
+  out += w.str();
+  out += '\n';
+  return out;
+}
+
+bool write_decision_trace_jsonl(const std::string& path,
+                                const core::RcaDecisionTrace& trace) {
+  std::ofstream os{path};
+  if (!os) return false;
+  os << decision_trace_jsonl(trace);
+  return static_cast<bool>(os);
+}
+
+bool write_imu_decisions_csv(const std::string& path,
+                             std::span<const core::ImuWindowDecision> decisions) {
+  std::ofstream os{path};
+  if (!os) return false;
+  os << "t0,t1,mean_z_x,mean_z_y,mean_z_z,spread_z_x,spread_z_y,spread_z_z,"
+        "score,threshold,flagged,alert\n";
+  for (const auto& d : decisions) {
+    os << d.t0 << ',' << d.t1;
+    for (double z : d.mean_z) os << ',' << z;
+    for (double z : d.spread_z) os << ',' << z;
+    os << ',' << d.score << ',' << d.threshold << ',' << int{d.flagged} << ','
+       << int{d.alert} << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+bool write_gps_decisions_csv(const std::string& path,
+                             std::span<const core::GpsFixDecision> decisions) {
+  std::ofstream os{path};
+  if (!os) return false;
+  os << "t,running_mean_err,pos_dev,vel_threshold,pos_threshold,vel_hit,"
+        "pos_hit,alert\n";
+  for (const auto& d : decisions) {
+    os << d.t << ',' << d.running_mean_err << ',' << d.pos_dev << ','
+       << d.vel_threshold << ',' << d.pos_threshold << ',' << int{d.vel_hit}
+       << ',' << int{d.pos_hit} << ',' << int{d.alert} << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+}  // namespace sb::io

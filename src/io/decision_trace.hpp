@@ -1,0 +1,32 @@
+// Export of RCA per-decision evidence (core/decision_trace.hpp) for offline
+// audit: JSONL (one decision per line, `type` discriminated, with a trailing
+// summary record) and per-stage CSV in the flight_csv style.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/decision_trace.hpp"
+
+namespace sb::io {
+
+// One JSON object per line:
+//   {"type":"imu_window","t0":..,"t1":..,"mean_z":[..],"spread_z":[..],
+//    "score":..,"threshold":..,"flagged":..,"alert":..}
+//   {"type":"gps_fix","t":..,"running_mean_err":..,"pos_dev":..,
+//    "vel_threshold":..,"pos_threshold":..,"vel_hit":..,"pos_hit":..,
+//    "alert":..}
+//   {"type":"summary","imu_attacked":..,"gps_attacked":..,"gps_mode":".."}
+bool write_decision_trace_jsonl(const std::string& path,
+                                const core::RcaDecisionTrace& trace);
+
+// Serialized form of the above, for embedding or in-memory inspection.
+std::string decision_trace_jsonl(const core::RcaDecisionTrace& trace);
+
+bool write_imu_decisions_csv(const std::string& path,
+                             std::span<const core::ImuWindowDecision> decisions);
+
+bool write_gps_decisions_csv(const std::string& path,
+                             std::span<const core::GpsFixDecision> decisions);
+
+}  // namespace sb::io

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::ml {
@@ -17,11 +19,22 @@ std::size_t row_grain(std::size_t m, std::size_t work_per_row) {
   return std::min(m, rows);
 }
 
+// Flop accounting (2*M*K*N per multiply): one relaxed atomic add per matmul
+// call, gated on tracing so the disabled path costs a single load.
+void count_flops(std::size_t m, std::size_t k, std::size_t n) {
+  if (!obs::enabled()) return;
+  static obs::Counter& flops = obs::Registry::instance().counter("gemm.flops");
+  static obs::Counter& calls = obs::Registry::instance().counter("gemm.calls");
+  flops.add(static_cast<std::uint64_t>(2) * m * k * n);
+  calls.add();
+}
+
 }  // namespace
 
 void matmul_nn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
                float* c, std::size_t ldc, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) {
+  count_flops(m, k, n);
   util::parallel_for_ranges(
       m,
       [&](std::size_t i0, std::size_t i1) {
@@ -72,6 +85,7 @@ void matmul_nn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
 void matmul_nt(const float* a, std::size_t lda, const float* b, std::size_t ldb,
                float* c, std::size_t ldc, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) {
+  count_flops(m, k, n);
   util::parallel_for_ranges(
       m,
       [&](std::size_t i0, std::size_t i1) {
@@ -117,6 +131,7 @@ void matmul_nt(const float* a, std::size_t lda, const float* b, std::size_t ldb,
 void matmul_tn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
                float* c, std::size_t ldc, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) {
+  count_flops(m, k, n);
   util::parallel_for_ranges(
       m,
       [&](std::size_t i0, std::size_t i1) {

@@ -1,10 +1,25 @@
 #include "ml/trainer.hpp"
 
-#include <cstdio>
+#include <cmath>
 
 #include "ml/optimizer.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sb::ml {
+namespace {
+
+// Global L2 norm of every parameter gradient.  Only computed while tracing
+// is enabled — it is telemetry, never an input to the optimizer.
+double grad_norm(const std::vector<Param*>& params) {
+  double sum = 0.0;
+  for (const Param* p : params)
+    for (const float g : p->grad.flat()) sum += static_cast<double>(g) * g;
+  return std::sqrt(sum);
+}
+
+}  // namespace
 
 std::pair<RegressionDataset, RegressionDataset> split_dataset(
     const RegressionDataset& data, double val_fraction, Rng& rng) {
@@ -24,20 +39,26 @@ std::pair<RegressionDataset, RegressionDataset> split_dataset(
 
 TrainResult train_regressor(Layer& model, const RegressionDataset& train,
                             const RegressionDataset& val, const TrainConfig& config) {
+  obs::ScopedSpan train_span{"train_regressor", obs::Stage::kTrain};
   TrainResult result;
   const std::size_t n = train.size();
   if (n == 0) return result;
 
-  Adam opt{model.params(), config.lr, 0.9, 0.999, 1e-8, config.weight_decay};
+  const auto params = model.params();
+  Adam opt{params, config.lr, 0.9, 0.999, 1e-8, config.weight_decay};
   Rng shuffle_rng{config.shuffle_seed};
 
   double lr = config.lr;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span{"epoch", obs::Stage::kTrain};
     opt.set_lr(lr);
+    const double epoch_lr = lr;
     lr *= config.lr_decay;
     const auto perm = shuffle_rng.permutation(n);
     double epoch_loss = 0.0;
+    double epoch_grad_norm = 0.0;
     std::size_t batches = 0;
+    const bool telemetry = obs::enabled();
     for (std::size_t start = 0; start < n; start += config.batch_size) {
       const std::size_t end = std::min(start + config.batch_size, n);
       std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(start),
@@ -49,6 +70,7 @@ TrainResult train_regressor(Layer& model, const RegressionDataset& train,
       const Tensor pred = model.forward(bx, true);
       const MseLoss loss = mse_loss(pred, by);
       model.backward(loss.grad);
+      if (telemetry) epoch_grad_norm += grad_norm(params);
       opt.step();
 
       epoch_loss += loss.value;
@@ -60,9 +82,18 @@ TrainResult train_regressor(Layer& model, const RegressionDataset& train,
         val.size() > 0 ? evaluate_mse(model, val.x, val.y, config.eval_batch_size)
                        : train_mse;
     result.val_mse_per_epoch.push_back(val_mse);
-    if (config.verbose)
-      std::printf("epoch %zu: train MSE %.4f, val MSE %.4f\n", epoch + 1, train_mse,
-                  val_mse);
+    if (telemetry) {
+      auto& registry = obs::Registry::instance();
+      registry.gauge("train.mse").set(train_mse);
+      registry.gauge("train.val_mse").set(val_mse);
+      registry.gauge("train.lr").set(epoch_lr);
+      registry.gauge("train.grad_norm")
+          .set(batches > 0 ? epoch_grad_norm / static_cast<double>(batches) : 0.0);
+      registry.counter("train.epochs").add();
+    }
+    obs::logf(config.verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug, "train",
+              "epoch %zu: train MSE %.4f, val MSE %.4f, lr %.2e", epoch + 1,
+              train_mse, val_mse, epoch_lr);
   }
   result.final_train_mse =
       evaluate_mse(model, train.x, train.y, config.eval_batch_size);

@@ -1,0 +1,306 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace sb::obs {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: recursive descent over the JSON grammar.
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+
+  bool literal(std::string_view word) {
+    if (s.substr(i, word.size()) != word) return false;
+    i += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (eof() || s[i] != '"') return false;
+    ++i;
+    while (!eof()) {
+      const char c = s[i];
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        ++i;
+        if (eof()) return false;
+        const char e = s[i];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++i;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s[i]))) return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++i;
+    }
+    return false;
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    return true;
+  }
+
+  bool number() {
+    if (!eof() && s[i] == '-') ++i;
+    if (eof()) return false;
+    if (s[i] == '0') {
+      ++i;
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && s[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (!eof() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (!eof() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    bool ok = false;
+    switch (peek()) {
+      case '{':
+        ok = object();
+        break;
+      case '[':
+        ok = array();
+        break;
+      case '"':
+        ok = string();
+        break;
+      case 't':
+        ok = literal("true");
+        break;
+      case 'f':
+        ok = literal("false");
+        break;
+      case 'n':
+        ok = literal("null");
+        break;
+      default:
+        ok = number();
+    }
+    --depth;
+    return ok;
+  }
+
+  bool object() {
+    ++i;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++i;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || s[i] != ':') return false;
+      ++i;
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == '}') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++i;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++i;
+      return true;
+    }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == ']') {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_valid(std::string_view s) {
+  Parser p{s};
+  if (!p.value()) return false;
+  p.skip_ws();
+  return p.eof();
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    needs_comma_ = true;
+    return;
+  }
+  if (needs_comma_) out_.push_back(',');
+  needs_comma_ = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_.push_back('{');
+  stack_.push_back('o');
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_object() {
+  out_.push_back('}');
+  if (!stack_.empty()) stack_.pop_back();
+  needs_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_.push_back('[');
+  stack_.push_back('a');
+  needs_comma_ = false;
+}
+
+void JsonWriter::end_array() {
+  out_.push_back(']');
+  if (!stack_.empty()) stack_.pop_back();
+  needs_comma_ = true;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (needs_comma_) out_.push_back(',');
+  needs_comma_ = false;
+  append_json_string(out_, k);
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  append_json_string(out_, v);
+}
+
+void JsonWriter::value(double v) {
+  comma_for_value();
+  append_json_number(out_, v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+}
+
+}  // namespace sb::obs

@@ -1,0 +1,77 @@
+// Minimal JSON serialization shared by every observability export path
+// (BENCH_*.json reports, Chrome trace files, metrics dumps, RCA decision
+// traces).  One serializer means one place that gets escaping, non-finite
+// handling and round-trip precision right.
+//
+// obs is the bottom of the dependency stack: it must not include any other
+// sb header (util links against obs, not the other way around).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace sb::obs {
+
+// Appends the JSON string-literal encoding of `s` (including surrounding
+// quotes) to `out`, escaping quotes, backslashes and control characters.
+void append_json_string(std::string& out, std::string_view s);
+
+// Appends a JSON number at full round-trip precision (%.17g), or `null` for
+// NaN / infinity — bare `nan`/`inf` tokens are not valid JSON.
+void append_json_number(std::string& out, double v);
+
+// Structural validator used by the tests (and available to callers that want
+// to self-check an export): true iff `s` is one complete well-formed JSON
+// value.  Accepts the full grammar; numbers are validated syntactically.
+bool json_valid(std::string_view s);
+
+// Streaming writer for JSON objects/arrays with automatic comma placement.
+// Values written through it inherit the escaping / non-finite rules above.
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("name"); w.value("bench \"x\"");
+//   w.key("wall"); w.value(1.25);
+//   w.end_object();
+//   os << w.str();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view{v}); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(bool v);
+  void null();
+
+  // Shorthand for key(k); value(v).
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  void write_to(std::ostream& os) const { os << out_; }
+
+ private:
+  void comma_for_value();
+
+  std::string out_;
+  // Small manual stack of container states: needs_comma per nesting level.
+  std::string stack_;  // 'o' = object, 'a' = array
+  bool needs_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace sb::obs

@@ -1,0 +1,82 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sb::obs {
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (!s || !*s) return LogLevel::kInfo;
+  if (std::strcmp(s, "quiet") == 0 || std::strcmp(s, "0") == 0)
+    return LogLevel::kQuiet;
+  if (std::strcmp(s, "error") == 0 || std::strcmp(s, "1") == 0)
+    return LogLevel::kError;
+  if (std::strcmp(s, "warn") == 0 || std::strcmp(s, "2") == 0)
+    return LogLevel::kWarn;
+  if (std::strcmp(s, "info") == 0 || std::strcmp(s, "3") == 0) return LogLevel::kInfo;
+  if (std::strcmp(s, "debug") == 0 || std::strcmp(s, "4") == 0)
+    return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+// -1 = not yet initialized from the environment.
+std::atomic<int> g_level{-1};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn ";
+    case LogLevel::kInfo:
+      return "info ";
+    case LogLevel::kDebug:
+      return "debug";
+    default:
+      return "     ";
+  }
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(parse_level(std::getenv("SB_LOG_LEVEL")));
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  return level != LogLevel::kQuiet && level <= log_level();
+}
+
+void logf(LogLevel level, const char* stage, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char msg[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+
+  std::FILE* out = level <= LogLevel::kWarn ? stderr : stdout;
+  std::lock_guard<std::mutex> lock{log_mutex()};
+  std::fprintf(out, "[%s %s] %s\n", level_tag(level), stage ? stage : "-", msg);
+  std::fflush(out);
+}
+
+}  // namespace sb::obs

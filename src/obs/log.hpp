@@ -1,0 +1,41 @@
+// Leveled structured logger.  Every line carries a level and a stage tag so
+// output from concurrent pipeline stages stays attributable:
+//
+//   [info  train] epoch 3: train MSE 0.0123, val MSE 0.0147
+//
+// The level comes from the SB_LOG_LEVEL environment variable
+// (quiet|error|warn|info|debug, default info) and can be overridden at
+// runtime with set_log_level().  `SB_LOG_LEVEL=quiet` silences everything,
+// including the bench harness chatter.  Logging is thread-safe (one line is
+// one atomic write) and draws no RNG; whether a line is emitted can never
+// affect experiment results.
+#pragma once
+
+#include <cstdarg>
+
+namespace sb::obs {
+
+enum class LogLevel {
+  kQuiet = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+};
+
+// Effective level: runtime override if set, else SB_LOG_LEVEL, else info.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// True when a message at `level` would be emitted; callers gate expensive
+// message preparation on this.
+bool log_enabled(LogLevel level);
+
+// printf-style log line tagged with a pipeline stage ("bench", "train", ...).
+// Error/warn go to stderr, info/debug to stdout.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 3, 4)))
+#endif
+void logf(LogLevel level, const char* stage, const char* fmt, ...);
+
+}  // namespace sb::obs

@@ -1,0 +1,200 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "obs/json.hpp"
+
+namespace sb::obs {
+
+// ---------------------------------------------------------------------------
+// Gauge: doubles stored as bit patterns so reads/writes stay lock-free.
+
+std::uint64_t Gauge::encode(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::decode(std::uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (reservoir_.size() < kMaxSamples) {
+    if (reservoir_.capacity() == 0) reservoir_.reserve(256);
+    reservoir_.push_back(v);
+  }
+}
+
+namespace {
+
+// Identical interpolation to util::stats percentile; obs cannot link util
+// (util links obs), so the five-line algorithm is duplicated and pinned to
+// the util implementation by obs_test.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::vector<double> values;
+  Snapshot s;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    values = reservoir_;
+  }
+  if (s.count > 0) s.mean = s.sum / static_cast<double>(s.count);
+  std::sort(values.begin(), values.end());
+  s.p50 = sorted_percentile(values, 50.0);
+  s.p90 = sorted_percentile(values, 90.0);
+  s.p99 = sorted_percentile(values, 99.0);
+  return s;
+}
+
+double Histogram::percentile(double p) const {
+  std::vector<double> values;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    values = reservoir_;
+  }
+  std::sort(values.begin(), values.end());
+  return sorted_percentile(values, p);
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return count_;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock{mutex_};
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  reservoir_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // std::map: stable references, deterministic (sorted) serialization order.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl;  // leaked: outlive any static destructor user
+  return *impl;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock{im.mutex};
+  auto& slot = im.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock{im.mutex};
+  auto& slot = im.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock{im.mutex};
+  auto& slot = im.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock{im.mutex};
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock{im.mutex};
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : im.counters) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : im.gauges) w.kv(name, g->value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : im.histograms) {
+    const Histogram::Snapshot s = h->snapshot();
+    w.key(name);
+    w.begin_object();
+    w.kv("count", static_cast<std::uint64_t>(s.count));
+    w.kv("sum", s.sum);
+    w.kv("mean", s.mean);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("p50", s.p50);
+    w.kv("p90", s.p90);
+    w.kv("p99", s.p99);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock{im.mutex};
+  std::vector<std::string> names;
+  names.reserve(im.counters.size());
+  for (const auto& [name, c] : im.counters) names.push_back(name);
+  return names;
+}
+
+}  // namespace sb::obs

@@ -1,0 +1,109 @@
+// Process-wide metrics registry: named counters, gauges and histograms with
+// percentile summaries.  Producers cache a reference once (function-local
+// static) and then update lock-free (counters/gauges) or under a short
+// per-histogram lock; readers snapshot on demand.
+//
+// Collection never draws RNG and never feeds back into any computation, so
+// instrumentation cannot perturb seeded results.  High-frequency producers
+// (GEMM flop counts, thread-pool task timing) additionally gate their
+// updates on obs::enabled() so the disabled-mode cost is a single relaxed
+// atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sb::obs {
+
+class JsonWriter;
+
+// Monotonic event/quantity counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-written value (training MSE, learning rate, queue depth, ...).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(encode(v), std::memory_order_relaxed); }
+  double value() const { return decode(bits_.load(std::memory_order_relaxed)); }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t encode(double v);
+  static double decode(std::uint64_t bits);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+// Value distribution with exact count/sum/min/max and percentile estimates
+// from a bounded reservoir (the first kMaxSamples recorded values).
+class Histogram {
+ public:
+  void record(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  // Percentile over the reservoir, same interpolation as util::stats
+  // percentile (linear between closest ranks).  p in [0, 100].
+  double percentile(double p) const;
+
+  std::uint64_t count() const;
+  void reset();
+
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> reservoir_;
+};
+
+// Name -> instrument registry.  Instruments are created on first use and
+// live for the process lifetime, so cached references never dangle.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Zeroes every registered instrument (names stay registered).
+  void reset();
+
+  // Serializes every instrument into the writer as one JSON object:
+  //   {"counters": {...}, "gauges": {...}, "histograms": {name: {count,...}}}
+  void write_json(JsonWriter& w) const;
+
+  // Sorted names, for enumeration in tests/tools.
+  std::vector<std::string> counter_names() const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace sb::obs

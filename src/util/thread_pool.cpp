@@ -8,6 +8,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace sb::util {
 namespace {
 
@@ -23,6 +26,36 @@ std::size_t default_threads() {
 
 std::atomic<std::size_t> g_thread_override{0};
 thread_local bool tl_in_parallel = false;
+
+// Pool telemetry.  Only collected while tracing is enabled (obs::enabled()):
+// one clock read at enqueue and two per task, plus a short histogram lock —
+// acceptable at chunk granularity, and exactly zero cost when disabled.
+struct PoolMetrics {
+  obs::Counter& tasks = obs::Registry::instance().counter("pool.tasks");
+  obs::Gauge& queue_depth = obs::Registry::instance().gauge("pool.queue_depth");
+  obs::Histogram& queue_wait =
+      obs::Registry::instance().histogram("pool.queue_wait_seconds");
+  obs::Histogram& task_run =
+      obs::Registry::instance().histogram("pool.task_run_seconds");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+// Marks [task start, task end) on this thread: nested parallel helpers run
+// inline, and obs stage spans inside tasks must not double-accrue.
+struct ParallelRegionMark {
+  ParallelRegionMark() {
+    tl_in_parallel = true;
+    obs::set_parallel_worker(true);
+  }
+  ~ParallelRegionMark() {
+    tl_in_parallel = false;
+    obs::set_parallel_worker(false);
+  }
+};
 
 }  // namespace
 
@@ -50,9 +83,10 @@ struct ThreadPool::Impl {
         task = std::move(queue.front());
         queue.pop_front();
       }
-      tl_in_parallel = true;
-      task();
-      tl_in_parallel = false;
+      {
+        ParallelRegionMark mark;
+        task();
+      }
     }
   }
 };
@@ -87,6 +121,11 @@ void ThreadPool::set_threads(std::size_t n) {
 
 bool ThreadPool::in_parallel_region() { return tl_in_parallel; }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock{impl_->mutex};
+  return impl_->queue.size();
+}
+
 void ThreadPool::run(std::size_t num_chunks,
                      const std::function<void(std::size_t)>& fn) {
   if (num_chunks == 0) return;
@@ -100,15 +139,30 @@ void ThreadPool::run(std::size_t num_chunks,
   auto state = std::make_shared<JobState>();
   state->remaining = num_chunks;
 
+  const bool telemetry = obs::enabled();
+  const double enqueue_us = telemetry ? obs::now_us() : 0.0;
   {
     std::lock_guard<std::mutex> lock{impl_->mutex};
     impl_->ensure_workers(threads());
     for (std::size_t c = 0; c < num_chunks; ++c) {
-      impl_->queue.push_back([state, &fn, c] {
-        fn(c);
+      impl_->queue.push_back([state, &fn, c, telemetry, enqueue_us] {
+        if (telemetry) {
+          PoolMetrics& m = pool_metrics();
+          const double start_us = obs::now_us();
+          m.queue_wait.record((start_us - enqueue_us) * 1e-6);
+          fn(c);
+          m.task_run.record((obs::now_us() - start_us) * 1e-6);
+        } else {
+          fn(c);
+        }
         std::lock_guard<std::mutex> done_lock{state->mutex};
         if (--state->remaining == 0) state->done.notify_all();
       });
+    }
+    if (telemetry) {
+      PoolMetrics& m = pool_metrics();
+      m.tasks.add(num_chunks);
+      m.queue_depth.set(static_cast<double>(impl_->queue.size()));
     }
   }
   impl_->wake.notify_all();
@@ -122,9 +176,8 @@ void ThreadPool::run(std::size_t num_chunks,
       task = std::move(impl_->queue.front());
       impl_->queue.pop_front();
     }
-    tl_in_parallel = true;
+    ParallelRegionMark mark;
     task();
-    tl_in_parallel = false;
   }
 
   std::unique_lock<std::mutex> lock{state->mutex};

@@ -51,6 +51,12 @@ class ThreadPool {
   // fn must not throw.
   void run(std::size_t num_chunks, const std::function<void(std::size_t)>& fn);
 
+  // Tasks currently waiting in the queue.  While tracing is enabled the
+  // "pool.queue_depth" gauge also records it at each enqueue, and the
+  // "pool.queue_wait_seconds" / "pool.task_run_seconds" histograms time
+  // every task.
+  std::size_t queue_depth() const;
+
  private:
   ThreadPool();
   struct Impl;

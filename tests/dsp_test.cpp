@@ -8,6 +8,7 @@
 #include "dsp/fft.hpp"
 #include "dsp/spectrogram.hpp"
 #include "dsp/window.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace sb::dsp {
@@ -85,6 +86,18 @@ TEST(Fft, GoertzelMatchesFftAtBin) {
   const auto s = sine(f, fs, 1024, 1.5);
   EXPECT_NEAR(goertzel(s, f, fs), 1.5, 0.05);
   EXPECT_NEAR(goertzel(s, f * 2, fs), 0.0, 0.05);
+}
+
+TEST(Fft, PlanCacheHitsOnWarmSize) {
+  auto& hits = sb::obs::Registry::instance().counter("fft.plan_hits");
+  // First transform builds (or reuses) the 512-point plan; the second must
+  // be a cache hit — a rebuild per call would defeat the plan cache.
+  std::vector<std::complex<double>> a(512, {1.0, 0.0});
+  fft(a);
+  const auto before = hits.value();
+  std::vector<std::complex<double>> b(512, {0.5, 0.0});
+  fft(b);
+  EXPECT_GT(hits.value(), before);
 }
 
 TEST(Window, HannEndpointsAndPeak) {
