@@ -1,0 +1,238 @@
+// Fault-tolerance matrix: sweeps injected sensor faults (type x severity)
+// against the Tab. II GPS-spoofing workload and reports how the two-stage
+// RCA verdicts degrade.  "Degrades gracefully" becomes a measured claim:
+// every cell writes its TPR/FPR into BENCH_fault_matrix.json.
+//
+// Determinism check baked in: every severity-0 cell must reproduce the
+// unfaulted baseline bit-for-bit (injector inputs compared bitwise, then the
+// full analysis re-run on them and its verdicts/predictions compared
+// bitwise).  The `severity0_matches_baseline` metric is 1 only if every cell
+// passed; run under SB_THREADS=1 and SB_THREADS=4 to cover the parallel
+// paths.
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/health.hpp"
+#include "util/table.hpp"
+
+using namespace sb;
+
+namespace {
+
+constexpr int kBenign = 8;
+constexpr int kAttacks = 6;
+constexpr double kSeverities[] = {0.0, 0.35, 0.7, 1.0};
+constexpr double kFaultStart = 8.0;  // overlaps every spoof period
+
+enum class Cell { kMicDead, kMicClip, kImuDropout, kImuNan, kGpsOutage, kGpsJitter };
+constexpr Cell kCells[] = {Cell::kMicDead,    Cell::kMicClip,  Cell::kImuDropout,
+                           Cell::kImuNan,     Cell::kGpsOutage, Cell::kGpsJitter};
+
+const char* cell_name(Cell c) {
+  switch (c) {
+    case Cell::kMicDead: return "mic_dead";
+    case Cell::kMicClip: return "mic_clip";
+    case Cell::kImuDropout: return "imu_dropout";
+    case Cell::kImuNan: return "imu_nan";
+    case Cell::kGpsOutage: return "gps_outage";
+    case Cell::kGpsJitter: return "gps_jitter";
+  }
+  return "?";
+}
+
+bool is_mic(Cell c) { return c == Cell::kMicDead || c == Cell::kMicClip; }
+
+faults::FaultPlan make_plan(Cell cell, double severity, int flight_index) {
+  faults::FaultPlan plan;
+  plan.seed = 900 + static_cast<std::uint64_t>(flight_index);
+  switch (cell) {
+    case Cell::kMicDead:
+      plan.mic.push_back({faults::MicFaultType::kChannelDead,
+                          flight_index % static_cast<int>(sensors::kNumMics),
+                          severity, kFaultStart, 1e9});
+      break;
+    case Cell::kMicClip:
+      plan.mic.push_back({faults::MicFaultType::kClipping,
+                          flight_index % static_cast<int>(sensors::kNumMics),
+                          severity, kFaultStart, 1e9});
+      break;
+    case Cell::kImuDropout:
+      plan.imu.push_back({faults::ImuFaultType::kDropout, severity, kFaultStart, 1e9});
+      break;
+    case Cell::kImuNan:
+      plan.imu.push_back({faults::ImuFaultType::kNanBurst, severity, kFaultStart, 1e9});
+      break;
+    case Cell::kGpsOutage:
+      // Bounded interval: severity scales the outage from 0 to 16 s, after
+      // which the receiver reacquires — exercising coast + monitor reset
+      // rather than just "no GPS, nothing to score".
+      plan.gps.push_back({faults::GpsFaultType::kOutage, severity, kFaultStart, 24.0});
+      break;
+    case Cell::kGpsJitter:
+      plan.gps.push_back({faults::GpsFaultType::kLatencyJitter, severity, kFaultStart, 1e9});
+      break;
+  }
+  return plan;
+}
+
+// One flight's verdict through the engine's two-stage logic (IMU verdict
+// selects the GPS KF variant), with the health tally alongside.
+struct Verdict {
+  bool imu_attacked = false;
+  bool gps_attacked = false;
+  double gps_detect_time = -1.0;
+  faults::HealthReport health;
+};
+
+Verdict analyze(const core::Flight& flight,
+                std::span<const core::TimedPrediction> preds,
+                const bench::CalibratedDetectors& det,
+                faults::HealthReport window_health = {}) {
+  Verdict v;
+  v.health = window_health;
+  const auto residuals = core::ImuRcaDetector::residuals(flight, preds, 10, &v.health);
+  const auto imu = det.imu.analyze(residuals);
+  v.imu_attacked = imu.attacked;
+  v.health.imu_windows_skipped += imu.windows_skipped;
+  const auto mode = v.imu_attacked ? core::GpsDetectorMode::kAudioOnly
+                                   : core::GpsDetectorMode::kAudioImu;
+  const auto gps = det.gps.analyze(flight, preds, mode, nullptr, &v.health);
+  v.gps_attacked = gps.attacked;
+  v.gps_detect_time = gps.detect_time;
+  return v;
+}
+
+bool same_verdict(const Verdict& a, const Verdict& b) {
+  return a.imu_attacked == b.imu_attacked && a.gps_attacked == b.gps_attacked &&
+         std::memcmp(&a.gps_detect_time, &b.gps_detect_time, sizeof(double)) == 0;
+}
+
+bool same_preds(std::span<const core::TimedPrediction> a,
+                std::span<const core::TimedPrediction> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(core::TimedPrediction)) == 0);
+}
+
+bool same_audio(const std::vector<core::SensoryMapper::WindowAudio>& a,
+                const std::vector<core::SensoryMapper::WindowAudio>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].audio.channels != b[i].audio.channels) return false;
+  return true;
+}
+
+bool same_log(const sim::FlightLog& a, const sim::FlightLog& b) {
+  const auto bytes_equal = [](const auto& x, const auto& y) {
+    using T = typename std::decay_t<decltype(x)>::value_type;
+    return x.size() == y.size() &&
+           (x.empty() || std::memcmp(x.data(), y.data(), x.size() * sizeof(T)) == 0);
+  };
+  return bytes_equal(a.imu, b.imu) && bytes_equal(a.gps, b.gps);
+}
+
+struct CellTally {
+  int benign_alerts = 0;
+  int attack_alerts = 0;
+  int degraded_flights = 0;
+  std::size_t windows_degraded = 0;
+  std::size_t coast_intervals = 0;
+
+  void record(bool attacked_flight, const Verdict& v) {
+    if (v.gps_attacked) (attacked_flight ? attack_alerts : benign_alerts)++;
+    if (v.health.degraded()) ++degraded_flights;
+    windows_degraded += v.health.windows_degraded;
+    coast_intervals += v.health.gps_coast_intervals;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report{"fault_matrix"};
+  std::printf("=== Fault matrix: %zu fault types x %zu severities over %d benign + %d attack flights ===\n",
+              std::size(kCells), std::size(kSeverities), kBenign, kAttacks);
+
+  auto mapper = bench::standard_mapper();
+  auto det = bench::calibrate_detectors(mapper);
+
+  CellTally tallies[std::size(kCells)][std::size(kSeverities)];
+  CellTally baseline_tally;
+  bool severity0_ok = true;
+
+  const int total_flights = kBenign + kAttacks;
+  for (int fi = 0; fi < total_flights; ++fi) {
+    const bool attacked = fi >= kBenign;
+    const auto scenario = attacked ? bench::gps_attack_scenario(fi - kBenign, 60.0)
+                                   : bench::benign_scenario(fi, 40.0);
+    const auto flight = bench::lab().fly(scenario);
+    obs::logf(obs::LogLevel::kInfo, "run", "flight %d/%d (%s)", fi + 1, total_flights,
+              attacked ? "gps spoof" : "benign");
+
+    const auto windows = mapper.synthesize_windows(bench::lab(), flight);
+    const auto base_preds = mapper.predict_windows(windows);
+    const auto base_verdict = analyze(flight, base_preds, det);
+    baseline_tally.record(attacked, base_verdict);
+
+    for (std::size_t ci = 0; ci < std::size(kCells); ++ci) {
+      const Cell cell = kCells[ci];
+      for (std::size_t si = 0; si < std::size(kSeverities); ++si) {
+        const double severity = kSeverities[si];
+        const auto plan = make_plan(cell, severity, fi);
+        Verdict v;
+        if (is_mic(cell)) {
+          auto faulted = windows;
+          for (auto& w : faulted) faults::apply_to_audio(w.audio, w.t0, plan);
+          faults::HealthReport window_health;
+          const auto preds = mapper.predict_windows(faulted, {}, &window_health);
+          v = analyze(flight, preds, det, window_health);
+          if (severity <= 0.0)
+            severity0_ok = severity0_ok && same_audio(faulted, windows) &&
+                           same_preds(preds, base_preds) && same_verdict(v, base_verdict);
+        } else {
+          auto faulted = flight;
+          faults::apply_to_log(faulted.log, plan);
+          v = analyze(faulted, base_preds, det);
+          if (severity <= 0.0)
+            severity0_ok = severity0_ok && same_log(faulted.log, flight.log) &&
+                           same_verdict(v, base_verdict);
+        }
+        tallies[ci][si].record(attacked, v);
+      }
+    }
+  }
+
+  report.metric("flights_benign", kBenign);
+  report.metric("flights_attack", kAttacks);
+  report.metric("baseline_tpr", static_cast<double>(baseline_tally.attack_alerts) / kAttacks);
+  report.metric("baseline_fpr", static_cast<double>(baseline_tally.benign_alerts) / kBenign);
+  report.metric("severity0_matches_baseline", severity0_ok ? 1.0 : 0.0);
+
+  Table table({"fault", "severity", "TPR", "FPR", "degraded flights", "coast intervals"});
+  for (std::size_t ci = 0; ci < std::size(kCells); ++ci)
+    for (std::size_t si = 0; si < std::size(kSeverities); ++si) {
+      const auto& t = tallies[ci][si];
+      const double tpr = static_cast<double>(t.attack_alerts) / kAttacks;
+      const double fpr = static_cast<double>(t.benign_alerts) / kBenign;
+      char sev[16];
+      std::snprintf(sev, sizeof sev, "%.2f", kSeverities[si]);
+      table.add_row({cell_name(kCells[ci]), sev, Table::fmt(tpr, 2), Table::fmt(fpr, 2),
+                     std::to_string(t.degraded_flights),
+                     std::to_string(t.coast_intervals)});
+      const std::string key = std::string{cell_name(kCells[ci])} + "_sev" + sev;
+      report.metric(key + "_tpr", tpr);
+      report.metric(key + "_fpr", fpr);
+      report.metric(key + "_degraded_flights", t.degraded_flights);
+    }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("severity-0 cells bit-identical to baseline: %s\n",
+              severity0_ok ? "yes" : "NO — determinism violation");
+  report.note("workload", "Tab. II shape (benign + GPS drag-spoof flights), reduced set");
+  return severity0_ok ? 0 : 1;
+}

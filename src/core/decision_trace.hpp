@@ -10,6 +10,8 @@
 #include <array>
 #include <vector>
 
+#include "faults/health.hpp"
+
 namespace sb::core {
 
 enum class GpsDetectorMode {
@@ -40,16 +42,19 @@ struct GpsFixDecision {
   double pos_threshold = -1.0;
   bool vel_hit = false;
   bool pos_hit = false;
-  bool alert = false;  // first hit of the flight
+  bool alert = false;        // first hit of the flight
+  bool coast_reset = false;  // first fix after an outage: monitor restarted
 };
 
-// Both stages of one RcaEngine::analyze call plus its verdicts.
+// Both stages of one RcaEngine::analyze call plus its verdicts and the
+// sensor-health evidence the verdicts were reached under.
 struct RcaDecisionTrace {
   std::vector<ImuWindowDecision> imu;
   std::vector<GpsFixDecision> gps;
   bool imu_attacked = false;
   bool gps_attacked = false;
   GpsDetectorMode gps_mode = GpsDetectorMode::kAudioImu;
+  faults::HealthReport health;
 };
 
 }  // namespace sb::core

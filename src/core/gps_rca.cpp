@@ -1,5 +1,7 @@
 #include "core/gps_rca.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -10,6 +12,10 @@ namespace {
 
 std::size_t mode_index(GpsDetectorMode mode) {
   return mode == GpsDetectorMode::kAudioOnly ? 0 : 1;
+}
+
+bool finite(const Vec3& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
 }
 
 }  // namespace
@@ -48,24 +54,32 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
                                            std::span<const TimedPrediction> preds,
                                            GpsDetectorMode mode, double vel_threshold,
                                            double pos_threshold, Trace* trace_out,
-                                           std::vector<GpsFixDecision>* decisions_out)
-    const {
+                                           std::vector<GpsFixDecision>* decisions_out,
+                                           faults::HealthReport* health) const {
   obs::ScopedSpan span{"gps_rca", obs::Stage::kDetect};
   Result result;
   if (preds.empty()) return result;
   const bool telemetry = obs::enabled();
 
-  // Initial state from the first GPS fix (pre-attack per the threat model:
-  // attacks start only after takeoff completes).
-  const Vec3 v0 = flight.log.gps.empty() ? Vec3{} : flight.log.gps.front().vel;
+  // Initial state from the first FINITE GPS fix (pre-attack per the threat
+  // model: attacks start only after takeoff completes).  A poisoned leading
+  // fix must not seed the filters with NaN.
+  Vec3 v0, p0;
+  for (const auto& fix : flight.log.gps) {
+    if (!std::isfinite(fix.t) || !finite(fix.vel) || !finite(fix.pos)) continue;
+    v0 = fix.vel;
+    p0 = fix.pos;
+    break;
+  }
   est::AudioOnlyVelocityKf audio_kf{config_.kf, v0};
   est::AudioImuVelocityKf fused_kf{config_.kf, v0};
 
   detect::RunningVecMeanMonitor monitor{config_.mean_window};
-  Vec3 pos_est = flight.log.gps.empty() ? Vec3{} : flight.log.gps.front().pos;
+  Vec3 pos_est = p0;
 
   std::size_t gps_idx = 0;
   double prev_t = preds.front().t0;
+  double last_fix_t = std::numeric_limits<double>::quiet_NaN();  // none yet
   for (const auto& p : preds) {
     const double dt = p.t1 - prev_t;
     prev_t = p.t1;
@@ -73,10 +87,28 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
 
     const double kf_start_us = telemetry ? obs::now_us() : 0.0;
     Vec3 v_est;
-    if (mode == GpsDetectorMode::kAudioOnly) {
+    if (!finite(p.accel) || !finite(p.vel)) {
+      // No usable audio prediction for this window (e.g. a fully masked
+      // front-end): predict-only coast, the estimate is held.
+      v_est = mode == GpsDetectorMode::kAudioOnly ? audio_kf.coast(dt)
+                                                  : fused_kf.coast(dt);
+      if (health) ++health->kf_fallback_steps;
+      static obs::Counter& coasts =
+          obs::Registry::instance().counter("faults.kf_fallback_steps");
+      coasts.add();
+    } else if (mode == GpsDetectorMode::kAudioOnly) {
       v_est = audio_kf.step(p.accel, p.vel, dt);
     } else {
-      const Vec3 imu_accel = flight.log.mean_imu_accel(p.t0, p.t1);
+      Vec3 imu_accel = flight.log.mean_imu_accel(p.t0, p.t1);
+      if (flight.log.imu_samples_in(p.t0, p.t1) == 0 || !finite(imu_accel)) {
+        // IMU gap or NaN burst inside this window: fall back to the audio
+        // acceleration so one bad window cannot poison the fused filter.
+        imu_accel = p.accel;
+        if (health) ++health->kf_fallback_steps;
+        static obs::Counter& fallbacks =
+            obs::Registry::instance().counter("faults.kf_fallback_steps");
+        fallbacks.add();
+      }
       v_est = fused_kf.step(imu_accel, p.vel, dt);
     }
     if (telemetry) {
@@ -90,6 +122,33 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
     while (gps_idx < flight.log.gps.size() && flight.log.gps[gps_idx].t <= p.t1) {
       const auto& fix = flight.log.gps[gps_idx];
       ++gps_idx;
+      if (!std::isfinite(fix.t) || !finite(fix.vel) || !finite(fix.pos)) {
+        if (health) ++health->gps_fixes_nonfinite;
+        static obs::Counter& bad =
+            obs::Registry::instance().counter("faults.gps_fixes_nonfinite");
+        bad.add();
+        continue;
+      }
+      if (health) ++health->gps_fixes_total;
+      // Reacquisition after an outage: while blind, the audio-anchored KF
+      // coasted fine, but the integrated position drifted unobserved and the
+      // monitor's window spans the gap.  Restart both against the first new
+      // fix so the flight is judged on observed evidence only.
+      bool coast_reset = false;
+      if (!std::isnan(last_fix_t) &&
+          fix.t - last_fix_t > config_.coast_reset_gap) {
+        coast_reset = true;
+        monitor.reset();
+        pos_est = fix.pos;
+        if (health) {
+          ++health->gps_coast_intervals;
+          health->gps_coast_seconds += fix.t - last_fix_t;
+        }
+        static obs::Counter& coasted =
+            obs::Registry::instance().counter("faults.gps_coast_intervals");
+        coasted.add();
+      }
+      last_fix_t = fix.t;
       if (fix.t < config_.warmup) continue;
       const double mean_err = monitor.add(fix.vel - v_est);
       const double pos_dev = (fix.pos - pos_est).norm();
@@ -112,6 +171,7 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
         d.vel_hit = vel_hit;
         d.pos_hit = pos_hit;
         d.alert = first_hit;
+        d.coast_reset = coast_reset;
         decisions_out->push_back(d);
       }
       if (trace_out) {
@@ -128,10 +188,11 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
 
 GpsRcaDetector::Result GpsRcaDetector::analyze(
     const Flight& flight, std::span<const TimedPrediction> preds,
-    GpsDetectorMode mode, std::vector<GpsFixDecision>* decisions_out) const {
+    GpsDetectorMode mode, std::vector<GpsFixDecision>* decisions_out,
+    faults::HealthReport* health) const {
   const std::size_t m = mode_index(mode);
   return run(flight, preds, mode, vel_thresholds_[m], pos_thresholds_[m], nullptr,
-             decisions_out);
+             decisions_out, health);
 }
 
 GpsRcaDetector::Trace GpsRcaDetector::trace(const Flight& flight,

@@ -25,6 +25,13 @@ struct GpsRcaConfig {
   // keeps brief benign transients from dominating the calibration while a
   // sustained spoof still saturates it.
   std::size_t mean_window = 50;  // 10 s at 5 Hz
+  // A gap between consecutive usable fixes longer than this is treated as a
+  // receiver outage: the KF coasts (its audio anchor needs no GPS), and on
+  // reacquisition the error monitor restarts and the integrated position
+  // re-anchors to the first new fix, so position drift accumulated while
+  // blind is not scored against the thresholds.  At 5 Hz the benign fix
+  // spacing is 0.2 s, so 2 s = 10 consecutive missing fixes.
+  double coast_reset_gap = 2.0;
 };
 
 class GpsRcaDetector {
@@ -57,10 +64,13 @@ class GpsRcaDetector {
 
   // Runs detection on one flight given its audio acceleration predictions.
   // With `decisions_out`, every post-warmup GPS fix appends its evidence
-  // (running-mean error, location deviation, thresholds, verdict).
+  // (running-mean error, location deviation, thresholds, verdict).  With
+  // `health`, the degradation tally (non-finite fixes rejected, coast
+  // intervals, fused-KF fallbacks) accumulates into it.
   Result analyze(const Flight& flight, std::span<const TimedPrediction> preds,
                  GpsDetectorMode mode,
-                 std::vector<GpsFixDecision>* decisions_out = nullptr) const;
+                 std::vector<GpsFixDecision>* decisions_out = nullptr,
+                 faults::HealthReport* health = nullptr) const;
 
   Trace trace(const Flight& flight, std::span<const TimedPrediction> preds,
               GpsDetectorMode mode) const;
@@ -75,7 +85,8 @@ class GpsRcaDetector {
   Result run(const Flight& flight, std::span<const TimedPrediction> preds,
              GpsDetectorMode mode, double vel_threshold, double pos_threshold,
              Trace* trace_out,
-             std::vector<GpsFixDecision>* decisions_out = nullptr) const;
+             std::vector<GpsFixDecision>* decisions_out = nullptr,
+             faults::HealthReport* health = nullptr) const;
 
   GpsRcaConfig config_;
   double vel_thresholds_[2] = {-1.0, -1.0};

@@ -1,13 +1,20 @@
 #include "core/imu_rca.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace sb::core {
 namespace {
+
+bool finite(const Vec3& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
 
 void axis_stats(const WindowResiduals& w, double mean_out[3], double std_out[3]) {
   std::vector<double> axis[3];
@@ -28,10 +35,11 @@ ImuRcaDetector::ImuRcaDetector(const ImuRcaConfig& config) : config_(config) {}
 
 std::vector<WindowResiduals> ImuRcaDetector::residuals(
     const Flight& flight, std::span<const TimedPrediction> preds,
-    std::size_t reference_windows) {
+    std::size_t reference_windows, faults::HealthReport* health) {
   std::vector<WindowResiduals> out;
   out.reserve(preds.size());
   const auto& imu = flight.log.imu;
+  std::size_t nonfinite = 0, total = 0;
   std::size_t lo = 0;
   for (const auto& p : preds) {
     WindowResiduals w;
@@ -40,9 +48,28 @@ std::vector<WindowResiduals> ImuRcaDetector::residuals(
     // IMU samples are time-ordered; advance to the window start.  Windows
     // overlap when stride < window, so scan from a remembered lower bound.
     while (lo < imu.size() && imu[lo].t < p.t0) ++lo;
-    for (std::size_t i = lo; i < imu.size() && imu[i].t < p.t1; ++i)
-      w.samples.push_back(p.accel - imu[i].accel_ned);
+    for (std::size_t i = lo; i < imu.size() && imu[i].t < p.t1; ++i) {
+      ++total;
+      const Vec3 r = p.accel - imu[i].accel_ned;
+      // A NaN reading would poison every window statistic downstream; drop
+      // it here and let the per-window sample-count minimum decide whether
+      // enough evidence remains.
+      if (!finite(r)) {
+        ++nonfinite;
+        continue;
+      }
+      w.samples.push_back(r);
+    }
     out.push_back(std::move(w));
+  }
+  if (health) {
+    health->imu_samples_total += total;
+    health->imu_samples_nonfinite += nonfinite;
+  }
+  if (nonfinite > 0) {
+    static obs::Counter& dropped =
+        obs::Registry::instance().counter("faults.imu_samples_nonfinite");
+    dropped.add(nonfinite);
   }
 
   // Flight-local baseline from the attack-free early windows.
@@ -91,9 +118,19 @@ void ImuRcaDetector::calibrate(std::span<const WindowResiduals> benign_windows) 
   benign_scores.reserve(benign_windows.size());
   for (const auto& w : benign_windows)
     if (w.samples.size() >= 8) benign_scores.push_back(window_score(w));
-  if (!benign_scores.empty())
-    score_threshold_ =
-        sb::percentile(benign_scores, config_.score_percentile) * config_.score_margin;
+  if (benign_scores.empty()) {
+    // Nothing usable (e.g. a totally dropped-out calibration stream): keep
+    // the effectively-infinite default threshold rather than alerting on
+    // every window of every future flight.
+    obs::logf(obs::LogLevel::kWarn, "detect",
+              "ImuRcaDetector: no usable calibration windows (%zu offered); "
+              "threshold left at %g — detection disabled",
+              benign_windows.size(), score_threshold_);
+    return;
+  }
+  score_threshold_ = std::max(
+      sb::percentile(benign_scores, config_.score_percentile) * config_.score_margin,
+      config_.min_threshold);
 }
 
 void ImuRcaDetector::window_components(const WindowResiduals& window,
@@ -137,7 +174,13 @@ ImuRcaDetector::Result ImuRcaDetector::analyze(
   Result result;
   int consecutive = 0;
   for (const auto& w : windows) {
-    if (w.samples.size() < 8) continue;
+    if (w.samples.size() < 8) {
+      // Too little usable evidence (dropout / NaN-filtered window): record
+      // the skip; it neither flags nor resets the consecutive run, so a
+      // gap inside an attack does not erase the attack.
+      ++result.windows_skipped;
+      continue;
+    }
     std::array<double, 3> mean_z{}, spread_z{};
     window_components(w, mean_z, spread_z);
     double score = 0.0;

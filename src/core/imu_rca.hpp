@@ -26,6 +26,12 @@ struct ImuRcaConfig {
   int consecutive_required = 3;    // consecutive flagged windows -> attack
   double score_percentile = 98.0;  // benign OOD-score percentile
   double score_margin = 1.10;      // pad on the calibrated threshold
+  // Floor on the calibrated threshold.  Healthy calibrations land well
+  // above it (a z-score threshold around 3); it only engages when the
+  // benign windows were degenerate (near-identical residuals), where an
+  // unfloored near-zero threshold would flag every window — an alert storm
+  // with no evidence behind it.
+  double min_threshold = 1.0;
 };
 
 // Residuals of one signature window: prediction minus each IMU reading.
@@ -44,9 +50,13 @@ class ImuRcaDetector {
   // windows: the threat model guarantees attacks begin only after takeoff
   // completes, so the early flight provides a per-flight reference that
   // removes flight-specific model bias before the distribution test.
+  // Non-finite IMU readings (NaN bursts, poisoned streams) are dropped
+  // before any statistic touches them; with `health`, the drop tally
+  // accumulates into it.
   static std::vector<WindowResiduals> residuals(const Flight& flight,
                                                 std::span<const TimedPrediction> preds,
-                                                std::size_t reference_windows = 10);
+                                                std::size_t reference_windows = 10,
+                                                faults::HealthReport* health = nullptr);
 
   // Fits the benign residual statistics (Fig. 6's blue curve): per-axis
   // distributions of the window MEAN (Side-Swing shifts it) and of the
@@ -60,6 +70,10 @@ class ImuRcaDetector {
     double max_score = 0.0;
     std::size_t windows_tested = 0;
     std::size_t windows_flagged = 0;
+    // Windows excluded from testing (too few usable residual samples after
+    // non-finite filtering — dropouts, NaN bursts) and why the verdict may
+    // rest on thinner evidence than the window count suggests.
+    std::size_t windows_skipped = 0;
   };
 
   // With `decisions_out`, every tested window appends its evidence (per-axis

@@ -1,5 +1,8 @@
 #include "core/rca_engine.hpp"
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace sb::core {
 
 RcaEngine::RcaEngine(const SensoryMapper& mapper, const ImuRcaDetector& imu_detector,
@@ -10,26 +13,45 @@ RcaReport RcaEngine::analyze(const FlightLab& lab, const Flight& flight,
                              const PredictionHooks& hooks,
                              RcaDecisionTrace* trace_out) const {
   RcaReport report;
-  const auto preds = mapper_->predict_flight(lab, flight, hooks);
+  // Every stage feeds the same per-flight health tally; on a pristine
+  // recording nothing triggers and the analysis is bit-identical to the
+  // health-blind path.
+  const auto preds = mapper_->predict_flight(lab, flight, hooks, &report.health);
 
   // Stage 1: IMU integrity.
-  const auto residuals = ImuRcaDetector::residuals(flight, preds);
+  const auto residuals = ImuRcaDetector::residuals(flight, preds, 10, &report.health);
   const auto imu_result =
       imu_->analyze(residuals, trace_out ? &trace_out->imu : nullptr);
   report.imu_attacked = imu_result.attacked;
   report.imu_detect_time = imu_result.detect_time;
+  report.health.imu_windows_skipped += imu_result.windows_skipped;
+  if (imu_result.windows_skipped > 0) {
+    static obs::Counter& skipped =
+        obs::Registry::instance().counter("faults.imu_windows_skipped");
+    skipped.add(imu_result.windows_skipped);
+  }
 
   // Stage 2: GPS integrity with the KF variant matching the IMU verdict.
   report.gps_mode_used = report.imu_attacked ? GpsDetectorMode::kAudioOnly
                                              : GpsDetectorMode::kAudioImu;
-  const auto gps_result = gps_->analyze(flight, preds, report.gps_mode_used,
-                                        trace_out ? &trace_out->gps : nullptr);
+  const auto gps_result =
+      gps_->analyze(flight, preds, report.gps_mode_used,
+                    trace_out ? &trace_out->gps : nullptr, &report.health);
   report.gps_attacked = gps_result.attacked;
   report.gps_detect_time = gps_result.detect_time;
+  if (report.health.degraded())
+    obs::logf(obs::LogLevel::kInfo, "detect",
+              "RCA completed degraded: %zu/%u mics alive, %zu windows masked, "
+              "%zu IMU windows skipped, %zu GPS coast intervals (%.1f s)",
+              report.health.mics_alive(),
+              static_cast<unsigned>(sensors::kNumMics),
+              report.health.windows_degraded, report.health.imu_windows_skipped,
+              report.health.gps_coast_intervals, report.health.gps_coast_seconds);
   if (trace_out) {
     trace_out->imu_attacked = report.imu_attacked;
     trace_out->gps_attacked = report.gps_attacked;
     trace_out->gps_mode = report.gps_mode_used;
+    trace_out->health = report.health;
   }
   return report;
 }

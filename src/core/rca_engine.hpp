@@ -18,6 +18,11 @@ struct RcaReport {
   bool gps_attacked = false;
   double gps_detect_time = -1.0;
   GpsDetectorMode gps_mode_used = GpsDetectorMode::kAudioImu;
+  // What the pipeline tolerated to reach the verdicts: masked mic channels,
+  // dropped residual windows, GPS coast intervals.  A degraded() report is
+  // still a completed analysis — the flag tells the operator how much
+  // evidence backs it.
+  faults::HealthReport health;
 
   bool any_attack() const { return imu_attacked || gps_attacked; }
 };

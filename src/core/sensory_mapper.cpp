@@ -4,9 +4,13 @@
 #include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/checksum.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::core {
@@ -148,27 +152,69 @@ std::vector<SensoryMapper::WindowAudio> SensoryMapper::synthesize_windows(
 }
 
 std::vector<TimedPrediction> SensoryMapper::predict_windows(
-    std::span<const WindowAudio> windows, const PredictionHooks& hooks) const {
+    std::span<const WindowAudio> windows, const PredictionHooks& hooks,
+    faults::HealthReport* health) const {
   obs::ScopedSpan span{"predict_windows", obs::Stage::kPredict};
   if (!trained_) throw std::logic_error{"SensoryMapper: predict before fit"};
 
   // Signature extraction (the expensive part) is independent per window and
   // runs in parallel; see PredictionHooks for the concurrency contract.
+  // Channel diagnosis writes only its own window's slot; the health tally
+  // and obs counters are reduced serially after the loop.
   std::vector<ml::Tensor> sigs(windows.size());
+  std::vector<std::array<bool, sensors::kNumMics>> healthy;
+  if (health) healthy.assign(windows.size(), {});
   util::parallel_for(windows.size(), [&](std::size_t i) {
     const auto& w = windows[i];
-    ml::Tensor sig;
+    acoustics::MultiChannelAudio transformed;
+    const acoustics::MultiChannelAudio* audio = &w.audio;
     if (hooks.audio_transform) {
-      acoustics::MultiChannelAudio audio = w.audio;  // transform a copy
-      hooks.audio_transform(audio);
-      sig = compute_signature(audio, config_.dataset.signature);
-    } else {
-      sig = compute_signature(w.audio, config_.dataset.signature);
+      transformed = w.audio;  // transform a copy
+      hooks.audio_transform(transformed);
+      audio = &transformed;
     }
+    ml::Tensor sig = compute_signature(*audio, config_.dataset.signature);
     if (hooks.signature_transform) hooks.signature_transform(sig);
+    if (health) {
+      // Diagnose the audio the model would actually see and mask unhealthy
+      // channels to the corpus mean (standardizes to exactly zero) — the
+      // same neutral imputation as neutralize_frequency_group.
+      std::array<faults::ChannelStats, sensors::kNumMics> stats;
+      for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+        stats[c] = faults::analyze_channel(audio->channels[c]);
+      healthy[i] = faults::healthy_channels(stats);
+      const std::size_t per_channel = sig.row_size() / sensors::kNumMics;
+      for (std::size_t c = 0; c < sensors::kNumMics; ++c) {
+        if (healthy[i][c]) continue;
+        for (std::size_t k = c * per_channel; k < (c + 1) * per_channel; ++k)
+          sig[k] = feat_mean_[k];
+      }
+    }
     standardize(sig);
     sigs[i] = std::move(sig);
   });
+
+  if (health) {
+    std::size_t masked_total = 0;
+    std::size_t degraded = 0;
+    for (const auto& h : healthy) {
+      bool any = false;
+      for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+        if (!h[c]) {
+          ++health->mic_windows_masked[c];
+          ++masked_total;
+          any = true;
+        }
+      if (any) ++degraded;
+    }
+    health->windows_total += windows.size();
+    health->windows_degraded += degraded;
+    if (masked_total > 0) {
+      static obs::Counter& masked =
+          obs::Registry::instance().counter("faults.mic_windows_masked");
+      masked.add(masked_total);
+    }
+  }
 
   // The model keeps per-layer forward caches, so inference stays serial (in
   // window order); each forward still parallelizes internally.
@@ -186,13 +232,22 @@ std::vector<TimedPrediction> SensoryMapper::predict_windows(
 }
 
 std::vector<TimedPrediction> SensoryMapper::predict_flight(
-    const FlightLab& lab, const Flight& flight, const PredictionHooks& hooks) const {
-  return predict_windows(synthesize_windows(lab, flight), hooks);
+    const FlightLab& lab, const Flight& flight, const PredictionHooks& hooks,
+    faults::HealthReport* health) const {
+  return predict_windows(synthesize_windows(lab, flight), hooks, health);
 }
 
 namespace {
 
-constexpr std::uint64_t kModelMagic = 0x53424d4150313032ULL;  // "SBMAP102"
+// Framed format: magic, format version, payload size, CRC-32 of the
+// payload, then the payload itself.  The frame is validated before any
+// payload field is parsed, so truncation and bit flips are caught up front
+// instead of surfacing as a silently mis-sized model.
+constexpr std::uint64_t kModelMagic = 0x53424d4150463032ULL;   // "SBMAPF02"
+constexpr std::uint64_t kLegacyModelMagic = 0x53424d4150313032ULL;  // "SBMAP102"
+constexpr std::uint32_t kFormatVersion = 2;
+// magic + version + payload size + crc32.
+constexpr std::uint64_t kFrameHeaderBytes = 8 + 4 + 8 + 4;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -205,13 +260,16 @@ bool read_pod(std::istream& is, T& v) {
   return static_cast<bool>(is);
 }
 
+void reject(const std::string& path, const char* why) {
+  obs::logf(obs::LogLevel::kWarn, "io", "rejecting model file %s: %s",
+            path.c_str(), why);
+}
+
 }  // namespace
 
 bool SensoryMapper::save(const std::string& path) const {
   if (!trained_) return false;
-  std::ofstream os{path, std::ios::binary};
-  if (!os) return false;
-  write_pod(os, kModelMagic);
+  std::ostringstream os{std::ios::binary};
   write_pod(os, static_cast<std::uint32_t>(config_.model));
 
   const auto params = model_->params();
@@ -238,15 +296,68 @@ bool SensoryMapper::save(const std::string& path) const {
            static_cast<std::streamsize>(feat_inv_std_.size() * sizeof(float)));
   for (double a : calib_a_) write_pod(os, a);
   for (double b : calib_b_) write_pod(os, b);
-  return static_cast<bool>(os);
+  if (!os) return false;
+
+  const std::string payload = os.str();
+  std::ofstream file{path, std::ios::binary};
+  if (!file) return false;
+  write_pod(file, kModelMagic);
+  write_pod(file, kFormatVersion);
+  write_pod(file, static_cast<std::uint64_t>(payload.size()));
+  write_pod(file, util::crc32(payload.data(), payload.size()));
+  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return static_cast<bool>(file);
 }
 
 bool SensoryMapper::load(const std::string& path) {
-  std::ifstream is{path, std::ios::binary};
-  if (!is) return false;
+  std::ifstream file{path, std::ios::binary};
+  if (!file) return false;
+
   std::uint64_t magic = 0;
+  if (!read_pod(file, magic)) return false;
+  if (magic == kLegacyModelMagic) {
+    reject(path, "pre-framing format (no integrity checksum) — retrain and re-save");
+    return false;
+  }
+  if (magic != kModelMagic) {
+    reject(path, "unrecognized magic");
+    return false;
+  }
+  std::uint32_t version = 0;
+  std::uint64_t payload_size = 0;
+  std::uint32_t crc = 0;
+  if (!read_pod(file, version) || !read_pod(file, payload_size) ||
+      !read_pod(file, crc)) {
+    reject(path, "truncated frame header");
+    return false;
+  }
+  if (version != kFormatVersion) {
+    reject(path, "unsupported format version");
+    return false;
+  }
+  // The declared payload must match the bytes actually present — this both
+  // catches truncation early and bounds the allocation below.
+  file.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(file.tellg());
+  file.seekg(static_cast<std::streamoff>(kFrameHeaderBytes), std::ios::beg);
+  if (file_size < kFrameHeaderBytes ||
+      payload_size != file_size - kFrameHeaderBytes) {
+    reject(path, "payload size mismatch (truncated or corrupt)");
+    return false;
+  }
+  std::string payload(payload_size, '\0');
+  file.read(payload.data(), static_cast<std::streamsize>(payload_size));
+  if (!file) {
+    reject(path, "short read");
+    return false;
+  }
+  if (util::crc32(payload.data(), payload.size()) != crc) {
+    reject(path, "checksum mismatch (bit-flipped or corrupt)");
+    return false;
+  }
+
+  std::istringstream is{payload, std::ios::binary};
   std::uint32_t kind = 0;
-  if (!read_pod(is, magic) || magic != kModelMagic) return false;
   if (!read_pod(is, kind) || kind != static_cast<std::uint32_t>(config_.model))
     return false;
 

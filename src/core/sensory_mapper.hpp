@@ -12,6 +12,7 @@
 #include "core/dataset.hpp"
 #include "core/flight_lab.hpp"
 #include "core/signature.hpp"
+#include "faults/health.hpp"
 #include "ml/models.hpp"
 #include "ml/trainer.hpp"
 
@@ -70,14 +71,23 @@ class SensoryMapper {
   std::vector<WindowAudio> synthesize_windows(const FlightLab& lab,
                                               const Flight& flight) const;
 
-  // Predictions from pre-synthesized windows.
-  std::vector<TimedPrediction> predict_windows(std::span<const WindowAudio> windows,
-                                               const PredictionHooks& hooks = {}) const;
+  // Predictions from pre-synthesized windows.  With `health`, every window's
+  // channels are diagnosed (faults::analyze_channel on the audio actually
+  // analyzed, i.e. after audio_transform) and unhealthy channels are masked
+  // to the training-corpus feature mean — the same neutral imputation as
+  // neutralize_frequency_group — instead of feeding a dead/clipped channel's
+  // garbage to the model; the masking tally accumulates into `health`.
+  // Without `health` the diagnosis is skipped entirely and the output is
+  // bit-identical to previous behavior.
+  std::vector<TimedPrediction> predict_windows(
+      std::span<const WindowAudio> windows, const PredictionHooks& hooks = {},
+      faults::HealthReport* health = nullptr) const;
 
   // Acceleration predictions at `stride` spacing across a flight.
-  std::vector<TimedPrediction> predict_flight(const FlightLab& lab,
-                                              const Flight& flight,
-                                              const PredictionHooks& hooks = {}) const;
+  std::vector<TimedPrediction> predict_flight(
+      const FlightLab& lab, const Flight& flight,
+      const PredictionHooks& hooks = {},
+      faults::HealthReport* health = nullptr) const;
 
   // Test acceleration MSE of the model against the (intact) IMU labels of
   // the flights — the quantity Tab. I reports.
@@ -99,9 +109,14 @@ class SensoryMapper {
   void neutralize_frequency_group(ml::Tensor& sig, dsp::FreqGroup group) const;
 
   // Persistence: serializes the trained weights, feature standardization and
-  // output calibration.  `load` validates that the stored model matches this
-  // mapper's configuration (model kind + parameter shapes) and returns false
-  // on any mismatch or I/O failure, leaving the mapper untrained.
+  // output calibration inside an integrity frame (magic, format version,
+  // payload size, CRC-32).  `load` verifies the frame first — truncated or
+  // bit-flipped files are rejected with an obs warning before any field is
+  // parsed — then validates that the stored model matches this mapper's
+  // configuration (model kind + parameter shapes).  Returns false on any
+  // mismatch or I/O failure, leaving the mapper untrained.  Files written
+  // before the integrity frame existed are recognized and rejected loudly
+  // (retrain and re-save) instead of being misparsed.
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 

@@ -23,6 +23,11 @@ Vec3 AudioOnlyVelocityKf::step(const Vec3& audio_accel, const Vec3& audio_vel,
   return velocity();
 }
 
+Vec3 AudioOnlyVelocityKf::coast(double dt) {
+  kf_.predict(Matrix::identity(3), Matrix::identity(3) * (config_.q_audio * dt));
+  return velocity();
+}
+
 Vec3 AudioOnlyVelocityKf::velocity() const { return col_to_vec(kf_.state()); }
 
 AudioImuVelocityKf::AudioImuVelocityKf(const VelocityKfConfig& config, const Vec3& v0)
@@ -38,6 +43,11 @@ Vec3 AudioImuVelocityKf::step(const Vec3& imu_accel, const Vec3& audio_vel, doub
   kf_.predict(f, b, vec_to_col(imu_accel), q);
   kf_.update(Matrix::identity(3), Matrix::identity(3) * config_.r_audio_vel,
              vec_to_col(audio_vel));
+  return velocity();
+}
+
+Vec3 AudioImuVelocityKf::coast(double dt) {
+  kf_.predict(Matrix::identity(3), Matrix::identity(3) * (config_.q_imu * dt));
   return velocity();
 }
 

@@ -36,6 +36,12 @@ class AudioOnlyVelocityKf {
   // measurement.  Returns the fused velocity estimate.
   Vec3 step(const Vec3& audio_accel, const Vec3& audio_vel, double dt);
 
+  // Predict-only step for windows without a usable audio prediction (e.g. a
+  // masked-out front-end): the velocity estimate is held while the state
+  // covariance grows with the process noise, so the filter re-weights
+  // measurements correctly once real inputs return.
+  Vec3 coast(double dt);
+
   Vec3 velocity() const;
 
  private:
@@ -51,6 +57,9 @@ class AudioImuVelocityKf {
   AudioImuVelocityKf(const VelocityKfConfig& config, const Vec3& v0);
 
   Vec3 step(const Vec3& imu_accel, const Vec3& audio_vel, double dt);
+
+  // Predict-only step (see AudioOnlyVelocityKf::coast).
+  Vec3 coast(double dt);
 
   Vec3 velocity() const;
 

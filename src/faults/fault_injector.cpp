@@ -1,0 +1,180 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sb::faults {
+namespace {
+
+// splitmix64 finalizer: the stateless hash behind every stochastic decision.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform [0, 1) keyed on (seed, stream, sample index) only — evaluation
+// order cannot matter because no state advances.
+double hash_uniform(std::uint64_t seed, std::uint64_t stream, std::uint64_t index) {
+  const std::uint64_t h = mix64(seed ^ mix64(stream ^ mix64(index)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Distinct stream-id bases per fault family; the per-fault slot inside the
+// plan decorrelates repeated faults of the same type.
+constexpr std::uint64_t kMicStream = 0x4D49433000000000ULL;  // "MIC0"
+constexpr std::uint64_t kImuStream = 0x494D553000000000ULL;  // "IMU0"
+constexpr std::uint64_t kGpsStream = 0x4750533000000000ULL;  // "GPS0"
+
+void apply_imu_fault(std::vector<sim::ImuSample>& imu, const ImuFault& f,
+                     std::uint64_t seed, std::uint64_t stream, double imu_hz) {
+  if (f.severity <= 0.0 || imu.empty()) return;
+  const double severity = std::min(f.severity, 1.0);
+
+  switch (f.type) {
+    case ImuFaultType::kDropout: {
+      std::vector<sim::ImuSample> kept;
+      kept.reserve(imu.size());
+      for (const auto& s : imu) {
+        const bool in_fault = s.t >= f.start && s.t < f.end;
+        const auto idx = static_cast<std::uint64_t>(std::llround(s.t * imu_hz));
+        if (in_fault && hash_uniform(seed, stream, idx) < severity) continue;
+        kept.push_back(s);
+      }
+      imu = std::move(kept);
+      break;
+    }
+    case ImuFaultType::kStuckAt: {
+      const double stuck_end = f.start + severity * (f.end - f.start);
+      const sim::ImuSample* held = nullptr;
+      for (const auto& s : imu) {
+        if (s.t < f.start) held = &s;
+        else break;
+      }
+      if (!held) break;  // fault begins before any reference reading exists
+      const sim::ImuSample frozen = *held;
+      for (auto& s : imu) {
+        if (s.t < f.start || s.t >= stuck_end) continue;
+        s.gyro = frozen.gyro;
+        s.specific_force = frozen.specific_force;
+        s.accel_ned = frozen.accel_ned;
+      }
+      break;
+    }
+    case ImuFaultType::kNanBurst: {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      for (auto& s : imu) {
+        if (s.t < f.start || s.t >= f.end) continue;
+        const auto idx = static_cast<std::uint64_t>(std::llround(s.t * imu_hz));
+        if (hash_uniform(seed, stream, idx) < 0.25 * severity) {
+          s.gyro = {nan, nan, nan};
+          s.specific_force = {nan, nan, nan};
+          s.accel_ned = {nan, nan, nan};
+        }
+      }
+      break;
+    }
+  }
+}
+
+void apply_gps_fault(std::vector<sim::GpsSample>& gps, const GpsFault& f,
+                     std::uint64_t seed, std::uint64_t stream, double gps_hz) {
+  if (f.severity <= 0.0 || gps.empty()) return;
+  const double severity = std::min(f.severity, 1.0);
+
+  switch (f.type) {
+    case GpsFaultType::kOutage: {
+      const double outage_end = f.start + severity * (f.end - f.start);
+      std::erase_if(gps, [&](const sim::GpsSample& s) {
+        return s.t >= f.start && s.t < outage_end;
+      });
+      break;
+    }
+    case GpsFaultType::kLatencyJitter: {
+      // Forward-only delay bounded well under the fix interval, so the
+      // stream stays strictly time-ordered.
+      const double interval = gps_hz > 0.0 ? 1.0 / gps_hz : 0.2;
+      for (auto& s : gps) {
+        if (s.t < f.start || s.t >= f.end) continue;
+        const auto idx = static_cast<std::uint64_t>(std::llround(s.t * gps_hz));
+        s.t += hash_uniform(seed, stream, idx) * 0.4 * severity * interval;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool FaultPlan::any_active() const {
+  for (const auto& f : mic)
+    if (f.severity > 0.0) return true;
+  for (const auto& f : imu)
+    if (f.severity > 0.0) return true;
+  for (const auto& f : gps)
+    if (f.severity > 0.0) return true;
+  return false;
+}
+
+void apply_to_log(sim::FlightLog& log, const FaultPlan& plan) {
+  for (std::size_t k = 0; k < plan.imu.size(); ++k)
+    apply_imu_fault(log.imu, plan.imu[k], plan.seed, kImuStream + k,
+                    log.rates.imu_hz);
+  for (std::size_t k = 0; k < plan.gps.size(); ++k)
+    apply_gps_fault(log.gps, plan.gps[k], plan.seed, kGpsStream + k,
+                    log.rates.gps_hz);
+}
+
+void apply_to_audio(acoustics::MultiChannelAudio& audio, double t0,
+                    const FaultPlan& plan) {
+  const double fs = audio.sample_rate;
+  if (fs <= 0.0) return;
+  const auto base = static_cast<std::uint64_t>(std::llround(t0 * fs));
+
+  for (std::size_t k = 0; k < plan.mic.size(); ++k) {
+    const MicFault& f = plan.mic[k];
+    if (f.severity <= 0.0) continue;
+    if (f.channel < 0 ||
+        static_cast<std::size_t>(f.channel) >= audio.channels.size())
+      continue;
+    const double severity = std::min(f.severity, 1.0);
+    auto& ch = audio.channels[static_cast<std::size_t>(f.channel)];
+
+    // Window-channel level references for the amplitude faults.
+    double peak = 0.0, sum_sq = 0.0;
+    for (double v : ch) {
+      peak = std::max(peak, std::abs(v));
+      sum_sq += v * v;
+    }
+    const double rms =
+        ch.empty() ? 0.0 : std::sqrt(sum_sq / static_cast<double>(ch.size()));
+
+    const std::uint64_t stream =
+        kMicStream + 16 * k + static_cast<std::uint64_t>(f.channel);
+    for (std::size_t i = 0; i < ch.size(); ++i) {
+      const double ts = t0 + static_cast<double>(i) / fs;
+      if (ts < f.start || ts >= f.end) continue;
+      switch (f.type) {
+        case MicFaultType::kChannelDead:
+          ch[i] *= 1.0 - severity;
+          break;
+        case MicFaultType::kClipping: {
+          const double level = (1.0 - 0.9 * severity) * peak;
+          ch[i] = std::clamp(ch[i], -level, level);
+          break;
+        }
+        case MicFaultType::kDcOffset:
+          ch[i] += severity * (2.0 * rms + 0.01);
+          break;
+        case MicFaultType::kSampleDrop:
+          if (hash_uniform(plan.seed, stream, base + i) < 0.6 * severity)
+            ch[i] = 0.0;
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace sb::faults

@@ -1,0 +1,100 @@
+// Deterministic fault injection for the recorded sensor streams.
+//
+// RCA is post-incident analysis: faults are applied to the RECORDING (the
+// FlightLog and the synthesized mic windows), never to the closed control
+// loop, so a faulted experiment replays the exact same flight through a
+// damaged recording rig.
+//
+// Determinism contract: a FaultPlan is a pure value.  Every stochastic
+// decision (drop this sample? jitter this fix by how much?) is a stateless
+// hash of (plan.seed, stream id, time-derived sample index) — no Rng state
+// advances, so the outcome for a given sample does not depend on
+// evaluation order, thread count, or which other faults are active.
+// Overlapping analysis windows therefore corrupt their shared samples
+// identically, and every faulted result is bit-identical at any SB_THREADS.
+// A fault with severity <= 0 is a strict no-op (early return, not a
+// multiply-by-one), so a severity-0 sweep reproduces the unfaulted baseline
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "acoustics/propagation.hpp"
+#include "sim/simulator.hpp"
+
+namespace sb::faults {
+
+// ---- Microphone channel faults (applied to synthesized window audio) ----
+
+enum class MicFaultType {
+  kChannelDead,  // attenuates the channel by (1 - severity); 1.0 = silent
+  kClipping,     // hard-limits at (1 - 0.9*severity) x the window peak
+  kDcOffset,     // adds severity * (2*rms + 0.01) to every sample
+  kSampleDrop,   // zeroes each sample with probability 0.6 * severity
+};
+
+struct MicFault {
+  MicFaultType type = MicFaultType::kChannelDead;
+  int channel = 0;        // mic index, 0..kNumMics-1
+  double severity = 0.0;  // [0, 1]; <= 0 disables the fault entirely
+  double start = 0.0;     // active interval [start, end) in flight seconds
+  double end = 1e9;
+};
+
+// ---- IMU faults (applied to FlightLog::imu) ----
+
+enum class ImuFaultType {
+  kDropout,   // removes each sample with probability = severity
+  kStuckAt,   // freezes the first severity-fraction of [start, end) at the
+              // last reading before the fault (timestamps keep advancing)
+  kNanBurst,  // poisons each sample with NaN with probability 0.25*severity
+};
+
+struct ImuFault {
+  ImuFaultType type = ImuFaultType::kDropout;
+  double severity = 0.0;
+  double start = 0.0;
+  double end = 1e9;
+};
+
+// ---- GPS faults (applied to FlightLog::gps) ----
+
+enum class GpsFaultType {
+  kOutage,         // deletes all fixes in the first severity-fraction of
+                   // [start, end) — a receiver losing lock
+  kLatencyJitter,  // delays each fix by uniform[0, 0.4*severity) x the
+                   // nominal fix interval (forward-only, order-preserving)
+};
+
+struct GpsFault {
+  GpsFaultType type = GpsFaultType::kOutage;
+  double severity = 0.0;
+  double start = 0.0;
+  double end = 1e9;
+};
+
+// A composable schedule of faults.  Faults apply in declaration order; each
+// stream's stochastic decisions are independent of the others.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<MicFault> mic;
+  std::vector<ImuFault> imu;
+  std::vector<GpsFault> gps;
+
+  bool any_active() const;
+};
+
+// Applies the plan's IMU and GPS faults to a recorded log, in place.
+// Serial; call once per flight copy before analysis.
+void apply_to_log(sim::FlightLog& log, const FaultPlan& plan);
+
+// Applies the plan's mic faults to one synthesized analysis window whose
+// first sample is at absolute flight time `t0`.  Pure transform of its
+// arguments (PredictionHooks-compatible): per-sample decisions key on the
+// absolute sample index round(t0*fs)+i, so overlapping windows agree on
+// their shared samples.
+void apply_to_audio(acoustics::MultiChannelAudio& audio, double t0,
+                    const FaultPlan& plan);
+
+}  // namespace sb::faults

@@ -42,6 +42,32 @@ void append_gps_line(std::string& out, const core::GpsFixDecision& d) {
   w.kv("vel_hit", d.vel_hit);
   w.kv("pos_hit", d.pos_hit);
   w.kv("alert", d.alert);
+  w.kv("coast_reset", d.coast_reset);
+  w.end_object();
+  out += w.str();
+  out += '\n';
+}
+
+void append_health_line(std::string& out, const faults::HealthReport& h) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("type", "health");
+  w.kv("mics_alive", static_cast<std::uint64_t>(h.mics_alive()));
+  w.key("mic_windows_masked");
+  w.begin_array();
+  for (std::size_t masked : h.mic_windows_masked)
+    w.value(static_cast<std::uint64_t>(masked));
+  w.end_array();
+  w.kv("windows_total", static_cast<std::uint64_t>(h.windows_total));
+  w.kv("windows_degraded", static_cast<std::uint64_t>(h.windows_degraded));
+  w.kv("imu_samples_nonfinite",
+       static_cast<std::uint64_t>(h.imu_samples_nonfinite));
+  w.kv("imu_windows_skipped", static_cast<std::uint64_t>(h.imu_windows_skipped));
+  w.kv("gps_fixes_nonfinite", static_cast<std::uint64_t>(h.gps_fixes_nonfinite));
+  w.kv("gps_coast_intervals", static_cast<std::uint64_t>(h.gps_coast_intervals));
+  w.kv("gps_coast_seconds", h.gps_coast_seconds);
+  w.kv("kf_fallback_steps", static_cast<std::uint64_t>(h.kf_fallback_steps));
+  w.kv("degraded", h.degraded());
   w.end_object();
   out += w.str();
   out += '\n';
@@ -53,6 +79,7 @@ std::string decision_trace_jsonl(const core::RcaDecisionTrace& trace) {
   std::string out;
   for (const auto& d : trace.imu) append_imu_line(out, d);
   for (const auto& d : trace.gps) append_gps_line(out, d);
+  append_health_line(out, trace.health);
   obs::JsonWriter w;
   w.begin_object();
   w.kv("type", "summary");
@@ -96,11 +123,12 @@ bool write_gps_decisions_csv(const std::string& path,
   std::ofstream os{path};
   if (!os) return false;
   os << "t,running_mean_err,pos_dev,vel_threshold,pos_threshold,vel_hit,"
-        "pos_hit,alert\n";
+        "pos_hit,alert,coast_reset\n";
   for (const auto& d : decisions) {
     os << d.t << ',' << d.running_mean_err << ',' << d.pos_dev << ','
        << d.vel_threshold << ',' << d.pos_threshold << ',' << int{d.vel_hit}
-       << ',' << int{d.pos_hit} << ',' << int{d.alert} << '\n';
+       << ',' << int{d.pos_hit} << ',' << int{d.alert} << ','
+       << int{d.coast_reset} << '\n';
   }
   return static_cast<bool>(os);
 }

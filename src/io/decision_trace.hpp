@@ -15,7 +15,12 @@ namespace sb::io {
 //    "score":..,"threshold":..,"flagged":..,"alert":..}
 //   {"type":"gps_fix","t":..,"running_mean_err":..,"pos_dev":..,
 //    "vel_threshold":..,"pos_threshold":..,"vel_hit":..,"pos_hit":..,
-//    "alert":..}
+//    "alert":..,"coast_reset":..}
+//   {"type":"health","mics_alive":..,"mic_windows_masked":[..],
+//    "windows_total":..,"windows_degraded":..,"imu_samples_nonfinite":..,
+//    "imu_windows_skipped":..,"gps_fixes_nonfinite":..,
+//    "gps_coast_intervals":..,"gps_coast_seconds":..,"kf_fallback_steps":..,
+//    "degraded":..}
 //   {"type":"summary","imu_attacked":..,"gps_attacked":..,"gps_mode":".."}
 bool write_decision_trace_jsonl(const std::string& path,
                                 const core::RcaDecisionTrace& trace);

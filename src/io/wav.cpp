@@ -72,13 +72,27 @@ bool read_wav(const std::string& path, WavData& out) {
   std::ifstream is{path, std::ios::binary};
   if (!is) return false;
 
+  // Every declared chunk size is checked against the bytes actually left in
+  // the file before it is trusted, so a truncated or hostile header can
+  // neither seek backwards nor drive a multi-gigabyte allocation.
+  is.seekg(0, std::ios::end);
+  const auto end_pos = is.tellg();
+  if (end_pos < 0) return false;
+  const auto file_size = static_cast<std::uint64_t>(end_pos);
+  is.seekg(0, std::ios::beg);
+  const auto remaining = [&]() -> std::uint64_t {
+    const auto pos = is.tellg();
+    if (pos < 0 || static_cast<std::uint64_t>(pos) > file_size) return 0;
+    return file_size - static_cast<std::uint64_t>(pos);
+  };
+
   char tag[5] = {};
   is.read(tag, 4);
-  if (std::strncmp(tag, "RIFF", 4) != 0) return false;
+  if (!is || std::strncmp(tag, "RIFF", 4) != 0) return false;
   std::uint32_t riff_size = 0;
   if (!read_pod(is, riff_size)) return false;
   is.read(tag, 4);
-  if (std::strncmp(tag, "WAVE", 4) != 0) return false;
+  if (!is || std::strncmp(tag, "WAVE", 4) != 0) return false;
 
   std::uint16_t channels = 0, bits = 0;
   std::uint32_t rate = 0;
@@ -87,7 +101,11 @@ bool read_wav(const std::string& path, WavData& out) {
   while (is.read(tag, 4)) {
     std::uint32_t chunk_size = 0;
     if (!read_pod(is, chunk_size)) return false;
+    if (chunk_size > remaining()) return false;
     if (std::strncmp(tag, "fmt ", 4) == 0) {
+      // The PCM fmt payload is 16 bytes; a smaller declaration would make
+      // the skip below seek backwards into the chunk header.
+      if (chunk_size < 16) return false;
       std::uint16_t format = 0, block_align = 0;
       std::uint32_t byte_rate = 0;
       if (!read_pod(is, format) || !read_pod(is, channels) || !read_pod(is, rate) ||

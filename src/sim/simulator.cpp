@@ -35,6 +35,12 @@ Vec3 FlightLog::mean_imu_accel(double t0, double t1) const {
   return s / static_cast<double>(hi - lo);
 }
 
+std::size_t FlightLog::imu_samples_in(double t0, double t1) const {
+  const auto [lo, hi] =
+      time_range([this](std::size_t i) { return imu[i].t; }, imu.size(), t0, t1);
+  return hi - lo;
+}
+
 Vec3 FlightLog::mean_nav_vel(double t0, double t1) const {
   const auto [lo, hi] =
       time_range([this](std::size_t i) { return nav[i].t; }, nav.size(), t0, t1);

@@ -87,6 +87,10 @@ struct FlightLog {
   // Mean (possibly attacked) IMU NED acceleration over [t0, t1).
   Vec3 mean_imu_accel(double t0, double t1) const;
 
+  // Number of IMU samples inside [t0, t1) — lets consumers distinguish an
+  // empty window (sensor dropout) from a genuinely zero mean.
+  std::size_t imu_samples_in(double t0, double t1) const;
+
   // Mean navigation-estimate velocity over [t0, t1) (falls back to the
   // nearest sample when no fix lands inside the window).  On benign
   // training flights this is the trustworthy velocity label.

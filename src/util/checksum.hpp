@@ -1,0 +1,15 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// framing of persisted artifacts (model files, recordings).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sb::util {
+
+// Checksum of `size` bytes at `data`.  Pass a previous return value as
+// `seed` to checksum a stream incrementally; the default seed matches the
+// standard one-shot CRC-32.
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace sb::util

@@ -345,6 +345,53 @@ TEST(ImuRca, DetectsSyntheticMeanShift) {
   EXPECT_TRUE(det.analyze(attack).attacked);
 }
 
+TEST(ImuRca, ThresholdFloorEngagesOnDegenerateCalibration) {
+  // Near-identical residual windows calibrate an absurdly tight threshold;
+  // the min_threshold floor keeps ordinary sensor jitter from becoming an
+  // alert storm.
+  Rng rng{17};
+  std::vector<WindowResiduals> degenerate;
+  for (int i = 0; i < 50; ++i) {
+    WindowResiduals w;
+    w.t0 = i * 0.5;
+    w.t1 = w.t0 + 0.5;
+    for (int j = 0; j < 100; ++j)
+      w.samples.push_back({rng.normal(0.0, 1e-7), rng.normal(0.0, 1e-7),
+                           rng.normal(0.0, 1e-7)});
+    degenerate.push_back(std::move(w));
+  }
+  ImuRcaConfig cfg;
+  ImuRcaDetector det{cfg};
+  det.calibrate(degenerate);
+  EXPECT_TRUE(std::isfinite(det.score_threshold()));
+  EXPECT_GE(det.score_threshold(), cfg.min_threshold);
+}
+
+TEST(ImuRca, ShortWindowsAreSkippedAndCounted) {
+  Rng rng{18};
+  auto make_window = [&](double t, int n) {
+    WindowResiduals w;
+    w.t0 = t;
+    w.t1 = t + 0.5;
+    for (int i = 0; i < n; ++i)
+      w.samples.push_back({rng.normal(0, 0.1), rng.normal(0, 0.1),
+                           rng.normal(0, 0.1)});
+    return w;
+  };
+  std::vector<WindowResiduals> benign;
+  for (int i = 0; i < 100; ++i) benign.push_back(make_window(i * 0.5, 100));
+  ImuRcaDetector det{{}};
+  det.calibrate(benign);
+
+  std::vector<WindowResiduals> gappy = benign;
+  gappy[10] = make_window(5.0, 2);  // dropout leaves 2 usable samples
+  gappy[11] = make_window(5.5, 0);  // total dropout
+  const auto r = det.analyze(gappy);
+  EXPECT_EQ(r.windows_skipped, 2u);
+  EXPECT_EQ(r.windows_tested, gappy.size() - 2);
+  EXPECT_FALSE(r.attacked);
+}
+
 TEST(ImuRca, WindowKsIsLargeUnderAttackDistribution) {
   Rng rng{16};
   auto make_window = [&](double std) {

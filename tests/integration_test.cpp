@@ -6,9 +6,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 #include <memory>
+#include <string>
 
 #include "attacks/sound_attack.hpp"
+#include "faults/fault_injector.hpp"
 #include "core/gps_rca.hpp"
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
@@ -241,6 +246,119 @@ TEST(Integration, LoadRejectsWrongModelKind) {
   EXPECT_FALSE(mismatched.load(path));
   EXPECT_FALSE(mismatched.trained());
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Model-file integrity frame: truncation, bit flips and pre-framing files
+// must be rejected cleanly, leaving the mapper untrained.
+
+std::string slurp(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{is}, {}};
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream os{path, std::ios::binary};
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Integration, LoadRejectsTruncatedModelFile) {
+  const auto& p = pipeline();
+  const std::string path = "/tmp/soundboost_test_model_trunc.bin";
+  ASSERT_TRUE(p.mapper->save(path));
+  const auto bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 100u);
+  for (const std::size_t keep : {bytes.size() - 1, bytes.size() / 2, std::size_t{10}}) {
+    spew(path, bytes.substr(0, keep));
+    core::SensoryMapper loaded{p.mapper->config()};
+    EXPECT_FALSE(loaded.load(path)) << "accepted a file cut to " << keep << " bytes";
+    EXPECT_FALSE(loaded.trained());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Integration, LoadRejectsBitFlippedModelFile) {
+  const auto& p = pipeline();
+  const std::string path = "/tmp/soundboost_test_model_flip.bin";
+  ASSERT_TRUE(p.mapper->save(path));
+  auto bytes = slurp(path);
+  // Flip one bit in the middle of the weight payload: without the CRC this
+  // would load fine and silently change eval behavior.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  spew(path, bytes);
+  core::SensoryMapper loaded{p.mapper->config()};
+  EXPECT_FALSE(loaded.load(path));
+  EXPECT_FALSE(loaded.trained());
+  std::remove(path.c_str());
+}
+
+TEST(Integration, LoadRejectsPreFramingFormat) {
+  const auto& p = pipeline();
+  const std::string path = "/tmp/soundboost_test_model_legacy.bin";
+  ASSERT_TRUE(p.mapper->save(path));
+  auto bytes = slurp(path);
+  // Rewrite the magic to the legacy value: a file saved before the integrity
+  // frame existed must be recognized and rejected, not misparsed.
+  const std::uint64_t legacy = 0x53424d4150313032ULL;  // "SBMAP102"
+  std::memcpy(bytes.data(), &legacy, sizeof(legacy));
+  spew(path, bytes);
+  core::SensoryMapper loaded{p.mapper->config()};
+  EXPECT_FALSE(loaded.load(path));
+  EXPECT_FALSE(loaded.trained());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation through the full engine.
+
+TEST(Integration, DeadMicFlightStillCompletesRcaWithHealthReport) {
+  const auto& p = pipeline();
+  RcaEngine engine{*p.mapper, *p.imu_det, *p.gps_det};
+  const auto f = test::hover_flight(25.0, 410, 0.4);
+  PredictionHooks hooks;
+  hooks.audio_transform = [](acoustics::MultiChannelAudio& audio) {
+    for (auto& v : audio.channels[1]) v = 0.0;  // mic 1 recorded nothing
+  };
+  RcaDecisionTrace trace;
+  const auto report = engine.analyze(test::lab(), f, hooks, &trace);
+  EXPECT_FALSE(report.health.mic_alive(1));
+  EXPECT_EQ(report.health.mics_alive(), sensors::kNumMics - 1);
+  EXPECT_GT(report.health.windows_degraded, 0u);
+  EXPECT_TRUE(report.health.degraded());
+  EXPECT_EQ(trace.health.mics_alive(), sensors::kNumMics - 1);
+  // The analysis still completes and the masked front-end stays quiet on a
+  // benign flight.
+  EXPECT_FALSE(report.gps_attacked);
+}
+
+TEST(Integration, GpsOutageCoastsWithoutFalseAlert) {
+  const auto& p = pipeline();
+  RcaEngine engine{*p.mapper, *p.imu_det, *p.gps_det};
+  auto f = test::hover_flight(25.0, 411, 0.4);
+  faults::FaultPlan plan;
+  plan.gps.push_back({faults::GpsFaultType::kOutage, 1.0, 10.0, 15.0});
+  faults::apply_to_log(f.log, plan);
+
+  RcaDecisionTrace trace;
+  const auto report = engine.analyze(test::lab(), f, {}, &trace);
+  EXPECT_GE(report.health.gps_coast_intervals, 1u);
+  EXPECT_GT(report.health.gps_coast_seconds, 3.0);
+  EXPECT_FALSE(report.imu_attacked);
+  EXPECT_FALSE(report.gps_attacked);  // the coast must not be scored as a spoof
+  bool any_reset = false;
+  for (const auto& d : trace.gps) any_reset = any_reset || d.coast_reset;
+  EXPECT_TRUE(any_reset);
+}
+
+TEST(Integration, EngineHealthCleanOnPristineFlight) {
+  const auto& p = pipeline();
+  RcaEngine engine{*p.mapper, *p.imu_det, *p.gps_det};
+  const auto f = test::hover_flight(25.0, 412, 0.4);
+  const auto report = engine.analyze(test::lab(), f);
+  EXPECT_FALSE(report.health.degraded());
+  EXPECT_EQ(report.health.mics_alive(), sensors::kNumMics);
+  EXPECT_GT(report.health.windows_total, 0u);
+  EXPECT_EQ(report.health.windows_degraded, 0u);
 }
 
 TEST(Integration, PredictWindowsMatchesPredictFlight) {

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "core/gps_rca.hpp"
 #include "io/flight_csv.hpp"
@@ -82,6 +86,107 @@ TEST(Wav, RejectsMalformedFile) {
 TEST(Wav, RejectsMissingFile) {
   WavData out;
   EXPECT_FALSE(read_wav("/nonexistent/dir/nope.wav", out));
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-header hardening: a hostile or truncated file must produce a clean
+// `false`, never a crash, a backwards seek, or a giant allocation.
+
+std::string wav_bytes(const WavData& d, const char* name) {
+  const auto path = temp_path(name);
+  EXPECT_TRUE(write_wav(path, d));
+  std::ifstream is{path, std::ios::binary};
+  std::string bytes{std::istreambuf_iterator<char>{is}, {}};
+  std::remove(path.c_str());
+  return bytes;
+}
+
+bool read_bytes(const std::string& bytes, const char* name, WavData& out) {
+  const auto path = temp_path(name);
+  {
+    std::ofstream os{path, std::ios::binary};
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const bool ok = read_wav(path, out);
+  std::remove(path.c_str());
+  return ok;
+}
+
+void patch_u32(std::string& bytes, std::size_t offset, std::uint32_t v) {
+  std::memcpy(bytes.data() + offset, &v, sizeof(v));
+}
+
+void patch_u16(std::string& bytes, std::size_t offset, std::uint16_t v) {
+  std::memcpy(bytes.data() + offset, &v, sizeof(v));
+}
+
+// write_wav layout: "RIFF" size "WAVE" | "fmt " @12, size @16, format @20,
+// channels @22, rate @24, byte rate @28, block align @32, bits @34 |
+// "data" @36, size @40, samples @44.
+
+TEST(Wav, RejectsTruncatedFile) {
+  const auto bytes = wav_bytes(make_tone(2, 500, 440.0, 16000.0), "trunc_src.wav");
+  WavData out;
+  // Cut inside the sample data AND inside the header.
+  EXPECT_FALSE(read_bytes(bytes.substr(0, bytes.size() / 2), "trunc_data.wav", out));
+  EXPECT_FALSE(read_bytes(bytes.substr(0, 30), "trunc_hdr.wav", out));
+}
+
+TEST(Wav, RejectsHugeDeclaredDataChunk) {
+  auto bytes = wav_bytes(make_tone(1, 100, 440.0, 16000.0), "huge_src.wav");
+  patch_u32(bytes, 40, 0xFFFFFF00u);  // data chunk claims ~4 GB
+  WavData out;
+  EXPECT_FALSE(read_bytes(bytes, "huge.wav", out));
+  EXPECT_TRUE(out.channels.empty());  // no allocation happened
+}
+
+TEST(Wav, RejectsFmtChunkSmallerThanPcmHeader) {
+  auto bytes = wav_bytes(make_tone(1, 100, 440.0, 16000.0), "fmt_src.wav");
+  patch_u32(bytes, 16, 8);  // fmt chunk too small: would seek backwards
+  WavData out;
+  EXPECT_FALSE(read_bytes(bytes, "fmt_small.wav", out));
+}
+
+TEST(Wav, RejectsZeroChannels) {
+  auto bytes = wav_bytes(make_tone(1, 100, 440.0, 16000.0), "zch_src.wav");
+  patch_u16(bytes, 22, 0);
+  WavData out;
+  EXPECT_FALSE(read_bytes(bytes, "zero_channels.wav", out));
+}
+
+TEST(Wav, RejectsUnsupportedBitDepths) {
+  for (std::uint16_t bits : {std::uint16_t{8}, std::uint16_t{24}, std::uint16_t{32}}) {
+    auto bytes = wav_bytes(make_tone(1, 100, 440.0, 16000.0), "bits_src.wav");
+    patch_u16(bytes, 34, bits);
+    WavData out;
+    EXPECT_FALSE(read_bytes(bytes, "bits.wav", out)) << bits << " bits accepted";
+  }
+}
+
+TEST(Wav, RejectsNonPcmFormat) {
+  auto bytes = wav_bytes(make_tone(1, 100, 440.0, 16000.0), "fmt3_src.wav");
+  patch_u16(bytes, 20, 3);  // IEEE float
+  WavData out;
+  EXPECT_FALSE(read_bytes(bytes, "ieee.wav", out));
+}
+
+TEST(Wav, SkipsUnknownChunksButRejectsOversizedOnes) {
+  // A well-formed extra chunk before "data" is fine...
+  const auto src = wav_bytes(make_tone(1, 100, 440.0, 16000.0), "xchunk_src.wav");
+  std::string with_chunk = src.substr(0, 36);
+  with_chunk += "LIST";
+  const std::uint32_t list_size = 4;
+  with_chunk.append(reinterpret_cast<const char*>(&list_size), 4);
+  with_chunk += "INFO";
+  with_chunk += src.substr(36);
+  WavData out;
+  EXPECT_TRUE(read_bytes(with_chunk, "xchunk_ok.wav", out));
+  EXPECT_EQ(out.num_samples(), 100u);
+
+  // ...but one whose declared size exceeds the file is rejected, not skipped
+  // into EOF oblivion.
+  patch_u32(with_chunk, 40, 0x7FFFFFFFu);
+  EXPECT_FALSE(read_bytes(with_chunk, "xchunk_bad.wav", out));
 }
 
 TEST(Wav, ExportsMicArrayRecording) {

@@ -338,9 +338,12 @@ TEST(DecisionTrace, JsonlLinesAreIndividuallyValidJson) {
     ++lines;
     start = end + 1;
   }
-  EXPECT_EQ(lines, 3u);  // imu window + gps fix + summary
+  EXPECT_EQ(lines, 4u);  // imu window + gps fix + health + summary
   EXPECT_NE(jsonl.find("\"type\":\"imu_window\""), std::string::npos);
   EXPECT_NE(jsonl.find("\"type\":\"gps_fix\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"health\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"mics_alive\":4"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"degraded\":false"), std::string::npos);
   EXPECT_NE(jsonl.find("\"gps_mode\":\"audio_only\""), std::string::npos);
   // The NaN spread component must be null, not a bare token.
   EXPECT_EQ(jsonl.find("nan"), std::string::npos);

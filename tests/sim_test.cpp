@@ -417,5 +417,18 @@ TEST(FlightLog, EmptyRangeYieldsZero) {
   EXPECT_DOUBLE_EQ(log.mean_imu_accel(0, 1).norm(), 0.0);
 }
 
+TEST(FlightLog, ImuSamplesInDistinguishesDropoutFromZeroMean) {
+  FlightLog log;
+  for (int i = 0; i < 10; ++i) {
+    ImuSample s;
+    s.t = 0.1 * i;
+    log.imu.push_back(s);
+  }
+  EXPECT_EQ(log.imu_samples_in(0.0, 0.5), 5u);
+  EXPECT_EQ(log.imu_samples_in(0.35, 0.55), 2u);  // samples at 0.4, 0.5
+  EXPECT_EQ(log.imu_samples_in(2.0, 3.0), 0u);    // past the log: dropout
+  EXPECT_EQ(FlightLog{}.imu_samples_in(0.0, 1.0), 0u);
+}
+
 }  // namespace
 }  // namespace sb::sim
