@@ -14,7 +14,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"adversarial_replay"};
   std::printf("=== §IV-D: real-world replay interference ===\n");
   auto mapper = bench::standard_mapper();

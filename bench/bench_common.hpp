@@ -12,7 +12,9 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -33,6 +35,76 @@
 
 namespace sb::bench {
 
+// Process-wide bench options, settable from every bench binary's command
+// line via bench_init(argc, argv):
+//   --seed N      offset added to every scenario seed (variance studies)
+//   --threads N   worker count (same effect as SB_THREADS=N)
+//   --out-dir D   directory for BENCH_/TRACE_ JSON reports (default: next
+//                 to the binary)
+//   --help        usage
+struct BenchArgs {
+  std::uint64_t seed_offset = 0;
+  std::filesystem::path out_dir;  // empty = bench binary's directory
+};
+
+inline BenchArgs& bench_args() {
+  static BenchArgs args;
+  return args;
+}
+
+// Parses the shared flags, removing them from argv (argc is updated) so a
+// bench that layers another parser on top (bench_runtime_overhead hands the
+// remainder to google-benchmark) sees only the flags it owns.  Unknown
+// arguments are an error unless `allow_unknown` — then they stay in argv.
+inline void bench_init(int& argc, char** argv, bool allow_unknown = false) {
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--seed N] [--threads N] [--out-dir DIR]\n"
+          "  --seed N     offset added to every scenario seed\n"
+          "  --threads N  worker threads (equivalent to SB_THREADS=N)\n"
+          "  --out-dir D  directory for BENCH_*/TRACE_* reports\n",
+          argv[0]);
+      std::exit(0);
+    } else if (arg == "--seed") {
+      bench_args().seed_offset = std::strtoull(need_value(i), nullptr, 10);
+      ++i;
+    } else if (arg == "--threads") {
+      const long n = std::strtol(need_value(i), nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "%s: --threads must be >= 1\n", argv[0]);
+        std::exit(2);
+      }
+      // Same switch SB_THREADS flips, through the same entry point, so a
+      // CLI override and the env var can never disagree mid-process.
+      util::ThreadPool::set_threads(static_cast<std::size_t>(n));
+      ++i;
+    } else if (arg == "--out-dir") {
+      bench_args().out_dir = need_value(i);
+      std::error_code ec;
+      std::filesystem::create_directories(bench_args().out_dir, ec);
+      ++i;
+    } else if (allow_unknown) {
+      argv[out++] = argv[i];
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (see --help)\n", argv[0],
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
 // Wall-clock stopwatch for the bench reports.
 class Stopwatch {
  public:
@@ -47,11 +119,25 @@ class Stopwatch {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Directory of the running bench binary — reports land next to it.
+// Directory the BENCH_/TRACE_ reports land in: --out-dir when given,
+// otherwise next to the running bench binary.
 inline std::filesystem::path bench_output_dir() {
+  if (!bench_args().out_dir.empty()) return bench_args().out_dir;
   std::error_code ec;
   const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
   return ec ? std::filesystem::current_path() : exe.parent_path();
+}
+
+// Trained-model cache directory: SB_CACHE_DIR when set (created on demand),
+// /tmp otherwise.
+inline std::filesystem::path cache_dir() {
+  if (const char* env = std::getenv("SB_CACHE_DIR"); env != nullptr && *env) {
+    std::filesystem::path dir{env};
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+  }
+  return "/tmp";
 }
 
 // Collects per-bench wall-clock and workload metadata, and writes
@@ -152,7 +238,8 @@ inline core::SensoryMapperConfig standard_mapper_config() {
 }
 
 inline std::string cache_path(const core::SensoryMapperConfig& cfg) {
-  return "/tmp/soundboost_bench_" + ml::to_string(cfg.model) + ".bin";
+  return (cache_dir() / ("soundboost_bench_" + ml::to_string(cfg.model) + ".bin"))
+      .string();
 }
 
 // Simulates the paper's 36-flight training campaign (6 maneuver families x
@@ -201,7 +288,8 @@ struct FitMse {
 inline FitMse fit_cached(core::SensoryMapper& mapper, const std::string& tag,
                          std::span<const core::Flight> flights,
                          const core::FlightLab& flight_lab = lab()) {
-  const std::string path = "/tmp/soundboost_bench_" + tag + ".bin";
+  const std::string path =
+      (cache_dir() / ("soundboost_bench_" + tag + ".bin")).string();
   const std::string sidecar = path + ".mse";
   if (mapper.load(path)) {
     FitMse mse;
@@ -246,7 +334,7 @@ inline core::FlightScenario benign_scenario(int i, double duration = 40.0) {
   }
   s.wind.mean = {0.4 * (f - 4.0), 0.25 * (f - 3.0), 0.0};
   s.wind.gust_stddev = 0.3 + 0.07 * static_cast<double>(i % 5);
-  s.seed = 20000 + static_cast<std::uint64_t>(i);
+  s.seed = 20000 + static_cast<std::uint64_t>(i) + bench_args().seed_offset;
   return s;
 }
 
@@ -270,7 +358,7 @@ inline core::FlightScenario gps_attack_scenario(int i, double duration = 60.0) {
   s.wind.mean = {0.3 * (static_cast<double>(i % 8) - 4.0),
                  0.2 * (static_cast<double>(i % 7) - 3.0), 0.0};
   s.wind.gust_stddev = 0.3 + 0.05 * static_cast<double>(i % 4);
-  s.seed = 30000 + static_cast<std::uint64_t>(i);
+  s.seed = 30000 + static_cast<std::uint64_t>(i) + bench_args().seed_offset;
   return s;
 }
 
@@ -287,7 +375,7 @@ inline core::FlightScenario imu_attack_scenario(int i, double duration = 40.0) {
   a.axis = i % 3 == 2 ? 1 : 0;
   s.imu_attack = a;
   s.wind.gust_stddev = 0.3 + 0.05 * static_cast<double>(i % 4);
-  s.seed = 40000 + static_cast<std::uint64_t>(i);
+  s.seed = 40000 + static_cast<std::uint64_t>(i) + bench_args().seed_offset;
   return s;
 }
 

@@ -9,7 +9,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"concurrent_attack"};
   std::printf("=== §V-A: concurrent GPS + IMU spoofing ===\n");
   auto mapper = bench::standard_mapper();

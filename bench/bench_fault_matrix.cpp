@@ -154,7 +154,8 @@ struct CellTally {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"fault_matrix"};
   std::printf("=== Fault matrix: %zu fault types x %zu severities over %d benign + %d attack flights ===\n",
               std::size(kCells), std::size(kSeverities), kBenign, kAttacks);

@@ -58,7 +58,8 @@ void report_segment(const char* name, const core::Flight& flight,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"fig2_spectrum"};
   std::printf("=== Fig. 2a: frequency distribution of rotor audio (hover) ===\n");
   core::FlightScenario hover;

@@ -39,7 +39,8 @@ double cruise_omega(double wind_x) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"fig3_timeshift"};
   std::printf("=== Fig. 3: time-shift augmentation rationale ===\n");
   Table table({"wind", "time to 0.9*v_target (s)", "cruise rotor speed (rad/s)"});

@@ -46,7 +46,8 @@ void print_histogram(const char* name, const std::vector<double>& xs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"fig6_imu_residuals"};
   std::printf("=== Fig. 6: residual distributions, benign vs IMU attack ===\n");
   auto mapper = bench::standard_mapper();

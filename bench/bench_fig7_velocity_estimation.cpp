@@ -9,7 +9,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"fig7_velocity_estimation"};
   std::printf("=== Fig. 7: position & velocity estimation under GPS spoofing ===\n");
   auto mapper = bench::standard_mapper();

@@ -11,7 +11,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"freq_importance"};
   std::printf("=== §IV-A: counterfactual frequency-group importance ===\n");
   auto mapper = bench::standard_mapper();

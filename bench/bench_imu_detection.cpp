@@ -13,7 +13,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"imu_detection"};
   std::printf("=== §IV-B: IMU biasing attack detection (20 flights) ===\n");
   auto mapper = bench::standard_mapper();

@@ -188,6 +188,8 @@ void report_tracing_overhead(bench::BenchReport& report) {
 // Hand-written main (instead of BENCHMARK_MAIN) so the run still emits the
 // BENCH_runtime_overhead.json wall-clock report like the other benches.
 int main(int argc, char** argv) {
+  // Shared flags first (stripped from argv), google-benchmark's own after.
+  bench::bench_init(argc, argv, /*allow_unknown=*/true);
   bench::BenchReport report{"runtime_overhead"};
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

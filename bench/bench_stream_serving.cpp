@@ -1,0 +1,226 @@
+// Online serving bench (DESIGN.md "Streaming architecture"): N concurrent
+// flight sessions stream their microphone/IMU/GPS feeds chunk-by-chunk into
+// RcaSessions while one InferenceScheduler micro-batches every session's
+// ready windows into single model forwards.  Reports how many realtime
+// streams one core sustains (realtime factor), the window->verdict latency
+// distribution and the backpressure shed rate.
+//
+// Workload knobs (environment, so the CI smoke job can shrink the run
+// without recompiling; the shared --seed/--threads/--out-dir flags apply):
+//   SB_BENCH_TINY=1            tiny model + short flights (CI smoke)
+//   SB_BENCH_SESSIONS=N        concurrent sessions   (default 8)
+//   SB_BENCH_FLIGHT_SECONDS=S  per-flight duration   (default 30, tiny 10)
+//
+// The emitted BENCH_stream_serving.json is self-checked with the obs JSON
+// validator before exit; a malformed report (and the TRACE file, when
+// tracing) fails the run with a nonzero exit code.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "stream/inference_scheduler.hpp"
+#include "stream/rca_session.hpp"
+
+namespace {
+
+using namespace sb;
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v ? std::strtod(v, nullptr) : fallback;
+}
+
+bool tiny_mode() {
+  const char* v = std::getenv("SB_BENCH_TINY");
+  return v != nullptr && *v && *v != '0';
+}
+
+// Pre-rendered per-session feed: the full flight stream, sliced on demand.
+struct SessionFeed {
+  core::Flight flight;
+  acoustics::MultiChannelAudio audio;  // whole continuous capture
+  std::size_t audio_cursor = 0;
+  std::size_t imu_cursor = 0;
+  std::size_t gps_cursor = 0;
+};
+
+acoustics::MultiChannelAudio slice_audio(const acoustics::MultiChannelAudio& full,
+                                         std::size_t begin, std::size_t end) {
+  acoustics::MultiChannelAudio chunk;
+  chunk.sample_rate = full.sample_rate;
+  for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+    chunk.channels[c].assign(full.channels[c].begin() + begin,
+                             full.channels[c].begin() + end);
+  return chunk;
+}
+
+// Pushes everything with t < until (audio by sample index) and advances the
+// cursors — the "what arrived since the last tick" slice of each stream.
+void push_until(stream::RcaSession& session, SessionFeed& feed, double until) {
+  const auto upto = static_cast<std::size_t>(
+      std::min(until * feed.audio.sample_rate,
+               static_cast<double>(feed.audio.num_samples())));
+  if (upto > feed.audio_cursor) {
+    session.push_audio(slice_audio(feed.audio, feed.audio_cursor, upto));
+    feed.audio_cursor = upto;
+  }
+  const auto& imu = feed.flight.log.imu;
+  std::size_t i = feed.imu_cursor;
+  while (i < imu.size() && imu[i].t < until) ++i;
+  session.push_imu(std::span{imu}.subspan(feed.imu_cursor, i - feed.imu_cursor));
+  feed.imu_cursor = i;
+  const auto& gps = feed.flight.log.gps;
+  std::size_t g = feed.gps_cursor;
+  while (g < gps.size() && gps[g].t < until) ++g;
+  session.push_gps(std::span{gps}.subspan(feed.gps_cursor, g - feed.gps_cursor));
+  feed.gps_cursor = g;
+}
+
+bool validate_json_file(const std::filesystem::path& path) {
+  std::ifstream is{path};
+  if (!is) {
+    std::fprintf(stderr, "stream_serving: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (!obs::json_valid(ss.str())) {
+    std::fprintf(stderr, "stream_serving: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::bench_init(argc, argv);
+  const bool tiny = tiny_mode();
+  const int n_sessions =
+      static_cast<int>(env_double("SB_BENCH_SESSIONS", 8.0));
+  const double duration =
+      env_double("SB_BENCH_FLIGHT_SECONDS", tiny ? 10.0 : 30.0);
+
+  // Model + calibrated detectors.  The tiny config trains an MLP for a couple
+  // of epochs on a handful of short flights — enough to exercise every
+  // serving code path in seconds, cached under its own tag.
+  core::SensoryMapper mapper = [&] {
+    if (!tiny) return bench::standard_mapper();
+    core::SensoryMapperConfig cfg;
+    cfg.model = ml::ModelKind::kMlp;
+    cfg.train.epochs = 2;
+    core::SensoryMapper m{cfg};
+    const auto scenarios = bench::lab().training_scenarios(1, 12.0);
+    const auto flights = bench::lab().fly_all(scenarios);
+    bench::fit_cached(m, "stream_tiny", flights);
+    return m;
+  }();
+  const auto det = bench::calibrate_detectors(mapper, tiny ? 2 : 10,
+                                              tiny ? 12.0 : 40.0);
+
+  // Per-session flights: a benign / GPS-spoof / IMU-attack mix so the served
+  // verdict stream exercises both detector stages and the mode switch.
+  obs::logf(obs::LogLevel::kInfo, "setup", "rendering %d session feeds (%.0f s each)",
+            n_sessions, duration);
+  std::vector<SessionFeed> feeds(static_cast<std::size_t>(n_sessions));
+  for (int i = 0; i < n_sessions; ++i) {
+    core::FlightScenario s;
+    switch (i % 3) {
+      case 0: s = bench::benign_scenario(i, duration); break;
+      case 1: s = bench::gps_attack_scenario(i, duration); break;
+      default: s = bench::imu_attack_scenario(i, duration); break;
+    }
+    auto& feed = feeds[static_cast<std::size_t>(i)];
+    feed.flight = bench::lab().fly(s);
+    feed.audio = bench::lab()
+                     .synthesizer(feed.flight)
+                     .synthesize(feed.flight.log, 0.0, duration);
+  }
+
+  bench::BenchReport report{"stream_serving"};
+  report.note("mode", tiny ? "tiny" : "standard");
+  report.metric("sessions", n_sessions);
+  report.metric("flight_seconds", duration);
+
+  std::vector<stream::RcaSession> sessions;
+  sessions.reserve(feeds.size());
+  for (std::size_t i = 0; i < feeds.size(); ++i)
+    sessions.emplace_back(static_cast<std::uint64_t>(i), mapper, det.imu, det.gps);
+  stream::InferenceScheduler scheduler{mapper};
+  for (auto& s : sessions) scheduler.attach(s);
+
+  // Serve: advance every stream in 100 ms ticks (a realistic transport
+  // cadence), pumping the scheduler once per tick — windows from all sessions
+  // that completed in the tick share forwards.
+  const double tick = 0.1;
+  std::size_t verdicts = 0;
+  bench::Stopwatch serve_timer;
+  for (double t = tick; t < duration + tick; t += tick) {
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      push_until(sessions[i], feeds[i], std::min(t, duration));
+      for ([[maybe_unused]] auto& e : sessions[i].poll_verdicts()) ++verdicts;
+    }
+    scheduler.pump();
+  }
+  scheduler.drain();
+  int imu_flagged = 0, gps_flagged = 0;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto r = sessions[i].finish();
+    verdicts += sessions[i].poll_verdicts().size();
+    imu_flagged += r.imu_attacked ? 1 : 0;
+    gps_flagged += r.gps_attacked ? 1 : 0;
+  }
+  const double serve_wall = serve_timer.seconds();
+
+  // Headline: how many realtime streams this serving loop keeps up with.
+  const double streamed_seconds = static_cast<double>(n_sessions) * duration;
+  report.metric("serve_wall_seconds", serve_wall);
+  report.metric("realtime_factor",
+                serve_wall > 0.0 ? streamed_seconds / serve_wall : 0.0);
+
+  const auto latency = obs::Registry::instance()
+                           .histogram("stream.window_to_verdict_seconds")
+                           .snapshot();
+  report.metric("latency_p50_seconds", latency.p50);
+  report.metric("latency_p99_seconds", latency.p99);
+  report.metric("latency_max_seconds", latency.max);
+
+  const double staged = static_cast<double>(scheduler.windows_inferred() +
+                                            scheduler.windows_shed());
+  report.metric("windows_inferred", static_cast<double>(scheduler.windows_inferred()));
+  report.metric("windows_shed", static_cast<double>(scheduler.windows_shed()));
+  report.metric("shed_rate",
+                staged > 0.0 ? static_cast<double>(scheduler.windows_shed()) / staged
+                             : 0.0);
+  report.metric("batches", static_cast<double>(scheduler.batches_run()));
+  report.metric("mean_batch_size",
+                scheduler.batches_run() > 0
+                    ? static_cast<double>(scheduler.windows_inferred()) /
+                          static_cast<double>(scheduler.batches_run())
+                    : 0.0);
+  report.metric("verdict_events", static_cast<double>(verdicts));
+  report.metric("sessions_imu_flagged", imu_flagged);
+  report.metric("sessions_gps_flagged", gps_flagged);
+  report.flush();
+
+  std::printf(
+      "stream_serving: %d sessions x %.0f s in %.2f s wall -> %.1fx realtime, "
+      "p50 %.3f s / p99 %.3f s window->verdict, %zu shed (%.1f%%)\n",
+      n_sessions, duration, serve_wall,
+      serve_wall > 0.0 ? streamed_seconds / serve_wall : 0.0, latency.p50,
+      latency.p99, scheduler.windows_shed(),
+      staged > 0.0 ? 100.0 * static_cast<double>(scheduler.windows_shed()) / staged
+                   : 0.0);
+
+  // Self-check every JSON artifact this run produced (CI gates on this).
+  bool ok = validate_json_file(bench::bench_output_dir() /
+                               "BENCH_stream_serving.json");
+  if (obs::enabled())
+    ok = validate_json_file(bench::bench_output_dir() /
+                            "TRACE_stream_serving.json") && ok;
+  return ok ? 0 : 1;
+}

@@ -13,7 +13,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"tab1_augmentation"};
   std::printf("=== Tab. I: data augmentation choice (train/val/test MSE) ===\n");
   // Smaller corpus than the detection benches: this experiment trains six

@@ -46,7 +46,8 @@ struct Tally {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"tab2_gps_detection"};
   constexpr int kBenign = 30;
   constexpr int kAttacks = 19;

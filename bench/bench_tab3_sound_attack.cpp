@@ -16,7 +16,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"tab3_sound_attack"};
   // Reduced flight counts per cell: this bench evaluates 32 cells.
   constexpr int kBenign = 8;

@@ -10,7 +10,8 @@
 
 using namespace sb;
 
-int main() {
+int main(int argc, char** argv) {
+  sb::bench::bench_init(argc, argv);
   bench::BenchReport report{"window_size"};
   std::printf("=== §IV-A: signature window-size sweep ===\n");
   const auto scenarios = bench::lab().training_scenarios(3, 18.0);

@@ -52,10 +52,10 @@ void DatasetBuilder::add_flight(const Flight& flight) {
     double t0, len;
   };
   std::vector<WindowTask> tasks;
-  for (double t0 = config_.settle_time; t0 + base <= end; t0 += config_.stride) {
-    tasks.push_back({t0, base});
+  for (const WindowSpan& w : window_grid(config_.settle_time, config_.stride, base, end)) {
+    tasks.push_back({w.t0, base});
     for (double factor : config_.augmentation_factors)
-      tasks.push_back({t0, factor * base});
+      tasks.push_back({w.t0, factor * base});
   }
 
   std::vector<WindowResult> results(tasks.size());

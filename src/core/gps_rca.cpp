@@ -50,6 +50,155 @@ double GpsRcaDetector::calibrate(std::span<const Result> benign_results,
   return vt;
 }
 
+GpsRcaDetector::Monitor::Monitor(const GpsRcaConfig& config, GpsDetectorMode mode,
+                                 double vel_threshold, double pos_threshold,
+                                 bool count_metrics)
+    : config_(config),
+      mode_(mode),
+      vel_threshold_(vel_threshold),
+      pos_threshold_(pos_threshold),
+      count_metrics_(count_metrics),
+      monitor_(config.mean_window),
+      last_fix_t_(std::numeric_limits<double>::quiet_NaN()) {}
+
+GpsRcaDetector::Monitor::Monitor(const GpsRcaDetector& detector, GpsDetectorMode mode,
+                                 bool count_metrics)
+    : Monitor(detector.config_, mode, detector.threshold(mode),
+              detector.pos_threshold(mode), count_metrics) {}
+
+void GpsRcaDetector::Monitor::seed(const Vec3& v0, const Vec3& p0) {
+  if (seeded_) return;
+  seeded_ = true;
+  if (mode_ == GpsDetectorMode::kAudioOnly)
+    audio_kf_.emplace(config_.kf, v0);
+  else
+    fused_kf_.emplace(config_.kf, v0);
+  pos_est_ = p0;
+}
+
+void GpsRcaDetector::Monitor::step_window(
+    const TimedPrediction& p, std::span<const sim::GpsSample> gps,
+    std::span<const sim::ImuSample> imu,
+    std::vector<GpsFixDecision>* decisions_out, faults::HealthReport* health,
+    Trace* trace_out) {
+  if (!seeded_) seed({}, {});
+  const bool telemetry = obs::enabled();
+  if (first_window_) {
+    prev_t_ = p.t0;
+    first_window_ = false;
+  }
+  const double dt = p.t1 - prev_t_;
+  prev_t_ = p.t1;
+  if (dt <= 0.0) return;
+
+  const double kf_start_us = telemetry ? obs::now_us() : 0.0;
+  Vec3 v_est;
+  if (!finite(p.accel) || !finite(p.vel)) {
+    // No usable audio prediction for this window (e.g. a fully masked
+    // front-end or a shed serving window): predict-only coast, the estimate
+    // is held.
+    v_est = mode_ == GpsDetectorMode::kAudioOnly ? audio_kf_->coast(dt)
+                                                 : fused_kf_->coast(dt);
+    if (health) ++health->kf_fallback_steps;
+    if (count_metrics_) {
+      static obs::Counter& coasts =
+          obs::Registry::instance().counter("faults.kf_fallback_steps");
+      coasts.add();
+    }
+  } else if (mode_ == GpsDetectorMode::kAudioOnly) {
+    v_est = audio_kf_->step(p.accel, p.vel, dt);
+  } else {
+    Vec3 imu_accel = sim::mean_imu_accel(imu, p.t0, p.t1);
+    if (sim::imu_samples_in(imu, p.t0, p.t1) == 0 || !finite(imu_accel)) {
+      // IMU gap or NaN burst inside this window: fall back to the audio
+      // acceleration so one bad window cannot poison the fused filter.
+      imu_accel = p.accel;
+      if (health) ++health->kf_fallback_steps;
+      if (count_metrics_) {
+        static obs::Counter& fallbacks =
+            obs::Registry::instance().counter("faults.kf_fallback_steps");
+        fallbacks.add();
+      }
+    }
+    v_est = fused_kf_->step(imu_accel, p.vel, dt);
+  }
+  if (telemetry) {
+    static obs::Histogram& kf_step =
+        obs::Registry::instance().histogram("detect.kf_step_seconds");
+    kf_step.record((obs::now_us() - kf_start_us) * 1e-6);
+  }
+  pos_est_ += v_est * dt;
+
+  // Consume GPS fixes up to the current time.
+  while (gps_idx_ < gps.size() && gps[gps_idx_].t <= p.t1) {
+    const auto& fix = gps[gps_idx_];
+    ++gps_idx_;
+    if (!std::isfinite(fix.t) || !finite(fix.vel) || !finite(fix.pos)) {
+      if (health) ++health->gps_fixes_nonfinite;
+      if (count_metrics_) {
+        static obs::Counter& bad =
+            obs::Registry::instance().counter("faults.gps_fixes_nonfinite");
+        bad.add();
+      }
+      continue;
+    }
+    if (health) ++health->gps_fixes_total;
+    // Reacquisition after an outage: while blind, the audio-anchored KF
+    // coasted fine, but the integrated position drifted unobserved and the
+    // monitor's window spans the gap.  Restart both against the first new
+    // fix so the flight is judged on observed evidence only.
+    bool coast_reset = false;
+    if (!std::isnan(last_fix_t_) &&
+        fix.t - last_fix_t_ > config_.coast_reset_gap) {
+      coast_reset = true;
+      monitor_.reset();
+      pos_est_ = fix.pos;
+      if (health) {
+        ++health->gps_coast_intervals;
+        health->gps_coast_seconds += fix.t - last_fix_t_;
+      }
+      if (count_metrics_) {
+        static obs::Counter& coasted =
+            obs::Registry::instance().counter("faults.gps_coast_intervals");
+        coasted.add();
+      }
+    }
+    last_fix_t_ = fix.t;
+    if (fix.t < config_.warmup) continue;
+    const double mean_err = monitor_.add(fix.vel - v_est);
+    const double pos_dev = (fix.pos - pos_est_).norm();
+    result_.peak_running_mean = std::max(result_.peak_running_mean, mean_err);
+    result_.peak_pos_dev = std::max(result_.peak_pos_dev, pos_dev);
+    const bool vel_hit = vel_threshold_ >= 0.0 && mean_err > vel_threshold_;
+    const bool pos_hit = pos_threshold_ >= 0.0 && pos_dev > pos_threshold_;
+    const bool first_hit = (vel_hit || pos_hit) && !result_.attacked;
+    if (first_hit) {
+      result_.attacked = true;
+      result_.detect_time = fix.t;
+    }
+    if (decisions_out) {
+      GpsFixDecision d;
+      d.t = fix.t;
+      d.running_mean_err = mean_err;
+      d.pos_dev = pos_dev;
+      d.vel_threshold = vel_threshold_;
+      d.pos_threshold = pos_threshold_;
+      d.vel_hit = vel_hit;
+      d.pos_hit = pos_hit;
+      d.alert = first_hit;
+      d.coast_reset = coast_reset;
+      decisions_out->push_back(d);
+    }
+    if (trace_out) {
+      trace_out->t.push_back(fix.t);
+      trace_out->v_est.push_back(v_est);
+      trace_out->v_gps.push_back(fix.vel);
+      trace_out->pos_est.push_back(pos_est_);
+      trace_out->running_mean.push_back(mean_err);
+    }
+  }
+}
+
 GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
                                            std::span<const TimedPrediction> preds,
                                            GpsDetectorMode mode, double vel_threshold,
@@ -57,9 +206,7 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
                                            std::vector<GpsFixDecision>* decisions_out,
                                            faults::HealthReport* health) const {
   obs::ScopedSpan span{"gps_rca", obs::Stage::kDetect};
-  Result result;
-  if (preds.empty()) return result;
-  const bool telemetry = obs::enabled();
+  if (preds.empty()) return {};
 
   // Initial state from the first FINITE GPS fix (pre-attack per the threat
   // model: attacks start only after takeoff completes).  A poisoned leading
@@ -71,119 +218,12 @@ GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,
     p0 = fix.pos;
     break;
   }
-  est::AudioOnlyVelocityKf audio_kf{config_.kf, v0};
-  est::AudioImuVelocityKf fused_kf{config_.kf, v0};
-
-  detect::RunningVecMeanMonitor monitor{config_.mean_window};
-  Vec3 pos_est = p0;
-
-  std::size_t gps_idx = 0;
-  double prev_t = preds.front().t0;
-  double last_fix_t = std::numeric_limits<double>::quiet_NaN();  // none yet
-  for (const auto& p : preds) {
-    const double dt = p.t1 - prev_t;
-    prev_t = p.t1;
-    if (dt <= 0.0) continue;
-
-    const double kf_start_us = telemetry ? obs::now_us() : 0.0;
-    Vec3 v_est;
-    if (!finite(p.accel) || !finite(p.vel)) {
-      // No usable audio prediction for this window (e.g. a fully masked
-      // front-end): predict-only coast, the estimate is held.
-      v_est = mode == GpsDetectorMode::kAudioOnly ? audio_kf.coast(dt)
-                                                  : fused_kf.coast(dt);
-      if (health) ++health->kf_fallback_steps;
-      static obs::Counter& coasts =
-          obs::Registry::instance().counter("faults.kf_fallback_steps");
-      coasts.add();
-    } else if (mode == GpsDetectorMode::kAudioOnly) {
-      v_est = audio_kf.step(p.accel, p.vel, dt);
-    } else {
-      Vec3 imu_accel = flight.log.mean_imu_accel(p.t0, p.t1);
-      if (flight.log.imu_samples_in(p.t0, p.t1) == 0 || !finite(imu_accel)) {
-        // IMU gap or NaN burst inside this window: fall back to the audio
-        // acceleration so one bad window cannot poison the fused filter.
-        imu_accel = p.accel;
-        if (health) ++health->kf_fallback_steps;
-        static obs::Counter& fallbacks =
-            obs::Registry::instance().counter("faults.kf_fallback_steps");
-        fallbacks.add();
-      }
-      v_est = fused_kf.step(imu_accel, p.vel, dt);
-    }
-    if (telemetry) {
-      static obs::Histogram& kf_step =
-          obs::Registry::instance().histogram("detect.kf_step_seconds");
-      kf_step.record((obs::now_us() - kf_start_us) * 1e-6);
-    }
-    pos_est += v_est * dt;
-
-    // Consume GPS fixes up to the current time.
-    while (gps_idx < flight.log.gps.size() && flight.log.gps[gps_idx].t <= p.t1) {
-      const auto& fix = flight.log.gps[gps_idx];
-      ++gps_idx;
-      if (!std::isfinite(fix.t) || !finite(fix.vel) || !finite(fix.pos)) {
-        if (health) ++health->gps_fixes_nonfinite;
-        static obs::Counter& bad =
-            obs::Registry::instance().counter("faults.gps_fixes_nonfinite");
-        bad.add();
-        continue;
-      }
-      if (health) ++health->gps_fixes_total;
-      // Reacquisition after an outage: while blind, the audio-anchored KF
-      // coasted fine, but the integrated position drifted unobserved and the
-      // monitor's window spans the gap.  Restart both against the first new
-      // fix so the flight is judged on observed evidence only.
-      bool coast_reset = false;
-      if (!std::isnan(last_fix_t) &&
-          fix.t - last_fix_t > config_.coast_reset_gap) {
-        coast_reset = true;
-        monitor.reset();
-        pos_est = fix.pos;
-        if (health) {
-          ++health->gps_coast_intervals;
-          health->gps_coast_seconds += fix.t - last_fix_t;
-        }
-        static obs::Counter& coasted =
-            obs::Registry::instance().counter("faults.gps_coast_intervals");
-        coasted.add();
-      }
-      last_fix_t = fix.t;
-      if (fix.t < config_.warmup) continue;
-      const double mean_err = monitor.add(fix.vel - v_est);
-      const double pos_dev = (fix.pos - pos_est).norm();
-      result.peak_running_mean = std::max(result.peak_running_mean, mean_err);
-      result.peak_pos_dev = std::max(result.peak_pos_dev, pos_dev);
-      const bool vel_hit = vel_threshold >= 0.0 && mean_err > vel_threshold;
-      const bool pos_hit = pos_threshold >= 0.0 && pos_dev > pos_threshold;
-      const bool first_hit = (vel_hit || pos_hit) && !result.attacked;
-      if (first_hit) {
-        result.attacked = true;
-        result.detect_time = fix.t;
-      }
-      if (decisions_out) {
-        GpsFixDecision d;
-        d.t = fix.t;
-        d.running_mean_err = mean_err;
-        d.pos_dev = pos_dev;
-        d.vel_threshold = vel_threshold;
-        d.pos_threshold = pos_threshold;
-        d.vel_hit = vel_hit;
-        d.pos_hit = pos_hit;
-        d.alert = first_hit;
-        d.coast_reset = coast_reset;
-        decisions_out->push_back(d);
-      }
-      if (trace_out) {
-        trace_out->t.push_back(fix.t);
-        trace_out->v_est.push_back(v_est);
-        trace_out->v_gps.push_back(fix.vel);
-        trace_out->pos_est.push_back(pos_est);
-        trace_out->running_mean.push_back(mean_err);
-      }
-    }
-  }
-  return result;
+  Monitor monitor{config_, mode, vel_threshold, pos_threshold};
+  monitor.seed(v0, p0);
+  for (const auto& p : preds)
+    monitor.step_window(p, flight.log.gps, flight.log.imu, decisions_out, health,
+                        trace_out);
+  return monitor.result();
 }
 
 GpsRcaDetector::Result GpsRcaDetector::analyze(

@@ -4,6 +4,7 @@
 // when the running mean exceeds the benign-calibrated threshold.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -74,6 +75,65 @@ class GpsRcaDetector {
 
   Trace trace(const Flight& flight, std::span<const TimedPrediction> preds,
               GpsDetectorMode mode) const;
+
+  // Incremental form of analyze() for the streaming runtime; the offline
+  // run() is itself implemented on top of it, so stepping a Monitor window
+  // by window over the same prediction/fix/IMU streams reproduces analyze()
+  // bit for bit.  Seeding: the offline path seeds the filters from the first
+  // finite fix of the WHOLE log; a streaming session seeds from the first
+  // finite fix it has received when the first window arrives — identical
+  // whenever any finite fix precedes the first analysis window (always true
+  // outside total-GPS-blackout starts, where detection is moot anyway).
+  class Monitor {
+   public:
+    // Explicit thresholds (< 0 disables the comparison, as in calibration
+    // runs).  `count_metrics` = false suppresses the global `faults.*` obs
+    // counters — a streaming session runs BOTH mode monitors concurrently
+    // and adds the selected one's tallies itself at finish, so the global
+    // metrics match a single offline run.
+    Monitor(const GpsRcaConfig& config, GpsDetectorMode mode,
+            double vel_threshold, double pos_threshold,
+            bool count_metrics = true);
+    // Calibrated thresholds of `detector` for `mode`.
+    Monitor(const GpsRcaDetector& detector, GpsDetectorMode mode,
+            bool count_metrics = true);
+
+    // Seeds filter velocity and integrated position; the first call wins,
+    // later calls are no-ops.  Unseeded monitors seed to zero on first use.
+    void seed(const Vec3& v0, const Vec3& p0);
+    bool seeded() const { return seeded_; }
+
+    // Advances over one prediction window: one KF step, then consumes GPS
+    // fixes with t <= p.t1 from `gps` (the fix stream so far; the monitor
+    // keeps its own cursor, so pass a growing buffer with a stable prefix).
+    // `imu` is consulted in fused mode only.  Post-warmup fixes append
+    // their evidence to `decisions_out` when given.
+    void step_window(const TimedPrediction& p,
+                     std::span<const sim::GpsSample> gps,
+                     std::span<const sim::ImuSample> imu,
+                     std::vector<GpsFixDecision>* decisions_out = nullptr,
+                     faults::HealthReport* health = nullptr,
+                     Trace* trace_out = nullptr);
+
+    const Result& result() const { return result_; }
+
+   private:
+    GpsRcaConfig config_;
+    GpsDetectorMode mode_;
+    double vel_threshold_;
+    double pos_threshold_;
+    bool count_metrics_ = true;
+    bool seeded_ = false;
+    bool first_window_ = true;
+    std::optional<est::AudioOnlyVelocityKf> audio_kf_;
+    std::optional<est::AudioImuVelocityKf> fused_kf_;
+    detect::RunningVecMeanMonitor monitor_;
+    Vec3 pos_est_;
+    std::size_t gps_idx_ = 0;
+    double prev_t_ = 0.0;
+    double last_fix_t_ = 0.0;  // NaN until the first usable fix
+    Result result_;
+  };
 
   double threshold(GpsDetectorMode mode) const;
   double pos_threshold(GpsDetectorMode mode) const;

@@ -33,35 +33,39 @@ void axis_stats(const WindowResiduals& w, double mean_out[3], double std_out[3])
 
 ImuRcaDetector::ImuRcaDetector(const ImuRcaConfig& config) : config_(config) {}
 
+WindowResiduals ImuRcaDetector::window_residuals(
+    const TimedPrediction& pred, std::span<const sim::ImuSample> imu,
+    std::size_t& lo, std::size_t* total, std::size_t* nonfinite) {
+  WindowResiduals w;
+  w.t0 = pred.t0;
+  w.t1 = pred.t1;
+  // IMU samples are time-ordered; advance to the window start.  Windows
+  // overlap when stride < window, so scan from a remembered lower bound.
+  while (lo < imu.size() && imu[lo].t < pred.t0) ++lo;
+  for (std::size_t i = lo; i < imu.size() && imu[i].t < pred.t1; ++i) {
+    if (total) ++*total;
+    const Vec3 r = pred.accel - imu[i].accel_ned;
+    // A NaN reading would poison every window statistic downstream; drop
+    // it here and let the per-window sample-count minimum decide whether
+    // enough evidence remains.
+    if (!finite(r)) {
+      if (nonfinite) ++*nonfinite;
+      continue;
+    }
+    w.samples.push_back(r);
+  }
+  return w;
+}
+
 std::vector<WindowResiduals> ImuRcaDetector::residuals(
     const Flight& flight, std::span<const TimedPrediction> preds,
     std::size_t reference_windows, faults::HealthReport* health) {
   std::vector<WindowResiduals> out;
   out.reserve(preds.size());
-  const auto& imu = flight.log.imu;
   std::size_t nonfinite = 0, total = 0;
   std::size_t lo = 0;
-  for (const auto& p : preds) {
-    WindowResiduals w;
-    w.t0 = p.t0;
-    w.t1 = p.t1;
-    // IMU samples are time-ordered; advance to the window start.  Windows
-    // overlap when stride < window, so scan from a remembered lower bound.
-    while (lo < imu.size() && imu[lo].t < p.t0) ++lo;
-    for (std::size_t i = lo; i < imu.size() && imu[i].t < p.t1; ++i) {
-      ++total;
-      const Vec3 r = p.accel - imu[i].accel_ned;
-      // A NaN reading would poison every window statistic downstream; drop
-      // it here and let the per-window sample-count minimum decide whether
-      // enough evidence remains.
-      if (!finite(r)) {
-        ++nonfinite;
-        continue;
-      }
-      w.samples.push_back(r);
-    }
-    out.push_back(std::move(w));
-  }
+  for (const auto& p : preds)
+    out.push_back(window_residuals(p, flight.log.imu, lo, &total, &nonfinite));
   if (health) {
     health->imu_samples_total += total;
     health->imu_samples_nonfinite += nonfinite;
@@ -166,55 +170,108 @@ double ImuRcaDetector::window_ks(const WindowResiduals& window) const {
   return detect::ks_test_normal(pool, 0.0, 1.0).statistic;
 }
 
+bool ImuRcaDetector::step(const WindowResiduals& w, StepState& state,
+                          ImuWindowDecision* decision) const {
+  if (!calibrated_) throw std::logic_error{"ImuRcaDetector: analyze before calibrate"};
+  Result& result = state.result;
+  if (w.samples.size() < 8) {
+    // Too little usable evidence (dropout / NaN-filtered window): record
+    // the skip; it neither flags nor resets the consecutive run, so a
+    // gap inside an attack does not erase the attack.
+    ++result.windows_skipped;
+    return false;
+  }
+  std::array<double, 3> mean_z{}, spread_z{};
+  window_components(w, mean_z, spread_z);
+  double score = 0.0;
+  for (std::size_t a = 0; a < 3; ++a)
+    score = std::max({score, mean_z[a], spread_z[a]});
+  ++result.windows_tested;
+  result.max_score = std::max(result.max_score, score);
+  const bool flagged = score > score_threshold_;
+  bool alert = false;
+  if (flagged) {
+    ++result.windows_flagged;
+    ++state.consecutive;
+    if (state.consecutive >= config_.consecutive_required && !result.attacked) {
+      result.attacked = true;
+      result.detect_time = w.t1;
+      alert = true;
+    }
+  } else {
+    state.consecutive = 0;
+  }
+  if (decision) {
+    decision->t0 = w.t0;
+    decision->t1 = w.t1;
+    decision->mean_z = mean_z;
+    decision->spread_z = spread_z;
+    decision->score = score;
+    decision->threshold = score_threshold_;
+    decision->flagged = flagged;
+    decision->alert = alert;
+  }
+  return true;
+}
+
 ImuRcaDetector::Result ImuRcaDetector::analyze(
     std::span<const WindowResiduals> windows,
     std::vector<ImuWindowDecision>* decisions_out) const {
   if (!calibrated_) throw std::logic_error{"ImuRcaDetector: analyze before calibrate"};
   obs::ScopedSpan span{"imu_rca", obs::Stage::kDetect};
-  Result result;
-  int consecutive = 0;
+  StepState state;
   for (const auto& w : windows) {
-    if (w.samples.size() < 8) {
-      // Too little usable evidence (dropout / NaN-filtered window): record
-      // the skip; it neither flags nor resets the consecutive run, so a
-      // gap inside an attack does not erase the attack.
-      ++result.windows_skipped;
-      continue;
-    }
-    std::array<double, 3> mean_z{}, spread_z{};
-    window_components(w, mean_z, spread_z);
-    double score = 0.0;
-    for (std::size_t a = 0; a < 3; ++a)
-      score = std::max({score, mean_z[a], spread_z[a]});
-    ++result.windows_tested;
-    result.max_score = std::max(result.max_score, score);
-    const bool flagged = score > score_threshold_;
-    bool alert = false;
-    if (flagged) {
-      ++result.windows_flagged;
-      ++consecutive;
-      if (consecutive >= config_.consecutive_required && !result.attacked) {
-        result.attacked = true;
-        result.detect_time = w.t1;
-        alert = true;
-      }
-    } else {
-      consecutive = 0;
-    }
-    if (decisions_out) {
-      ImuWindowDecision d;
-      d.t0 = w.t0;
-      d.t1 = w.t1;
-      d.mean_z = mean_z;
-      d.spread_z = spread_z;
-      d.score = score;
-      d.threshold = score_threshold_;
-      d.flagged = flagged;
-      d.alert = alert;
-      decisions_out->push_back(d);
+    ImuWindowDecision d;
+    if (step(w, state, &d) && decisions_out) decisions_out->push_back(d);
+  }
+  return state.result;
+}
+
+ImuRcaDetector::Monitor::Monitor(const ImuRcaDetector& detector,
+                                 std::size_t reference_windows)
+    : detector_(&detector), reference_windows_(reference_windows) {
+  // reference_windows == 0 means "no flight-local baseline": nothing to
+  // accumulate, decisions flow immediately.
+  frozen_ = reference_windows_ == 0;
+}
+
+void ImuRcaDetector::Monitor::freeze_baseline() {
+  if (frozen_) return;
+  // Same accumulation order as the offline residuals() baseline loop
+  // (window order, sample order) so the mean is bitwise identical.
+  if (baseline_n_ > 0)
+    baseline_ = baseline_sum_ / static_cast<double>(baseline_n_);
+  frozen_ = true;
+}
+
+std::vector<ImuWindowDecision> ImuRcaDetector::Monitor::drain() {
+  std::vector<ImuWindowDecision> out;
+  for (auto& w : pending_) {
+    for (auto& r : w.samples) r -= baseline_;
+    ImuWindowDecision d;
+    if (detector_->step(w, state_, &d)) out.push_back(d);
+  }
+  pending_.clear();
+  return out;
+}
+
+std::vector<ImuWindowDecision> ImuRcaDetector::Monitor::add(WindowResiduals raw) {
+  ++windows_seen_;
+  if (!frozen_) {
+    for (const auto& r : raw.samples) {
+      baseline_sum_ += r;
+      ++baseline_n_;
     }
   }
-  return result;
+  pending_.push_back(std::move(raw));
+  if (!frozen_ && windows_seen_ >= reference_windows_) freeze_baseline();
+  if (!frozen_) return {};
+  return drain();
+}
+
+std::vector<ImuWindowDecision> ImuRcaDetector::Monitor::finish() {
+  freeze_baseline();
+  return drain();
 }
 
 }  // namespace sb::core

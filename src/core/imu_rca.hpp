@@ -58,6 +58,18 @@ class ImuRcaDetector {
                                                 std::size_t reference_windows = 10,
                                                 faults::HealthReport* health = nullptr);
 
+  // One window's RAW (un-baselined) residuals from a time-ordered IMU sample
+  // stream.  `lo` is the remembered scan lower bound, advanced in place so
+  // overlapping windows re-scan only their overlap.  Non-finite readings are
+  // dropped and tallied into `total`/`nonfinite` when given.  Both the
+  // offline residuals() loop and the streaming session build their windows
+  // through this one implementation.
+  static WindowResiduals window_residuals(const TimedPrediction& pred,
+                                          std::span<const sim::ImuSample> imu,
+                                          std::size_t& lo,
+                                          std::size_t* total = nullptr,
+                                          std::size_t* nonfinite = nullptr);
+
   // Fits the benign residual statistics (Fig. 6's blue curve): per-axis
   // distributions of the window MEAN (Side-Swing shifts it) and of the
   // within-window STANDARD DEVIATION (DoS inflates it), plus the empirical
@@ -76,10 +88,61 @@ class ImuRcaDetector {
     std::size_t windows_skipped = 0;
   };
 
+  // Running per-flight analysis state shared by analyze() and Monitor.
+  struct StepState {
+    Result result;
+    int consecutive = 0;
+  };
+
+  // Applies one BASELINED window to the running state — the single decision
+  // step behind analyze() and Monitor.  Returns true when a decision was
+  // emitted into `decision` (windows skipped for thin evidence emit none and
+  // do not reset the consecutive run).
+  bool step(const WindowResiduals& window, StepState& state,
+            ImuWindowDecision* decision) const;
+
   // With `decisions_out`, every tested window appends its evidence (per-axis
   // z-scores, OOD score, active threshold, verdict).
   Result analyze(std::span<const WindowResiduals> windows,
                  std::vector<ImuWindowDecision>* decisions_out = nullptr) const;
+
+  // Incremental form of residuals()+analyze() for the streaming runtime: feed
+  // RAW (un-baselined) windows in grid order and collect decisions as they
+  // become final.  The flight-local baseline freezes once `reference_windows`
+  // windows have arrived (or at finish() for short flights), exactly as the
+  // offline path computes it, so early windows are buffered until then and
+  // drain in order — the decision sequence and Result are bit-identical to
+  // the offline analyze() over residuals().
+  class Monitor {
+   public:
+    explicit Monitor(const ImuRcaDetector& detector,
+                     std::size_t reference_windows = 10);
+
+    // Offers the next raw window; returns any decisions finalized by it
+    // (empty while the baseline is still accumulating, a backlog right
+    // after it freezes, then one decision per tested window).
+    std::vector<ImuWindowDecision> add(WindowResiduals raw);
+
+    // Marks end-of-flight: freezes the baseline if still pending and drains
+    // the remaining backlog.
+    std::vector<ImuWindowDecision> finish();
+
+    const Result& result() const { return state_.result; }
+
+   private:
+    void freeze_baseline();
+    std::vector<ImuWindowDecision> drain();
+
+    const ImuRcaDetector* detector_;
+    std::size_t reference_windows_;
+    std::size_t windows_seen_ = 0;
+    bool frozen_ = false;
+    Vec3 baseline_sum_;
+    std::size_t baseline_n_ = 0;
+    Vec3 baseline_;
+    std::vector<WindowResiduals> pending_;
+    StepState state_;
+  };
 
   // Out-of-distribution score of one window against the benign calibration:
   // the largest per-axis z-score of (window mean, window spread).

@@ -133,21 +133,78 @@ std::vector<SensoryMapper::WindowAudio> SensoryMapper::synthesize_windows(
     const FlightLab& lab, const Flight& flight) const {
   obs::ScopedSpan span{"synthesize_windows", obs::Stage::kSynthesis};
   const auto synth = lab.synthesizer(flight);
-  const double window = config_.dataset.signature.window_seconds;
-  const double stride = config_.dataset.stride;
-  const double end = flight.log.duration();
-
-  std::vector<double> starts;
-  for (double t0 = config_.dataset.settle_time; t0 + window <= end; t0 += stride)
-    starts.push_back(t0);
+  const auto grid =
+      window_grid(config_.dataset.settle_time, config_.dataset.stride,
+                  config_.dataset.signature.window_seconds, flight.log.duration());
 
   // Window synthesis is seeded per (flight, window-start), so parallel
   // filling of indexed slots reproduces the serial loop exactly.
-  std::vector<WindowAudio> out(starts.size());
-  util::parallel_for(starts.size(), [&](std::size_t i) {
-    out[i] = {starts[i], starts[i] + window,
-              synth.synthesize(flight.log, starts[i], starts[i] + window)};
+  std::vector<WindowAudio> out(grid.size());
+  util::parallel_for(grid.size(), [&](std::size_t i) {
+    out[i] = {grid[i].t0, grid[i].t1,
+              synth.synthesize(flight.log, grid[i].t0, grid[i].t1)};
   });
+  return out;
+}
+
+ml::Tensor SensoryMapper::prepare_signature(
+    const acoustics::MultiChannelAudio& audio_in, const PredictionHooks& hooks,
+    std::array<bool, sensors::kNumMics>* healthy) const {
+  acoustics::MultiChannelAudio transformed;
+  const acoustics::MultiChannelAudio* audio = &audio_in;
+  if (hooks.audio_transform) {
+    transformed = audio_in;  // transform a copy
+    hooks.audio_transform(transformed);
+    audio = &transformed;
+  }
+  ml::Tensor sig = compute_signature(*audio, config_.dataset.signature);
+  if (hooks.signature_transform) hooks.signature_transform(sig);
+  if (healthy) {
+    // Diagnose the audio the model would actually see and mask unhealthy
+    // channels to the corpus mean (standardizes to exactly zero) — the
+    // same neutral imputation as neutralize_frequency_group.
+    std::array<faults::ChannelStats, sensors::kNumMics> stats;
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      stats[c] = faults::analyze_channel(audio->channels[c]);
+    *healthy = faults::healthy_channels(stats);
+    const std::size_t per_channel = sig.row_size() / sensors::kNumMics;
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c) {
+      if ((*healthy)[c]) continue;
+      for (std::size_t k = c * per_channel; k < (c + 1) * per_channel; ++k)
+        sig[k] = feat_mean_[k];
+    }
+  }
+  standardize(sig);
+  return sig;
+}
+
+std::vector<TimedPrediction> SensoryMapper::predict_prepared(
+    std::span<const ml::Tensor> sigs, std::span<const WindowSpan> spans) const {
+  if (!trained_) throw std::logic_error{"SensoryMapper: predict before fit"};
+  if (sigs.size() != spans.size())
+    throw std::invalid_argument{"predict_prepared: sigs/spans size mismatch"};
+  std::vector<TimedPrediction> out;
+  if (sigs.empty()) return out;
+
+  const std::size_t n = sigs.size();
+  ml::Tensor batch({n, sigs[0].dim(1), sigs[0].dim(2), sigs[0].dim(3)});
+  const std::size_t row = batch.row_size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sigs[i].numel() != row)
+      throw std::invalid_argument{"predict_prepared: ragged signature batch"};
+    std::copy(sigs[i].flat().begin(), sigs[i].flat().end(),
+              batch.data() + i * row);
+  }
+  const ml::Tensor pred = model_->forward(batch, false);
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<double, kLabelDim> y{};
+    for (std::size_t d = 0; d < kLabelDim; ++d)
+      y[d] = calib_a_[d] * static_cast<double>(pred[i * kLabelDim + d]) +
+             calib_b_[d];
+    out.push_back({spans[i].t0, spans[i].t1, Vec3{y[0], y[1], y[2]},
+                   Vec3{y[3], y[4], y[5]}});
+  }
   return out;
 }
 
@@ -165,33 +222,8 @@ std::vector<TimedPrediction> SensoryMapper::predict_windows(
   std::vector<std::array<bool, sensors::kNumMics>> healthy;
   if (health) healthy.assign(windows.size(), {});
   util::parallel_for(windows.size(), [&](std::size_t i) {
-    const auto& w = windows[i];
-    acoustics::MultiChannelAudio transformed;
-    const acoustics::MultiChannelAudio* audio = &w.audio;
-    if (hooks.audio_transform) {
-      transformed = w.audio;  // transform a copy
-      hooks.audio_transform(transformed);
-      audio = &transformed;
-    }
-    ml::Tensor sig = compute_signature(*audio, config_.dataset.signature);
-    if (hooks.signature_transform) hooks.signature_transform(sig);
-    if (health) {
-      // Diagnose the audio the model would actually see and mask unhealthy
-      // channels to the corpus mean (standardizes to exactly zero) — the
-      // same neutral imputation as neutralize_frequency_group.
-      std::array<faults::ChannelStats, sensors::kNumMics> stats;
-      for (std::size_t c = 0; c < sensors::kNumMics; ++c)
-        stats[c] = faults::analyze_channel(audio->channels[c]);
-      healthy[i] = faults::healthy_channels(stats);
-      const std::size_t per_channel = sig.row_size() / sensors::kNumMics;
-      for (std::size_t c = 0; c < sensors::kNumMics; ++c) {
-        if (healthy[i][c]) continue;
-        for (std::size_t k = c * per_channel; k < (c + 1) * per_channel; ++k)
-          sig[k] = feat_mean_[k];
-      }
-    }
-    standardize(sig);
-    sigs[i] = std::move(sig);
+    sigs[i] = prepare_signature(windows[i].audio, hooks,
+                                health ? &healthy[i] : nullptr);
   });
 
   if (health) {
@@ -216,17 +248,21 @@ std::vector<TimedPrediction> SensoryMapper::predict_windows(
     }
   }
 
-  // The model keeps per-layer forward caches, so inference stays serial (in
-  // window order); each forward still parallelizes internally.
+  // The model keeps per-layer forward caches, so inference stays single-file
+  // (never concurrent forwards); windows batch along the leading dim in
+  // grid-order chunks — bitwise identical to per-window forwards because
+  // every op processes batch rows independently (pinned by ml_test).
   std::vector<TimedPrediction> out;
   out.reserve(windows.size());
-  for (std::size_t i = 0; i < windows.size(); ++i) {
-    const ml::Tensor pred = model_->forward(sigs[i], false);
-    std::array<double, kLabelDim> y{};
-    for (std::size_t d = 0; d < kLabelDim; ++d)
-      y[d] = calib_a_[d] * static_cast<double>(pred[d]) + calib_b_[d];
-    out.push_back({windows[i].t0, windows[i].t1, Vec3{y[0], y[1], y[2]},
-                   Vec3{y[3], y[4], y[5]}});
+  constexpr std::size_t kInferBatch = 64;
+  for (std::size_t start = 0; start < windows.size(); start += kInferBatch) {
+    const std::size_t end = std::min(start + kInferBatch, windows.size());
+    std::vector<WindowSpan> spans(end - start);
+    for (std::size_t i = start; i < end; ++i)
+      spans[i - start] = {windows[i].t0, windows[i].t1};
+    auto chunk = predict_prepared(
+        std::span<const ml::Tensor>{sigs.data() + start, end - start}, spans);
+    out.insert(out.end(), chunk.begin(), chunk.end());
   }
   return out;
 }

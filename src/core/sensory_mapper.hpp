@@ -83,6 +83,26 @@ class SensoryMapper {
       std::span<const WindowAudio> windows, const PredictionHooks& hooks = {},
       faults::HealthReport* health = nullptr) const;
 
+  // Extracts, transforms, optionally health-masks and standardizes ONE
+  // window's signature — the single implementation behind both the offline
+  // predict_windows path and the streaming runtime (stream::RcaSession).
+  // With `healthy`, the channels of the (post-transform) audio are diagnosed
+  // and unhealthy ones masked to the corpus mean; the mask is written out.
+  // Safe to call from several pool threads at once (subject to the
+  // PredictionHooks concurrency contract); it never touches the model.
+  ml::Tensor prepare_signature(
+      const acoustics::MultiChannelAudio& audio, const PredictionHooks& hooks = {},
+      std::array<bool, sensors::kNumMics>* healthy = nullptr) const;
+
+  // Batched inference over prepared signatures: stacks the [1,C,H,W] rows
+  // into one [N,C,H,W] tensor and runs ONE model forward (model forwards are
+  // not reentrant — batching happens inside the forward).  Every op
+  // processes batch rows independently with a fixed accumulation order, so
+  // the result is bitwise identical to N single-window forwards (pinned by
+  // ml_test).  NaN rows are passed through as NaN predictions.
+  std::vector<TimedPrediction> predict_prepared(
+      std::span<const ml::Tensor> sigs, std::span<const WindowSpan> spans) const;
+
   // Acceleration predictions at `stride` spacing across a flight.
   std::vector<TimedPrediction> predict_flight(
       const FlightLab& lab, const Flight& flight,

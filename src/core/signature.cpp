@@ -13,6 +13,15 @@ SignatureShape signature_shape(const SignatureConfig& config) {
           config.bands.bands_per_frame};
 }
 
+std::vector<WindowSpan> window_grid(double settle, double stride,
+                                    double window_seconds, double duration) {
+  std::vector<WindowSpan> grid;
+  if (stride <= 0.0 || window_seconds <= 0.0) return grid;
+  for (double t0 = settle; t0 + window_seconds <= duration; t0 += stride)
+    grid.push_back({t0, t0 + window_seconds});
+  return grid;
+}
+
 ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
                              const SignatureConfig& config) {
   const std::size_t n = audio.num_samples();

@@ -31,6 +31,20 @@ struct SignatureShape {
 
 SignatureShape signature_shape(const SignatureConfig& config);
 
+// One analysis-window span on a flight's timeline.
+struct WindowSpan {
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+// The canonical analysis-window grid: starts at `settle` (takeoff transient
+// skipped), advances by `stride`, and keeps every window that fits before
+// `duration`.  Offline windowing (DatasetBuilder, synthesize_windows) and the
+// streaming extractor all enumerate THIS grid — one implementation, so the
+// online and post-incident paths analyze bit-identical windows.
+std::vector<WindowSpan> window_grid(double settle, double stride,
+                                    double window_seconds, double duration);
+
 // Computes the signature of one audio window.  The window may be LONGER than
 // the base window (time-shift augmentation): the STFT hop is stretched so the
 // output grid always has exactly `target_frames` frames, exposing the whole

@@ -10,15 +10,16 @@ RunningMeanMonitor::RunningMeanMonitor(std::size_t window) : window_(window) {
 
 double RunningMeanMonitor::add(double error) {
   if (window_ == 0) {
-    sum_ += error;
+    sum_.add(error);
     ++count_;
   } else {
     if (count_ < window_) {
       buffer_[head_] = error;
-      sum_ += error;
+      sum_.add(error);
       ++count_;
     } else {
-      sum_ += error - buffer_[head_];
+      sum_.add(error);
+      sum_.add(-buffer_[head_]);
       buffer_[head_] = error;
     }
     head_ = (head_ + 1) % window_;
@@ -29,13 +30,13 @@ double RunningMeanMonitor::add(double error) {
 
 double RunningMeanMonitor::current() const {
   const std::size_t n = window_ == 0 ? count_ : std::min(count_, window_);
-  return n == 0 ? 0.0 : sum_ / static_cast<double>(n);
+  return n == 0 ? 0.0 : sum_.value() / static_cast<double>(n);
 }
 
 void RunningMeanMonitor::reset() {
   head_ = 0;
   count_ = 0;
-  sum_ = 0.0;
+  sum_.reset();
   peak_ = 0.0;
   if (window_ > 0) std::fill(buffer_.begin(), buffer_.end(), 0.0);
 }
@@ -46,15 +47,24 @@ RunningVecMeanMonitor::RunningVecMeanMonitor(std::size_t window) : window_(windo
 
 double RunningVecMeanMonitor::add(const Vec3& error) {
   if (window_ == 0) {
-    sum_ += error;
+    sum_[0].add(error.x);
+    sum_[1].add(error.y);
+    sum_[2].add(error.z);
     ++count_;
   } else {
     if (count_ < window_) {
       buffer_[head_] = error;
-      sum_ += error;
+      sum_[0].add(error.x);
+      sum_[1].add(error.y);
+      sum_[2].add(error.z);
       ++count_;
     } else {
-      sum_ += error - buffer_[head_];
+      sum_[0].add(error.x);
+      sum_[1].add(error.y);
+      sum_[2].add(error.z);
+      sum_[0].add(-buffer_[head_].x);
+      sum_[1].add(-buffer_[head_].y);
+      sum_[2].add(-buffer_[head_].z);
       buffer_[head_] = error;
     }
     head_ = (head_ + 1) % window_;
@@ -65,13 +75,17 @@ double RunningVecMeanMonitor::add(const Vec3& error) {
 
 double RunningVecMeanMonitor::current() const {
   const std::size_t n = window_ == 0 ? count_ : std::min(count_, window_);
-  return n == 0 ? 0.0 : (sum_ / static_cast<double>(n)).norm();
+  if (n == 0) return 0.0;
+  const Vec3 mean{sum_[0].value() / static_cast<double>(n),
+                  sum_[1].value() / static_cast<double>(n),
+                  sum_[2].value() / static_cast<double>(n)};
+  return mean.norm();
 }
 
 void RunningVecMeanMonitor::reset() {
   head_ = 0;
   count_ = 0;
-  sum_ = {};
+  for (auto& s : sum_) s.reset();
   peak_ = 0.0;
   if (window_ > 0) std::fill(buffer_.begin(), buffer_.end(), Vec3{});
 }

@@ -1,11 +1,19 @@
 // Running-mean error monitor for GPS attack detection (§III-C2): SoundBoost
 // accumulates |v_GPS - v_ref| and alerts when the running mean exceeds the
 // calibrated benign threshold.
+//
+// Both monitors keep their accumulator as a compensated (Kahan/Neumaier)
+// sum: a streaming session adds (and, in windowed mode, subtracts) one term
+// per GPS fix for hours, and a naive running sum drifts by O(n·eps·|sum|) —
+// enough to move a threshold comparison after ~10^7 fixes.  The compensated
+// sum stays within a few ulps of the two-pass mean regardless of stream
+// length (pinned by detect_test).
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "util/stats.hpp"
 #include "util/vec3.hpp"
 
 namespace sb::detect {
@@ -29,7 +37,7 @@ class RunningMeanMonitor {
   std::vector<double> buffer_;  // circular when windowed
   std::size_t head_ = 0;
   std::size_t count_ = 0;
-  double sum_ = 0.0;
+  KahanSum sum_;
   double peak_ = 0.0;
 };
 
@@ -54,7 +62,7 @@ class RunningVecMeanMonitor {
   std::vector<Vec3> buffer_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
-  Vec3 sum_;
+  KahanSum sum_[3];
   double peak_ = 0.0;
 };
 

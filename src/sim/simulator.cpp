@@ -26,19 +26,27 @@ Vec3 FlightLog::mean_true_accel(double t0, double t1) const {
   return s / static_cast<double>(hi - lo);
 }
 
-Vec3 FlightLog::mean_imu_accel(double t0, double t1) const {
+Vec3 mean_imu_accel(std::span<const ImuSample> imu, double t0, double t1) {
   const auto [lo, hi] =
-      time_range([this](std::size_t i) { return imu[i].t; }, imu.size(), t0, t1);
+      time_range([&](std::size_t i) { return imu[i].t; }, imu.size(), t0, t1);
   if (hi <= lo) return {};
   Vec3 s;
   for (std::size_t i = lo; i < hi; ++i) s += imu[i].accel_ned;
   return s / static_cast<double>(hi - lo);
 }
 
-std::size_t FlightLog::imu_samples_in(double t0, double t1) const {
+std::size_t imu_samples_in(std::span<const ImuSample> imu, double t0, double t1) {
   const auto [lo, hi] =
-      time_range([this](std::size_t i) { return imu[i].t; }, imu.size(), t0, t1);
+      time_range([&](std::size_t i) { return imu[i].t; }, imu.size(), t0, t1);
   return hi - lo;
+}
+
+Vec3 FlightLog::mean_imu_accel(double t0, double t1) const {
+  return sim::mean_imu_accel(imu, t0, t1);
+}
+
+std::size_t FlightLog::imu_samples_in(double t0, double t1) const {
+  return sim::imu_samples_in(imu, t0, t1);
 }
 
 Vec3 FlightLog::mean_nav_vel(double t0, double t1) const {

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -99,5 +100,12 @@ struct FlightLog {
   // Mean rotor speeds over [t0, t1).
   std::array<double, kNumRotors> mean_omega(double t0, double t1) const;
 };
+
+// Span forms of the IMU window statistics, shared by the FlightLog methods
+// above and by streaming consumers that hold their own sample buffers: both
+// paths sum in ascending index order, so results are bitwise identical for
+// identical sample prefixes.
+Vec3 mean_imu_accel(std::span<const ImuSample> imu, double t0, double t1);
+std::size_t imu_samples_in(std::span<const ImuSample> imu, double t0, double t1);
 
 }  // namespace sb::sim

@@ -1,0 +1,116 @@
+#include "stream/inference_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sb::stream {
+namespace {
+
+core::TimedPrediction shed_prediction(const core::WindowSpan& span) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  return {span.t0, span.t1, Vec3{nan, nan, nan}, Vec3{nan, nan, nan}};
+}
+
+}  // namespace
+
+InferenceScheduler::InferenceScheduler(const core::SensoryMapper& mapper,
+                                       const InferenceSchedulerConfig& config)
+    : mapper_(&mapper), config_(config) {
+  if (config_.max_batch == 0 || config_.queue_capacity == 0)
+    throw std::invalid_argument{"InferenceScheduler: zero batch/capacity"};
+}
+
+void InferenceScheduler::attach(RcaSession& session) {
+  const auto pos = std::lower_bound(
+      sessions_.begin(), sessions_.end(), session.id(),
+      [](const RcaSession* s, std::uint64_t id) { return s->id() < id; });
+  if (pos != sessions_.end() && (*pos)->id() == session.id())
+    throw std::invalid_argument{"InferenceScheduler: duplicate session id"};
+  sessions_.insert(pos, &session);
+}
+
+void InferenceScheduler::collect() {
+  // Ascending session id, each session seq-ascending: queue order (and thus
+  // batch composition) is a pure function of the push pattern.
+  for (RcaSession* s : sessions_)
+    for (auto& w : s->take_ready()) queue_.push_back(std::move(w));
+}
+
+void InferenceScheduler::shed_excess() {
+  while (queue_.size() > config_.queue_capacity) {
+    RcaSession::ReadyWindow w = std::move(queue_.front());
+    queue_.pop_front();
+    ++shed_;
+    static obs::Counter& shed =
+        obs::Registry::instance().counter("stream.windows_shed");
+    shed.add();
+    const core::TimedPrediction pred = shed_prediction(w.span);
+    deliver(std::move(w), pred);
+  }
+}
+
+void InferenceScheduler::deliver(RcaSession::ReadyWindow&& window,
+                                 const core::TimedPrediction& pred) {
+  // One record per window, amortized over a model forward — not a hot loop,
+  // so the latency histogram stays unconditionally accurate for serving
+  // dashboards and bench percentiles.
+  static obs::Histogram& latency =
+      obs::Registry::instance().histogram("stream.window_to_verdict_seconds");
+  const auto it = std::lower_bound(
+      sessions_.begin(), sessions_.end(), window.session,
+      [](const RcaSession* s, std::uint64_t id) { return s->id() < id; });
+  if (it == sessions_.end() || (*it)->id() != window.session)
+    throw std::logic_error{"InferenceScheduler: window from unknown session"};
+  (*it)->deliver(pred);
+  latency.record((obs::now_us() - window.ready_at_us) * 1e-6);
+}
+
+std::size_t InferenceScheduler::pump() {
+  obs::ScopedSpan span{"scheduler_pump", obs::Stage::kPredict};
+  collect();
+  shed_excess();
+  static obs::Gauge& backlog_gauge =
+      obs::Registry::instance().gauge("stream.backlog");
+  if (queue_.empty()) {
+    backlog_gauge.set(0.0);
+    return 0;
+  }
+
+  const std::size_t n = std::min(config_.max_batch, queue_.size());
+  std::vector<RcaSession::ReadyWindow> batch;
+  batch.reserve(n);
+  std::vector<ml::Tensor> sigs;
+  sigs.reserve(n);
+  std::vector<core::WindowSpan> spans;
+  spans.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    sigs.push_back(std::move(batch.back().signature));
+    spans.push_back(batch.back().span);
+  }
+  const auto preds = mapper_->predict_prepared(sigs, spans);
+  for (std::size_t i = 0; i < n; ++i) deliver(std::move(batch[i]), preds[i]);
+
+  inferred_ += n;
+  ++batches_;
+  static obs::Counter& submitted =
+      obs::Registry::instance().counter("stream.windows_submitted");
+  submitted.add(n);
+  static obs::Counter& batches =
+      obs::Registry::instance().counter("stream.batches");
+  batches.add();
+  backlog_gauge.set(static_cast<double>(queue_.size()));
+  return n;
+}
+
+void InferenceScheduler::drain() {
+  while (pump() > 0) {
+  }
+}
+
+}  // namespace sb::stream

@@ -1,0 +1,73 @@
+// Micro-batching inference scheduler for multi-session serving.
+//
+// Model forwards are NOT reentrant (per-layer caches), so N concurrent
+// flights cannot simply each call the model: the scheduler coalesces ready
+// windows from all attached sessions into ONE batched SensoryMapper forward
+// per round — batching along the tensor's leading dimension inside a single
+// forward, which is bitwise identical to per-window forwards (pinned by
+// ml_test) and amortizes the per-layer fixed costs across sessions.
+//
+// Determinism: each round collects ready windows in ascending session-id
+// order (each session's windows are already seq-ascending) into a FIFO
+// queue, so batch composition is a pure function of the push pattern —
+// never of wall-clock time or thread scheduling.
+//
+// Backpressure: the ready queue is bounded.  When it overflows, the OLDEST
+// queued windows are shed — their deadline is the most blown — by delivering
+// a NaN prediction, which the session routes through the pipeline's
+// existing degradation paths (IMU window skip, GPS coast).  Overload
+// therefore thins evidence instead of growing latency without bound, and
+// every shed is counted (`stream.windows_shed`).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/sensory_mapper.hpp"
+#include "stream/rca_session.hpp"
+
+namespace sb::stream {
+
+struct InferenceSchedulerConfig {
+  std::size_t max_batch = 16;       // windows per forward
+  std::size_t queue_capacity = 64;  // bound on staged-but-uninferred windows
+};
+
+class InferenceScheduler {
+ public:
+  InferenceScheduler(const core::SensoryMapper& mapper,
+                     const InferenceSchedulerConfig& config = {});
+
+  // Registers a session (ids must be unique; kept sorted ascending).
+  void attach(RcaSession& session);
+
+  // One scheduling round: collect ready windows, shed the oldest beyond the
+  // queue bound, run at most one batched forward and deliver its
+  // predictions.  Returns the number of windows inferred this round.
+  std::size_t pump();
+
+  // Pumps until no session has ready windows and the queue is empty.
+  void drain();
+
+  std::size_t backlog() const { return queue_.size(); }
+  std::size_t windows_shed() const { return shed_; }
+  std::size_t windows_inferred() const { return inferred_; }
+  std::size_t batches_run() const { return batches_; }
+
+ private:
+  void collect();
+  void shed_excess();
+  void deliver(RcaSession::ReadyWindow&& window,
+               const core::TimedPrediction& pred);
+
+  const core::SensoryMapper* mapper_;
+  InferenceSchedulerConfig config_;
+  std::vector<RcaSession*> sessions_;  // ascending id
+  std::deque<RcaSession::ReadyWindow> queue_;
+  std::size_t shed_ = 0;
+  std::size_t inferred_ = 0;
+  std::size_t batches_ = 0;
+};
+
+}  // namespace sb::stream

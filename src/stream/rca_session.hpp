@@ -1,0 +1,154 @@
+// Per-flight online RCA state (the streaming counterpart of
+// core::RcaEngine::analyze).
+//
+// A session consumes the flight's three sensor streams incrementally —
+// microphone audio (push_audio), IMU samples (push_imu), GPS fixes
+// (push_gps) — and exposes decisions as they become final (poll_verdicts).
+// Model inference is NOT performed by the session: completed windows are
+// staged as prepared signatures (take_ready) and an InferenceScheduler
+// micro-batches them across sessions into single model forwards, delivering
+// each prediction back in window order (deliver).
+//
+// Equivalence contract (pinned by the integration suite): a flight pushed
+// through a session sample-by-sample yields bit-identical signature windows,
+// residuals, decision sequences and final RcaReport to the offline
+// RcaEngine::analyze of the same recording.  The three offline acausalities
+// are handled explicitly:
+//   - the IMU residual baseline averages the first `reference_windows`
+//     windows, so IMU decisions buffer until the baseline freezes and then
+//     drain in order (ImuRcaDetector::Monitor);
+//   - the offline GPS stage picks its KF variant from the FINAL IMU verdict,
+//     so the session runs BOTH GPS monitors concurrently and selects at
+//     finish(); poll_verdicts() reports the provisionally selected mode's
+//     decisions (causal, may switch mid-flight);
+//   - the offline KFs seed from the first finite fix of the whole log; the
+//     session seeds from the first finite fix received before the first
+//     window — identical whenever GPS acquires before the settle period
+//     ends.
+//
+// Shed windows (backpressure) are delivered as NaN predictions and flow
+// through the pipeline's existing degradation paths: the IMU stage drops the
+// window's residuals as non-finite and skips it, the GPS stage coasts the
+// filter — overload degrades the verdict's evidence, never its ordering.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/gps_rca.hpp"
+#include "core/imu_rca.hpp"
+#include "core/rca_engine.hpp"
+#include "core/sensory_mapper.hpp"
+#include "stream/streaming_extractor.hpp"
+
+namespace sb::stream {
+
+// One decision that became final, stamped with when it did.
+struct VerdictEvent {
+  enum class Kind { kImuWindow, kGpsFix };
+  Kind kind = Kind::kImuWindow;
+  // Flight-clock time at which the decision became available (the end of
+  // the analysis window whose delivery produced it).  Monotonically
+  // non-decreasing across a session's event stream; the evidence time
+  // inside the payload may be older (e.g. the IMU baseline backlog).
+  double decided_at = 0.0;
+  // Stage-1 verdict as of this event (provisional until finish()).
+  bool imu_attacked = false;
+  // Mode of the GPS decision below (the provisionally selected variant).
+  core::GpsDetectorMode gps_mode = core::GpsDetectorMode::kAudioImu;
+  core::ImuWindowDecision imu;  // valid when kind == kImuWindow
+  core::GpsFixDecision gps;     // valid when kind == kGpsFix
+};
+
+struct RcaSessionConfig {
+  // Audio sample rate of the pushed stream; the window grid itself (settle,
+  // stride, window length) always comes from the mapper's dataset config so
+  // the session analyzes exactly the offline grid.
+  double sample_rate = 16000.0;
+  // IMU residual baseline horizon (offline default).
+  std::size_t reference_windows = 10;
+  // Optional transforms applied before inference, as in the offline path.
+  core::PredictionHooks hooks;
+};
+
+class RcaSession {
+ public:
+  // Detectors must be calibrated; the session holds references only.
+  RcaSession(std::uint64_t id, const core::SensoryMapper& mapper,
+             const core::ImuRcaDetector& imu_detector,
+             const core::GpsRcaDetector& gps_detector,
+             const RcaSessionConfig& config = {});
+
+  std::uint64_t id() const { return id_; }
+
+  // Sensor ingestion.  Audio chunks are arbitrary-size slices of one
+  // continuous stream; IMU/GPS samples must arrive in time order.
+  void push_audio(const acoustics::MultiChannelAudio& chunk);
+  void push_imu(std::span<const sim::ImuSample> samples);
+  void push_gps(std::span<const sim::GpsSample> samples);
+
+  // A window whose signature is prepared (extracted, transformed,
+  // health-masked, standardized) and awaits inference.
+  struct ReadyWindow {
+    std::uint64_t session = 0;
+    std::uint64_t seq = 0;  // window index on the analysis grid
+    core::WindowSpan span;
+    ml::Tensor signature;     // [1, C, H, W]
+    double ready_at_us = 0.0; // host clock at staging, for latency metrics
+  };
+
+  // Moves out the windows staged since the last call (ascending seq).
+  std::vector<ReadyWindow> take_ready();
+
+  // Delivers the prediction for the next undelivered window (seq order is
+  // the caller's contract; the scheduler guarantees it).  NaN predictions
+  // mark shed windows and engage the degradation paths.
+  void deliver(const core::TimedPrediction& pred);
+
+  // Decisions finalized since the last poll, in decided_at order.
+  std::vector<VerdictEvent> poll_verdicts();
+
+  // End of stream: drains the IMU baseline backlog, selects the GPS variant
+  // by the final IMU verdict and assembles the flight report — field for
+  // field what RcaEngine::analyze would have produced.  With `trace_out`,
+  // the full decision trace of the selected path is recorded.  The session
+  // accepts no further input afterwards.
+  core::RcaReport finish(core::RcaDecisionTrace* trace_out = nullptr);
+  bool finished() const { return finished_; }
+
+  std::size_t windows_staged() const { return next_seq_; }
+  std::size_t windows_delivered() const { return delivered_; }
+  const faults::HealthReport& health() const { return health_; }
+
+ private:
+  void emit_imu_decisions(std::vector<core::ImuWindowDecision> decisions,
+                          double decided_at);
+
+  std::uint64_t id_;
+  const core::SensoryMapper* mapper_;
+  RcaSessionConfig config_;
+  StreamingFeatureExtractor extractor_;
+  core::ImuRcaDetector::Monitor imu_monitor_;
+  // [0] = kAudioOnly, [1] = kAudioImu — both run; finish() selects.
+  core::GpsRcaDetector::Monitor gps_monitors_[2];
+  faults::HealthReport gps_health_[2];
+  std::vector<core::GpsFixDecision> gps_decisions_[2];
+
+  std::vector<sim::ImuSample> imu_buf_;
+  std::vector<sim::GpsSample> gps_buf_;
+  std::size_t residual_lo_ = 0;  // window_residuals scan cursor
+  bool gps_seeded_ = false;
+
+  std::vector<ReadyWindow> ready_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t delivered_ = 0;
+  double last_t1_ = 0.0;
+
+  std::vector<core::ImuWindowDecision> imu_decisions_;  // full trace
+  std::vector<VerdictEvent> events_;
+  faults::HealthReport health_;  // mic + IMU tallies; GPS merged at finish()
+  bool finished_ = false;
+};
+
+}  // namespace sb::stream

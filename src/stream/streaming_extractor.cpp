@@ -1,0 +1,70 @@
+#include "stream/streaming_extractor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sb::stream {
+
+StreamingFeatureExtractor::StreamingFeatureExtractor(
+    const StreamingExtractorConfig& config)
+    : config_(config), next_t0_(config.settle) {
+  if (config_.sample_rate <= 0.0 || config_.stride <= 0.0 ||
+      config_.window_seconds <= 0.0)
+    throw std::invalid_argument{"StreamingFeatureExtractor: non-positive config"};
+  window_len_ = static_cast<std::size_t>(
+      std::llround(config_.window_seconds * config_.sample_rate));
+  if (window_len_ == 0)
+    throw std::invalid_argument{"StreamingFeatureExtractor: empty window"};
+}
+
+std::size_t StreamingFeatureExtractor::window_begin(double t0) const {
+  const auto idx = std::llround(std::max(t0, 0.0) * config_.sample_rate);
+  return static_cast<std::size_t>(idx);
+}
+
+void StreamingFeatureExtractor::trim() {
+  // Nothing below the next unfinished window's first sample is ever read
+  // again; drop it so a session holds O(window + stride) audio, not the
+  // whole flight.
+  const std::size_t keep_from = std::min(window_begin(next_t0_), next_abs_);
+  if (keep_from <= base_) return;
+  const std::size_t drop = keep_from - base_;
+  for (auto& ch : buffer_)
+    ch.erase(ch.begin(), ch.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ = keep_from;
+}
+
+std::vector<core::SensoryMapper::WindowAudio> StreamingFeatureExtractor::push(
+    const acoustics::MultiChannelAudio& chunk) {
+  const std::size_t n = chunk.num_samples();
+  for (const auto& ch : chunk.channels)
+    if (ch.size() != n)
+      throw std::invalid_argument{"StreamingFeatureExtractor: ragged chunk"};
+  for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+    buffer_[c].insert(buffer_[c].end(), chunk.channels[c].begin(),
+                      chunk.channels[c].end());
+  next_abs_ += n;
+
+  std::vector<core::SensoryMapper::WindowAudio> out;
+  while (true) {
+    const std::size_t begin = window_begin(next_t0_);
+    if (begin + window_len_ > next_abs_) break;
+    core::SensoryMapper::WindowAudio w;
+    w.t0 = next_t0_;
+    w.t1 = next_t0_ + config_.window_seconds;
+    w.audio.sample_rate = config_.sample_rate;
+    const std::size_t off = begin - base_;
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      w.audio.channels[c].assign(
+          buffer_[c].begin() + static_cast<std::ptrdiff_t>(off),
+          buffer_[c].begin() + static_cast<std::ptrdiff_t>(off + window_len_));
+    out.push_back(std::move(w));
+    ++next_window_;
+    next_t0_ += config_.stride;
+  }
+  trim();
+  return out;
+}
+
+}  // namespace sb::stream

@@ -1,0 +1,69 @@
+// Ring-buffered incremental window slicing for the online serving runtime.
+//
+// The offline pipeline synthesizes each analysis window as its own audio
+// capture; a live deployment instead sees ONE continuous multi-channel
+// stream arriving chunk by chunk.  StreamingFeatureExtractor buffers that
+// stream and emits an analysis window the moment its last sample arrives,
+// enumerating exactly the core::window_grid the offline path analyzes.  The
+// emitted audio is a verbatim slice of the stream, so downstream signature
+// extraction (SensoryMapper::prepare_signature) is bit-identical to the
+// offline path whenever the stream itself matches the offline windows'
+// concatenation — pinned by stream_test and the integration equivalence
+// suite.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "acoustics/propagation.hpp"
+#include "core/sensory_mapper.hpp"
+
+namespace sb::stream {
+
+struct StreamingExtractorConfig {
+  double sample_rate = 16000.0;
+  double settle = 2.0;          // grid origin: takeoff transient skipped
+  double stride = 0.5;          // grid step
+  double window_seconds = 0.5;  // window length
+};
+
+class StreamingFeatureExtractor {
+ public:
+  explicit StreamingFeatureExtractor(const StreamingExtractorConfig& config);
+
+  // Appends one chunk (all channels the same length; t = 0 is the first
+  // sample ever pushed) and returns the analysis windows it completed, in
+  // grid order.  Chunk boundaries are irrelevant: the emitted windows depend
+  // only on the concatenated stream (chunk-size invariance is pinned by
+  // stream_test).
+  std::vector<core::SensoryMapper::WindowAudio> push(
+      const acoustics::MultiChannelAudio& chunk);
+
+  // Window k covers samples [begin, begin + length) of the stream, with
+  // begin = llround(t0_k * fs) — the same rounding the synthesizer uses to
+  // size a window, so a re-sliced continuous stream lands on the exact
+  // samples an offline per-window capture holds.
+  std::size_t window_length() const { return window_len_; }
+
+  std::size_t samples_pushed() const { return next_abs_; }
+  std::size_t windows_emitted() const { return next_window_; }
+  // Per-channel samples currently held — stays O(window + stride + chunk)
+  // however long the stream runs (pinned by stream_test).
+  std::size_t buffered_samples() const { return buffer_[0].size(); }
+  const StreamingExtractorConfig& config() const { return config_; }
+
+ private:
+  std::size_t window_begin(double t0) const;
+  void trim();
+
+  StreamingExtractorConfig config_;
+  std::size_t window_len_ = 0;
+  std::array<std::vector<double>, sensors::kNumMics> buffer_;
+  std::size_t base_ = 0;      // absolute stream index of buffer_[c][0]
+  std::size_t next_abs_ = 0;  // absolute stream index of the next new sample
+  std::size_t next_window_ = 0;
+  double next_t0_ = 0.0;  // advances by repeated `+= stride` to mirror the
+                          // float accumulation of core::window_grid exactly
+};
+
+}  // namespace sb::stream

@@ -2,6 +2,7 @@
 // and the benchmark harnesses.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -28,6 +29,38 @@ std::vector<double> remove_outliers(std::span<const double> xs, double k = 3.0);
 
 // Standard normal CDF.
 double normal_cdf(double z);
+
+// Compensated (Neumaier-variant Kahan) accumulator.  Streaming monitors add
+// and subtract tens of millions of terms over a long session; a naive
+// double accumulator drifts by O(n * eps * |sum|), while the compensated sum
+// stays within a few ulps of the exact result regardless of stream length.
+class KahanSum {
+ public:
+  KahanSum() = default;
+  explicit KahanSum(double v) : sum_(v) {}
+
+  void add(double x) {
+    const double t = sum_ + x;
+    // Neumaier: pick the larger-magnitude operand as the reference so the
+    // correction also works when |x| > |sum_|.
+    if (std::abs(sum_) >= std::abs(x))
+      comp_ += (sum_ - t) + x;
+    else
+      comp_ += (x - t) + sum_;
+    sum_ = t;
+  }
+
+  double value() const { return sum_ + comp_; }
+
+  void reset() {
+    sum_ = 0.0;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
 
 // Online mean/variance accumulator (Welford).
 class RunningStats {

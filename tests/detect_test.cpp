@@ -125,6 +125,66 @@ TEST(RunningVecMean, WindowSlides) {
   EXPECT_DOUBLE_EQ(m.add({0, 0, 0}), 1.0);  // mean of (2,0,0),(0,0,0)
 }
 
+TEST(RunningMean, CompensatedMeanTracksExtendedPrecisionOverTenMillion) {
+  // Regression for the compensated (Neumaier) accumulator.  The stream
+  // interleaves large cancelling terms with mm-scale residuals whose bits
+  // lie far below the large terms' ulp grid: a naive double running sum
+  // loses those bits and drifts ~1e-11..1e-10 in the mean — past this
+  // tolerance — while the compensated monitor stays within ~1e-20 of an
+  // extended-precision reference.  (Data where all terms share one binade
+  // grid keeps even naive summation exact and pins nothing; and a two-pass
+  // residual reference re-subtracts the same mean from grid-aligned terms,
+  // accumulating correlated rounding past 1e-12 itself — hence the
+  // single-pass long double reference.)
+  constexpr std::size_t kN = 10'000'000;
+  constexpr std::uint64_t kSeed = 20240807;
+  const auto sample = [](std::size_t i, Rng& rng) {
+    switch (i % 4) {
+      case 0: return 1e10 + rng.normal(0.0, 1.0);
+      case 1: return rng.normal(0.0, 1e-3);
+      case 2: return -1e10 + rng.normal(0.0, 1.0);
+      default: return rng.normal(0.0, 1e-3);
+    }
+  };
+  RunningMeanMonitor m;
+  double mean = 0.0;
+  {
+    Rng rng{kSeed};
+    for (std::size_t i = 0; i < kN; ++i) mean = m.add(sample(i, rng));
+  }
+  // Re-seeding replays the exact stream without holding 80 MB of samples.
+  long double ref_sum = 0.0L;
+  {
+    Rng rng{kSeed};
+    for (std::size_t i = 0; i < kN; ++i) ref_sum += sample(i, rng);
+  }
+  const double ref = static_cast<double>(ref_sum / static_cast<long double>(kN));
+  EXPECT_EQ(m.count(), kN);
+  EXPECT_NEAR(mean, ref, 1e-12);
+}
+
+TEST(RunningMean, WindowedCompensationDoesNotDriftOverLongStreams) {
+  // Windowed mode adds AND subtracts every sample once; with a large common
+  // offset, uncompensated subtraction residue accumulates linearly in stream
+  // length.  After 10^6 slides the reported mean must match a fresh
+  // extended-precision sum of the window's actual contents.
+  constexpr std::size_t kWindow = 1000;
+  constexpr std::size_t kN = 1'000'000;
+  Rng rng{31};
+  std::vector<double> xs(kN);
+  for (auto& x : xs) x = 1e9 + rng.normal(0.0, 1.0);
+  RunningMeanMonitor m{kWindow};
+  double mean = 0.0;
+  for (double x : xs) mean = m.add(x);
+  long double sum = 0.0L;
+  for (std::size_t i = kN - kWindow; i < kN; ++i) sum += xs[i];
+  const double ref =
+      static_cast<double>(sum / static_cast<long double>(kWindow));
+  // Both sit near 1e9 (ulp ~1.2e-7); subtracting the offset exposes the
+  // small-signal part the compensation protects.
+  EXPECT_NEAR(mean - 1e9, ref - 1e9, 1e-6);
+}
+
 TEST(Threshold, CalibrateUsesMaxAfterOutlierRemoval) {
   std::vector<double> peaks(50, 1.0);
   peaks[10] = 1.2;

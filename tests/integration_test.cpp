@@ -4,6 +4,7 @@
 // the bench harnesses exercise the full-size configuration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -18,7 +19,11 @@
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
+#include "stream/inference_scheduler.hpp"
+#include "stream/rca_session.hpp"
+#include "stream/streaming_extractor.hpp"
 #include "test_helpers.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sb::core {
 namespace {
@@ -404,6 +409,286 @@ TEST(Integration, FrequencyGroupRemovalDegradesAccuracy) {
   const double clean_mse = p.mapper->test_mse(test::lab(), std::span{&f, 1});
   const double ablated_mse = p.mapper->test_mse(test::lab(), std::span{&f, 1}, hooks);
   EXPECT_GT(ablated_mse, clean_mse);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming equivalence: a flight pushed chunk-by-chunk through RcaSession +
+// InferenceScheduler must reproduce RcaEngine::analyze bit for bit —
+// signature windows, residual decisions, GPS fix decisions, health tallies
+// and the final report — at any thread count.
+//
+// The offline pipeline synthesizes each analysis window independently
+// (seeded per window start), so a continuous recording matches the offline
+// windows only where the grid tiles disjointly: stride == window.  The
+// equivalence mapper transplants the trained pipeline weights into a
+// stride == window configuration (save/load validates model kind and
+// parameter shapes, not stride), and the "recording" is the settle-period
+// audio followed by the offline windows' concatenation — exactly what a
+// microphone would have captured if the synthesizer were the world.
+
+const SensoryMapper& stream_mapper() {
+  static const std::unique_ptr<SensoryMapper> m = [] {
+    const auto& p = pipeline();
+    SensoryMapperConfig cfg = p.mapper->config();
+    cfg.dataset.stride = cfg.dataset.signature.window_seconds;
+    auto out = std::make_unique<SensoryMapper>(cfg);
+    const std::string path = "/tmp/soundboost_test_stream_mapper.bin";
+    if (!p.mapper->save(path) || !out->load(path))
+      throw std::logic_error{"stream_mapper: weight transplant failed"};
+    std::remove(path.c_str());
+    return out;
+  }();
+  return *m;
+}
+
+acoustics::MultiChannelAudio continuous_recording(const Flight& f,
+                                                  const SensoryMapper& m) {
+  const auto& ds = m.config().dataset;
+  const auto synth = test::lab().synthesizer(f);
+  acoustics::MultiChannelAudio out =
+      synth.synthesize(f.log, 0.0, ds.settle_time);
+  for (const WindowSpan& w :
+       window_grid(ds.settle_time, ds.stride, ds.signature.window_seconds,
+                   f.log.duration())) {
+    const auto win = synth.synthesize(f.log, w.t0, w.t1);
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      out.channels[c].insert(out.channels[c].end(), win.channels[c].begin(),
+                             win.channels[c].end());
+  }
+  return out;
+}
+
+struct StreamOutcome {
+  RcaReport report;
+  RcaDecisionTrace trace;
+  std::vector<stream::VerdictEvent> events;
+  std::size_t shed = 0;
+};
+
+StreamOutcome run_streaming(const Flight& f, const SensoryMapper& m,
+                            const PredictionHooks& hooks = {},
+                            std::size_t chunk = 1600) {
+  const auto& p = pipeline();
+  stream::RcaSessionConfig sc;
+  sc.hooks = hooks;
+  stream::RcaSession session{1, m, *p.imu_det, *p.gps_det, sc};
+  stream::InferenceScheduler sched{m};
+  sched.attach(session);
+
+  const auto audio = continuous_recording(f, m);
+  const double fs = audio.sample_rate;
+  const std::size_t total = audio.num_samples();
+  std::size_t imu_i = 0, gps_i = 0;
+  StreamOutcome out;
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, total);
+    // Sensors lead the audio: by the time a window's last audio sample
+    // arrives, a live recorder has every IMU sample and GPS fix up to that
+    // instant (the GPS stage consumes fixes with t <= window end).
+    const double until = static_cast<double>(end) / fs;
+    std::size_t imu_hi = imu_i;
+    while (imu_hi < f.log.imu.size() && f.log.imu[imu_hi].t <= until) ++imu_hi;
+    session.push_imu(std::span{f.log.imu}.subspan(imu_i, imu_hi - imu_i));
+    imu_i = imu_hi;
+    std::size_t gps_hi = gps_i;
+    while (gps_hi < f.log.gps.size() && f.log.gps[gps_hi].t <= until) ++gps_hi;
+    session.push_gps(std::span{f.log.gps}.subspan(gps_i, gps_hi - gps_i));
+    gps_i = gps_hi;
+
+    acoustics::MultiChannelAudio slice;
+    slice.sample_rate = fs;
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      slice.channels[c].assign(audio.channels[c].begin() + static_cast<std::ptrdiff_t>(begin),
+                               audio.channels[c].begin() + static_cast<std::ptrdiff_t>(end));
+    session.push_audio(slice);
+    sched.pump();
+    for (auto& e : session.poll_verdicts()) out.events.push_back(e);
+  }
+  session.push_imu(std::span{f.log.imu}.subspan(imu_i));
+  session.push_gps(std::span{f.log.gps}.subspan(gps_i));
+  sched.drain();
+  for (auto& e : session.poll_verdicts()) out.events.push_back(e);
+  out.shed = sched.windows_shed();
+  out.report = session.finish(&out.trace);
+  return out;
+}
+
+void expect_health_eq(const faults::HealthReport& a,
+                      const faults::HealthReport& b) {
+  for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+    EXPECT_EQ(a.mic_windows_masked[c], b.mic_windows_masked[c]) << "mic " << c;
+  EXPECT_EQ(a.windows_total, b.windows_total);
+  EXPECT_EQ(a.windows_degraded, b.windows_degraded);
+  EXPECT_EQ(a.imu_samples_total, b.imu_samples_total);
+  EXPECT_EQ(a.imu_samples_nonfinite, b.imu_samples_nonfinite);
+  EXPECT_EQ(a.imu_windows_skipped, b.imu_windows_skipped);
+  EXPECT_EQ(a.gps_fixes_total, b.gps_fixes_total);
+  EXPECT_EQ(a.gps_fixes_nonfinite, b.gps_fixes_nonfinite);
+  EXPECT_EQ(a.gps_coast_intervals, b.gps_coast_intervals);
+  EXPECT_EQ(a.gps_coast_seconds, b.gps_coast_seconds);
+  EXPECT_EQ(a.kf_fallback_steps, b.kf_fallback_steps);
+}
+
+void expect_imu_decision_eq(const ImuWindowDecision& a,
+                            const ImuWindowDecision& b, std::size_t i) {
+  EXPECT_EQ(a.t0, b.t0) << "imu window " << i;
+  EXPECT_EQ(a.t1, b.t1) << "imu window " << i;
+  for (int axis = 0; axis < 3; ++axis) {
+    EXPECT_EQ(a.mean_z[axis], b.mean_z[axis]) << "imu window " << i;
+    EXPECT_EQ(a.spread_z[axis], b.spread_z[axis]) << "imu window " << i;
+  }
+  EXPECT_EQ(a.score, b.score) << "imu window " << i;
+  EXPECT_EQ(a.threshold, b.threshold) << "imu window " << i;
+  EXPECT_EQ(a.flagged, b.flagged) << "imu window " << i;
+  EXPECT_EQ(a.alert, b.alert) << "imu window " << i;
+}
+
+// Bitwise comparison of the two paths' full evidence: EXPECT_EQ on doubles
+// is exact, so any drift in a residual or threshold fails loudly.
+void expect_equivalent(const RcaReport& off, const RcaDecisionTrace& off_tr,
+                       const StreamOutcome& on) {
+  EXPECT_EQ(off.imu_attacked, on.report.imu_attacked);
+  EXPECT_EQ(off.imu_detect_time, on.report.imu_detect_time);
+  EXPECT_EQ(off.gps_attacked, on.report.gps_attacked);
+  EXPECT_EQ(off.gps_detect_time, on.report.gps_detect_time);
+  EXPECT_EQ(off.gps_mode_used, on.report.gps_mode_used);
+  expect_health_eq(off.health, on.report.health);
+
+  ASSERT_EQ(off_tr.imu.size(), on.trace.imu.size());
+  for (std::size_t i = 0; i < off_tr.imu.size(); ++i)
+    expect_imu_decision_eq(off_tr.imu[i], on.trace.imu[i], i);
+
+  ASSERT_EQ(off_tr.gps.size(), on.trace.gps.size());
+  for (std::size_t i = 0; i < off_tr.gps.size(); ++i) {
+    const auto& a = off_tr.gps[i];
+    const auto& b = on.trace.gps[i];
+    EXPECT_EQ(a.t, b.t) << "gps fix " << i;
+    EXPECT_EQ(a.running_mean_err, b.running_mean_err) << "gps fix " << i;
+    EXPECT_EQ(a.pos_dev, b.pos_dev) << "gps fix " << i;
+    EXPECT_EQ(a.vel_threshold, b.vel_threshold) << "gps fix " << i;
+    EXPECT_EQ(a.pos_threshold, b.pos_threshold) << "gps fix " << i;
+    EXPECT_EQ(a.vel_hit, b.vel_hit) << "gps fix " << i;
+    EXPECT_EQ(a.pos_hit, b.pos_hit) << "gps fix " << i;
+    EXPECT_EQ(a.alert, b.alert) << "gps fix " << i;
+    EXPECT_EQ(a.coast_reset, b.coast_reset) << "gps fix " << i;
+  }
+
+  // The live event stream carries the same IMU evidence in the same order,
+  // stamped with non-decreasing availability times.
+  std::vector<const stream::VerdictEvent*> imu_events;
+  double last_decided = 0.0;
+  for (const auto& e : on.events) {
+    EXPECT_GE(e.decided_at, last_decided);
+    last_decided = e.decided_at;
+    if (e.kind == stream::VerdictEvent::Kind::kImuWindow)
+      imu_events.push_back(&e);
+  }
+  ASSERT_EQ(imu_events.size(), on.trace.imu.size());
+  for (std::size_t i = 0; i < imu_events.size(); ++i)
+    expect_imu_decision_eq(imu_events[i]->imu, on.trace.imu[i], i);
+}
+
+// Runs both paths at 1 and 4 threads and demands bitwise-identical evidence
+// everywhere — between streaming and offline at each count, and across the
+// two counts.
+void check_equivalence(const Flight& f, const PredictionHooks& hooks = {}) {
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  RcaEngine engine{m, *p.imu_det, *p.gps_det};
+  std::vector<RcaDecisionTrace> offline_traces;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool::set_threads(threads);
+    RcaDecisionTrace off_tr;
+    const auto off = engine.analyze(test::lab(), f, hooks, &off_tr);
+    const auto on = run_streaming(f, m, hooks);
+    EXPECT_EQ(on.shed, 0u) << "threads " << threads;
+    expect_equivalent(off, off_tr, on);
+    offline_traces.push_back(off_tr);
+  }
+  util::ThreadPool::set_threads(0);
+  ASSERT_EQ(offline_traces[0].imu.size(), offline_traces[1].imu.size());
+  for (std::size_t i = 0; i < offline_traces[0].imu.size(); ++i)
+    expect_imu_decision_eq(offline_traces[0].imu[i], offline_traces[1].imu[i], i);
+}
+
+TEST(StreamingEquivalence, ExtractorReslicesOfflineWindowsBitwise) {
+  const auto& m = stream_mapper();
+  const auto f = test::hover_flight(12.0, 424, 0.4);
+  const auto offline = m.synthesize_windows(test::lab(), f);
+  ASSERT_FALSE(offline.empty());
+
+  const auto& ds = m.config().dataset;
+  stream::StreamingExtractorConfig cfg;
+  cfg.settle = ds.settle_time;
+  cfg.stride = ds.stride;
+  cfg.window_seconds = ds.signature.window_seconds;
+  stream::StreamingFeatureExtractor ex{cfg};
+  const auto got = ex.push(continuous_recording(f, m));
+
+  ASSERT_EQ(got.size(), offline.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].t0, offline[i].t0) << "window " << i;
+    EXPECT_EQ(got[i].t1, offline[i].t1) << "window " << i;
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      EXPECT_EQ(got[i].audio.channels[c], offline[i].audio.channels[c])
+          << "window " << i << " channel " << c;
+  }
+}
+
+TEST(StreamingEquivalence, BenignFlightMatchesOfflineAtOneAndFourThreads) {
+  check_equivalence(test::hover_flight(25.0, 420, 0.4));
+}
+
+TEST(StreamingEquivalence, ChunkSizeDoesNotChangeTheVerdictEvidence) {
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  const auto f = test::hover_flight(25.0, 420, 0.4);
+  RcaEngine engine{m, *p.imu_det, *p.gps_det};
+  RcaDecisionTrace off_tr;
+  const auto off = engine.analyze(test::lab(), f, {}, &off_tr);
+  // A prime chunk size keeps every window boundary strictly inside a chunk.
+  expect_equivalent(off, off_tr, run_streaming(f, m, {}, 1237));
+}
+
+TEST(StreamingEquivalence, ImuAttackFlightMatchesOffline) {
+  const auto f = imu_attack_flight(attacks::ImuAttackType::kAccelDos, 421);
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  RcaEngine engine{m, *p.imu_det, *p.gps_det};
+  const auto off = engine.analyze(test::lab(), f);
+  EXPECT_TRUE(off.imu_attacked);  // the comparison must not be vacuous
+  check_equivalence(f);
+}
+
+TEST(StreamingEquivalence, GpsSpoofFlightMatchesOffline) {
+  const auto f = gps_attack_flight(422);
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  RcaEngine engine{m, *p.imu_det, *p.gps_det};
+  const auto off = engine.analyze(test::lab(), f);
+  EXPECT_TRUE(off.gps_attacked);
+  check_equivalence(f);
+}
+
+TEST(StreamingEquivalence, FaultedFlightMatchesOffline) {
+  // Dead mic + mid-flight GPS outage: the degradation paths (channel
+  // masking, KF coasting) must stay bit-identical online.
+  auto f = test::hover_flight(25.0, 423, 0.4);
+  faults::FaultPlan plan;
+  plan.gps.push_back({faults::GpsFaultType::kOutage, 1.0, 10.0, 15.0});
+  faults::apply_to_log(f.log, plan);
+  PredictionHooks hooks;
+  hooks.audio_transform = [](acoustics::MultiChannelAudio& audio) {
+    for (auto& v : audio.channels[1]) v = 0.0;
+  };
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  RcaEngine engine{m, *p.imu_det, *p.gps_det};
+  RcaDecisionTrace off_tr;
+  const auto off = engine.analyze(test::lab(), f, hooks, &off_tr);
+  EXPECT_GE(off.health.gps_coast_intervals, 1u);
+  EXPECT_FALSE(off.health.mic_alive(1));
+  check_equivalence(f, hooks);
 }
 
 }  // namespace

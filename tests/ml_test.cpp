@@ -92,6 +92,41 @@ void check_gradients(Layer& layer, Tensor input, double eps = 1e-2,
   }
 }
 
+// The inference scheduler batches windows from many flights into one
+// forward (model forwards are not reentrant), so serving correctness rests
+// on batch-N inference being BITWISE identical to N single-row forwards —
+// every per-row accumulation must be independent of its batch neighbours.
+TEST(Models, BatchedForwardIsBitwiseSingleRowForward) {
+  const ModelInputShape shape;
+  constexpr std::size_t kBatch = 5;
+  for (const ModelKind kind : {ModelKind::kMobileNetLite, ModelKind::kResNetLite,
+                               ModelKind::kNeuralOde, ModelKind::kMlp}) {
+    Rng rng{77};
+    const auto model = make_model(kind, shape, 6, rng);
+    const Tensor batch = random_tensor(
+        {kBatch, shape.channels, shape.height, shape.width}, rng);
+    const Tensor out = model->forward(batch, false);
+    ASSERT_EQ(out.shape()[0], kBatch) << to_string(kind);
+
+    // Row-at-a-time.
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const Tensor row = model->forward(batch.slice_rows(i, i + 1), false);
+      ASSERT_EQ(row.numel(), out.numel() / kBatch) << to_string(kind);
+      for (std::size_t d = 0; d < row.numel(); ++d)
+        ASSERT_EQ(row[d], out[i * row.numel() + d])
+            << to_string(kind) << " row " << i << " dim " << d;
+    }
+
+    // Arbitrary re-chunking (the scheduler's batches cut anywhere).
+    const Tensor front = model->forward(batch.slice_rows(0, 3), false);
+    const Tensor back = model->forward(batch.slice_rows(3, kBatch), false);
+    for (std::size_t j = 0; j < front.numel(); ++j)
+      ASSERT_EQ(front[j], out[j]) << to_string(kind);
+    for (std::size_t j = 0; j < back.numel(); ++j)
+      ASSERT_EQ(back[j], out[front.numel() + j]) << to_string(kind);
+  }
+}
+
 TEST(Tensor, ShapeAndFill) {
   Tensor t({2, 3}, 1.5f);
   EXPECT_EQ(t.numel(), 6u);

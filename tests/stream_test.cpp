@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "stream/inference_scheduler.hpp"
+#include "stream/rca_session.hpp"
+#include "stream/streaming_extractor.hpp"
+#include "util/rng.hpp"
+
+namespace sb::stream {
+namespace {
+
+// A deterministic pseudo-random multichannel stream (not flight audio; the
+// extractor is pure index arithmetic and never inspects the waveform).
+acoustics::MultiChannelAudio noise_stream(std::size_t n, std::uint64_t seed) {
+  acoustics::MultiChannelAudio a;
+  Rng rng{seed};
+  for (auto& ch : a.channels) {
+    ch.resize(n);
+    for (auto& x : ch) x = rng.normal(0.0, 1.0);
+  }
+  return a;
+}
+
+acoustics::MultiChannelAudio slice(const acoustics::MultiChannelAudio& full,
+                                   std::size_t begin, std::size_t end) {
+  acoustics::MultiChannelAudio chunk;
+  chunk.sample_rate = full.sample_rate;
+  for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+    chunk.channels[c].assign(full.channels[c].begin() + begin,
+                             full.channels[c].begin() + end);
+  return chunk;
+}
+
+std::vector<core::SensoryMapper::WindowAudio> push_in_chunks(
+    StreamingFeatureExtractor& ex, const acoustics::MultiChannelAudio& full,
+    std::size_t chunk_size) {
+  std::vector<core::SensoryMapper::WindowAudio> out;
+  for (std::size_t i = 0; i < full.num_samples(); i += chunk_size) {
+    const std::size_t end = std::min(i + chunk_size, full.num_samples());
+    for (auto& w : ex.push(slice(full, i, end))) out.push_back(std::move(w));
+  }
+  return out;
+}
+
+TEST(StreamingExtractor, EmitsTheOfflineWindowGrid) {
+  StreamingExtractorConfig cfg;  // 16 kHz, settle 2, stride 0.5, window 0.5
+  StreamingFeatureExtractor ex{cfg};
+  const double duration = 6.3;
+  const auto n = static_cast<std::size_t>(
+      std::llround(duration * cfg.sample_rate));
+  const auto full = noise_stream(n, 1);
+  const auto windows = push_in_chunks(ex, full, 4096);
+
+  const auto grid = core::window_grid(cfg.settle, cfg.stride,
+                                      cfg.window_seconds, duration);
+  ASSERT_EQ(windows.size(), grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    EXPECT_DOUBLE_EQ(windows[k].t0, grid[k].t0);
+    EXPECT_DOUBLE_EQ(windows[k].t1, grid[k].t1);
+    // The emitted audio is the verbatim stream slice at the synthesizer's
+    // index convention: begin = llround(t0 * fs), length = llround(w * fs).
+    const auto begin = static_cast<std::size_t>(
+        std::llround(grid[k].t0 * cfg.sample_rate));
+    ASSERT_EQ(windows[k].audio.num_samples(), ex.window_length());
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      for (std::size_t i = 0; i < ex.window_length(); ++i)
+        ASSERT_EQ(windows[k].audio.channels[c][i], full.channels[c][begin + i])
+            << "window " << k << " ch " << c << " sample " << i;
+  }
+}
+
+TEST(StreamingExtractor, ChunkSizeIsIrrelevant) {
+  StreamingExtractorConfig cfg;
+  const auto n = static_cast<std::size_t>(std::llround(4.7 * cfg.sample_rate));
+  const auto full = noise_stream(n, 2);
+
+  StreamingFeatureExtractor whole{cfg};
+  const auto ref = push_in_chunks(whole, full, n);  // one push
+  ASSERT_FALSE(ref.empty());
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{1000}, std::size_t{16000}}) {
+    StreamingFeatureExtractor ex{cfg};
+    const auto got = push_in_chunks(ex, full, chunk);
+    ASSERT_EQ(got.size(), ref.size()) << "chunk " << chunk;
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_DOUBLE_EQ(got[k].t0, ref[k].t0);
+      for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+        ASSERT_EQ(got[k].audio.channels[c], ref[k].audio.channels[c])
+            << "chunk " << chunk << " window " << k << " ch " << c;
+    }
+  }
+}
+
+TEST(StreamingExtractor, OverlappingStrideEmitsEveryGridWindow) {
+  StreamingExtractorConfig cfg;
+  cfg.stride = 0.25;  // windows overlap by half
+  StreamingFeatureExtractor ex{cfg};
+  const double duration = 5.0;
+  const auto n = static_cast<std::size_t>(
+      std::llround(duration * cfg.sample_rate));
+  const auto full = noise_stream(n, 3);
+  const auto windows = push_in_chunks(ex, full, 777);
+
+  const auto grid = core::window_grid(cfg.settle, cfg.stride,
+                                      cfg.window_seconds, duration);
+  ASSERT_EQ(windows.size(), grid.size());
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    EXPECT_DOUBLE_EQ(windows[k].t0, grid[k].t0);
+    const auto begin = static_cast<std::size_t>(
+        std::llround(grid[k].t0 * cfg.sample_rate));
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      for (std::size_t i = 0; i < ex.window_length(); ++i)
+        ASSERT_EQ(windows[k].audio.channels[c][i], full.channels[c][begin + i]);
+  }
+}
+
+TEST(StreamingExtractor, BufferStaysBoundedOnLongStreams) {
+  StreamingExtractorConfig cfg;
+  StreamingFeatureExtractor ex{cfg};
+  const std::size_t chunk = 1600;  // 100 ms
+  const auto window_plus_stride = static_cast<std::size_t>(
+      std::llround((cfg.window_seconds + cfg.stride) * cfg.sample_rate));
+  std::size_t emitted = 0;
+  for (int tick = 0; tick < 600; ++tick) {  // one minute of stream
+    emitted += ex.push(noise_stream(chunk, 100 + tick)).size();
+    EXPECT_LE(ex.buffered_samples(), window_plus_stride + chunk);
+  }
+  EXPECT_GT(emitted, 100u);
+  EXPECT_EQ(ex.samples_pushed(), 600 * chunk);
+}
+
+TEST(StreamingExtractor, RejectsRaggedChunks) {
+  StreamingFeatureExtractor ex{StreamingExtractorConfig{}};
+  auto chunk = noise_stream(64, 4);
+  chunk.channels[1].pop_back();
+  EXPECT_THROW(ex.push(chunk), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Session + scheduler structure.  One tiny MLP trained on a single short
+// flight is enough: these tests pin ordering, backpressure and error paths,
+// not detection quality (that is the integration suite's job).
+
+class StreamServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::SensoryMapperConfig cfg;
+    cfg.model = ml::ModelKind::kMlp;
+    cfg.dataset.stride = 0.5;
+    cfg.train.epochs = 1;
+    mapper_ = new core::SensoryMapper{cfg};
+    lab_ = new core::FlightLab{};
+    core::FlightScenario s;
+    s.mission = sim::Mission::hover({0, 0, -10}, 10.0);
+    s.seed = 99;
+    flight_ = new core::Flight{lab_->fly(s)};
+    const std::vector<core::Flight> flights{*flight_};
+    mapper_->fit(*lab_, flights);
+    audio_ = new acoustics::MultiChannelAudio{
+        lab_->synthesizer(*flight_).synthesize(flight_->log, 0.0, 10.0)};
+    // Calibrate both detector stages on the same flight — threshold quality
+    // is irrelevant here, but sessions require calibrated detectors.
+    imu_ = new core::ImuRcaDetector{core::ImuRcaConfig{}};
+    gps_ = new core::GpsRcaDetector{core::GpsRcaConfig{}};
+    const auto preds = mapper_->predict_flight(*lab_, *flight_);
+    imu_->calibrate(core::ImuRcaDetector::residuals(*flight_, preds));
+    for (const auto mode :
+         {core::GpsDetectorMode::kAudioOnly, core::GpsDetectorMode::kAudioImu}) {
+      const std::vector<core::GpsRcaDetector::Result> results{
+          gps_->analyze(*flight_, preds, mode)};
+      gps_->calibrate(results, mode);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete gps_;
+    delete imu_;
+    delete audio_;
+    delete flight_;
+    delete lab_;
+    delete mapper_;
+  }
+
+  RcaSession make_session(std::uint64_t id) {
+    return RcaSession{id, *mapper_, *imu_, *gps_};
+  }
+
+  // Pushes the shared flight's streams into the session up to `seconds`.
+  void feed(RcaSession& session, double seconds) {
+    const auto upto = std::min(
+        static_cast<std::size_t>(std::llround(seconds * audio_->sample_rate)),
+        audio_->num_samples());
+    session.push_audio(slice(*audio_, 0, upto));
+    session.push_imu(flight_->log.imu);
+    session.push_gps(flight_->log.gps);
+  }
+
+  static core::SensoryMapper* mapper_;
+  static core::FlightLab* lab_;
+  static core::Flight* flight_;
+  static acoustics::MultiChannelAudio* audio_;
+  static core::ImuRcaDetector* imu_;
+  static core::GpsRcaDetector* gps_;
+};
+
+core::SensoryMapper* StreamServingTest::mapper_ = nullptr;
+core::FlightLab* StreamServingTest::lab_ = nullptr;
+core::Flight* StreamServingTest::flight_ = nullptr;
+acoustics::MultiChannelAudio* StreamServingTest::audio_ = nullptr;
+core::ImuRcaDetector* StreamServingTest::imu_ = nullptr;
+core::GpsRcaDetector* StreamServingTest::gps_ = nullptr;
+
+TEST_F(StreamServingTest, SessionRequiresTrainedMapper) {
+  core::SensoryMapper untrained{core::SensoryMapperConfig{}};
+  EXPECT_THROW(RcaSession(1, untrained, *imu_, *gps_), std::logic_error);
+}
+
+TEST_F(StreamServingTest, SchedulerRejectsDegenerateConfigAndDuplicateIds) {
+  EXPECT_THROW(InferenceScheduler(*mapper_, {.max_batch = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(InferenceScheduler(*mapper_, {.queue_capacity = 0}),
+               std::invalid_argument);
+  auto a = make_session(7);
+  auto b = make_session(7);
+  InferenceScheduler sched{*mapper_};
+  sched.attach(a);
+  EXPECT_THROW(sched.attach(b), std::invalid_argument);
+}
+
+TEST_F(StreamServingTest, DrainsAllSessionsAndDeliversInOrder) {
+  auto a = make_session(2);
+  auto b = make_session(1);
+  InferenceScheduler sched{*mapper_};
+  sched.attach(a);
+  sched.attach(b);
+  feed(a, 8.0);
+  feed(b, 8.0);
+  ASSERT_GT(a.windows_staged(), 0u);
+  sched.drain();
+  EXPECT_EQ(sched.windows_shed(), 0u);
+  EXPECT_EQ(sched.windows_inferred(), a.windows_staged() + b.windows_staged());
+  EXPECT_EQ(a.windows_delivered(), a.windows_staged());
+  EXPECT_EQ(b.windows_delivered(), b.windows_staged());
+  // Verdict timestamps are monotonically non-decreasing per session.
+  for (auto* s : {&a, &b}) {
+    double last = 0.0;
+    for (const auto& e : s->poll_verdicts()) {
+      EXPECT_GE(e.decided_at, last);
+      last = e.decided_at;
+    }
+    const auto report = s->finish();
+    EXPECT_GT(report.health.windows_total, 0u);
+  }
+}
+
+TEST_F(StreamServingTest, OverflowShedsOldestAndEngagesDegradation) {
+  auto a = make_session(1);
+  // Capacity 2: staging a whole flight's windows at once forces shedding,
+  // and the shed windows must be the OLDEST staged ones.
+  InferenceScheduler sched{*mapper_, {.max_batch = 2, .queue_capacity = 2}};
+  sched.attach(a);
+  feed(a, 10.0);
+  const std::size_t staged = a.windows_staged();
+  ASSERT_GT(staged, 4u);
+  const std::size_t inferred = sched.pump();
+  EXPECT_EQ(inferred, 2u);
+  EXPECT_EQ(sched.windows_shed(), staged - 2);
+  // Every staged window was delivered exactly once (shed ones as NaN).
+  EXPECT_EQ(a.windows_delivered(), staged);
+  sched.drain();
+  const auto report = a.finish();
+  // Shed windows flow through the non-finite degradation path: their IMU
+  // samples are dropped and every shed window is skipped as evidence (the
+  // two real inferences — the newest windows, since shedding drops the
+  // queue front — still contribute), never silently lost.
+  EXPECT_GT(report.health.imu_samples_nonfinite, 0u);
+  EXPECT_EQ(report.health.imu_windows_skipped, staged - 2);
+}
+
+}  // namespace
+}  // namespace sb::stream
