@@ -11,6 +11,7 @@
 // again.  Delete the cache file to force retraining.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -30,6 +31,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -39,11 +41,14 @@ namespace sb::bench {
 // line via bench_init(argc, argv):
 //   --seed N      offset added to every scenario seed (variance studies)
 //   --threads N   worker count (same effect as SB_THREADS=N)
+//   --repeat N    run the measured phase N times; reports carry the median
+//                 wall clock (benches that support it call repeat_median)
 //   --out-dir D   directory for BENCH_/TRACE_ JSON reports (default: next
 //                 to the binary)
 //   --help        usage
 struct BenchArgs {
   std::uint64_t seed_offset = 0;
+  int repeats = 1;
   std::filesystem::path out_dir;  // empty = bench binary's directory
 };
 
@@ -69,12 +74,21 @@ inline void bench_init(int& argc, char** argv, bool allow_unknown = false) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--seed N] [--threads N] [--out-dir DIR]\n"
+          "usage: %s [--seed N] [--threads N] [--repeat N] [--out-dir DIR]\n"
           "  --seed N     offset added to every scenario seed\n"
           "  --threads N  worker threads (equivalent to SB_THREADS=N)\n"
+          "  --repeat N   repeat the measured phase N times, report the median\n"
           "  --out-dir D  directory for BENCH_*/TRACE_* reports\n",
           argv[0]);
       std::exit(0);
+    } else if (arg == "--repeat") {
+      const long n = std::strtol(need_value(i), nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "%s: --repeat must be >= 1\n", argv[0]);
+        std::exit(2);
+      }
+      bench_args().repeats = static_cast<int>(n);
+      ++i;
     } else if (arg == "--seed") {
       bench_args().seed_offset = std::strtoull(need_value(i), nullptr, 10);
       ++i;
@@ -166,11 +180,14 @@ class BenchReport {
   void note(const std::string& key, const std::string& value) {
     notes_.emplace_back(key, value);
   }
+  // Overrides the destructor-measured wall clock — used by benches that run
+  // their measured phase --repeat times and report the median.
+  void wall_seconds(double s) { wall_override_ = s; }
 
   void flush() {
     if (flushed_) return;
     flushed_ = true;
-    const double wall = timer_.seconds();
+    const double wall = wall_override_ >= 0.0 ? wall_override_ : timer_.seconds();
     const auto path = bench_output_dir() / ("BENCH_" + name_ + ".json");
     std::ofstream os{path};
     if (!os) return;
@@ -180,6 +197,15 @@ class BenchReport {
     w.kv("name", name_);
     w.kv("wall_seconds", wall);
     w.kv("threads", static_cast<std::uint64_t>(util::ThreadPool::threads()));
+    // SIMD provenance: the ISA compiled in, whether the vector backend was
+    // active, and the float lane width — so perf numbers are comparable
+    // across builds and SB_SIMD settings.
+    w.kv("simd_isa", std::string_view{util::simd_isa_name()});
+    w.kv("simd_backend",
+         std::string_view{util::simd_enabled() ? "vector" : "scalar"});
+    w.kv("simd_float_lanes",
+         static_cast<std::uint64_t>(util::simd::kFloatLanes));
+    w.kv("repeats", static_cast<std::uint64_t>(bench_args().repeats));
     for (const auto& [k, v] : metrics_) w.kv(k, v);
     for (const auto& [k, v] : notes_) w.kv(k, std::string_view{v});
     if (obs::enabled()) {
@@ -199,7 +225,11 @@ class BenchReport {
         w.end_object();
       }
       w.end_object();
-      w.kv("stage_coverage", wall > 0.0 ? staged / wall : 0.0);
+      // Coverage is always against the full report lifetime — stages accrue
+      // across every --repeat rep, so dividing by a median-of-reps override
+      // would break the <= 1 invariant.
+      const double total_wall = timer_.seconds();
+      w.kv("stage_coverage", total_wall > 0.0 ? staged / total_wall : 0.0);
       obs::Trace::instance().write_chrome_json(
           (bench_output_dir() / ("TRACE_" + name_ + ".json")).string());
     }
@@ -218,8 +248,29 @@ class BenchReport {
   obs::Trace::StageTotals stage_baseline_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<std::pair<std::string, std::string>> notes_;
+  double wall_override_ = -1.0;
   bool flushed_ = false;
 };
+
+// Runs `body` bench_args().repeats times and returns the median of the
+// per-rep wall-clock seconds it returns (mean of the middle pair for even
+// N).  The body times its own measured phase, so per-rep setup/teardown —
+// rebuilding sessions, resetting feed cursors — stays out of the number.
+template <typename Fn>
+inline double repeat_median(Fn&& body) {
+  std::vector<double> times;
+  const int n = bench_args().repeats;
+  times.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    times.push_back(body(r));
+    obs::logf(obs::LogLevel::kInfo, "bench", "repeat %d/%d: %.3f s", r + 1, n,
+              times.back());
+  }
+  std::sort(times.begin(), times.end());
+  const std::size_t mid = times.size() / 2;
+  return times.size() % 2 == 1 ? times[mid]
+                               : 0.5 * (times[mid - 1] + times[mid]);
+}
 
 inline const core::FlightLab& lab() {
   static const core::FlightLab kLab;

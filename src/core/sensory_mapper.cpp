@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/checksum.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::core {
@@ -121,11 +122,27 @@ void SensoryMapper::standardize(ml::Tensor& x) const {
   // III) is bounded instead of driving the model into unconstrained
   // extrapolation.
   constexpr float kClamp = 4.0f;
+  const float* mean = feat_mean_.data();
+  const float* inv_std = feat_inv_std_.data();
+  // vmax(lo) then vmin(hi) IS std::clamp per element, including NaN
+  // passthrough (ordered compares are false on NaN, so the value survives
+  // both selects) — both backends bitwise-identical.
   for (std::size_t i = 0; i < n; ++i) {
     float* row = x.data() + i * d;
-    for (std::size_t k = 0; k < d; ++k)
-      row[k] = std::clamp((row[k] - feat_mean_[k]) * feat_inv_std_[k], -kClamp,
-                          kClamp);
+    std::size_t k = 0;
+    if (util::simd_enabled()) {
+      namespace v = util::simd;
+      const v::VFloat lo = v::broadcast(-kClamp);
+      const v::VFloat hi = v::broadcast(kClamp);
+      for (; k + v::kFloatLanes <= d; k += v::kFloatLanes) {
+        const v::VFloat t =
+            v::mul(v::sub(v::load(row + k), v::load(mean + k)),
+                   v::load(inv_std + k));
+        v::store(row + k, v::vmin(v::vmax(t, lo), hi));
+      }
+    }
+    for (; k < d; ++k)
+      row[k] = std::clamp((row[k] - mean[k]) * inv_std[k], -kClamp, kClamp);
   }
 }
 

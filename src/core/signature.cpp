@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/biquad.hpp"
+#include "util/scratch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::core {
@@ -44,13 +45,17 @@ ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
   // Channels are filtered/analysed independently and fill disjoint slices of
   // the output tensor.
   util::parallel_for(static_cast<std::size_t>(sensors::kNumMics), [&](std::size_t ci) {
-    // 6 kHz anti-spoofing low-pass before analysis.
+    // 6 kHz anti-spoofing low-pass before analysis.  Filtered samples and
+    // band features live in workspace scratch (fully overwritten below), so
+    // the per-window signature path stays off the heap in steady state.
     dsp::BiquadCascade lp = dsp::BiquadCascade::low_pass(
         config.lowpass_hz, audio.sample_rate, config.lowpass_sections);
-    const auto filtered = lp.process(audio.channels[ci]);
+    util::Scratch<double> filtered{n};
+    lp.process_into(audio.channels[ci], filtered.span());
 
-    const auto spec = dsp::stft(filtered, stft_cfg);
-    const auto feats = dsp::band_features(spec, config.bands);
+    const auto spec = dsp::stft(filtered.span(), stft_cfg);
+    util::Scratch<double> feats{spec.num_frames * config.bands.bands_per_frame};
+    dsp::band_features_into(spec, config.bands, feats.span());
     const std::size_t frames = std::min<std::size_t>(spec.num_frames, shape.frames);
     for (std::size_t f = 0; f < frames; ++f)
       for (std::size_t b = 0; b < shape.bands; ++b)

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <complex>
 #include <numbers>
+#include <stdexcept>
 
 namespace sb::dsp {
 
@@ -53,10 +54,15 @@ double Biquad::process(double x) {
 }
 
 std::vector<double> Biquad::process(std::span<const double> xs) {
-  std::vector<double> out;
-  out.reserve(xs.size());
-  for (double x : xs) out.push_back(process(x));
+  std::vector<double> out(xs.size());
+  process_into(xs, out);
   return out;
+}
+
+void Biquad::process_into(std::span<const double> xs, std::span<double> out) {
+  if (xs.size() != out.size())
+    throw std::invalid_argument{"Biquad::process_into: size mismatch"};
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = process(xs[i]);
 }
 
 void Biquad::reset() { x1_ = x2_ = y1_ = y2_ = 0.0; }
@@ -84,10 +90,16 @@ double BiquadCascade::process(double x) {
 }
 
 std::vector<double> BiquadCascade::process(std::span<const double> xs) {
-  std::vector<double> out;
-  out.reserve(xs.size());
-  for (double x : xs) out.push_back(process(x));
+  std::vector<double> out(xs.size());
+  process_into(xs, out);
   return out;
+}
+
+void BiquadCascade::process_into(std::span<const double> xs,
+                                 std::span<double> out) {
+  if (xs.size() != out.size())
+    throw std::invalid_argument{"BiquadCascade::process_into: size mismatch"};
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = process(xs[i]);
 }
 
 void BiquadCascade::reset() {

@@ -6,6 +6,8 @@
 #include <span>
 #include <vector>
 
+#include "util/scratch.hpp"
+
 namespace sb::dsp {
 
 // Direct-form-I biquad section.
@@ -22,6 +24,9 @@ class Biquad {
 
   // Filters a whole buffer (stateful across calls).
   std::vector<double> process(std::span<const double> xs);
+
+  // Allocation-free variant for hot paths; sizes must match (throws).
+  void process_into(std::span<const double> xs, std::span<double> out);
 
   void reset();
 
@@ -43,10 +48,14 @@ class BiquadCascade {
 
   double process(double x);
   std::vector<double> process(std::span<const double> xs);
+  // Allocation-free variant for hot paths; sizes must match (throws).
+  void process_into(std::span<const double> xs, std::span<double> out);
   void reset();
 
  private:
-  std::vector<Biquad> sections_;
+  // Pool-allocated: cascades are built per analysis window on the streaming
+  // hot path, so the section storage must come from the workspace pool.
+  std::vector<Biquad, util::PoolAllocator<Biquad>> sections_;
 };
 
 }  // namespace sb::dsp

@@ -24,10 +24,18 @@ const FrequencyBand& band_of(FreqGroup group) {
 
 std::vector<double> band_features(const Spectrogram& spec,
                                   const BandFeatureConfig& config) {
+  std::vector<double> out(spec.num_frames * config.bands_per_frame, 0.0);
+  band_features_into(spec, config, out);
+  return out;
+}
+
+void band_features_into(const Spectrogram& spec, const BandFeatureConfig& config,
+                        std::span<double> out) {
   if (config.bands_per_frame == 0)
     throw std::invalid_argument{"band_features: bands_per_frame must be positive"};
-  std::vector<double> out(spec.num_frames * config.bands_per_frame, 0.0);
-  if (spec.num_frames == 0) return out;
+  if (out.size() != spec.num_frames * config.bands_per_frame)
+    throw std::invalid_argument{"band_features_into: output size mismatch"};
+  if (spec.num_frames == 0) return;
 
   const double band_hz = config.cutoff_hz / static_cast<double>(config.bands_per_frame);
   for (std::size_t f = 0; f < spec.num_frames; ++f) {
@@ -47,7 +55,6 @@ std::vector<double> band_features(const Spectrogram& spec,
       out[f * config.bands_per_frame + b] = std::log(mean_mag + 1e-6);
     }
   }
-  return out;
 }
 
 FreqGroup group_of_band(std::size_t band, const BandFeatureConfig& config) {

@@ -47,6 +47,14 @@ struct BandFeatureConfig {
 std::vector<double> band_features(const Spectrogram& spec,
                                   const BandFeatureConfig& config);
 
+// Allocation-free variant: writes into caller-owned storage of exactly
+// num_frames * bands_per_frame elements (throws on size mismatch).  The
+// per-band bin sums stay strict ascending scalar accumulations — this
+// routine is deliberately NOT vectorized, because reassociating the sums
+// would perturb log-magnitude features that detection thresholds sit on.
+void band_features_into(const Spectrogram& spec, const BandFeatureConfig& config,
+                        std::span<double> out);
+
 // Maps an equal-width feature band index to the frequency group containing
 // its centre frequency, for counterfactual importance analysis (§IV-A).
 FreqGroup group_of_band(std::size_t band, const BandFeatureConfig& config);

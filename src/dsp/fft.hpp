@@ -16,6 +16,11 @@ void fft(std::vector<std::complex<double>>& data);
 // Inverse FFT (normalized by 1/N).
 void ifft(std::vector<std::complex<double>>& data);
 
+// Span-based in-place transforms over caller-owned storage (e.g. workspace
+// scratch buffers on the streaming hot path).  Same contract as fft/ifft.
+void fft_inplace(std::span<std::complex<double>> data);
+void ifft_inplace(std::span<std::complex<double>> data);
+
 // FFT of a real signal; input is zero-padded to the next power of two.
 // Returns the full complex spectrum of length next_pow2(n).
 std::vector<std::complex<double>> fft_real(std::span<const double> signal);

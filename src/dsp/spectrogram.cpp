@@ -1,10 +1,12 @@
 #include "dsp/spectrogram.hpp"
 
 #include <algorithm>
+#include <complex>
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
 #include "obs/trace.hpp"
+#include "util/scratch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::dsp {
@@ -16,8 +18,8 @@ Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
   if (next_pow2(config.frame_size) != config.frame_size)
     throw std::invalid_argument{"stft: frame_size must be a power of two"};
 
-  const auto window = make_window(config.window, config.frame_size);
-  const double norm = 2.0 / window_sum(window);
+  const auto window = cached_window(config.window, config.frame_size);
+  const double norm = 2.0 / window_sum(*window);
 
   Spectrogram out;
   out.num_bins = config.frame_size / 2 + 1;
@@ -29,14 +31,23 @@ Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
   out.mags.resize(out.num_frames * out.num_bins);
 
   // Frames are independent and write disjoint rows of the magnitude matrix.
+  // Per-chunk scratch (frame + complex FFT buffer) comes from the workspace
+  // pool; fft_inplace replaces the allocating fft_real (frame_size is
+  // already a power of two, so the transform length equals the frame).
   util::parallel_for_ranges(out.num_frames, [&](std::size_t f0, std::size_t f1) {
-    std::vector<double> frame(config.frame_size);
+    const std::size_t fsize = config.frame_size;
+    util::Scratch<double> frame{fsize};
+    util::Scratch<double> cbuf{2 * fsize};
+    // std::complex<double> is layout-compatible with double[2].
+    auto* spec = reinterpret_cast<std::complex<double>*>(cbuf.data());
     for (std::size_t f = f0; f < f1; ++f) {
       const std::size_t start = f * config.hop_size;
-      std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start),
-                  config.frame_size, frame.begin());
-      apply_window(frame, window);
-      auto spec = fft_real(frame);
+      std::copy_n(signal.begin() + static_cast<std::ptrdiff_t>(start), fsize,
+                  frame.data());
+      apply_window(frame.span(), *window);
+      for (std::size_t k = 0; k < fsize; ++k)
+        spec[k] = std::complex<double>{frame[k], 0.0};
+      fft_inplace({spec, fsize});
       double* row = out.mags.data() + f * out.num_bins;
       for (std::size_t k = 0; k < out.num_bins; ++k)
         row[k] = std::abs(spec[k]) * norm;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dsp/window.hpp"
+#include "util/scratch.hpp"
 
 namespace sb::dsp {
 
@@ -23,7 +24,9 @@ struct Spectrogram {
   std::size_t num_bins = 0;        // frame_size/2 + 1
   double sample_rate = 0.0;
   double bin_hz = 0.0;             // frequency step between bins
-  std::vector<double> mags;        // row-major [frame][bin]
+  // Row-major [frame][bin]; pool-allocated so per-window spectrograms on the
+  // streaming hot path reuse warm blocks instead of hitting the heap.
+  std::vector<double, util::PoolAllocator<double>> mags;
 
   double at(std::size_t frame, std::size_t bin) const {
     return mags[frame * num_bins + bin];

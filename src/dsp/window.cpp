@@ -1,8 +1,13 @@
 #include "dsp/window.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "util/simd.hpp"
 
 namespace sb::dsp {
 
@@ -31,10 +36,42 @@ std::vector<double> make_window(WindowType type, std::size_t length) {
   return w;
 }
 
+std::shared_ptr<const std::vector<double>> cached_window(WindowType type,
+                                                         std::size_t length) {
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t,
+                            std::shared_ptr<const std::vector<double>>>
+      cache;
+  static obs::Counter& hits = obs::Registry::instance().counter("dsp.window_hits");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("dsp.window_misses");
+  // Four window types: the key packs the type into the low bits.
+  const std::size_t key = (length << 2) | static_cast<std::size_t>(type);
+  std::lock_guard<std::mutex> lock{mutex};
+  auto& slot = cache[key];
+  if (!slot) {
+    slot = std::make_shared<const std::vector<double>>(make_window(type, length));
+    misses.add();
+  } else {
+    hits.add();
+  }
+  return slot;
+}
+
 void apply_window(std::span<double> frame, std::span<const double> window) {
   if (frame.size() != window.size())
     throw std::invalid_argument{"apply_window: size mismatch"};
-  for (std::size_t i = 0; i < frame.size(); ++i) frame[i] *= window[i];
+  double* f = frame.data();
+  const double* w = window.data();
+  const std::size_t n = frame.size();
+  std::size_t i = 0;
+  // Pure elementwise multiply: lanes are independent, both backends bitwise.
+  if (util::simd_enabled()) {
+    namespace v = util::simd;
+    for (; i + v::kDoubleLanes <= n; i += v::kDoubleLanes)
+      v::stored(f + i, v::muld(v::loadd(f + i), v::loadd(w + i)));
+  }
+  for (; i < n; ++i) f[i] *= w[i];
 }
 
 double window_sum(std::span<const double> window) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -11,6 +12,13 @@ enum class WindowType { kRect, kHann, kHamming, kBlackman };
 
 // Returns the window coefficients of the given length.
 std::vector<double> make_window(WindowType type, std::size_t length);
+
+// Memoized coefficients, shared per (type, length) like the FFT plan cache:
+// stft() runs per analysis window on the streaming hot path and must not
+// recompute (or allocate) the window every call.  The returned coefficients
+// are immutable and safe to share across threads.
+std::shared_ptr<const std::vector<double>> cached_window(WindowType type,
+                                                         std::size_t length);
 
 // Multiplies the frame by the window in place.  Sizes must match.
 void apply_window(std::span<double> frame, std::span<const double> window);

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <vector>
 
 #include "ml/gemm.hpp"
+#include "ml/workspace.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::ml {
@@ -114,7 +115,8 @@ Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
   util::parallel_for_ranges(
       n,
       [&](std::size_t i0, std::size_t i1) {
-        std::vector<float> col(kdim * patches);
+        // im2col fully overwrites col, so uninitialized scratch is safe.
+        Scratch<float> col{kdim * patches};
         for (std::size_t i = i0; i < i1; ++i) {
           im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, k_, stride_, pad_, oh,
                  ow, col.data());
@@ -177,14 +179,16 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const std::size_t kdim = in_c_ * k_ * k_;
   const std::size_t patches = oh * ow;
   // Per-item weight/bias gradient partials, reduced serially in batch order
-  // below so the result is independent of the thread count.
-  std::vector<float> gw_part(n * out_c_ * kdim);
-  std::vector<float> gb_part(n * out_c_);
+  // below so the result is independent of the thread count.  Every slot is
+  // written before the reduction (matmul_nt with accumulate=false and the
+  // patch-sum assignment), so uninitialized scratch is safe.
+  Scratch<float> gw_part{n * out_c_ * kdim};
+  Scratch<float> gb_part{n * out_c_};
   util::parallel_for_ranges(
       n,
       [&](std::size_t i0, std::size_t i1) {
-        std::vector<float> col(kdim * patches);
-        std::vector<float> gcol(kdim * patches);
+        Scratch<float> col{kdim * patches};
+        Scratch<float> gcol{kdim * patches};
         for (std::size_t i = i0; i < i1; ++i) {
           im2col(x.data() + i * in_c_ * h * w, in_c_, h, w, k_, stride_, pad_, oh,
                  ow, col.data());
@@ -280,7 +284,7 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*train*/) {
   const std::size_t patches = oh * ow;
   // Each (item, channel) plane is an independent single-filter convolution.
   util::parallel_for_ranges(n * c_, [&](std::size_t p0, std::size_t p1) {
-    std::vector<float> col(kdim * patches);
+    Scratch<float> col{kdim * patches};
     for (std::size_t pair = p0; pair < p1; ++pair) {
       const std::size_t c = pair % c_;
       im2col(x.data() + pair * h * w, 1, h, w, k_, stride_, pad_, oh, ow,
@@ -337,11 +341,11 @@ Tensor DepthwiseConv2D::backward(const Tensor& grad_out) {
 
   const std::size_t kdim = k_ * k_;
   const std::size_t patches = oh * ow;
-  std::vector<float> gw_part(n * c_ * kdim);
-  std::vector<float> gb_part(n * c_);
+  Scratch<float> gw_part{n * c_ * kdim};
+  Scratch<float> gb_part{n * c_};
   util::parallel_for_ranges(n * c_, [&](std::size_t p0, std::size_t p1) {
-    std::vector<float> col(kdim * patches);
-    std::vector<float> gcol(kdim * patches);
+    Scratch<float> col{kdim * patches};
+    Scratch<float> gcol{kdim * patches};
     for (std::size_t pair = p0; pair < p1; ++pair) {
       const std::size_t c = pair % c_;
       im2col(x.data() + pair * h * w, 1, h, w, k_, stride_, pad_, oh, ow,
@@ -448,14 +452,37 @@ Tensor ResidualBlock::forward(const Tensor& x, bool train) {
   cached_sum_ = main_out;
   cached_sum_.add_scaled(short_out, 1.0f);
   Tensor y = cached_sum_;
-  for (auto& v : y.flat()) v = std::max(v, 0.0f);
+  float* p = y.data();
+  const std::size_t numel = y.numel();
+  std::size_t i = 0;
+  // vmax matches std::max's NaN operand pick; lanes are independent.
+  if (util::simd_enabled()) {
+    namespace v = util::simd;
+    const v::VFloat zero = v::zero_f();
+    for (; i + v::kFloatLanes <= numel; i += v::kFloatLanes)
+      v::store(p + i, v::vmax(v::load(p + i), zero));
+  }
+  for (; i < numel; ++i) p[i] = std::max(p[i], 0.0f);
   return y;
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
-  for (std::size_t i = 0; i < g.numel(); ++i)
-    if (cached_sum_[i] <= 0.0f) g[i] = 0.0f;
+  float* gp = g.data();
+  const float* sp = cached_sum_.data();
+  const std::size_t numel = g.numel();
+  std::size_t i = 0;
+  // select on an ordered <= matches the scalar branch exactly: NaN sums
+  // compare false and keep the incoming gradient, as the scalar path does.
+  if (util::simd_enabled()) {
+    namespace v = util::simd;
+    const v::VFloat zero = v::zero_f();
+    for (; i + v::kFloatLanes <= numel; i += v::kFloatLanes)
+      v::store(gp + i, v::select(v::cmp_le(v::load(sp + i), zero), zero,
+                                 v::load(gp + i)));
+  }
+  for (; i < numel; ++i)
+    if (sp[i] <= 0.0f) gp[i] = 0.0f;
   Tensor grad_main = main_.backward(g);
   Tensor grad_short = shortcut_ ? shortcut_->backward(g) : g;
   grad_main.add_scaled(grad_short, 1.0f);

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::ml {
@@ -29,55 +30,139 @@ void count_flops(std::size_t m, std::size_t k, std::size_t n) {
   calls.add();
 }
 
+// Vectorized 4-row x lane-width C tile: lanes span independent output
+// COLUMNS, kk advances strictly ascending inside the tile, and each lane
+// performs the same mul-then-add as the scalar kernel — so the result is
+// bitwise-identical to the scalar path (no FMA: this TU is built with
+// -ffp-contract=off).  The C tile lives in registers across the whole kk
+// sweep, which is also where the speedup comes from.
+void nn_rows_vector(const float* a, std::size_t lda, const float* b,
+                    std::size_t ldb, float* c, std::size_t ldc, std::size_t i0,
+                    std::size_t i1, std::size_t k, std::size_t n,
+                    bool accumulate) {
+  namespace v = util::simd;
+  constexpr std::size_t W = v::kFloatLanes;
+  std::size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const float* a0 = a + i * lda;
+    float* c0 = c + i * ldc;
+    float* c1 = c0 + ldc;
+    float* c2 = c1 + ldc;
+    float* c3 = c2 + ldc;
+    std::size_t j = 0;
+    for (; j + W <= n; j += W) {
+      v::VFloat s0 = accumulate ? v::load(c0 + j) : v::zero_f();
+      v::VFloat s1 = accumulate ? v::load(c1 + j) : v::zero_f();
+      v::VFloat s2 = accumulate ? v::load(c2 + j) : v::zero_f();
+      v::VFloat s3 = accumulate ? v::load(c3 + j) : v::zero_f();
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const v::VFloat bv = v::load(b + kk * ldb + j);
+        s0 = v::add(s0, v::mul(v::broadcast(a0[kk]), bv));
+        s1 = v::add(s1, v::mul(v::broadcast(a0[lda + kk]), bv));
+        s2 = v::add(s2, v::mul(v::broadcast(a0[2 * lda + kk]), bv));
+        s3 = v::add(s3, v::mul(v::broadcast(a0[3 * lda + kk]), bv));
+      }
+      v::store(c0 + j, s0);
+      v::store(c1 + j, s1);
+      v::store(c2 + j, s2);
+      v::store(c3 + j, s3);
+    }
+    for (; j < n; ++j) {
+      float s0 = accumulate ? c0[j] : 0.0f;
+      float s1 = accumulate ? c1[j] : 0.0f;
+      float s2 = accumulate ? c2[j] : 0.0f;
+      float s3 = accumulate ? c3[j] : 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float bj = b[kk * ldb + j];
+        s0 += a0[kk] * bj;
+        s1 += a0[lda + kk] * bj;
+        s2 += a0[2 * lda + kk] * bj;
+        s3 += a0[3 * lda + kk] * bj;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    std::size_t j = 0;
+    for (; j + W <= n; j += W) {
+      v::VFloat s = accumulate ? v::load(ci + j) : v::zero_f();
+      for (std::size_t kk = 0; kk < k; ++kk)
+        s = v::add(s, v::mul(v::broadcast(ai[kk]), v::load(b + kk * ldb + j)));
+      v::store(ci + j, s);
+    }
+    for (; j < n; ++j) {
+      float s = accumulate ? ci[j] : 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) s += ai[kk] * b[kk * ldb + j];
+      ci[j] = s;
+    }
+  }
+}
+
+void nn_rows_scalar(const float* a, std::size_t lda, const float* b,
+                    std::size_t ldb, float* c, std::size_t ldc, std::size_t i0,
+                    std::size_t i1, std::size_t k, std::size_t n,
+                    bool accumulate) {
+  std::size_t i = i0;
+  // 4-row micro-kernel: each loaded B row feeds four C rows.  The
+  // per-element accumulation order over kk stays strictly ascending.
+  for (; i + 4 <= i1; i += 4) {
+    float* c0 = c + i * ldc;
+    float* c1 = c0 + ldc;
+    float* c2 = c1 + ldc;
+    float* c3 = c2 + ldc;
+    if (!accumulate) {
+      std::fill_n(c0, n, 0.0f);
+      std::fill_n(c1, n, 0.0f);
+      std::fill_n(c2, n, 0.0f);
+      std::fill_n(c3, n, 0.0f);
+    }
+    const float* a0 = a + i * lda;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* br = b + kk * ldb;
+      const float v0 = a0[kk];
+      const float v1 = a0[lda + kk];
+      const float v2 = a0[2 * lda + kk];
+      const float v3 = a0[3 * lda + kk];
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bj = br[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    float* ci = c + i * ldc;
+    if (!accumulate) std::fill_n(ci, n, 0.0f);
+    const float* ai = a + i * lda;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float* br = b + kk * ldb;
+      const float v = ai[kk];
+      for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+    }
+  }
+}
+
 }  // namespace
 
 void matmul_nn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
                float* c, std::size_t ldc, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate) {
   count_flops(m, k, n);
+  const bool vec = util::simd_enabled();
   util::parallel_for_ranges(
       m,
       [&](std::size_t i0, std::size_t i1) {
-        std::size_t i = i0;
-        // 4-row micro-kernel: each loaded B row feeds four C rows.  The
-        // per-element accumulation order over kk stays strictly ascending.
-        for (; i + 4 <= i1; i += 4) {
-          float* c0 = c + i * ldc;
-          float* c1 = c0 + ldc;
-          float* c2 = c1 + ldc;
-          float* c3 = c2 + ldc;
-          if (!accumulate) {
-            std::fill_n(c0, n, 0.0f);
-            std::fill_n(c1, n, 0.0f);
-            std::fill_n(c2, n, 0.0f);
-            std::fill_n(c3, n, 0.0f);
-          }
-          const float* a0 = a + i * lda;
-          for (std::size_t kk = 0; kk < k; ++kk) {
-            const float* br = b + kk * ldb;
-            const float v0 = a0[kk];
-            const float v1 = a0[lda + kk];
-            const float v2 = a0[2 * lda + kk];
-            const float v3 = a0[3 * lda + kk];
-            for (std::size_t j = 0; j < n; ++j) {
-              const float bj = br[j];
-              c0[j] += v0 * bj;
-              c1[j] += v1 * bj;
-              c2[j] += v2 * bj;
-              c3[j] += v3 * bj;
-            }
-          }
-        }
-        for (; i < i1; ++i) {
-          float* ci = c + i * ldc;
-          if (!accumulate) std::fill_n(ci, n, 0.0f);
-          const float* ai = a + i * lda;
-          for (std::size_t kk = 0; kk < k; ++kk) {
-            const float* br = b + kk * ldb;
-            const float v = ai[kk];
-            for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
-          }
-        }
+        if (vec)
+          nn_rows_vector(a, lda, b, ldb, c, ldc, i0, i1, k, n, accumulate);
+        else
+          nn_rows_scalar(a, lda, b, ldb, c, ldc, i0, i1, k, n, accumulate);
       },
       row_grain(m, k * n));
 }

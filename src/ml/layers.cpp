@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ml/gemm.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::ml {
@@ -52,20 +53,56 @@ Tensor Dense::backward(const Tensor& grad_out) {
 Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
   cached_x_ = x;
   Tensor y = x;
-  util::parallel_for(y.numel(), [&](std::size_t i) {
-    float v = std::max(y[i], 0.0f);
-    if (cap_ > 0.0f) v = std::min(v, cap_);
-    y[i] = v;
+  float* p = y.data();
+  // vmax/vmin mirror std::max/std::min exactly, including which operand
+  // survives a NaN comparison (see util/simd.hpp), so both backends agree
+  // bit-for-bit even on non-finite activations.
+  util::parallel_for_ranges(y.numel(), [&](std::size_t b, std::size_t e) {
+    std::size_t i = b;
+    if (util::simd_enabled()) {
+      namespace v = util::simd;
+      const v::VFloat zero = v::zero_f();
+      const v::VFloat cap = v::broadcast(cap_);
+      for (; i + v::kFloatLanes <= e; i += v::kFloatLanes) {
+        v::VFloat val = v::vmax(v::load(p + i), zero);
+        if (cap_ > 0.0f) val = v::vmin(val, cap);
+        v::store(p + i, val);
+      }
+    }
+    for (; i < e; ++i) {
+      float v = std::max(p[i], 0.0f);
+      if (cap_ > 0.0f) v = std::min(v, cap_);
+      p[i] = v;
+    }
   });
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
-  util::parallel_for(g.numel(), [&](std::size_t i) {
-    const float x = cached_x_[i];
-    const bool pass = x > 0.0f && (cap_ <= 0.0f || x < cap_);
-    if (!pass) g[i] = 0.0f;
+  float* gp = g.data();
+  const float* xp = cached_x_.data();
+  // Mask form of the scalar pass predicate: cmp_gt/cmp_lt are ordered
+  // comparisons (false on NaN), matching x > 0 && x < cap exactly; the
+  // masked-out lanes become +0.0f just like the scalar assignment.
+  util::parallel_for_ranges(g.numel(), [&](std::size_t b, std::size_t e) {
+    std::size_t i = b;
+    if (util::simd_enabled()) {
+      namespace v = util::simd;
+      const v::VFloat zero = v::zero_f();
+      const v::VFloat cap = v::broadcast(cap_);
+      for (; i + v::kFloatLanes <= e; i += v::kFloatLanes) {
+        const v::VFloat x = v::load(xp + i);
+        v::VFloat mask = v::cmp_gt(x, zero);
+        if (cap_ > 0.0f) mask = v::bit_and(mask, v::cmp_lt(x, cap));
+        v::store(gp + i, v::bit_and(v::load(gp + i), mask));
+      }
+    }
+    for (; i < e; ++i) {
+      const float x = xp[i];
+      const bool pass = x > 0.0f && (cap_ <= 0.0f || x < cap_);
+      if (!pass) gp[i] = 0.0f;
+    }
   });
   return g;
 }
@@ -146,11 +183,26 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
     cached_mean_[ch] = mean_v;
     cached_inv_std_[ch] = inv_std;
     const float g = gamma_.value[ch], b = beta_.value[ch];
+    // Normalization is elementwise (sub, mul, mul, add in the scalar order),
+    // so lanes across k are independent and both backends agree bitwise.
     for (std::size_t i = 0; i < n; ++i) {
       const float* p = x.data() + (i * c + ch) * hw;
       float* xh = cached_xhat_.data() + (i * c + ch) * hw;
       float* py = y.data() + (i * c + ch) * hw;
-      for (std::size_t k = 0; k < hw; ++k) {
+      std::size_t k = 0;
+      if (util::simd_enabled()) {
+        namespace v = util::simd;
+        const v::VFloat vm = v::broadcast(mean_v);
+        const v::VFloat vs = v::broadcast(inv_std);
+        const v::VFloat vg = v::broadcast(g);
+        const v::VFloat vb = v::broadcast(b);
+        for (; k + v::kFloatLanes <= hw; k += v::kFloatLanes) {
+          const v::VFloat xhat = v::mul(v::sub(v::load(p + k), vm), vs);
+          v::store(xh + k, xhat);
+          v::store(py + k, v::add(v::mul(vg, xhat), vb));
+        }
+      }
+      for (; k < hw; ++k) {
         xh[k] = (p[k] - mean_v) * inv_std;
         py[k] = g * xh[k] + b;
       }
@@ -181,14 +233,29 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
 
     const float gval = gamma_.value[ch];
     const float inv_std = cached_inv_std_[ch];
+    // gval*inv_std/count only involves loop constants, so hoisting it keeps
+    // the per-element arithmetic (and rounding) identical to the scalar form.
+    const float scale = gval * inv_std / count;
     for (std::size_t i = 0; i < n; ++i) {
       const float* g = grad_out.data() + (i * c + ch) * hw;
       const float* xh = cached_xhat_.data() + (i * c + ch) * hw;
       float* gi = grad_in.data() + (i * c + ch) * hw;
-      for (std::size_t k = 0; k < hw; ++k) {
-        gi[k] = gval * inv_std / count *
-                (count * g[k] - dbeta - xh[k] * sum_gxhat);
+      std::size_t k = 0;
+      if (util::simd_enabled()) {
+        namespace v = util::simd;
+        const v::VFloat vscale = v::broadcast(scale);
+        const v::VFloat vcount = v::broadcast(count);
+        const v::VFloat vdbeta = v::broadcast(dbeta);
+        const v::VFloat vsum = v::broadcast(sum_gxhat);
+        for (; k + v::kFloatLanes <= hw; k += v::kFloatLanes) {
+          const v::VFloat t =
+              v::sub(v::sub(v::mul(vcount, v::load(g + k)), vdbeta),
+                     v::mul(v::load(xh + k), vsum));
+          v::store(gi + k, v::mul(vscale, t));
+        }
       }
+      for (; k < hw; ++k)
+        gi[k] = scale * (count * g[k] - dbeta - xh[k] * sum_gxhat);
     }
   }, 1);
   return grad_in;

@@ -74,7 +74,7 @@ class GlobalAvgPool final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
 
  private:
-  std::vector<std::size_t> cached_shape_;
+  Shape cached_shape_;
 };
 
 // Collapses everything but dim 0: [N, ...] -> [N, D].
@@ -84,7 +84,7 @@ class Flatten final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
 
  private:
-  std::vector<std::size_t> cached_shape_;
+  Shape cached_shape_;
 };
 
 // Inverted dropout; identity in eval mode.

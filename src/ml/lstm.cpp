@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ml/gemm.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sb::ml {
@@ -58,23 +59,35 @@ Tensor Lstm::forward(const Tensor& x_in, bool /*train*/) {
     matmul_nt(h_prev.data(), h_, wh_.value.data(), h_, gate.data(), 4 * h_, n,
               h_, 4 * h_, true);
 
+    // The cell update splits into three passes with no cross-element
+    // dependencies, so splitting cannot change any per-element result: the
+    // libm activations stay scalar, while the purely arithmetic middle pass
+    // (ct = fg*cp + ig*gg, scalar mul/mul/add order) vectorizes.
     util::parallel_for(n, [&](std::size_t i) {
       float* gt = gate.data() + i * 4 * h_;
       const float* cp = c_prev.data() + i * h_;
       float* ct = cell.data() + i * h_;
       float* ht = hidden.data() + i * h_;
       for (std::size_t k = 0; k < h_; ++k) {
-        const float ig = sigmoid(gt[k]);
-        const float fg = sigmoid(gt[h_ + k]);
-        const float gg = std::tanh(gt[2 * h_ + k]);
-        const float og = sigmoid(gt[3 * h_ + k]);
-        gt[k] = ig;
-        gt[h_ + k] = fg;
-        gt[2 * h_ + k] = gg;
-        gt[3 * h_ + k] = og;
-        ct[k] = fg * cp[k] + ig * gg;
-        ht[k] = og * std::tanh(ct[k]);
+        gt[k] = sigmoid(gt[k]);
+        gt[h_ + k] = sigmoid(gt[h_ + k]);
+        gt[2 * h_ + k] = std::tanh(gt[2 * h_ + k]);
+        gt[3 * h_ + k] = sigmoid(gt[3 * h_ + k]);
       }
+      std::size_t k = 0;
+      if (util::simd_enabled()) {
+        namespace v = util::simd;
+        for (; k + v::kFloatLanes <= h_; k += v::kFloatLanes) {
+          const v::VFloat ig = v::load(gt + k);
+          const v::VFloat fg = v::load(gt + h_ + k);
+          const v::VFloat gg = v::load(gt + 2 * h_ + k);
+          v::store(ct + k,
+                   v::add(v::mul(fg, v::load(cp + k)), v::mul(ig, gg)));
+        }
+      }
+      for (; k < h_; ++k) ct[k] = gt[h_ + k] * cp[k] + gt[k] * gt[2 * h_ + k];
+      for (std::size_t j = 0; j < h_; ++j)
+        ht[j] = gt[3 * h_ + j] * std::tanh(ct[j]);
     });
     h_prev = hidden;
     c_prev = cell;

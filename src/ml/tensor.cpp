@@ -4,10 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace sb::ml {
 namespace {
 
-std::size_t product(const std::vector<std::size_t>& shape) {
+std::size_t product(const Shape& shape) {
   std::size_t n = 1;
   for (std::size_t d : shape) n *= d;
   return n;
@@ -15,19 +17,19 @@ std::size_t product(const std::vector<std::size_t>& shape) {
 
 }  // namespace
 
-Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)), data_(product(shape_), fill) {}
 
-Tensor Tensor::zeros(std::vector<std::size_t> shape) { return Tensor{std::move(shape)}; }
+Tensor Tensor::zeros(Shape shape) { return Tensor{std::move(shape)}; }
 
-Tensor Tensor::he_normal(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng) {
+Tensor Tensor::he_normal(Shape shape, std::size_t fan_in, Rng& rng) {
   Tensor t{std::move(shape)};
   const double std = std::sqrt(2.0 / static_cast<double>(std::max<std::size_t>(fan_in, 1)));
   for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, std));
   return t;
 }
 
-Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+Tensor Tensor::reshaped(Shape shape) const {
   if (product(shape) != numel())
     throw std::invalid_argument{"Tensor::reshaped: element count mismatch"};
   Tensor t = *this;
@@ -43,7 +45,7 @@ std::size_t Tensor::row_size() const {
 Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
   if (shape_.empty() || begin > end || end > shape_[0])
     throw std::out_of_range{"Tensor::slice_rows"};
-  std::vector<std::size_t> shape = shape_;
+  Shape shape = shape_;
   shape[0] = end - begin;
   Tensor t{std::move(shape)};
   const std::size_t rs = row_size();
@@ -54,7 +56,7 @@ Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
 
 Tensor Tensor::gather_rows(std::span<const std::size_t> indices) const {
   if (shape_.empty()) throw std::out_of_range{"Tensor::gather_rows"};
-  std::vector<std::size_t> shape = shape_;
+  Shape shape = shape_;
   shape[0] = indices.size();
   Tensor t{std::move(shape)};
   const std::size_t rs = row_size();
@@ -71,7 +73,19 @@ void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 void Tensor::add_scaled(const Tensor& other, float scale) {
   if (other.numel() != numel())
     throw std::invalid_argument{"Tensor::add_scaled: size mismatch"};
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  float* d = data_.data();
+  const float* o = other.data_.data();
+  const std::size_t n = data_.size();
+  std::size_t i = 0;
+  // Lanes span independent elements; d[i] += scale*o[i] keeps its scalar
+  // mul-then-add order, so both backends are bitwise-identical.
+  if (util::simd_enabled()) {
+    namespace v = util::simd;
+    const v::VFloat s = v::broadcast(scale);
+    for (; i + v::kFloatLanes <= n; i += v::kFloatLanes)
+      v::store(d + i, v::add(v::load(d + i), v::mul(s, v::load(o + i))));
+  }
+  for (; i < n; ++i) d[i] += scale * o[i];
 }
 
 }  // namespace sb::ml

@@ -1,6 +1,11 @@
 // Minimal dense tensor used by the neural-network library.  Row-major,
 // float32, up to 4 dimensions ([N, C, H, W] for convolutional inputs,
 // [N, D] for dense inputs).
+//
+// Storage (data and shape) comes from the workspace arena
+// (util/scratch.hpp): per-thread free lists that make repeated
+// construct/destroy cycles — streaming forwards, per-step LSTM tensors,
+// minibatch assembly — allocation-free after warm-up.
 #pragma once
 
 #include <cstddef>
@@ -8,19 +13,25 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/scratch.hpp"
 
 namespace sb::ml {
+
+// Tensor shape vector, pooled like the data buffer.  Brace-initializer call
+// sites ({n, c, h, w}) are unaffected; code that builds shapes in a local
+// variable should use ml::Shape.
+using Shape = std::vector<std::size_t, util::PoolAllocator<std::size_t>>;
 
 class Tensor {
  public:
   Tensor() = default;
-  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+  explicit Tensor(Shape shape, float fill = 0.0f);
 
-  static Tensor zeros(std::vector<std::size_t> shape);
+  static Tensor zeros(Shape shape);
   // He-normal initialization with fan_in; used for conv/dense weights.
-  static Tensor he_normal(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng);
+  static Tensor he_normal(Shape shape, std::size_t fan_in, Rng& rng);
 
-  const std::vector<std::size_t>& shape() const { return shape_; }
+  const Shape& shape() const { return shape_; }
   std::size_t ndim() const { return shape_.size(); }
   std::size_t dim(std::size_t i) const { return shape_[i]; }
   std::size_t numel() const { return data_.size(); }
@@ -35,7 +46,7 @@ class Tensor {
   std::span<float> flat() { return data_; }
 
   // Reinterprets the buffer with a new shape of equal element count.
-  Tensor reshaped(std::vector<std::size_t> shape) const;
+  Tensor reshaped(Shape shape) const;
 
   // Returns rows [begin, end) along dim 0 as a new tensor.
   Tensor slice_rows(std::size_t begin, std::size_t end) const;
@@ -50,8 +61,8 @@ class Tensor {
   std::size_t row_size() const;
 
  private:
-  std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  Shape shape_;
+  std::vector<float, util::PoolAllocator<float>> data_;
 };
 
 }  // namespace sb::ml

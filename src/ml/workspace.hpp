@@ -1,0 +1,26 @@
+// ml-facing view of the workspace arena (util/scratch.hpp): the scratch
+// pools behind every Tensor, im2col patch matrix and gradient partial.
+//
+// All ml::Tensor storage (data and shape) already routes through
+// util::PoolAllocator, and kernels take util::Scratch<T> for raw
+// temporaries, so a steady-state forward/backward acquires every buffer
+// from warm per-thread free lists — zero heap allocations after warm-up
+// (watch ml.workspace.heap_allocs; see DESIGN.md "Performance
+// architecture").  This header only adds the ml-namespace names.
+#pragma once
+
+#include "util/scratch.hpp"
+
+namespace sb::ml {
+
+template <typename T>
+using Scratch = util::Scratch<T>;
+
+namespace workspace {
+
+// Drops every block the calling thread's workspace retains (e.g. after
+// training, before a long-lived serving phase with a smaller working set).
+inline void trim() { util::scratch_trim(); }
+
+}  // namespace workspace
+}  // namespace sb::ml

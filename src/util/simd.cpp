@@ -1,0 +1,34 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace sb::util {
+namespace {
+
+SimdBackend initial_backend() {
+  if (const char* env = std::getenv("SB_SIMD"); env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return SimdBackend::kScalar;
+  }
+  return SimdBackend::kVector;
+}
+
+std::atomic<SimdBackend>& backend_flag() {
+  static std::atomic<SimdBackend> flag{initial_backend()};
+  return flag;
+}
+
+}  // namespace
+
+SimdBackend simd_backend() {
+  return backend_flag().load(std::memory_order_relaxed);
+}
+
+void set_simd_backend(SimdBackend backend) {
+  backend_flag().store(backend, std::memory_order_relaxed);
+}
+
+const char* simd_isa_name() { return simd::kIsaName; }
+
+}  // namespace sb::util

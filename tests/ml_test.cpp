@@ -16,7 +16,7 @@
 namespace sb::ml {
 namespace {
 
-Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng, double scale = 1.0) {
+Tensor random_tensor(Shape shape, Rng& rng, double scale = 1.0) {
   Tensor t{std::move(shape)};
   for (auto& v : t.flat()) v = static_cast<float>(rng.normal(0.0, scale));
   return t;

@@ -113,7 +113,7 @@ TEST(ThreadPoolTest, SetThreadsOverridesAndRestores) {
 // ---------------------------------------------------------------------------
 // GEMM conv backend vs the reference loop nest.
 
-Tensor random_tensor(std::vector<std::size_t> shape, Rng& rng) {
+Tensor random_tensor(ml::Shape shape, Rng& rng) {
   Tensor t{std::move(shape)};
   for (auto& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
   return t;

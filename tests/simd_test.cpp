@@ -1,0 +1,470 @@
+// SIMD backend equivalence and workspace zero-allocation coverage
+// (DESIGN.md "Performance architecture"):
+//   * vmax/vmin/compare lane semantics vs the scalar operators, including
+//     NaN operand-order behaviour,
+//   * matmul_nn vector vs scalar backend on ragged shapes (k in {0,1},
+//     non-multiple-of-lane N, non-multiple-of-tile M, strided sub-blocks) —
+//     bitwise, not approximately,
+//   * FFT butterflies across sizes, forward and inverse,
+//   * elementwise layers (ReLU, BatchNorm, ResidualBlock's post-sum ReLU)
+//     fed NaN/infinity/denormal inputs — the vector masks must keep the
+//     exact scalar special-value behaviour,
+//   * apply_window + the cached_window plan cache,
+//   * end-to-end training fingerprints across backend x thread-count,
+//   * the steady-state zero-allocation contract of the workspace pool on
+//     the prepare_signature -> predict_prepared serving path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/sensory_mapper.hpp"
+#include "core/signature.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+#include "ml/conv.hpp"
+#include "ml/gemm.hpp"
+#include "ml/layers.hpp"
+#include "ml/models.hpp"
+#include "ml/tensor.hpp"
+#include "ml/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sb {
+namespace {
+
+using ml::Tensor;
+
+struct SimdBackendGuard {
+  explicit SimdBackendGuard(util::SimdBackend b) : prev_(util::simd_backend()) {
+    util::set_simd_backend(b);
+  }
+  ~SimdBackendGuard() { util::set_simd_backend(prev_); }
+  util::SimdBackend prev_;
+};
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::size_t n) { util::ThreadPool::set_threads(n); }
+  ~ThreadCountGuard() { util::ThreadPool::set_threads(0); }
+};
+
+// memcmp-based equality: float/double == would pass -0.0 vs 0.0 and miss
+// NaN payload divergence; the SIMD contract is BITWISE identity.
+template <typename T>
+void expect_bits_equal(const std::vector<T>& a, const std::vector<T>& b,
+                       const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(T)), 0) << what;
+}
+
+// Bitwise equality except that any-NaN matches any-NaN.  When an
+// accumulation mixes NaNs with different payloads, WHICH payload survives is
+// unspecified: IEEE-754 leaves it open, the compiler may commute scalar
+// `a + b`, and x86 returns the first NaN operand — so two scalar builds can
+// already disagree.  What IS pinned: the same elements are NaN on both
+// backends (a mask that wrongly zeroed a NaN lane would surface as
+// 0.0-vs-finite) and every non-NaN element is bit-identical.
+void expect_bits_equal_modulo_nan(const std::vector<float>& a,
+                                  const std::vector<float>& b,
+                                  const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) && std::isnan(b[i])) continue;
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(float)), 0)
+        << what << " at flat index " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-op semantics.
+
+TEST(SimdOpsTest, MaxMinMatchStdSemanticsIncludingNaN) {
+  namespace v = util::simd;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float cases[][2] = {{1.0f, 2.0f}, {2.0f, 1.0f}, {-0.0f, 0.0f},
+                            {0.0f, -0.0f}, {nan, 1.0f},  {1.0f, nan},
+                            {nan, nan},    {-3.5f, -3.5f}};
+  for (const auto& c : cases) {
+    float a[v::kFloatLanes], b[v::kFloatLanes];
+    float out_max[v::kFloatLanes], out_min[v::kFloatLanes];
+    for (std::size_t i = 0; i < v::kFloatLanes; ++i) {
+      a[i] = c[0];
+      b[i] = c[1];
+    }
+    v::store(out_max, v::vmax(v::load(a), v::load(b)));
+    v::store(out_min, v::vmin(v::load(a), v::load(b)));
+    for (std::size_t i = 0; i < v::kFloatLanes; ++i) {
+      const float smax = std::max(a[i], b[i]);
+      const float smin = std::min(a[i], b[i]);
+      EXPECT_EQ(std::memcmp(&out_max[i], &smax, sizeof(float)), 0)
+          << "max(" << c[0] << ", " << c[1] << ") lane " << i;
+      EXPECT_EQ(std::memcmp(&out_min[i], &smin, sizeof(float)), 0)
+          << "min(" << c[0] << ", " << c[1] << ") lane " << i;
+    }
+  }
+}
+
+TEST(SimdOpsTest, BackendToggleRoundTrips) {
+  const auto before = util::simd_backend();
+  {
+    SimdBackendGuard guard{util::SimdBackend::kScalar};
+    EXPECT_FALSE(util::simd_enabled());
+  }
+  EXPECT_EQ(util::simd_backend(), before);
+  EXPECT_NE(util::simd_isa_name(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// GEMM.
+
+struct GemmCase {
+  std::size_t m, k, n;
+  bool accumulate;
+};
+
+TEST(SimdGemmTest, MatmulNnBitIdenticalOnRaggedShapes) {
+  constexpr std::size_t kLanes = util::simd::kFloatLanes;
+  const GemmCase cases[] = {
+      {1, 0, 5, false},            // empty K, zero-fill path
+      {2, 0, 3, true},             // empty K, accumulate keeps C
+      {3, 1, 7, false},            // single-element dot products
+      {1, 1, 1, true},             // degenerate everything
+      {4, 8, kLanes, false},       // exact tile, exact lane width
+      {5, 13, 2 * kLanes + 3, true},   // row remainder + column tail
+      {7, 17, kLanes - 1, false},      // all-tail columns
+      {13, 5, 1, true},                // single column
+      {8, 31, 33, false},              // odd everything
+  };
+  std::uint64_t seed = 4200;
+  for (const auto& c : cases) {
+    SCOPED_TRACE(::testing::Message() << "m=" << c.m << " k=" << c.k
+                                      << " n=" << c.n << " acc=" << c.accumulate);
+    Rng rng{seed++};
+    std::vector<float> a(std::max<std::size_t>(c.m * c.k, 1));
+    std::vector<float> b(std::max<std::size_t>(c.k * c.n, 1));
+    std::vector<float> c0(c.m * c.n);
+    // Mixed magnitudes make any reassociation visible in the low bits.
+    for (auto& v : a)
+      v = static_cast<float>(rng.normal(0.0, 1.0) *
+                             std::exp2(static_cast<double>(rng.uniform_int(0, 20)) - 10.0));
+    for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (auto& v : c0) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+    auto run = [&](util::SimdBackend backend) {
+      SimdBackendGuard guard{backend};
+      std::vector<float> out = c0;
+      ml::matmul_nn(a.data(), c.k, b.data(), c.n, out.data(), c.n, c.m, c.k,
+                    c.n, c.accumulate);
+      return out;
+    };
+    expect_bits_equal(run(util::SimdBackend::kVector),
+                      run(util::SimdBackend::kScalar), "matmul_nn");
+    // Chunked rows must not change anything either.
+    ThreadCountGuard threads{4};
+    expect_bits_equal(run(util::SimdBackend::kVector),
+                      run(util::SimdBackend::kScalar), "matmul_nn(4 threads)");
+  }
+}
+
+TEST(SimdGemmTest, MatmulNnBitIdenticalOnStridedSubBlocks) {
+  // Multiply a sub-block of larger matrices: lda/ldb/ldc exceed the logical
+  // widths, so the vector kernel's loads/stores must respect the strides.
+  constexpr std::size_t m = 5, k = 9, n = 11;
+  constexpr std::size_t lda = k + 3, ldb = n + 5, ldc = n + 2;
+  Rng rng{777};
+  std::vector<float> a(m * lda), b(k * ldb), c0(m * ldc);
+  for (auto& v : a) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& v : c0) v = static_cast<float>(rng.normal(0.0, 1.0));
+  auto run = [&](util::SimdBackend backend) {
+    SimdBackendGuard guard{backend};
+    std::vector<float> out = c0;
+    ml::matmul_nn(a.data(), lda, b.data(), ldb, out.data(), ldc, m, k, n, true);
+    return out;
+  };
+  expect_bits_equal(run(util::SimdBackend::kVector),
+                    run(util::SimdBackend::kScalar), "matmul_nn strided");
+}
+
+// ---------------------------------------------------------------------------
+// FFT.
+
+TEST(SimdFftTest, ForwardAndInverseBitIdenticalAcrossBackends) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                        std::size_t{8}, std::size_t{16}, std::size_t{128},
+                        std::size_t{1024}}) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    Rng rng{9000 + n};
+    std::vector<std::complex<double>> data(n);
+    for (auto& z : data) z = {rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)};
+
+    auto run = [&](util::SimdBackend backend, bool inverse) {
+      SimdBackendGuard guard{backend};
+      auto copy = data;
+      inverse ? dsp::ifft(copy) : dsp::fft(copy);
+      // Compare raw doubles, not complex (operator== would miss -0.0/NaN).
+      std::vector<double> flat(2 * n);
+      std::memcpy(flat.data(), copy.data(), flat.size() * sizeof(double));
+      return flat;
+    };
+    expect_bits_equal(run(util::SimdBackend::kVector, false),
+                      run(util::SimdBackend::kScalar, false), "fft");
+    expect_bits_equal(run(util::SimdBackend::kVector, true),
+                      run(util::SimdBackend::kScalar, true), "ifft");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise layers on special values.
+
+// A tensor seeded with NaN, infinities, denormals and signed zeros in the
+// first elements, random normals after.
+Tensor special_value_tensor(ml::Shape shape, std::uint64_t seed) {
+  Tensor t{std::move(shape)};
+  const float specials[] = {std::numeric_limits<float>::quiet_NaN(),
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity(),
+                            std::numeric_limits<float>::denorm_min(),
+                            -std::numeric_limits<float>::denorm_min(),
+                            0.0f,
+                            -0.0f,
+                            std::numeric_limits<float>::max()};
+  Rng rng{seed};
+  auto flat = t.flat();
+  for (std::size_t i = 0; i < flat.size(); ++i)
+    flat[i] = i < std::size(specials)
+                  ? specials[i]
+                  : static_cast<float>(rng.normal(0.0, 2.0));
+  return t;
+}
+
+std::vector<float> tensor_bits(const Tensor& t) {
+  return {t.flat().begin(), t.flat().end()};
+}
+
+TEST(SimdLayerTest, ReluForwardBackwardBitIdenticalOnSpecialValues) {
+  for (float cap : {0.0f, 6.0f}) {
+    SCOPED_TRACE(::testing::Message() << "cap=" << cap);
+    const Tensor x = special_value_tensor({2, 3, 5, 7}, 11);
+    const Tensor g = special_value_tensor({2, 3, 5, 7}, 12);
+    auto run = [&](util::SimdBackend backend) {
+      SimdBackendGuard guard{backend};
+      ml::ReLU relu{cap};
+      const Tensor y = relu.forward(x, true);
+      const Tensor gx = relu.backward(g);
+      auto out = tensor_bits(y);
+      const auto gbits = tensor_bits(gx);
+      out.insert(out.end(), gbits.begin(), gbits.end());
+      return out;
+    };
+    expect_bits_equal(run(util::SimdBackend::kVector),
+                      run(util::SimdBackend::kScalar), "ReLU");
+  }
+}
+
+TEST(SimdLayerTest, BatchNormForwardBackwardBitIdentical) {
+  // Finite-but-nasty inputs (denormals, huge magnitudes); train mode also
+  // exercises the running-stat update and the backward normalization math.
+  Tensor x = special_value_tensor({3, 4, 6, 5}, 21);
+  x.flat()[0] = 1.0f;  // drop the NaN: batch stats would swallow everything
+  const Tensor g = special_value_tensor({3, 4, 6, 5}, 22);
+  auto run = [&](util::SimdBackend backend) {
+    SimdBackendGuard guard{backend};
+    ml::BatchNorm bn{4};
+    const Tensor y_train = bn.forward(x, true);
+    const Tensor gx = bn.backward(g);
+    const Tensor y_eval = bn.forward(x, false);
+    auto out = tensor_bits(y_train);
+    for (const Tensor& t : {gx, y_eval}) {
+      const auto bits = tensor_bits(t);
+      out.insert(out.end(), bits.begin(), bits.end());
+    }
+    return out;
+  };
+  expect_bits_equal(run(util::SimdBackend::kVector),
+                    run(util::SimdBackend::kScalar), "BatchNorm");
+}
+
+TEST(SimdLayerTest, ResidualBlockBackwardKeepsNaNGradientSemantics) {
+  // The post-sum ReLU backward zeroes gradients where sum <= 0 and must KEEP
+  // them where the sum is NaN (scalar `if (sum <= 0)` is false on NaN) — a
+  // cmp_gt-mask formulation would silently zero those lanes; that bug shows
+  // up here as a 0.0 where the scalar path kept a finite gradient.  The conv
+  // reductions inside the block mix NaNs of different payloads, so the
+  // comparison is modulo NaN payload (see expect_bits_equal_modulo_nan).
+  const Tensor x = special_value_tensor({2, 4, 6, 6}, 31);
+  const Tensor g = special_value_tensor({2, 4, 6, 6}, 32);
+  auto run = [&](util::SimdBackend backend) {
+    SimdBackendGuard guard{backend};
+    Rng init{33};
+    ml::ResidualBlock block{4, 4, 1, init};
+    const Tensor y = block.forward(x, true);
+    const Tensor gx = block.backward(g);
+    auto out = tensor_bits(y);
+    const auto gbits = tensor_bits(gx);
+    out.insert(out.end(), gbits.begin(), gbits.end());
+    return out;
+  };
+  expect_bits_equal_modulo_nan(run(util::SimdBackend::kVector),
+                               run(util::SimdBackend::kScalar),
+                               "ResidualBlock");
+}
+
+// ---------------------------------------------------------------------------
+// Windowing.
+
+TEST(SimdWindowTest, ApplyWindowBitIdenticalOnOddLengths) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{37}, std::size_t{256}}) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    const auto window = dsp::cached_window(dsp::WindowType::kHann, n);
+    Rng rng{1300 + n};
+    std::vector<double> frame(n);
+    for (auto& v : frame) v = rng.normal(0.0, 1.0);
+    auto run = [&](util::SimdBackend backend) {
+      SimdBackendGuard guard{backend};
+      auto out = frame;
+      dsp::apply_window(out, *window);
+      return out;
+    };
+    expect_bits_equal(run(util::SimdBackend::kVector),
+                      run(util::SimdBackend::kScalar), "apply_window");
+  }
+}
+
+TEST(SimdWindowTest, CachedWindowReusesCoefficients) {
+  auto& hits = obs::Registry::instance().counter("dsp.window_hits");
+  const auto first = dsp::cached_window(dsp::WindowType::kBlackman, 333);
+  const auto hits_before = hits.value();
+  const auto second = dsp::cached_window(dsp::WindowType::kBlackman, 333);
+  EXPECT_EQ(first.get(), second.get()) << "second lookup must hit the cache";
+  EXPECT_EQ(hits.value(), hits_before + 1);
+  // Different length or type is a distinct plan.
+  EXPECT_NE(dsp::cached_window(dsp::WindowType::kBlackman, 334).get(),
+            first.get());
+  EXPECT_NE(dsp::cached_window(dsp::WindowType::kHamming, 333).get(),
+            first.get());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end training determinism across backend x thread count.
+
+Tensor random_tensor(ml::Shape shape, Rng& rng) {
+  Tensor t{std::move(shape)};
+  for (auto& v : t.flat()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  return t;
+}
+
+std::vector<float> train_and_fingerprint(ml::ModelKind kind,
+                                         util::SimdBackend backend,
+                                         std::size_t threads) {
+  SimdBackendGuard simd{backend};
+  ThreadCountGuard pool{threads};
+  const ml::ModelInputShape shape{.channels = 2, .height = 8, .width = 12};
+  Rng model_rng{910};
+  auto model = ml::make_model(kind, shape, 3, model_rng);
+
+  Rng data_rng{911};
+  ml::RegressionDataset data;
+  data.x = random_tensor({24, shape.channels, shape.height, shape.width}, data_rng);
+  data.y = random_tensor({24, 3}, data_rng);
+  Rng split_rng{912};
+  auto [train, val] = ml::split_dataset(data, 0.25, split_rng);
+
+  ml::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 8;
+  cfg.eval_batch_size = 8;
+  ml::train_regressor(*model, train, val, cfg);
+
+  std::vector<float> fingerprint;
+  for (ml::Param* p : model->params())
+    for (float v : p->value.flat()) fingerprint.push_back(v);
+  Rng probe_rng{913};
+  const Tensor probe =
+      random_tensor({5, shape.channels, shape.height, shape.width}, probe_rng);
+  const Tensor pred = model->forward(probe, false);
+  for (float v : pred.flat()) fingerprint.push_back(v);
+  return fingerprint;
+}
+
+class SimdDeterminismTest : public ::testing::TestWithParam<ml::ModelKind> {};
+
+TEST_P(SimdDeterminismTest, TrainingIsBitIdenticalAcrossBackendsAndThreads) {
+  const auto reference =
+      train_and_fingerprint(GetParam(), util::SimdBackend::kVector, 1);
+  ASSERT_FALSE(reference.empty());
+  const struct {
+    util::SimdBackend backend;
+    std::size_t threads;
+    const char* what;
+  } runs[] = {
+      {util::SimdBackend::kVector, 4, "vector/4 threads"},
+      {util::SimdBackend::kScalar, 1, "scalar/1 thread"},
+      {util::SimdBackend::kScalar, 4, "scalar/4 threads"},
+  };
+  for (const auto& r : runs) {
+    const auto fp = train_and_fingerprint(GetParam(), r.backend, r.threads);
+    ASSERT_EQ(reference.size(), fp.size()) << r.what;
+    EXPECT_EQ(std::memcmp(reference.data(), fp.data(),
+                          reference.size() * sizeof(float)),
+              0)
+        << "training " << ml::to_string(GetParam()) << " diverged on " << r.what;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, SimdDeterminismTest,
+                         ::testing::Values(ml::ModelKind::kMlp,
+                                           ml::ModelKind::kMobileNetLite),
+                         [](const auto& info) {
+                           return ml::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Workspace pool: steady-state zero allocation on the serving hot path.
+
+TEST(WorkspaceTest, ServingSteadyStateMakesNoHeapAllocations) {
+  // Single-threaded so the thread_local free lists see every release (the
+  // multi-thread residual — std::function SBO spill — is documented as out
+  // of scope in DESIGN.md).
+  ThreadCountGuard pool{1};
+  core::SensoryMapperConfig cfg;
+  cfg.model = ml::ModelKind::kMlp;
+  cfg.dataset.stride = 0.5;
+  cfg.train.epochs = 1;
+  core::SensoryMapper mapper{cfg};
+  const core::Flight flight = test::hover_flight(8.0, 7);
+  const std::vector<core::Flight> flights{flight};
+  mapper.fit(test::lab(), flights);
+
+  const auto windows = mapper.synthesize_windows(test::lab(), flight);
+  ASSERT_FALSE(windows.empty());
+  const auto& audio = windows.front().audio;
+  const core::WindowSpan span{windows.front().t0, windows.front().t1};
+
+  auto serve_once = [&] {
+    const Tensor sig = mapper.prepare_signature(audio);
+    const auto preds = mapper.predict_prepared({&sig, 1}, {&span, 1});
+    ASSERT_EQ(preds.size(), 1u);
+  };
+
+  // Warm-up: first passes populate the per-thread free lists (and any
+  // lazily-built caches like the window-coefficient plan).
+  for (int i = 0; i < 3; ++i) serve_once();
+
+  auto& heap_allocs =
+      obs::Registry::instance().counter("ml.workspace.heap_allocs");
+  const auto before = heap_allocs.value();
+  for (int i = 0; i < 10; ++i) serve_once();
+  EXPECT_EQ(heap_allocs.value(), before)
+      << "steady-state serving took pool blocks from the heap";
+}
+
+}  // namespace
+}  // namespace sb
