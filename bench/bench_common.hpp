@@ -27,6 +27,7 @@
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
+#include "ml/plan.hpp"
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
@@ -43,6 +44,9 @@ namespace sb::bench {
 //   --threads N   worker count (same effect as SB_THREADS=N)
 //   --repeat N    run the measured phase N times; reports carry the median
 //                 wall clock (benches that support it call repeat_median)
+//   --plan P      serving inference-plan precision: off (raw layer graph),
+//                 f64 (exact compiled plan, the default) or f32 (folded
+//                 fast plan) — same switch as SB_PRECISION
 //   --out-dir D   directory for BENCH_/TRACE_ JSON reports (default: next
 //                 to the binary)
 //   --help        usage
@@ -74,10 +78,13 @@ inline void bench_init(int& argc, char** argv, bool allow_unknown = false) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s [--seed N] [--threads N] [--repeat N] [--out-dir DIR]\n"
+          "usage: %s [--seed N] [--threads N] [--repeat N] [--plan P] "
+          "[--out-dir DIR]\n"
           "  --seed N     offset added to every scenario seed\n"
           "  --threads N  worker threads (equivalent to SB_THREADS=N)\n"
           "  --repeat N   repeat the measured phase N times, report the median\n"
+          "  --plan P     serving plan precision: off|f64|f32 (same as "
+          "SB_PRECISION)\n"
           "  --out-dir D  directory for BENCH_*/TRACE_* reports\n",
           argv[0]);
       std::exit(0);
@@ -101,6 +108,17 @@ inline void bench_init(int& argc, char** argv, bool allow_unknown = false) {
       // Same switch SB_THREADS flips, through the same entry point, so a
       // CLI override and the env var can never disagree mid-process.
       util::ThreadPool::set_threads(static_cast<std::size_t>(n));
+      ++i;
+    } else if (arg == "--plan") {
+      const char* value = need_value(i);
+      ml::PlanPrecision precision{};
+      if (!ml::parse_plan_precision(value, precision)) {
+        std::fprintf(stderr, "%s: --plan must be off, f64 or f32 (got '%s')\n",
+                     argv[0], value);
+        std::exit(2);
+      }
+      // Same switch SB_PRECISION flips, so the CLI and env can't disagree.
+      ml::set_plan_precision(precision);
       ++i;
     } else if (arg == "--out-dir") {
       bench_args().out_dir = need_value(i);
@@ -205,6 +223,22 @@ class BenchReport {
          std::string_view{util::simd_enabled() ? "vector" : "scalar"});
     w.kv("simd_float_lanes",
          static_cast<std::uint64_t>(util::simd::kFloatLanes));
+    // Serving-plan provenance next to the SIMD block: the precision mode
+    // plus the process-wide compile tallies, so a perf delta can always be
+    // traced to "what inference path actually ran".
+    {
+      const ml::PlanBuildStats plan = ml::plan_build_stats();
+      w.key("plan");
+      w.begin_object();
+      w.kv("precision", std::string_view{ml::to_string(ml::plan_precision())});
+      w.kv("plans_built", static_cast<std::uint64_t>(plan.plans_built));
+      w.kv("folded_batchnorms",
+           static_cast<std::uint64_t>(plan.folded_batchnorms));
+      w.kv("fused_kernels",
+           static_cast<std::uint64_t>(plan.fused_activations));
+      w.kv("packed_panels", static_cast<std::uint64_t>(plan.packed_panels));
+      w.end_object();
+    }
     w.kv("repeats", static_cast<std::uint64_t>(bench_args().repeats));
     for (const auto& [k, v] : metrics_) w.kv(k, v);
     for (const auto& [k, v] : notes_) w.kv(k, std::string_view{v});
@@ -288,8 +322,13 @@ inline core::SensoryMapperConfig standard_mapper_config() {
   return cfg;
 }
 
+// Cache filenames carry the model-file format tag, so a format bump (which
+// would make load() reject the file anyway) simply misses the cache and
+// retrains — loudly, via the standard "training ..." log line — instead of
+// tripping over a stale binary every run.
 inline std::string cache_path(const core::SensoryMapperConfig& cfg) {
-  return (cache_dir() / ("soundboost_bench_" + ml::to_string(cfg.model) + ".bin"))
+  return (cache_dir() / ("soundboost_bench_" + ml::to_string(cfg.model) + "_" +
+                         core::model_format_tag() + ".bin"))
       .string();
 }
 
@@ -340,7 +379,9 @@ inline FitMse fit_cached(core::SensoryMapper& mapper, const std::string& tag,
                          std::span<const core::Flight> flights,
                          const core::FlightLab& flight_lab = lab()) {
   const std::string path =
-      (cache_dir() / ("soundboost_bench_" + tag + ".bin")).string();
+      (cache_dir() / ("soundboost_bench_" + tag + "_" +
+                      core::model_format_tag() + ".bin"))
+          .string();
   const std::string sidecar = path + ".mse";
   if (mapper.load(path)) {
     FitMse mse;

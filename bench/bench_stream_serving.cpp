@@ -14,6 +14,8 @@
 // The emitted BENCH_stream_serving.json is self-checked with the obs JSON
 // validator before exit; a malformed report (and the TRACE file, when
 // tracing) fails the run with a nonzero exit code.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -218,6 +220,61 @@ int main(int argc, char** argv) {
   report.metric("verdict_events", static_cast<double>(verdicts));
   report.metric("sessions_imu_flagged", imu_flagged);
   report.metric("sessions_gps_flagged", gps_flagged);
+
+  // When serving ran on the folded float32 plan, gate the run on its drift
+  // against the exact pipeline: the same windows go end to end — f32 STFT
+  // signatures into the folded plan vs exact signatures into the raw layer
+  // graph — and predictions are compared component-wise.  Both stages round
+  // at float level, so the tolerance has orders-of-magnitude headroom — a
+  // violation means the fold or f32-STFT math (not float noise) is wrong,
+  // and the bench fails.
+  bool drift_ok = true;
+  if (ml::plan_precision() == ml::PlanPrecision::kF32) {
+    const auto windows = mapper.synthesize_windows(bench::lab(), feeds[0].flight);
+    const std::size_t n_check = std::min<std::size_t>(windows.size(), 32);
+    std::vector<core::WindowSpan> spans;
+    spans.reserve(n_check);
+    for (std::size_t i = 0; i < n_check; ++i)
+      spans.push_back({windows[i].t0, windows[i].t1});
+    auto prepare_all = [&] {
+      std::vector<ml::Tensor> sigs;
+      sigs.reserve(n_check);
+      for (std::size_t i = 0; i < n_check; ++i)
+        sigs.push_back(mapper.prepare_signature(windows[i].audio));
+      return sigs;
+    };
+    ml::set_plan_precision(ml::PlanPrecision::kOff);
+    const auto exact_sigs = prepare_all();
+    const auto ref = mapper.predict_prepared(exact_sigs, spans);
+    ml::set_plan_precision(ml::PlanPrecision::kF32);
+    const auto fast_sigs = prepare_all();
+    const auto fast = mapper.predict_prepared(fast_sigs, spans);
+    double drift_sq = 0.0, drift_max = 0.0;
+    std::size_t n_comp = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const double diffs[6] = {
+          fast[i].accel.x - ref[i].accel.x, fast[i].accel.y - ref[i].accel.y,
+          fast[i].accel.z - ref[i].accel.z, fast[i].vel.x - ref[i].vel.x,
+          fast[i].vel.y - ref[i].vel.y,     fast[i].vel.z - ref[i].vel.z};
+      for (double d : diffs) {
+        drift_sq += d * d;
+        drift_max = std::max(drift_max, std::abs(d));
+        ++n_comp;
+      }
+    }
+    const double drift_mse = n_comp > 0 ? drift_sq / static_cast<double>(n_comp) : 0.0;
+    constexpr double kMseTol = 1e-8;
+    constexpr double kMaxTol = 1e-3;
+    drift_ok = drift_mse <= kMseTol && drift_max <= kMaxTol &&
+               std::isfinite(drift_mse) && n_comp > 0;
+    report.metric("f32_drift_mse", drift_mse);
+    report.metric("f32_drift_max", drift_max);
+    if (!drift_ok)
+      std::fprintf(stderr,
+                   "stream_serving: f32 plan drift out of tolerance "
+                   "(mse %.3e > %.0e or max %.3e > %.0e)\n",
+                   drift_mse, kMseTol, drift_max, kMaxTol);
+  }
   report.flush();
 
   std::printf(
@@ -234,5 +291,5 @@ int main(int argc, char** argv) {
   if (obs::enabled())
     ok = validate_json_file(bench::bench_output_dir() /
                             "TRACE_stream_serving.json") && ok;
-  return ok ? 0 : 1;
+  return ok && drift_ok ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -62,8 +64,37 @@ ml::TrainResult SensoryMapper::fit_dataset(const ml::RegressionDataset& data) {
   auto [train, val] = ml::split_dataset(standardized, config_.val_fraction, split_rng);
   const auto result = ml::train_regressor(*model_, train, val, config_.train);
   trained_ = true;
+  // The plan packs frozen weights; anything compiled before this training
+  // run is stale.
+  plan_.reset();
   fit_output_calibration(standardized);
   return result;
+}
+
+void SensoryMapper::ensure_plan(ml::PlanPrecision precision) const {
+  if (plan_ && plan_->precision() == precision) return;
+  const auto shape = signature_shape(config_.dataset.signature);
+  plan_ = ml::InferencePlan::compile(
+      *model_, {shape.channels, shape.frames, shape.bands}, precision);
+}
+
+ml::Tensor SensoryMapper::serving_forward(const ml::Tensor& batch) const {
+  const ml::PlanPrecision precision = ml::plan_precision();
+  if (precision == ml::PlanPrecision::kOff)
+    return model_->forward(batch, false);
+  ensure_plan(precision);
+  return plan_->forward(batch);
+}
+
+void SensoryMapper::warm_serving() const {
+  // First-window costs on the streaming path: the FFT bit-reversal plan,
+  // the Hann coefficients (both memoized process-wide) and the compiled
+  // inference plan for this mapper.
+  const auto& sig = config_.dataset.signature;
+  dsp::warm_fft_plan(sig.frame_size);
+  (void)dsp::cached_window(dsp::WindowType::kHann, sig.frame_size);
+  const ml::PlanPrecision precision = ml::plan_precision();
+  if (trained_ && precision != ml::PlanPrecision::kOff) ensure_plan(precision);
 }
 
 void SensoryMapper::fit_output_calibration(const ml::RegressionDataset& data) {
@@ -174,7 +205,12 @@ ml::Tensor SensoryMapper::prepare_signature(
     hooks.audio_transform(transformed);
     audio = &transformed;
   }
-  ml::Tensor sig = compute_signature(*audio, config_.dataset.signature);
+  // Under the opt-in f32 plan the WHOLE serving path drops to float32 —
+  // signature front end included (the STFT dominates serving cost, not the
+  // model forward).  Training and dataset building call compute_signature
+  // directly and always keep the exact double pipeline.
+  const bool fast_f32 = ml::plan_precision() == ml::PlanPrecision::kF32;
+  ml::Tensor sig = compute_signature(*audio, config_.dataset.signature, fast_f32);
   if (hooks.signature_transform) hooks.signature_transform(sig);
   if (healthy) {
     // Diagnose the audio the model would actually see and mask unhealthy
@@ -212,7 +248,7 @@ std::vector<TimedPrediction> SensoryMapper::predict_prepared(
     std::copy(sigs[i].flat().begin(), sigs[i].flat().end(),
               batch.data() + i * row);
   }
-  const ml::Tensor pred = model_->forward(batch, false);
+  const ml::Tensor pred = serving_forward(batch);
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     std::array<double, kLabelDim> y{};
@@ -319,6 +355,10 @@ void reject(const std::string& path, const char* why) {
 }
 
 }  // namespace
+
+std::string model_format_tag() {
+  return "SBMAPF02v" + std::to_string(kFormatVersion);
+}
 
 bool SensoryMapper::save(const std::string& path) const {
   if (!trained_) return false;
@@ -449,6 +489,8 @@ bool SensoryMapper::load(const std::string& path) {
   for (double& b : calib_b_)
     if (!read_pod(is, b)) return false;
   trained_ = static_cast<bool>(is);
+  // Loaded weights differ from whatever the plan packed; recompile lazily.
+  plan_.reset();
   return trained_;
 }
 

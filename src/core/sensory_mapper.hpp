@@ -14,9 +14,17 @@
 #include "core/signature.hpp"
 #include "faults/health.hpp"
 #include "ml/models.hpp"
+#include "ml/plan.hpp"
 #include "ml/trainer.hpp"
 
 namespace sb::core {
+
+// Provenance tag of the model-file format this build writes and reads
+// ("SBMAPF02" magic + format version).  Anything that caches trained model
+// files (e.g. the bench fixtures under $SB_CACHE_DIR) keys its filenames on
+// this tag, so a format bump simply misses the cache and retrains instead
+// of tripping over a stale file mid-run.
+std::string model_format_tag();
 
 struct SensoryMapperConfig {
   ml::ModelKind model = ml::ModelKind::kMobileNetLite;
@@ -122,6 +130,17 @@ class SensoryMapper {
   ml::Layer& model() { return *model_; }
   bool trained() const { return trained_; }
 
+  // Pays serving's one-time costs up front so the first window of a stream
+  // doesn't spike p99: warms the FFT plan cache and STFT window
+  // coefficients for this mapper's signature config, and (when the process
+  // serving precision isn't off) compiles the inference plan.  Called by
+  // stream::RcaSession at construction; safe to call repeatedly.
+  void warm_serving() const;
+
+  // The compiled plan predictions currently route through (null when the
+  // precision is off or nothing has been served/warmed yet).
+  const ml::InferencePlan* serving_plan() const { return plan_.get(); }
+
   // Counterfactual feature-importance helper (§IV-A): replaces every
   // feature of `group` with its TRAINING-CORPUS MEAN (neutral imputation).
   // Unlike hard silencing, this measures information loss without pushing
@@ -147,8 +166,16 @@ class SensoryMapper {
   // Fits the per-output affine recalibration on the (standardized) corpus.
   void fit_output_calibration(const ml::RegressionDataset& data);
 
+  // Eval forward for serving: routes through the compiled inference plan at
+  // the process precision (ml::plan_precision()), building or rebuilding it
+  // lazily; falls back to the raw layer graph when the precision is off.
+  ml::Tensor serving_forward(const ml::Tensor& batch) const;
+  void ensure_plan(ml::PlanPrecision precision) const;
+
   SensoryMapperConfig config_;
   std::unique_ptr<ml::Layer> model_;
+  // Compiled lazily from the frozen model; invalidated by fit/load.
+  mutable std::unique_ptr<ml::InferencePlan> plan_;
   bool trained_ = false;
   // Per-feature standardization fitted on the training corpus.
   std::vector<float> feat_mean_;

@@ -24,7 +24,7 @@ std::vector<WindowSpan> window_grid(double settle, double stride,
 }
 
 ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
-                             const SignatureConfig& config) {
+                             const SignatureConfig& config, bool fast_f32) {
   const std::size_t n = audio.num_samples();
   if (n < config.frame_size)
     throw std::invalid_argument{"compute_signature: window shorter than one frame"};
@@ -38,6 +38,7 @@ ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
   stft_cfg.frame_size = config.frame_size;
   stft_cfg.hop_size = hop;
   stft_cfg.sample_rate = audio.sample_rate;
+  stft_cfg.fast_f32 = fast_f32;
 
   const auto shape = signature_shape(config);
   ml::Tensor out({1, shape.channels, shape.frames, shape.bands});

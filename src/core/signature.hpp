@@ -49,9 +49,12 @@ std::vector<WindowSpan> window_grid(double settle, double stride,
 // the base window (time-shift augmentation): the STFT hop is stretched so the
 // output grid always has exactly `target_frames` frames, exposing the whole
 // (head-wind-lengthened) actuation process at the same resolution.
-// Returns a [1, C, H, W] tensor ready to batch.
+// Returns a [1, C, H, W] tensor ready to batch.  `fast_f32` selects the
+// float32 STFT pipeline of the SB_PRECISION=f32 serving path (SensoryMapper
+// opts serving in; training and dataset building keep the exact default).
 ml::Tensor compute_signature(const acoustics::MultiChannelAudio& audio,
-                             const SignatureConfig& config);
+                             const SignatureConfig& config,
+                             bool fast_f32 = false);
 
 // Convenience: zeroes one frequency group in a precomputed signature batch
 // (counterfactual feature-importance analysis, §IV-A).

@@ -53,6 +53,60 @@ std::shared_ptr<const FftPlan> get_plan(std::size_t n) {
   return slot;
 }
 
+// Advance the twiddle w by one step of the recurrence w *= wlen.
+inline void twiddle_step(double& wr, double& wi, double wlr, double wli) {
+  const double nwr = wr * wlr - wi * wli;
+  wi = wr * wli + wi * wlr;
+  wr = nwr;
+}
+
+// f32 plan: the shared bit-reversal table plus PRECOMPUTED per-stage float
+// twiddles (interleaved [wr, wi], stages concatenated — 2*(n-1) floats, 8 KB
+// at n=1024, L1-resident).  The double path deliberately keeps the in-register
+// recurrence (its cached table measured ~2x slower), but the trade-off flips
+// here: the f32 vector butterflies consume FOUR twiddles per 32-byte load,
+// and the serial recurrence chain (~one dependent complex multiply per
+// butterfly) is what limits the float transform, not the arithmetic.  The
+// table is built with the SAME double recurrence rounded to float once per
+// twiddle, so table and recurrence butterflies compute identical values.
+struct FftPlanF32 {
+  std::shared_ptr<const FftPlan> base;   // shared bit-reversal
+  std::vector<float> tw;                 // per-stage interleaved twiddles
+
+  FftPlanF32(std::size_t n, std::shared_ptr<const FftPlan> shared_base)
+      : base(std::move(shared_base)) {
+    tw.reserve(n >= 2 ? 2 * (n - 1) : 0);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+      const double wlr = std::cos(ang);
+      const double wli = std::sin(ang);
+      double wr = 1.0, wi = 0.0;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        tw.push_back(static_cast<float>(wr));
+        tw.push_back(static_cast<float>(wi));
+        twiddle_step(wr, wi, wlr, wli);
+      }
+    }
+  }
+};
+
+std::shared_ptr<const FftPlanF32> get_plan_f32(std::size_t n) {
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t, std::shared_ptr<const FftPlanF32>> cache;
+  static obs::Counter& hits = obs::Registry::instance().counter("fft.plan_hits");
+  static obs::Counter& misses = obs::Registry::instance().counter("fft.plan_misses");
+  auto base = get_plan(n);  // outside our lock; get_plan locks its own map
+  std::lock_guard<std::mutex> lock{mutex};
+  auto& slot = cache[n];
+  if (!slot) {
+    slot = std::make_shared<const FftPlanF32>(n, std::move(base));
+    misses.add();
+  } else {
+    hits.add();
+  }
+  return slot;
+}
+
 // Both butterfly variants below compute the SAME per-element formula —
 //   v = (xr*wr - xi*wi, xr*wi + xi*wr);  lo = u + v;  hi = u - v
 // (the naive complex multiply, which std::complex also lowers to for finite
@@ -74,13 +128,6 @@ inline void butterfly_at(double* lo, double* hi, std::size_t k, double wr,
   lo[2 * k + 1] = ui + vi;
   hi[2 * k] = ur - vr;
   hi[2 * k + 1] = ui - vi;
-}
-
-// Advance the twiddle w by one step of the recurrence w *= wlen.
-inline void twiddle_step(double& wr, double& wi, double wlr, double wli) {
-  const double nwr = wr * wlr - wi * wli;
-  wi = wr * wli + wi * wlr;
-  wr = nwr;
 }
 
 void butterflies_scalar(double* d, std::size_t n, std::size_t len, double wlr,
@@ -131,6 +178,57 @@ void butterflies_vector(double* d, std::size_t n, std::size_t len, double wlr,
   }
 }
 
+// Float butterflies for fft_inplace_f32.  Same per-element formula as the
+// double pair above, but twiddles come from the plan's precomputed table
+// (see FftPlanF32) instead of the in-register recurrence — both variants
+// read the SAME floats, so scalar and vector stay bitwise-identical.
+inline void butterfly_at_f(float* lo, float* hi, std::size_t k, float wr,
+                           float wi) {
+  const float xr = hi[2 * k];
+  const float xi = hi[2 * k + 1];
+  const float vr = xr * wr - xi * wi;
+  const float vi = xr * wi + xi * wr;
+  const float ur = lo[2 * k];
+  const float ui = lo[2 * k + 1];
+  lo[2 * k] = ur + vr;
+  lo[2 * k + 1] = ui + vi;
+  hi[2 * k] = ur - vr;
+  hi[2 * k + 1] = ui - vi;
+}
+
+void butterflies_scalar_f(float* d, std::size_t n, std::size_t len,
+                          const float* tw) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len) {
+    float* lo = d + 2 * i;
+    float* hi = lo + 2 * half;
+    for (std::size_t k = 0; k < half; ++k)
+      butterfly_at_f(lo, hi, k, tw[2 * k], tw[2 * k + 1]);
+  }
+}
+
+void butterflies_vector_f(float* d, std::size_t n, std::size_t len,
+                          const float* tw) {
+  namespace v = util::simd;
+  constexpr std::size_t kCplx = v::kFloatLanes / 2;  // complexes per vector
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len) {
+    float* lo = d + 2 * i;
+    float* hi = lo + 2 * half;
+    std::size_t k = 0;
+    for (; k + kCplx <= half; k += kCplx) {
+      const v::VFloat w = v::load(tw + 2 * k);
+      const v::VFloat x = v::load(hi + 2 * k);
+      const v::VFloat u = v::load(lo + 2 * k);
+      const v::VFloat vv = v::cmul(x, w);
+      v::store(lo + 2 * k, v::add(u, vv));
+      v::store(hi + 2 * k, v::sub(u, vv));
+    }
+    for (; k < half; ++k)
+      butterfly_at_f(lo, hi, k, tw[2 * k], tw[2 * k + 1]);
+  }
+}
+
 void fft_impl(std::span<std::complex<double>> a, bool inverse) {
   const std::size_t n = a.size();
   if (!is_pow2(n)) throw std::invalid_argument{"fft: size must be a power of two"};
@@ -162,6 +260,31 @@ void fft_impl(std::span<std::complex<double>> a, bool inverse) {
     for (auto& x : a) x /= static_cast<double>(n);
 }
 
+void fft_impl_f32(std::span<std::complex<float>> a) {
+  const std::size_t n = a.size();
+  if (!is_pow2(n)) throw std::invalid_argument{"fft: size must be a power of two"};
+  const auto plan = get_plan_f32(n);
+  const auto& rev = plan->base->rev;
+
+  for (std::size_t i = 1; i < n; ++i)
+    if (i < rev[i]) std::swap(a[i], a[rev[i]]);
+
+  // std::complex<float> is layout-compatible with float[2] ([complex.numbers]).
+  float* d = reinterpret_cast<float*>(a.data());
+  // Unlike the double path, every built ISA already fits >= 2 complexes per
+  // float vector (4 float lanes on SSE2/NEON, 8 on AVX2), so the vector
+  // butterflies always engage when the runtime backend allows it.
+  const bool vec = util::simd::kFloatLanes >= 4 && util::simd_enabled();
+  const float* tw = plan->tw.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    if (vec)
+      butterflies_vector_f(d, n, len, tw);
+    else
+      butterflies_scalar_f(d, n, len, tw);
+    tw += len;  // this stage consumed len/2 interleaved twiddles
+  }
+}
+
 }  // namespace
 
 void fft(std::vector<std::complex<double>>& data) { fft_impl(data, false); }
@@ -170,10 +293,19 @@ void ifft(std::vector<std::complex<double>>& data) { fft_impl(data, true); }
 void fft_inplace(std::span<std::complex<double>> data) { fft_impl(data, false); }
 void ifft_inplace(std::span<std::complex<double>> data) { fft_impl(data, true); }
 
+void fft_inplace_f32(std::span<std::complex<float>> data) { fft_impl_f32(data); }
+
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+void warm_fft_plan(std::size_t n) {
+  if (n == 0) return;
+  // Warm both precisions: the f32 plan (twiddle table) is ~8 KB at n=1024
+  // and serving can flip to SB_PRECISION=f32 after the session was built.
+  (void)get_plan_f32(next_pow2(n));  // builds the double plan as its base
 }
 
 std::vector<std::complex<double>> fft_real(std::span<const double> signal) {

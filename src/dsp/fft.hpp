@@ -21,6 +21,15 @@ void ifft(std::vector<std::complex<double>>& data);
 void fft_inplace(std::span<std::complex<double>> data);
 void ifft_inplace(std::span<std::complex<double>> data);
 
+// Single-precision forward transform for the opt-in float32 serving path
+// (SB_PRECISION=f32; see DESIGN.md "Inference plan").  Shares the memoized
+// bit-reversal plan with the double transform and adds a per-stage float
+// twiddle table (built once per size with the double recurrence, rounded to
+// float once per twiddle), so the only working precision lost is the
+// butterfly arithmetic itself; scalar and vector paths are bitwise-identical,
+// like fft_inplace (pinned by simd_test).
+void fft_inplace_f32(std::span<std::complex<float>> data);
+
 // FFT of a real signal; input is zero-padded to the next power of two.
 // Returns the full complex spectrum of length next_pow2(n).
 std::vector<std::complex<double>> fft_real(std::span<const double> signal);
@@ -34,6 +43,12 @@ double bin_frequency(std::size_t k, std::size_t n, double sample_rate);
 
 // Smallest power of two >= n (n >= 1).
 std::size_t next_pow2(std::size_t n);
+
+// Pre-builds the memoized FFT plans (bit-reversal table + the f32 twiddle
+// table) for size next_pow2(n), so a latency-sensitive caller's first
+// transform doesn't pay the one-time plan construction (stream sessions warm
+// this at creation).
+void warm_fft_plan(std::size_t n);
 
 // Single-bin DFT (Goertzel algorithm): magnitude of the component at
 // target_hz.  Cheaper than a full FFT when only a few bins are needed.

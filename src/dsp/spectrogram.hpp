@@ -16,6 +16,12 @@ struct StftConfig {
   std::size_t hop_size = 512;      // samples between frame starts
   WindowType window = WindowType::kHann;
   double sample_rate = 16000.0;
+  // Opt-in float32 frame pipeline (windowing rounded to float once per
+  // sample, fft_inplace_f32, sqrt magnitudes) for the SB_PRECISION=f32
+  // serving path.  Off = the exact double pipeline; results differ at float
+  // rounding level when on.  Serving opts in via SensoryMapper; training and
+  // dataset building always use the exact path.
+  bool fast_f32 = false;
 };
 
 // One STFT result: frames x bins magnitude grid.

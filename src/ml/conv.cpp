@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ml/gemm.hpp"
+#include "ml/plan.hpp"
 #include "ml/workspace.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
@@ -129,6 +130,11 @@ Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
       },
       1);
   return y;
+}
+
+bool Conv2D::compile(PlanBuilder& builder) {
+  builder.conv2d(weight_.value, bias_.value, in_c_, out_c_, k_, stride_, pad_);
+  return true;
 }
 
 void Conv2D::forward_reference(const Tensor& x, Tensor& y, std::size_t n,
@@ -298,6 +304,11 @@ Tensor DepthwiseConv2D::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
+bool DepthwiseConv2D::compile(PlanBuilder& builder) {
+  builder.depthwise(weight_.value, bias_.value, c_, k_, stride_, pad_);
+  return true;
+}
+
 void DepthwiseConv2D::forward_reference(const Tensor& x, Tensor& y, std::size_t n,
                                         std::size_t h, std::size_t w,
                                         std::size_t oh, std::size_t ow) const {
@@ -464,6 +475,30 @@ Tensor ResidualBlock::forward(const Tensor& x, bool train) {
   }
   for (; i < numel; ++i) p[i] = std::max(p[i], 0.0f);
   return y;
+}
+
+bool ResidualBlock::compile(PlanBuilder& builder) {
+  // Both branches read the block input, so its register stays pinned while
+  // either branch allocates; the main output is pinned across the shortcut
+  // compile for the same reason.  The join writes in place over main.
+  const int entry = builder.current_reg();
+  const std::vector<std::size_t> entry_shape = builder.item_shape();
+  builder.pin(entry);
+  main_.compile(builder);
+  const int main_reg = builder.current_reg();
+  const std::vector<std::size_t> main_shape = builder.item_shape();
+  int short_reg = entry;
+  if (shortcut_) {
+    builder.pin(main_reg);
+    builder.set_current(entry, entry_shape);
+    shortcut_->compile(builder);
+    short_reg = builder.current_reg();
+    builder.unpin(main_reg);
+  }
+  builder.unpin(entry);
+  builder.set_current(main_reg, main_shape);
+  builder.add_relu(main_reg, short_reg);
+  return true;
 }
 
 Tensor ResidualBlock::backward(const Tensor& grad_out) {

@@ -22,6 +22,7 @@ class Conv2D final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  bool compile(PlanBuilder& builder) override;
 
  private:
   void forward_reference(const Tensor& x, Tensor& y, std::size_t n, std::size_t h,
@@ -45,6 +46,7 @@ class DepthwiseConv2D final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  bool compile(PlanBuilder& builder) override;
 
  private:
   void forward_reference(const Tensor& x, Tensor& y, std::size_t n, std::size_t h,
@@ -70,6 +72,7 @@ class DepthwiseSeparableBlock final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return body_.params(); }
   std::vector<Tensor*> state() override { return body_.state(); }
+  bool compile(PlanBuilder& builder) override { return body_.compile(builder); }
 
  private:
   Sequential body_;
@@ -86,6 +89,7 @@ class ResidualBlock final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
   std::vector<Tensor*> state() override;
+  bool compile(PlanBuilder& builder) override;
 
  private:
   Sequential main_;

@@ -9,6 +9,8 @@
 
 namespace sb::ml {
 
+class PlanBuilder;
+
 // A learnable parameter and its gradient accumulator.
 struct Param {
   Tensor value;
@@ -36,6 +38,14 @@ class Layer {
   // Serialization must persist these alongside params() or a reloaded model
   // will not reproduce the trained one's eval-mode behaviour.
   virtual std::vector<Tensor*> state() { return {}; }
+
+  // Lowers this layer's eval-mode forward onto an inference plan (see
+  // ml/plan.hpp).  Every layer must either override this with its
+  // fold/fuse emission or keep this default, which opts out: the plan then
+  // runs the layer through a graph-call fallback op (still bitwise, no
+  // speedup).  Overrides must reproduce forward(x, false) exactly for the
+  // exact ("f64") plan — PlanEquivalence pins this.
+  virtual bool compile(PlanBuilder&) { return false; }
 };
 
 // Runs sub-layers in order.
@@ -79,6 +89,10 @@ class Sequential final : public Layer {
       for (Tensor* t : l->state()) out.push_back(t);
     return out;
   }
+
+  // Lowers each child in order; children that opt out become graph-call
+  // fallback ops.  Defined in plan.cpp.
+  bool compile(PlanBuilder& builder) override;
 
   std::size_t size() const { return layers_.size(); }
 

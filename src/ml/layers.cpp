@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ml/gemm.hpp"
+#include "ml/plan.hpp"
 #include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
@@ -30,6 +31,11 @@ Tensor Dense::forward(const Tensor& x, bool /*train*/) {
   matmul_nt(x.data(), in_, weight_.value.data(), in_, y.data(), out_, n, in_,
             out_, true);
   return y;
+}
+
+bool Dense::compile(PlanBuilder& builder) {
+  builder.dense(weight_.value, bias_.value, in_, out_);
+  return true;
 }
 
 Tensor Dense::backward(const Tensor& grad_out) {
@@ -78,6 +84,11 @@ Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
+bool ReLU::compile(PlanBuilder& builder) {
+  builder.relu(cap_);
+  return true;
+}
+
 Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   float* gp = g.data();
@@ -112,6 +123,11 @@ Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
   util::parallel_for(y.numel(), [&](std::size_t i) { y[i] = std::tanh(y[i]); });
   cached_y_ = y;
   return y;
+}
+
+bool Tanh::compile(PlanBuilder& builder) {
+  builder.tanh();
+  return true;
 }
 
 Tensor Tanh::backward(const Tensor& grad_out) {
@@ -211,6 +227,12 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
   return y;
 }
 
+bool BatchNorm::compile(PlanBuilder& builder) {
+  builder.batchnorm(gamma_.value, beta_.value, running_mean_, running_var_,
+                    eps_);
+  return true;
+}
+
 Tensor BatchNorm::backward(const Tensor& grad_out) {
   const std::size_t n = cached_n_, c = channels_, hw = cached_hw_;
   const float count = static_cast<float>(n * hw);
@@ -277,6 +299,11 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
   return y;
 }
 
+bool GlobalAvgPool::compile(PlanBuilder& builder) {
+  builder.global_avg_pool();
+  return true;
+}
+
 Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
   const std::size_t n = cached_shape_[0], c = cached_shape_[1];
   const std::size_t hw = cached_shape_[2] * cached_shape_[3];
@@ -300,6 +327,11 @@ Tensor Flatten::backward(const Tensor& grad_out) {
   return grad_out.reshaped(cached_shape_);
 }
 
+bool Flatten::compile(PlanBuilder& builder) {
+  builder.flatten();
+  return true;
+}
+
 Dropout::Dropout(float rate, Rng& rng) : rate_(rate), rng_(&rng) {}
 
 Tensor Dropout::forward(const Tensor& x, bool train) {
@@ -314,6 +346,11 @@ Tensor Dropout::forward(const Tensor& x, bool train) {
     y[i] *= mask_[i];
   }
   return y;
+}
+
+bool Dropout::compile(PlanBuilder& builder) {
+  builder.identity();
+  return true;
 }
 
 Tensor Dropout::backward(const Tensor& grad_out) {

@@ -13,6 +13,7 @@ class Dense final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  bool compile(PlanBuilder& builder) override;
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
@@ -30,6 +31,7 @@ class ReLU final : public Layer {
   explicit ReLU(float cap = 0.0f) : cap_(cap) {}
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool compile(PlanBuilder& builder) override;
 
  private:
   float cap_;
@@ -40,6 +42,7 @@ class Tanh final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool compile(PlanBuilder& builder) override;
 
  private:
   Tensor cached_y_;
@@ -55,6 +58,9 @@ class BatchNorm final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&gamma_, &beta_}; }
   std::vector<Tensor*> state() override { return {&running_mean_, &running_var_}; }
+  // Folds into the preceding conv/dense weights on the f32 plan; fuses as
+  // an exact eval-mode affine epilogue on the f64 plan.
+  bool compile(PlanBuilder& builder) override;
 
  private:
   std::size_t channels_;
@@ -72,6 +78,7 @@ class GlobalAvgPool final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool compile(PlanBuilder& builder) override;
 
  private:
   Shape cached_shape_;
@@ -82,6 +89,7 @@ class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool compile(PlanBuilder& builder) override;
 
  private:
   Shape cached_shape_;
@@ -93,6 +101,7 @@ class Dropout final : public Layer {
   Dropout(float rate, Rng& rng);
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  bool compile(PlanBuilder& builder) override;  // identity in eval mode
 
  private:
   float rate_;

@@ -22,6 +22,11 @@ class NeuralOdeBlock final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&w1_, &b1_, &w2_, &b2_}; }
 
+  // Explicitly opts out of plan lowering (ml/plan.hpp): the unrolled Euler
+  // integration is a loop over shared-weight GEMMs, not a single foldable
+  // op, so inference plans run it through the graph-call fallback.
+  bool compile(PlanBuilder&) override { return false; }
+
  private:
   // f(h) = W2 tanh(W1 h + b1) + b2, evaluated on [N, D] batches.
   Tensor eval_f(const Tensor& h, Tensor& pre_act) const;

@@ -46,6 +46,9 @@ RcaSession::RcaSession(std::uint64_t id, const core::SensoryMapper& mapper,
                      /*count_metrics=*/false}} {
   if (!mapper.trained())
     throw std::logic_error{"RcaSession: mapper not trained"};
+  // Pay serving's one-time costs (FFT plan, window coefficients, compiled
+  // inference plan) now rather than inside the first window's latency.
+  mapper.warm_serving();
 }
 
 void RcaSession::push_audio(const acoustics::MultiChannelAudio& chunk) {

@@ -100,6 +100,11 @@ inline VDouble dup_odd(VDouble a) { return _mm256_permute_pd(a, 0xF); }
 inline VDouble swap_pairs(VDouble a) { return _mm256_permute_pd(a, 0x5); }
 // even lanes: a - b, odd lanes: a + b.
 inline VDouble addsub(VDouble a, VDouble b) { return _mm256_addsub_pd(a, b); }
+// Float interleaved-complex helpers (4 complexes/vector).
+inline VFloat dup_even(VFloat a) { return _mm256_moveldup_ps(a); }
+inline VFloat dup_odd(VFloat a) { return _mm256_movehdup_ps(a); }
+inline VFloat swap_pairs(VFloat a) { return _mm256_permute_ps(a, 0xB1); }
+inline VFloat addsub(VFloat a, VFloat b) { return _mm256_addsub_ps(a, b); }
 
 #elif defined(SB_SIMD_SSE2)
 
@@ -139,6 +144,14 @@ inline VDouble addsub(VDouble a, VDouble b) {
   // a + (b ^ [-0.0, 0.0]): IEEE-754 guarantees x - y == x + (-y) bitwise.
   const VDouble flip = _mm_set_pd(0.0, -0.0);
   return _mm_add_pd(a, _mm_xor_pd(b, flip));
+}
+// Float interleaved-complex helpers (2 complexes/vector).
+inline VFloat dup_even(VFloat a) { return _mm_shuffle_ps(a, a, 0xA0); }
+inline VFloat dup_odd(VFloat a) { return _mm_shuffle_ps(a, a, 0xF5); }
+inline VFloat swap_pairs(VFloat a) { return _mm_shuffle_ps(a, a, 0xB1); }
+inline VFloat addsub(VFloat a, VFloat b) {
+  const VFloat flip = _mm_set_ps(0.0f, -0.0f, 0.0f, -0.0f);
+  return _mm_add_ps(a, _mm_xor_ps(b, flip));
 }
 
 #elif defined(SB_SIMD_NEON)
@@ -187,6 +200,15 @@ inline VDouble addsub(VDouble a, VDouble b) {
   const uint64x2_t flip = {0x8000000000000000ULL, 0};
   return vaddq_f64(
       a, vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(b), flip)));
+}
+// Float interleaved-complex helpers (2 complexes/vector).
+inline VFloat dup_even(VFloat a) { return vtrn1q_f32(a, a); }
+inline VFloat dup_odd(VFloat a) { return vtrn2q_f32(a, a); }
+inline VFloat swap_pairs(VFloat a) { return vrev64q_f32(a); }
+inline VFloat addsub(VFloat a, VFloat b) {
+  const uint32x4_t flip = {0x80000000u, 0, 0x80000000u, 0};
+  return vaddq_f32(
+      a, vreinterpretq_f32_u32(veorq_u32(vreinterpretq_u32_f32(b), flip)));
 }
 
 #else  // SB_SIMD_SCALAR — per-lane loops; identical operations, no vector ISA.
@@ -330,6 +352,34 @@ inline VDouble addsub(VDouble a, VDouble b) {
   return r;
 }
 
+inline VFloat dup_even(VFloat a) {
+  VFloat r;
+  for (std::size_t i = 0; i < kFloatLanes; i += 2) r.v[i] = r.v[i + 1] = a.v[i];
+  return r;
+}
+inline VFloat dup_odd(VFloat a) {
+  VFloat r;
+  for (std::size_t i = 0; i < kFloatLanes; i += 2)
+    r.v[i] = r.v[i + 1] = a.v[i + 1];
+  return r;
+}
+inline VFloat swap_pairs(VFloat a) {
+  VFloat r;
+  for (std::size_t i = 0; i < kFloatLanes; i += 2) {
+    r.v[i] = a.v[i + 1];
+    r.v[i + 1] = a.v[i];
+  }
+  return r;
+}
+inline VFloat addsub(VFloat a, VFloat b) {
+  VFloat r;
+  for (std::size_t i = 0; i < kFloatLanes; i += 2) {
+    r.v[i] = a.v[i] - b.v[i];
+    r.v[i + 1] = a.v[i + 1] + b.v[i + 1];
+  }
+  return r;
+}
+
 #endif
 
 // std::max(a, b) per lane — returns a on unordered (NaN) comparisons and
@@ -342,6 +392,9 @@ inline VFloat vmin(VFloat a, VFloat b) { return select(cmp_lt(b, a), b, a); }
 // per-component operation order of `(xr*wr - xi*wi, xr*wi + xi*wr)`.
 inline VDouble cmul(VDouble x, VDouble w) {
   return addsub(muld(dup_even(x), w), muld(dup_odd(x), swap_pairs(w)));
+}
+inline VFloat cmul(VFloat x, VFloat w) {
+  return addsub(mul(dup_even(x), w), mul(dup_odd(x), swap_pairs(w)));
 }
 
 }  // namespace simd

@@ -10,9 +10,16 @@
 #include "dsp/window.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace sb::dsp {
 namespace {
+
+struct SimdBackendGuard {
+  util::SimdBackend saved = util::simd_backend();
+  explicit SimdBackendGuard(util::SimdBackend b) { util::set_simd_backend(b); }
+  ~SimdBackendGuard() { util::set_simd_backend(saved); }
+};
 
 std::vector<double> sine(double freq, double fs, std::size_t n, double amp = 1.0) {
   std::vector<double> s(n);
@@ -86,6 +93,31 @@ TEST(Fft, GoertzelMatchesFftAtBin) {
   const auto s = sine(f, fs, 1024, 1.5);
   EXPECT_NEAR(goertzel(s, f, fs), 1.5, 0.05);
   EXPECT_NEAR(goertzel(s, f * 2, fs), 0.0, 0.05);
+}
+
+TEST(Fft, F32TracksDoubleTransform) {
+  Rng rng{11};
+  const std::size_t n = 1024;
+  std::vector<std::complex<double>> ref(n);
+  std::vector<std::complex<float>> f32(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = rng.normal(), im = rng.normal();
+    ref[i] = {re, im};
+    f32[i] = {static_cast<float>(re), static_cast<float>(im)};
+  }
+  fft(ref);
+  fft_inplace_f32(f32);
+  double peak = 0.0;
+  for (const auto& x : ref) peak = std::max(peak, std::abs(x));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(f32[i].real(), ref[i].real(), 1e-5 * peak);
+    EXPECT_NEAR(f32[i].imag(), ref[i].imag(), 1e-5 * peak);
+  }
+}
+
+TEST(Fft, F32RejectsNonPowerOfTwo) {
+  std::vector<std::complex<float>> data(100);
+  EXPECT_THROW(fft_inplace_f32(data), std::invalid_argument);
 }
 
 TEST(Fft, PlanCacheHitsOnWarmSize) {
@@ -185,6 +217,48 @@ TEST(Stft, AmplitudeTracksToneLevel) {
   const auto bq = band_amplitude_over_time(stft(quiet, cfg), 900, 1100);
   const auto bl = band_amplitude_over_time(stft(loud, cfg), 900, 1100);
   EXPECT_NEAR(bl[0] / bq[0], 3.0, 0.2);
+}
+
+TEST(Stft, FastF32TracksExactPipeline) {
+  StftConfig cfg;
+  cfg.frame_size = 1024;
+  cfg.hop_size = 512;
+  cfg.sample_rate = 16000.0;
+  Rng rng{13};
+  auto s = sine(2500.0, cfg.sample_rate, 8000, 1.0);
+  for (auto& v : s) v += rng.normal(0.0, 0.05);
+  const auto exact = stft(s, cfg);
+  cfg.fast_f32 = true;
+  const auto fast = stft(s, cfg);
+  ASSERT_EQ(fast.num_frames, exact.num_frames);
+  ASSERT_EQ(fast.num_bins, exact.num_bins);
+  double peak = 0.0;
+  for (double m : exact.mags) peak = std::max(peak, m);
+  ASSERT_GT(peak, 0.0);
+  for (std::size_t i = 0; i < exact.mags.size(); ++i)
+    EXPECT_NEAR(fast.mags[i], exact.mags[i], 1e-5 * peak) << "cell " << i;
+}
+
+TEST(Stft, FastF32ScalarAndVectorBackendsAreBitwiseIdentical) {
+  StftConfig cfg;
+  cfg.frame_size = 512;
+  cfg.hop_size = 256;
+  cfg.fast_f32 = true;
+  Rng rng{14};
+  std::vector<double> s(4096);
+  for (auto& v : s) v = rng.normal(0.0, 0.3);
+  Spectrogram vec, sca;
+  {
+    SimdBackendGuard g{util::SimdBackend::kVector};
+    vec = stft(s, cfg);
+  }
+  {
+    SimdBackendGuard g{util::SimdBackend::kScalar};
+    sca = stft(s, cfg);
+  }
+  ASSERT_EQ(vec.mags.size(), sca.mags.size());
+  for (std::size_t i = 0; i < vec.mags.size(); ++i)
+    ASSERT_EQ(vec.mags[i], sca.mags[i]) << "cell " << i;
 }
 
 TEST(Biquad, LowPassAttenuatesHighFrequency) {

@@ -241,6 +241,115 @@ TEST(Integration, SaveLoadRoundTripPreservesPredictions) {
   std::remove(path.c_str());
 }
 
+// Guard that restores the process serving precision (tests share one
+// process; leaking a precision override would change later tests' paths).
+struct PlanPrecisionGuard {
+  explicit PlanPrecisionGuard(ml::PlanPrecision p)
+      : prev_(ml::plan_precision()) {
+    ml::set_plan_precision(p);
+  }
+  ~PlanPrecisionGuard() { ml::set_plan_precision(prev_); }
+  ml::PlanPrecision prev_;
+};
+
+// The compiled plan packs frozen weights, so load() must invalidate it and
+// serving must rebuild from the LOADED weights: save -> load -> serve via
+// the exact plan has to match the original mapper's raw-graph predictions
+// bitwise (the exact plan is pinned bitwise-equal to the graph by
+// PlanEquivalence in ml_test; this pins the rebuild-after-load plumbing).
+TEST(Integration, SaveLoadRebuildsInferencePlan) {
+  const auto& p = pipeline();
+  const std::string path = "/tmp/soundboost_test_plan_model.bin";
+  ASSERT_TRUE(p.mapper->save(path));
+  core::SensoryMapper loaded{p.mapper->config()};
+  ASSERT_TRUE(loaded.load(path));
+
+  const auto& f = p.benign.front();
+  std::vector<TimedPrediction> graph, planned;
+  {
+    PlanPrecisionGuard off{ml::PlanPrecision::kOff};
+    graph = p.mapper->predict_flight(test::lab(), f);
+  }
+  {
+    PlanPrecisionGuard exact{ml::PlanPrecision::kF64};
+    loaded.warm_serving();
+    ASSERT_NE(loaded.serving_plan(), nullptr);
+    EXPECT_EQ(loaded.serving_plan()->precision(), ml::PlanPrecision::kF64);
+    planned = loaded.predict_flight(test::lab(), f);
+  }
+  ASSERT_EQ(graph.size(), planned.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_EQ(graph[i].accel.x, planned[i].accel.x) << i;
+    EXPECT_EQ(graph[i].accel.y, planned[i].accel.y) << i;
+    EXPECT_EQ(graph[i].accel.z, planned[i].accel.z) << i;
+    EXPECT_EQ(graph[i].vel.x, planned[i].vel.x) << i;
+    EXPECT_EQ(graph[i].vel.y, planned[i].vel.y) << i;
+    EXPECT_EQ(graph[i].vel.z, planned[i].vel.z) << i;
+  }
+  std::remove(path.c_str());
+}
+
+// The opt-in float32 plan folds BatchNorm into the weights (one rounding
+// per weight), so its predictions drift — but verdicts must agree with the
+// reference path on every fixture flight, and the drift must stay orders
+// of magnitude under the detector thresholds.
+TEST(Integration, F32PlanKeepsVerdictsAndBoundsDrift) {
+  const auto& p = pipeline();
+  RcaEngine engine{*p.mapper, *p.imu_det, *p.gps_det};
+  const std::vector<Flight> flights = {
+      imu_attack_flight(attacks::ImuAttackType::kAccelDos, 606),
+      gps_attack_flight(607),
+      test::hover_flight(25.0, 608, 0.4),
+  };
+  for (const auto& f : flights) {
+    RcaReport ref, fast;
+    {
+      PlanPrecisionGuard off{ml::PlanPrecision::kOff};
+      ref = engine.analyze(test::lab(), f);
+    }
+    {
+      PlanPrecisionGuard folded{ml::PlanPrecision::kF32};
+      fast = engine.analyze(test::lab(), f);
+    }
+    EXPECT_EQ(ref.imu_attacked, fast.imu_attacked);
+    EXPECT_EQ(ref.gps_attacked, fast.gps_attacked);
+    EXPECT_EQ(ref.gps_mode_used, fast.gps_mode_used);
+  }
+
+  // Component-wise prediction drift on a benign flight.
+  std::vector<TimedPrediction> ref, fast;
+  {
+    PlanPrecisionGuard off{ml::PlanPrecision::kOff};
+    ref = p.mapper->predict_flight(test::lab(), flights.back());
+  }
+  {
+    PlanPrecisionGuard folded{ml::PlanPrecision::kF32};
+    fast = p.mapper->predict_flight(test::lab(), flights.back());
+  }
+  ASSERT_EQ(ref.size(), fast.size());
+  ASSERT_FALSE(ref.empty());
+  double mse = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double d[6] = {fast[i].accel.x - ref[i].accel.x,
+                         fast[i].accel.y - ref[i].accel.y,
+                         fast[i].accel.z - ref[i].accel.z,
+                         fast[i].vel.x - ref[i].vel.x,
+                         fast[i].vel.y - ref[i].vel.y,
+                         fast[i].vel.z - ref[i].vel.z};
+    for (double v : d) {
+      EXPECT_TRUE(std::isfinite(v));
+      mse += v * v;
+      ++n;
+    }
+  }
+  // The f32 path rounds both the STFT front end and the folded weights at
+  // float level; prediction drift stays orders of magnitude below the
+  // detector thresholds (measured MSE ~1e-12 on the bench workload).  A
+  // violation means the f32 math is wrong, not that float noise grew.
+  EXPECT_LT(mse / static_cast<double>(n), 1e-6);
+}
+
 TEST(Integration, LoadRejectsWrongModelKind) {
   const auto& p = pipeline();
   const std::string path = "/tmp/soundboost_test_model2.bin";

@@ -29,6 +29,7 @@
 #include "ml/gemm.hpp"
 #include "ml/layers.hpp"
 #include "ml/models.hpp"
+#include "ml/plan.hpp"
 #include "ml/tensor.hpp"
 #include "ml/trainer.hpp"
 #include "obs/metrics.hpp"
@@ -218,6 +219,29 @@ TEST(SimdFftTest, ForwardAndInverseBitIdenticalAcrossBackends) {
                       run(util::SimdBackend::kScalar, false), "fft");
     expect_bits_equal(run(util::SimdBackend::kVector, true),
                       run(util::SimdBackend::kScalar, true), "ifft");
+  }
+}
+
+TEST(SimdFftTest, F32ForwardBitIdenticalAcrossBackends) {
+  for (std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{64},
+                        std::size_t{1024}}) {
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    Rng rng{9100 + n};
+    std::vector<std::complex<float>> data(n);
+    for (auto& z : data)
+      z = {static_cast<float>(rng.normal(0.0, 1.0)),
+           static_cast<float>(rng.normal(0.0, 1.0))};
+
+    auto run = [&](util::SimdBackend backend) {
+      SimdBackendGuard guard{backend};
+      auto copy = data;
+      dsp::fft_inplace_f32(copy);
+      std::vector<float> flat(2 * n);
+      std::memcpy(flat.data(), copy.data(), flat.size() * sizeof(float));
+      return flat;
+    };
+    expect_bits_equal(run(util::SimdBackend::kVector),
+                      run(util::SimdBackend::kScalar), "fft_f32");
   }
 }
 
@@ -454,16 +478,27 @@ TEST(WorkspaceTest, ServingSteadyStateMakesNoHeapAllocations) {
     ASSERT_EQ(preds.size(), 1u);
   };
 
-  // Warm-up: first passes populate the per-thread free lists (and any
-  // lazily-built caches like the window-coefficient plan).
-  for (int i = 0; i < 3; ++i) serve_once();
+  // The zero-allocation contract covers every serving path: the raw layer
+  // graph AND both compiled-plan precisions (plan compilation itself
+  // allocates — that's a warm-up cost, paid once per precision switch).
+  const ml::PlanPrecision saved = ml::plan_precision();
+  for (const ml::PlanPrecision precision :
+       {ml::PlanPrecision::kOff, ml::PlanPrecision::kF64,
+        ml::PlanPrecision::kF32}) {
+    ml::set_plan_precision(precision);
+    // Warm-up: first passes populate the per-thread free lists, build the
+    // inference plan and any lazily-built caches (window coefficients).
+    for (int i = 0; i < 3; ++i) serve_once();
 
-  auto& heap_allocs =
-      obs::Registry::instance().counter("ml.workspace.heap_allocs");
-  const auto before = heap_allocs.value();
-  for (int i = 0; i < 10; ++i) serve_once();
-  EXPECT_EQ(heap_allocs.value(), before)
-      << "steady-state serving took pool blocks from the heap";
+    auto& heap_allocs =
+        obs::Registry::instance().counter("ml.workspace.heap_allocs");
+    const auto before = heap_allocs.value();
+    for (int i = 0; i < 10; ++i) serve_once();
+    EXPECT_EQ(heap_allocs.value(), before)
+        << "steady-state serving took pool blocks from the heap (plan "
+        << ml::to_string(precision) << ")";
+  }
+  ml::set_plan_precision(saved);
 }
 
 }  // namespace
