@@ -31,6 +31,7 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/simd.hpp"
 #include "util/table.hpp"
@@ -205,6 +206,9 @@ class BenchReport {
   void flush() {
     if (flushed_) return;
     flushed_ = true;
+    // Close the telemetry series with one final (forced) sample so the last
+    // partial interval's deltas are not lost.
+    obs::telemetry_flush();
     const double wall = wall_override_ >= 0.0 ? wall_override_ : timer_.seconds();
     const auto path = bench_output_dir() / ("BENCH_" + name_ + ".json");
     std::ofstream os{path};
@@ -267,6 +271,10 @@ class BenchReport {
       obs::Trace::instance().write_chrome_json(
           (bench_output_dir() / ("TRACE_" + name_ + ".json")).string());
     }
+    // Latency SLOs (targets, attained quantiles, breach counts) get their
+    // own top-level block so dashboards need not dig through `metrics`.
+    w.key("slo");
+    obs::Registry::instance().write_slo_json(w);
     w.key("metrics");
     obs::Registry::instance().write_json(w);
     w.end_object();

@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 #include "detect/ks_test.hpp"
 #include "estimation/velocity_kf.hpp"
+#include "obs/recorder.hpp"
 
 using namespace sb;
 
@@ -97,6 +98,24 @@ void BM_DisabledSpan(benchmark::State& state) {
 }
 BENCHMARK(BM_DisabledSpan);
 
+// The same contract holds for the flight recorder and telemetry switches:
+// with SB_RECORDER unset the per-event check is one relaxed atomic load, and
+// with SB_TELEMETRY unset so is the scheduler's per-pump telemetry_tick().
+void BM_DisabledRecorderProbe(benchmark::State& state) {
+  obs::set_recorder_enabled(false);
+  for (auto _ : state) {
+    bool on = obs::recorder_enabled();
+    benchmark::DoNotOptimize(on);
+  }
+}
+BENCHMARK(BM_DisabledRecorderProbe);
+
+void BM_DisabledTelemetryTick(benchmark::State& state) {
+  obs::set_telemetry("");  // disable regardless of the environment
+  for (auto _ : state) obs::telemetry_tick();
+}
+BENCHMARK(BM_DisabledTelemetryTick);
+
 void BM_EnabledSpan(benchmark::State& state) {
   const bool was = obs::enabled();
   obs::set_enabled(true);
@@ -153,6 +172,23 @@ void report_tracing_overhead(bench::BenchReport& report) {
   }
   const double disabled_span_ns = (obs::now_us() - span_t0) * 1e3 / kSpanIters;
 
+  // Disabled recorder/telemetry probes, measured the same way so the BENCH
+  // json keeps all three "one relaxed atomic load" claims as numbers.
+  obs::set_recorder_enabled(false);
+  const double rec_t0 = obs::now_us();
+  for (int i = 0; i < kSpanIters; ++i) {
+    bool on = obs::recorder_enabled();
+    benchmark::DoNotOptimize(on);
+  }
+  const double disabled_recorder_ns =
+      (obs::now_us() - rec_t0) * 1e3 / kSpanIters;
+
+  obs::set_telemetry("");
+  const double tel_t0 = obs::now_us();
+  for (int i = 0; i < kSpanIters; ++i) obs::telemetry_tick();
+  const double disabled_telemetry_ns =
+      (obs::now_us() - tel_t0) * 1e3 / kSpanIters;
+
   constexpr int kWinIters = 20;
   const double win_t0 = obs::now_us();
   for (int i = 0; i < kWinIters; ++i) {
@@ -175,12 +211,16 @@ void report_tracing_overhead(bench::BenchReport& report) {
       window_seconds > 0.0 ? 100.0 * spans * disabled_span_ns * 1e-9 / window_seconds
                            : 0.0;
   report.metric("disabled_span_ns", disabled_span_ns);
+  report.metric("disabled_recorder_ns", disabled_recorder_ns);
+  report.metric("disabled_telemetry_ns", disabled_telemetry_ns);
   report.metric("spans_per_window", spans);
   report.metric("window_seconds", window_seconds);
   report.metric("tracing_disabled_overhead_pct", overhead_pct);
   std::printf(
-      "tracing disabled: %.2f ns/span, %.0f spans/window -> %.5f%% overhead\n",
-      disabled_span_ns, spans, overhead_pct);
+      "tracing disabled: %.2f ns/span (recorder %.2f ns, telemetry %.2f ns), "
+      "%.0f spans/window -> %.5f%% overhead\n",
+      disabled_span_ns, disabled_recorder_ns, disabled_telemetry_ns, spans,
+      overhead_pct);
 }
 
 }  // namespace

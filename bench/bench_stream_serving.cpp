@@ -94,6 +94,37 @@ bool validate_json_file(const std::filesystem::path& path) {
     std::fprintf(stderr, "stream_serving: %s is not valid JSON\n", path.c_str());
     return false;
   }
+  if (!obs::metrics_json_wellformed(ss.str())) {
+    std::fprintf(stderr, "stream_serving: %s has malformed metrics objects\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// JSONL artifacts (black boxes, telemetry): every nonempty line must be one
+// well-formed JSON object that also passes the strict metrics check.
+bool validate_jsonl_file(const std::filesystem::path& path) {
+  std::ifstream is{path};
+  if (!is) {
+    std::fprintf(stderr, "stream_serving: cannot reopen %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    if (!obs::json_valid(line) || !obs::metrics_json_wellformed(line)) {
+      std::fprintf(stderr, "stream_serving: %s line %zu is not valid JSON\n",
+                   path.c_str(), lines);
+      return false;
+    }
+  }
+  if (lines == 0) {
+    std::fprintf(stderr, "stream_serving: %s is empty\n", path.c_str());
+    return false;
+  }
   return true;
 }
 
@@ -157,7 +188,11 @@ int main(int argc, char** argv) {
   const double tick = 0.1;
   std::size_t verdicts = 0;
   std::size_t windows_inferred = 0, windows_shed = 0, batches_run = 0;
+  std::uint64_t steady_heap_allocs = 0;
   int imu_flagged = 0, gps_flagged = 0;
+  // Black boxes land next to the BENCH json so CI can pick them up.
+  stream::RcaSessionConfig session_config;
+  session_config.recorder.out_dir = bench::bench_output_dir().string();
   const double serve_wall = bench::repeat_median([&](int) {
     for (auto& f : feeds) f.audio_cursor = f.imu_cursor = f.gps_cursor = 0;
     verdicts = 0;
@@ -166,9 +201,18 @@ int main(int argc, char** argv) {
     sessions.reserve(feeds.size());
     for (std::size_t i = 0; i < feeds.size(); ++i)
       sessions.emplace_back(static_cast<std::uint64_t>(i), mapper, det.imu,
-                            det.gps);
+                            det.gps, session_config);
     stream::InferenceScheduler scheduler{mapper};
     for (auto& s : sessions) scheduler.attach(s);
+
+    // Steady-state heap discipline: past the warm-up ticks the scratch pool
+    // must stop growing even with the recorder on (the zero-alloc serving
+    // contract).  Baselined 20% in, checked after the drain.
+    obs::Counter& heap_allocs =
+        obs::Registry::instance().counter("ml.workspace.heap_allocs");
+    const double warm_until = 0.2 * duration;
+    std::uint64_t heap_baseline = 0;
+    bool baselined = false;
 
     bench::Stopwatch serve_timer;
     for (double t = tick; t < duration + tick; t += tick) {
@@ -177,8 +221,13 @@ int main(int argc, char** argv) {
         for ([[maybe_unused]] auto& e : sessions[i].poll_verdicts()) ++verdicts;
       }
       scheduler.pump();
+      if (!baselined && t >= warm_until) {
+        heap_baseline = heap_allocs.value();
+        baselined = true;
+      }
     }
     scheduler.drain();
+    steady_heap_allocs = heap_allocs.value() - heap_baseline;
     const double rep_wall = serve_timer.seconds();
     for (std::size_t i = 0; i < sessions.size(); ++i) {
       const auto r = sessions[i].finish();
@@ -186,6 +235,10 @@ int main(int argc, char** argv) {
       imu_flagged += r.imu_attacked ? 1 : 0;
       gps_flagged += r.gps_attacked ? 1 : 0;
     }
+    // Guarantee one validating black box per run regardless of verdict mix
+    // (force bypasses the rate-limit gap, not the per-session dump bound).
+    if (obs::FlightRecorder* rec = sessions.front().recorder())
+      rec->trigger("bench_snapshot", /*force=*/true);
     windows_inferred = scheduler.windows_inferred();
     windows_shed = scheduler.windows_shed();
     batches_run = scheduler.batches_run();
@@ -205,6 +258,14 @@ int main(int argc, char** argv) {
   report.metric("latency_p50_seconds", latency.p50);
   report.metric("latency_p99_seconds", latency.p99);
   report.metric("latency_max_seconds", latency.max);
+
+  const auto slo = obs::Registry::instance()
+                       .slo("stream.window_to_verdict_seconds")
+                       .snapshot();
+  report.metric("slo_breaches", static_cast<double>(slo.breaches));
+  report.metric("slo_met", slo.met ? 1.0 : 0.0);
+  report.metric("steady_state_heap_allocs",
+                static_cast<double>(steady_heap_allocs));
 
   const double staged = static_cast<double>(windows_inferred + windows_shed);
   report.metric("windows_inferred", static_cast<double>(windows_inferred));
@@ -291,5 +352,18 @@ int main(int argc, char** argv) {
   if (obs::enabled())
     ok = validate_json_file(bench::bench_output_dir() /
                             "TRACE_stream_serving.json") && ok;
+  if (obs::recorder_enabled()) {
+    // The forced bench_snapshot dump makes session 0's black box mandatory;
+    // any further incident dumps that exist must validate too.
+    ok = validate_jsonl_file(bench::bench_output_dir() / "BLACKBOX_0.jsonl") &&
+         ok;
+    for (int i = 1; i < n_sessions; ++i) {
+      const auto path = bench::bench_output_dir() /
+                        ("BLACKBOX_" + std::to_string(i) + ".jsonl");
+      if (std::filesystem::exists(path)) ok = validate_jsonl_file(path) && ok;
+    }
+  }
+  if (obs::telemetry_enabled())
+    ok = validate_jsonl_file(obs::telemetry_path()) && ok;
   return ok && drift_ok ? 0 : 1;
 }

@@ -1,7 +1,8 @@
-// Process-wide metrics registry: named counters, gauges and histograms with
-// percentile summaries.  Producers cache a reference once (function-local
-// static) and then update lock-free (counters/gauges) or under a short
-// per-histogram lock; readers snapshot on demand.
+// Process-wide metrics registry: named counters, gauges, histograms with
+// whole-run percentile summaries, and SLO trackers.  Producers cache a
+// reference once (function-local static) and then update lock-free
+// (counters/gauges) or under a short per-instrument lock; readers snapshot
+// on demand.
 //
 // Collection never draws RNG and never feeds back into any computation, so
 // instrumentation cannot perturb seeded results.  High-frequency producers
@@ -14,6 +15,7 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sb::obs {
@@ -44,12 +46,24 @@ class Gauge {
   std::atomic<std::uint64_t> bits_{0};
 };
 
-// Value distribution with exact count/sum/min/max and percentile estimates
-// from a bounded reservoir (the first kMaxSamples recorded values).
+// Value distribution with exact count/sum/min/max and percentiles that stay
+// accurate over the WHOLE run: every recorded value lands in a bounded set
+// of signed log-spaced bins (kSubBuckets per octave, so bucketed quantiles
+// carry <= ~1/(2*kSubBuckets) relative error), and streams of at most
+// kExactSamples values additionally keep every sample so small-stream
+// percentiles are exact (same interpolation as util::stats).  Bins from two
+// shards add elementwise, so histograms merge() without losing accuracy.
 class Histogram {
  public:
   void record(double v);
 
+  // Folds another histogram's distribution into this one.  Two exact-mode
+  // histograms whose combined count still fits kExactSamples stay exact;
+  // any other combination continues on the (always-populated) bins.
+  void merge(const Histogram& other);
+
+  // Empty histograms report NaN statistics (count 0, sum 0): the JSON layer
+  // serializes non-finite as null, so consumers never see fabricated zeros.
   struct Snapshot {
     std::uint64_t count = 0;
     double sum = 0.0;
@@ -62,22 +76,84 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
-  // Percentile over the reservoir, same interpolation as util::stats
-  // percentile (linear between closest ranks).  p in [0, 100].
+  // Whole-run percentile, p in [0, 100]: exact (util::stats interpolation)
+  // while the stream fits kExactSamples, bin-resolution accurate beyond.
+  // NaN when empty.
   double percentile(double p) const;
 
   std::uint64_t count() const;
   void reset();
 
-  static constexpr std::size_t kMaxSamples = 1 << 16;
+  // Bin-level snapshot, for consumers that difference two snapshots into
+  // windowed quantiles (TelemetryExporter).  `bins` is empty until the
+  // first record; once sized it has kNumBins entries in ascending value
+  // order (negative magnitudes descending, zero, positive ascending).
+  struct Buckets {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<std::uint64_t> bins;
+  };
+  Buckets buckets() const;
+
+  // Percentile over a raw bin array (e.g. the elementwise difference of two
+  // Buckets snapshots); `count` must be the sum of `bins`.  NaN when empty.
+  static double bins_percentile(const std::vector<std::uint64_t>& bins,
+                                std::uint64_t count, double p);
+
+  static constexpr std::size_t kExactSamples = 1 << 12;
+  static constexpr int kSubBuckets = 16;  // bins per octave (~3% rel. error)
+  static constexpr int kMinExp = -64;     // |v| < 2^kMinExp lands in the zero bin
+  static constexpr int kMaxExp = 64;      // |v| >= 2^kMaxExp clamps to the edge
+  static constexpr std::size_t kBinsPerSign =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+  static constexpr std::size_t kNumBins = 2 * kBinsPerSign + 1;
 
  private:
+  void record_locked(double v);
+  double percentile_locked(double p) const;
+
   mutable std::mutex mutex_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
-  std::vector<double> reservoir_;
+  std::vector<double> exact_;         // every sample while count_ <= kExactSamples
+  std::vector<std::uint64_t> bins_;   // lazily sized to kNumBins on first record
+};
+
+// Latency service-level objective: per-sample targets plus the attained
+// distribution.  A breach is one sample above the p99 target; `met` asks
+// whether the attained quantiles honor both targets.
+struct SloTargets {
+  double p50 = 0.0;  // seconds
+  double p99 = 0.0;  // seconds
+};
+
+class SloTracker {
+ public:
+  void set_targets(const SloTargets& targets);
+  SloTargets targets() const;
+
+  void record(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t breaches = 0;  // samples above the p99 target
+    double target_p50 = 0.0;
+    double target_p99 = 0.0;
+    double attained_p50 = 0.0;  // NaN when empty
+    double attained_p99 = 0.0;  // NaN when empty
+    bool met = false;           // count > 0 and attained <= target, both quantiles
+  };
+  Snapshot snapshot() const;
+
+  void reset();  // drops samples/breaches, keeps the targets
+
+ private:
+  mutable std::mutex mutex_;  // guards targets_ (records read them per call)
+  SloTargets targets_;
+  Histogram hist_;
+  std::atomic<std::uint64_t> breaches_{0};
 };
 
 // Name -> instrument registry.  Instruments are created on first use and
@@ -89,21 +165,45 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  SloTracker& slo(const std::string& name);
 
-  // Zeroes every registered instrument (names stay registered).
+  // Zeroes every registered instrument (names stay registered; SLO targets
+  // are kept).
   void reset();
 
   // Serializes every instrument into the writer as one JSON object:
   //   {"counters": {...}, "gauges": {...}, "histograms": {name: {count,...}}}
+  // Empty histograms emit null min/max/mean/percentiles (never fabricated
+  // zeros) — metrics_json_wellformed() rejects the pre-null form.
   void write_json(JsonWriter& w) const;
+
+  // Serializes the SLO trackers as one JSON object:
+  //   {name: {count, breaches, target_p50, target_p99, attained_p50,
+  //           attained_p99, met}}
+  // (the `slo` block of every BENCH json).  Empty trackers emit null
+  // attained quantiles.
+  void write_slo_json(JsonWriter& w) const;
 
   // Sorted names, for enumeration in tests/tools.
   std::vector<std::string> counter_names() const;
+
+  // Full-registry snapshots for exporters (TelemetryExporter).
+  std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() const;
+  std::vector<std::pair<std::string, double>> gauges_snapshot() const;
+  std::vector<std::pair<std::string, Histogram::Buckets>> histograms_snapshot()
+      const;
 
  private:
   Registry() = default;
   struct Impl;
   Impl& impl() const;
 };
+
+// Strict structural check for metrics dumps, layered on top of json_valid:
+// additionally rejects the legacy empty-distribution encoding, i.e. any
+// object carrying "count":0 whose statistic fields (mean/min/max/p50/p90/
+// p99/attained_p50/attained_p99) are not null.  Used by the obs tests and
+// the bench self-checks.
+bool metrics_json_wellformed(std::string_view json);
 
 }  // namespace sb::obs

@@ -1,0 +1,156 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace sb::obs {
+namespace {
+
+// -1 = not yet read from the env, 0 = off, 1 = on.
+std::atomic<int> g_telemetry_enabled{-1};
+std::mutex g_telemetry_mutex;  // guards the exporter pointer + its state
+std::unique_ptr<TelemetryExporter> g_exporter;
+
+// Finds `name` in a name-sorted snapshot; the registry only grows, so most
+// lookups hit on the first probe of a linear merge.
+template <typename V>
+const V* find_prev(const std::vector<std::pair<std::string, V>>& prev,
+                   const std::string& name) {
+  auto it = std::lower_bound(
+      prev.begin(), prev.end(), name,
+      [](const auto& entry, const std::string& n) { return entry.first < n; });
+  if (it != prev.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+void init_from_env_locked() {
+  const char* path = std::getenv("SB_TELEMETRY");
+  if (!path || !*path) {
+    g_telemetry_enabled.store(0, std::memory_order_relaxed);
+    return;
+  }
+  double interval_ms = 1000;
+  if (const char* iv = std::getenv("SB_TELEMETRY_INTERVAL_MS")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(iv, &end);
+    if (end != iv && parsed >= 0) interval_ms = parsed;
+  }
+  g_exporter = std::make_unique<TelemetryExporter>(
+      TelemetryExporter::Config{path, interval_ms});
+  g_telemetry_enabled.store(1, std::memory_order_relaxed);
+}
+
+bool ensure_initialized() {
+  int e = g_telemetry_enabled.load(std::memory_order_relaxed);
+  if (e >= 0) return e == 1;
+  std::lock_guard<std::mutex> lock{g_telemetry_mutex};
+  if (g_telemetry_enabled.load(std::memory_order_relaxed) < 0)
+    init_from_env_locked();
+  return g_telemetry_enabled.load(std::memory_order_relaxed) == 1;
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(const Config& config)
+    : config_(config), os_(config.path, std::ios::trunc) {}
+
+bool TelemetryExporter::tick(double now_us, bool force) {
+  if (!os_) return false;
+  if (samples_ > 0 && !force &&
+      now_us - last_sample_us_ < config_.interval_ms * 1e3)
+    return false;
+  const double interval_us = samples_ > 0 ? now_us - last_sample_us_ : 0.0;
+  last_sample_us_ = now_us;
+  ++samples_;
+
+  Registry& reg = Registry::instance();
+  auto counters = reg.counters_snapshot();
+  auto gauges = reg.gauges_snapshot();
+  auto histograms = reg.histograms_snapshot();
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("type", "telemetry");
+  w.kv("sample", samples_ - 1);
+  w.kv("t_us", now_us);
+  w.kv("interval_us", interval_us);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : counters) {
+    const std::uint64_t* prev = find_prev(prev_counters_, name);
+    w.kv(name, value - (prev ? *prev : 0));
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : gauges) w.kv(name, value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, bk] : histograms) {
+    const Histogram::Buckets* prev = find_prev(prev_histograms_, name);
+    const std::uint64_t dcount = bk.count - (prev ? prev->count : 0);
+    const double dsum = bk.sum - (prev ? prev->sum : 0.0);
+    std::vector<std::uint64_t> dbins = bk.bins;
+    if (prev && !prev->bins.empty())
+      for (std::size_t i = 0; i < dbins.size(); ++i) dbins[i] -= prev->bins[i];
+    w.key(name);
+    w.begin_object();
+    w.kv("count", dcount);
+    w.kv("sum", dsum);
+    w.kv("p50", Histogram::bins_percentile(dbins, dcount, 50.0));
+    w.kv("p99", Histogram::bins_percentile(dbins, dcount, 99.0));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  w.write_to(os_);
+  os_ << '\n';
+  os_.flush();
+
+  prev_counters_ = std::move(counters);
+  prev_histograms_ = std::move(histograms);
+  return os_.good();
+}
+
+bool telemetry_enabled() { return ensure_initialized(); }
+
+void telemetry_tick() {
+  // Fast path: one relaxed atomic load when telemetry is off.
+  if (g_telemetry_enabled.load(std::memory_order_relaxed) == 0) return;
+  if (!ensure_initialized()) return;
+  std::lock_guard<std::mutex> lock{g_telemetry_mutex};
+  if (g_exporter) g_exporter->tick(now_us());
+}
+
+void telemetry_flush() {
+  if (g_telemetry_enabled.load(std::memory_order_relaxed) == 0) return;
+  if (!ensure_initialized()) return;
+  std::lock_guard<std::mutex> lock{g_telemetry_mutex};
+  if (g_exporter) g_exporter->tick(now_us(), /*force=*/true);
+}
+
+void set_telemetry(const std::string& path, double interval_ms) {
+  std::lock_guard<std::mutex> lock{g_telemetry_mutex};
+  if (path.empty()) {
+    g_exporter.reset();
+    g_telemetry_enabled.store(0, std::memory_order_relaxed);
+    return;
+  }
+  g_exporter = std::make_unique<TelemetryExporter>(
+      TelemetryExporter::Config{path, interval_ms});
+  g_telemetry_enabled.store(1, std::memory_order_relaxed);
+}
+
+std::string telemetry_path() {
+  std::lock_guard<std::mutex> lock{g_telemetry_mutex};
+  return g_exporter ? g_exporter->path() : std::string{};
+}
+
+}  // namespace sb::obs

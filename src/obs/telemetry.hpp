@@ -1,0 +1,76 @@
+// Fleet telemetry time-series: periodic snapshots of the metrics registry,
+// emitted as JSONL *deltas* so `stream.backlog`, shed counters and latency
+// quantiles become plottable trajectories instead of one end-of-run number.
+//
+// The exporter is tick-driven, not thread-driven: hosts (the inference
+// scheduler's pump, the bench harness) call telemetry_tick() from their own
+// loop and the exporter decides whether the sampling interval has elapsed.
+// No background thread means no new synchronization with the serving path
+// and nothing for TSan to chase.
+//
+// Each emitted line is one JSON object:
+//   {"type":"telemetry","t_us":...,"interval_us":...,
+//    "counters":{name: delta}, "gauges":{name: value},
+//    "histograms":{name: {"count":d,"sum":d,"p50":q,"p99":q}}}
+// Counter/histogram fields are deltas over the interval; gauge fields are
+// the current value; histogram quantiles are computed from the interval's
+// bin-count difference (null when no new samples landed).
+//
+// Process-wide switch: SB_TELEMETRY=<path> (+ SB_TELEMETRY_INTERVAL_MS,
+// default 1000).  Disabled telemetry_tick() costs one relaxed atomic load.
+//
+// obs is the bottom of the dependency stack: this header must not include
+// any other sb header.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sb::obs {
+
+class TelemetryExporter {
+ public:
+  struct Config {
+    std::string path;           // output JSONL (truncated at construction)
+    double interval_ms = 1000;  // 0 = sample on every tick
+  };
+
+  explicit TelemetryExporter(const Config& config);
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  // Samples the registry and appends one delta line when the interval has
+  // elapsed since the last sample (the first tick always samples; `force`
+  // bypasses the interval — used by the final flush).  Returns true iff a
+  // line was written.
+  bool tick(double now_us, bool force = false);
+
+  std::uint64_t samples() const { return samples_; }
+  const std::string& path() const { return config_.path; }
+
+ private:
+  Config config_;
+  std::ofstream os_;
+  std::uint64_t samples_ = 0;
+  double last_sample_us_ = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> prev_counters_;
+  std::vector<std::pair<std::string, Histogram::Buckets>> prev_histograms_;
+};
+
+// Process-wide exporter driven by SB_TELEMETRY / SB_TELEMETRY_INTERVAL_MS.
+// telemetry_tick() is the host-loop hook (one relaxed atomic load when
+// disabled); telemetry_flush() forces a final sample (bench teardown);
+// set_telemetry() installs/replaces the exporter programmatically (empty
+// path disables).
+bool telemetry_enabled();
+void telemetry_tick();
+void telemetry_flush();
+void set_telemetry(const std::string& path, double interval_ms = 1000);
+std::string telemetry_path();
+
+}  // namespace sb::obs

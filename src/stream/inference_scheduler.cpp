@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace sb::stream {
@@ -22,6 +24,9 @@ InferenceScheduler::InferenceScheduler(const core::SensoryMapper& mapper,
     : mapper_(&mapper), config_(config) {
   if (config_.max_batch == 0 || config_.queue_capacity == 0)
     throw std::invalid_argument{"InferenceScheduler: zero batch/capacity"};
+  obs::Registry::instance()
+      .slo("stream.window_to_verdict_seconds")
+      .set_targets({config_.slo_p50_target, config_.slo_p99_target});
 }
 
 void InferenceScheduler::attach(RcaSession& session) {
@@ -31,6 +36,11 @@ void InferenceScheduler::attach(RcaSession& session) {
   if (pos != sessions_.end() && (*pos)->id() == session.id())
     throw std::invalid_argument{"InferenceScheduler: duplicate session id"};
   sessions_.insert(pos, &session);
+  static obs::Gauge& active =
+      obs::Registry::instance().gauge("stream.sessions_active");
+  active.set(static_cast<double>(
+      std::count_if(sessions_.begin(), sessions_.end(),
+                    [](const RcaSession* s) { return !s->finished(); })));
 }
 
 void InferenceScheduler::collect() {
@@ -49,28 +59,58 @@ void InferenceScheduler::shed_excess() {
         obs::Registry::instance().counter("stream.windows_shed");
     shed.add();
     const core::TimedPrediction pred = shed_prediction(w.span);
-    deliver(std::move(w), pred);
+    deliver(std::move(w), pred, /*was_shed=*/true);
   }
 }
 
 void InferenceScheduler::deliver(RcaSession::ReadyWindow&& window,
-                                 const core::TimedPrediction& pred) {
+                                 const core::TimedPrediction& pred,
+                                 bool was_shed) {
   // One record per window, amortized over a model forward — not a hot loop,
   // so the latency histogram stays unconditionally accurate for serving
   // dashboards and bench percentiles.
   static obs::Histogram& latency =
       obs::Registry::instance().histogram("stream.window_to_verdict_seconds");
+  static obs::SloTracker& slo =
+      obs::Registry::instance().slo("stream.window_to_verdict_seconds");
   const auto it = std::lower_bound(
       sessions_.begin(), sessions_.end(), window.session,
       [](const RcaSession* s, std::uint64_t id) { return s->id() < id; });
   if (it == sessions_.end() || (*it)->id() != window.session)
     throw std::logic_error{"InferenceScheduler: window from unknown session"};
-  (*it)->deliver(pred);
-  latency.record((obs::now_us() - window.ready_at_us) * 1e-6);
+  RcaSession& session = **it;
+  session.deliver(pred);
+  const double now = obs::now_us();
+  const double seconds = (now - window.ready_at_us) * 1e-6;
+  latency.record(seconds);
+  slo.record(seconds);
+  if (obs::FlightRecorder* rec = session.recorder()) {
+    if (was_shed) {
+      rec->record({obs::RecorderEvent::Kind::kShed, true, window.seq, now,
+                   window.span.t1, static_cast<double>(queue_.size()), 0.0});
+      rec->trigger("shed");
+    } else {
+      rec->record({obs::RecorderEvent::Kind::kDeliver, false, window.seq, now,
+                   window.span.t1, seconds, 0.0});
+    }
+    if (seconds > config_.slo_p99_target) {
+      rec->record({obs::RecorderEvent::Kind::kSloBreach, true, window.seq, now,
+                   window.span.t1, seconds, config_.slo_p99_target});
+      rec->trigger("slo_breach");
+    }
+  }
 }
 
 std::size_t InferenceScheduler::pump() {
   obs::ScopedSpan span{"scheduler_pump", obs::Stage::kPredict};
+  // The pump loop is the serving heartbeat, so it doubles as the telemetry
+  // clock: one relaxed atomic load when SB_TELEMETRY is unset.
+  obs::telemetry_tick();
+  static obs::Gauge& active =
+      obs::Registry::instance().gauge("stream.sessions_active");
+  active.set(static_cast<double>(
+      std::count_if(sessions_.begin(), sessions_.end(),
+                    [](const RcaSession* s) { return !s->finished(); })));
   collect();
   shed_excess();
   static obs::Gauge& backlog_gauge =
@@ -104,6 +144,9 @@ std::size_t InferenceScheduler::pump() {
   static obs::Counter& batches =
       obs::Registry::instance().counter("stream.batches");
   batches.add();
+  static obs::Histogram& occupancy =
+      obs::Registry::instance().histogram("stream.batch_occupancy");
+  occupancy.record(static_cast<double>(n));
   backlog_gauge.set(static_cast<double>(queue_.size()));
   return n;
 }

@@ -32,6 +32,13 @@ namespace sb::stream {
 struct InferenceSchedulerConfig {
   std::size_t max_batch = 16;       // windows per forward
   std::size_t queue_capacity = 64;  // bound on staged-but-uninferred windows
+  // Window→verdict latency SLO targets (seconds), tracked by the registry's
+  // "stream.window_to_verdict_seconds" SloTracker and reported in the `slo`
+  // block of every BENCH json.  A sample above slo_p99_target is a breach
+  // (recorded + black-boxed per session).  Defaults: p50 within one stride
+  // of the standard 4 Hz analysis grid, p99 within a second.
+  double slo_p50_target = 0.25;
+  double slo_p99_target = 1.0;
 };
 
 class InferenceScheduler {
@@ -59,7 +66,7 @@ class InferenceScheduler {
   void collect();
   void shed_excess();
   void deliver(RcaSession::ReadyWindow&& window,
-               const core::TimedPrediction& pred);
+               const core::TimedPrediction& pred, bool was_shed = false);
 
   const core::SensoryMapper* mapper_;
   InferenceSchedulerConfig config_;

@@ -46,6 +46,8 @@ RcaSession::RcaSession(std::uint64_t id, const core::SensoryMapper& mapper,
                      /*count_metrics=*/false}} {
   if (!mapper.trained())
     throw std::logic_error{"RcaSession: mapper not trained"};
+  if (obs::recorder_enabled())
+    recorder_ = std::make_unique<obs::FlightRecorder>(id, config.recorder);
   // Pay serving's one-time costs (FFT plan, window coefficients, compiled
   // inference plan) now rather than inside the first window's latency.
   mapper.warm_serving();
@@ -54,6 +56,11 @@ RcaSession::RcaSession(std::uint64_t id, const core::SensoryMapper& mapper,
 void RcaSession::push_audio(const acoustics::MultiChannelAudio& chunk) {
   if (finished_) throw std::logic_error{"RcaSession: push after finish"};
   obs::ScopedSpan span{"session_push_audio", obs::Stage::kPredict};
+  if (recorder_)
+    recorder_->record({obs::RecorderEvent::Kind::kChunk, false, audio_chunks_,
+                       obs::now_us(), 0.0,
+                       static_cast<double>(chunk.num_samples()), 0.0});
+  ++audio_chunks_;
   for (auto& w : extractor_.push(chunk)) {
     // Prepare the signature immediately (the expensive part of serving):
     // extraction, hooks, channel diagnosis + masking, standardization — the
@@ -75,8 +82,20 @@ void RcaSession::push_audio(const acoustics::MultiChannelAudio& chunk) {
           obs::Registry::instance().counter("faults.mic_windows_masked");
       masked_counter.add(masked);
     }
+    const double staged_us = obs::now_us();
+    if (recorder_) {
+      recorder_->record({obs::RecorderEvent::Kind::kWindow, any_masked,
+                         next_seq_, staged_us, w.t1,
+                         static_cast<double>(masked), 0.0});
+      if (any_masked) {
+        recorder_->record({obs::RecorderEvent::Kind::kDegrade, true, next_seq_,
+                           staged_us, w.t1,
+                           static_cast<double>(health_.windows_degraded), 0.0});
+        recorder_->trigger("health_degraded");
+      }
+    }
     ready_.push_back({id_, next_seq_++, {w.t0, w.t1}, std::move(sig),
-                      obs::now_us()});
+                      staged_us});
   }
 }
 
@@ -103,6 +122,12 @@ void RcaSession::emit_imu_decisions(
     e.decided_at = decided_at;
     e.imu_attacked = attacked;
     e.imu = d;
+    if (recorder_) {
+      recorder_->record({obs::RecorderEvent::Kind::kImuVerdict, d.alert,
+                         imu_decisions_.size(), obs::now_us(), d.t1, d.score,
+                         d.threshold});
+      if (d.alert) recorder_->trigger("imu_alert");
+    }
     events_.push_back(e);
     imu_decisions_.push_back(std::move(d));
   }
@@ -161,6 +186,12 @@ void RcaSession::deliver(const core::TimedPrediction& pred) {
     e.gps_mode = sel == 0 ? core::GpsDetectorMode::kAudioOnly
                           : core::GpsDetectorMode::kAudioImu;
     e.gps = gps_decisions_[sel][i];
+    if (recorder_) {
+      recorder_->record({obs::RecorderEvent::Kind::kGpsVerdict, e.gps.alert, i,
+                         obs::now_us(), e.gps.t, e.gps.running_mean_err,
+                         e.gps.pos_dev});
+      if (e.gps.alert) recorder_->trigger("gps_alert");
+    }
     events_.push_back(e);
   }
 }
@@ -217,6 +248,10 @@ core::RcaReport RcaSession::finish(core::RcaDecisionTrace* trace_out) {
         .add(gh.kf_fallback_steps);
 
   report.health = health_;
+  // Attack verdict: the session's black box is the post-incident evidence —
+  // always dump (force bypasses the rate-limit gap, not the dump bound).
+  if (recorder_ && (report.imu_attacked || report.gps_attacked))
+    recorder_->trigger("final_verdict", /*force=*/true);
   if (report.health.degraded())
     obs::logf(obs::LogLevel::kInfo, "detect",
               "RCA session %llu completed degraded: %zu/%u mics alive, "

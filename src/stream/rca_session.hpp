@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
+#include "obs/recorder.hpp"
 #include "stream/streaming_extractor.hpp"
 
 namespace sb::stream {
@@ -70,6 +72,9 @@ struct RcaSessionConfig {
   std::size_t reference_windows = 10;
   // Optional transforms applied before inference, as in the offline path.
   core::PredictionHooks hooks;
+  // Flight-recorder ring/dump settings; the recorder itself is only built
+  // when SB_RECORDER is set (obs::recorder_enabled()).
+  obs::RecorderConfig recorder;
 };
 
 class RcaSession {
@@ -121,6 +126,11 @@ class RcaSession {
   std::size_t windows_delivered() const { return delivered_; }
   const faults::HealthReport& health() const { return health_; }
 
+  // The session's black-box ring, or nullptr when recording is off.  The
+  // scheduler feeds it delivery/shed/SLO events; recording never feeds back
+  // into the pipeline, so verdicts are bit-identical either way.
+  obs::FlightRecorder* recorder() const { return recorder_.get(); }
+
  private:
   void emit_imu_decisions(std::vector<core::ImuWindowDecision> decisions,
                           double decided_at);
@@ -128,6 +138,8 @@ class RcaSession {
   std::uint64_t id_;
   const core::SensoryMapper* mapper_;
   RcaSessionConfig config_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;  // null unless SB_RECORDER
+  std::uint64_t audio_chunks_ = 0;
   StreamingFeatureExtractor extractor_;
   core::ImuRcaDetector::Monitor imu_monitor_;
   // [0] = kAudioOnly, [1] = kAudioImu — both run; finish() selects.

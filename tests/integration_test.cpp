@@ -19,6 +19,7 @@
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
+#include "obs/metrics.hpp"
 #include "stream/inference_scheduler.hpp"
 #include "stream/rca_session.hpp"
 #include "stream/streaming_extractor.hpp"
@@ -580,6 +581,9 @@ StreamOutcome run_streaming(const Flight& f, const SensoryMapper& m,
   const auto& p = pipeline();
   stream::RcaSessionConfig sc;
   sc.hooks = hooks;
+  // Inert unless the recorder-on test flips SB_RECORDER's switch; keeps any
+  // black-box dumps out of the working directory.
+  sc.recorder.out_dir = ::testing::TempDir();
   stream::RcaSession session{1, m, *p.imu_det, *p.gps_det, sc};
   stream::InferenceScheduler sched{m};
   sched.attach(session);
@@ -777,6 +781,88 @@ TEST(StreamingEquivalence, GpsSpoofFlightMatchesOffline) {
   const auto off = engine.analyze(test::lab(), f);
   EXPECT_TRUE(off.gps_attacked);
   check_equivalence(f);
+}
+
+// Restores the process-wide recorder switch on scope exit.
+struct RecorderGuard {
+  explicit RecorderGuard(bool on) { obs::set_recorder_enabled(on); }
+  ~RecorderGuard() { obs::set_recorder_enabled(false); }
+};
+
+TEST(StreamingEquivalence, RecorderOnKeepsEvidenceBitwiseIdentical) {
+  // Recording is observation-only: with the flight recorder capturing every
+  // chunk/window/verdict event, the served evidence must stay bitwise equal
+  // to the offline analysis at 1 and 4 threads — an attack flight, so the
+  // final-verdict dump path runs too.
+  const auto f = imu_attack_flight(attacks::ImuAttackType::kAccelDos, 421);
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  RcaEngine engine{m, *p.imu_det, *p.gps_det};
+  RecorderGuard recorder_on{true};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool::set_threads(threads);
+    RcaDecisionTrace off_tr;
+    const auto off = engine.analyze(test::lab(), f, {}, &off_tr);
+    const auto on = run_streaming(f, m);
+    EXPECT_EQ(on.shed, 0u) << "threads " << threads;
+    expect_equivalent(off, off_tr, on);
+  }
+  util::ThreadPool::set_threads(0);
+}
+
+TEST(StreamingEquivalence, RecorderOnServingStaysScratchHeapFlat) {
+  // The recorder ring is preallocated, so the zero-allocation serving steady
+  // state (scratch-pool heap fetches flat after warm-up) must hold with
+  // recording enabled.
+  util::ThreadPool::set_threads(1);
+  RecorderGuard recorder_on{true};
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  const auto f = test::hover_flight(25.0, 420, 0.4);
+  stream::RcaSessionConfig sc;
+  sc.recorder.out_dir = ::testing::TempDir();
+  stream::RcaSession session{11, m, *p.imu_det, *p.gps_det, sc};
+  ASSERT_NE(session.recorder(), nullptr);
+  stream::InferenceScheduler sched{m};
+  sched.attach(session);
+
+  const auto audio = continuous_recording(f, m);
+  const double fs = audio.sample_rate;
+  const std::size_t total = audio.num_samples();
+  const std::size_t chunk = 1600;
+  const std::size_t warm_end = total / 2;  // well past settle + pool warm-up
+  auto& heap_allocs =
+      obs::Registry::instance().counter("ml.workspace.heap_allocs");
+  std::uint64_t baseline = 0;
+  std::size_t imu_i = 0, gps_i = 0;
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, total);
+    const double until = static_cast<double>(end) / fs;
+    std::size_t imu_hi = imu_i;
+    while (imu_hi < f.log.imu.size() && f.log.imu[imu_hi].t <= until) ++imu_hi;
+    session.push_imu(std::span{f.log.imu}.subspan(imu_i, imu_hi - imu_i));
+    imu_i = imu_hi;
+    std::size_t gps_hi = gps_i;
+    while (gps_hi < f.log.gps.size() && f.log.gps[gps_hi].t <= until) ++gps_hi;
+    session.push_gps(std::span{f.log.gps}.subspan(gps_i, gps_hi - gps_i));
+    gps_i = gps_hi;
+    acoustics::MultiChannelAudio slice;
+    slice.sample_rate = fs;
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      slice.channels[c].assign(
+          audio.channels[c].begin() + static_cast<std::ptrdiff_t>(begin),
+          audio.channels[c].begin() + static_cast<std::ptrdiff_t>(end));
+    session.push_audio(slice);
+    sched.pump();
+    if (begin < warm_end && warm_end <= end) baseline = heap_allocs.value();
+  }
+  sched.drain();
+  ASSERT_GT(baseline, 0u);  // serving ran and the pool was exercised
+  EXPECT_EQ(heap_allocs.value(), baseline)
+      << "scratch pool grew past the warm-up steady state with recording on";
+  EXPECT_GT(session.recorder()->recorded(), 0u);
+  session.finish();
+  util::ThreadPool::set_threads(0);
 }
 
 TEST(StreamingEquivalence, FaultedFlightMatchesOffline) {

@@ -21,6 +21,10 @@
 #include <new>
 #include <vector>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "core/decision_trace.hpp"
 #include "io/decision_trace.hpp"
 #include "ml/models.hpp"
@@ -28,6 +32,8 @@
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -190,6 +196,276 @@ TEST(Metrics, RegistrySerializesToValidJson) {
   // The non-finite gauge must serialize as null, not a bare inf token.
   EXPECT_NE(w.str().find("\"test.json_gauge\":null"), std::string::npos)
       << w.str();
+}
+
+TEST(Metrics, HistogramLongRunPercentilesStayAccurate) {
+  // A distribution shift AFTER the exact-sample budget: a first-N reservoir
+  // would report the warm-up regime forever; the log-bucket bins must track
+  // the whole run within their ~1/(2*kSubBuckets) bin resolution.
+  obs::Histogram h;
+  Rng rng{777};
+  std::vector<double> xs;
+  xs.reserve(20000);
+  for (std::size_t i = 0; i < 20000; ++i) {
+    const double v = i < obs::Histogram::kExactSamples
+                         ? rng.normal(1.0, 0.05)
+                         : rng.normal(100.0, 5.0);
+    xs.push_back(v);
+    h.record(v);
+  }
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double exact = sb::percentile(xs, p);
+    EXPECT_NEAR(h.percentile(p), exact, 0.04 * std::abs(exact)) << "p" << p;
+  }
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.min, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(s.max, *std::max_element(xs.begin(), xs.end()));
+  double sum = 0.0;
+  for (double v : xs) sum += v;
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  // p0/p100 clamp to the exact extrema even in binned mode.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), s.min);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), s.max);
+}
+
+TEST(Metrics, HistogramMergeStaysExactSmallAndAccurateLarge) {
+  // Two small shards whose union still fits the exact budget: the merge must
+  // keep util::stats-exact percentiles.
+  obs::Histogram a, b;
+  Rng rng{4242};
+  std::vector<double> all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(0.0, 2.0);
+    a.record(v);
+    all.push_back(v);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(5.0, 1.0);
+    b.record(v);
+    all.push_back(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  for (double p : {10.0, 50.0, 99.0})
+    EXPECT_DOUBLE_EQ(a.percentile(p), sb::percentile(all, p)) << "p" << p;
+
+  // Two binned shards (each past the exact budget): the bins add
+  // elementwise, so the merged quantiles stay whole-run accurate.
+  obs::Histogram c, d;
+  std::vector<double> big;
+  for (int i = 0; i < 6000; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    c.record(v);
+    big.push_back(v);
+  }
+  for (int i = 0; i < 6000; ++i) {
+    const double v = rng.normal(50.0, 8.0);
+    d.record(v);
+    big.push_back(v);
+  }
+  c.merge(d);
+  EXPECT_EQ(c.count(), 12000u);
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double exact = sb::percentile(big, p);
+    EXPECT_NEAR(c.percentile(p), exact, 0.04 * std::abs(exact)) << "p" << p;
+  }
+}
+
+TEST(Metrics, EmptyHistogramSerializesNullStats) {
+  auto& reg = obs::Registry::instance();
+  reg.histogram("test.empty_hist").reset();
+  obs::JsonWriter w;
+  reg.write_json(w);
+  EXPECT_TRUE(obs::json_valid(w.str())) << w.str();
+  EXPECT_TRUE(obs::metrics_json_wellformed(w.str())) << w.str();
+  const std::string expected =
+      "\"test.empty_hist\":{\"count\":0,\"sum\":0,\"mean\":null,\"min\":null,"
+      "\"max\":null,\"p50\":null,\"p90\":null,\"p99\":null}";
+  EXPECT_NE(w.str().find(expected), std::string::npos) << w.str();
+
+  // The validator must reject the legacy fabricated-zeros encoding even
+  // though it is syntactically valid JSON.
+  const std::string legacy =
+      "{\"histograms\":{\"h\":{\"count\":0,\"sum\":0,\"mean\":0,\"min\":0,"
+      "\"max\":0,\"p50\":0,\"p90\":0,\"p99\":0}}}";
+  EXPECT_TRUE(obs::json_valid(legacy));
+  EXPECT_FALSE(obs::metrics_json_wellformed(legacy));
+}
+
+TEST(Metrics, SloTrackerCountsBreachesAndAttainment) {
+  obs::SloTracker slo;
+  slo.set_targets({0.25, 1.0});
+  for (int i = 0; i < 98; ++i) slo.record(0.1);
+  slo.record(2.0);
+  slo.record(3.0);
+  const auto s = slo.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.breaches, 2u);  // only the two samples above the p99 target
+  EXPECT_DOUBLE_EQ(s.target_p50, 0.25);
+  EXPECT_DOUBLE_EQ(s.target_p99, 1.0);
+  EXPECT_DOUBLE_EQ(s.attained_p50, 0.1);
+  EXPECT_GT(s.attained_p99, 1.0);  // the tail breaches, so the SLO is not met
+  EXPECT_FALSE(s.met);
+
+  slo.reset();
+  const auto empty = slo.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.breaches, 0u);
+  EXPECT_DOUBLE_EQ(empty.target_p99, 1.0);  // reset keeps the targets
+  EXPECT_TRUE(std::isnan(empty.attained_p50));
+  EXPECT_FALSE(empty.met);
+
+  slo.record(0.2);
+  slo.record(0.2);
+  EXPECT_TRUE(slo.snapshot().met);
+
+  auto& reg = obs::Registry::instance();
+  reg.slo("test.slo").set_targets({0.5, 2.0});
+  reg.slo("test.slo").record(0.3);
+  obs::JsonWriter w;
+  reg.write_slo_json(w);
+  EXPECT_TRUE(obs::json_valid(w.str())) << w.str();
+  EXPECT_TRUE(obs::metrics_json_wellformed(w.str())) << w.str();
+  EXPECT_NE(w.str().find("\"test.slo\":{\"count\":1,\"breaches\":0"),
+            std::string::npos)
+      << w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+TEST(Recorder, RingWrapsAndAccountsOverflow) {
+  obs::RecorderConfig cfg;
+  cfg.capacity = 5;  // rounds up to 8
+  obs::FlightRecorder rec{7, cfg};
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.session(), 7u);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    rec.record({obs::RecorderEvent::Kind::kWindow, false, i,
+                static_cast<double>(i), 0.0, 0.0, 0.0});
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);  // 20 recorded - 8 retained
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].seq, 12u + i);  // oldest survivor is seq 12
+}
+
+TEST(Recorder, TriggerIsRateLimitedAndDumpsValidJsonl) {
+  const auto dir = std::filesystem::path{::testing::TempDir()} / "sb_recorder";
+  std::filesystem::create_directories(dir);
+  obs::RecorderConfig cfg;
+  cfg.capacity = 16;
+  cfg.out_dir = dir.string();
+  cfg.min_trigger_gap_seconds = 3600.0;  // no second dump within this test
+  cfg.max_dumps = 2;
+  obs::FlightRecorder rec{3, cfg};
+  for (std::uint64_t i = 0; i < 10; ++i)
+    rec.record({obs::RecorderEvent::Kind::kImuVerdict, i == 9, i,
+                obs::now_us(), 0.25 * static_cast<double>(i), 3.0, 2.5});
+
+  EXPECT_TRUE(rec.trigger("imu_alert"));
+  EXPECT_FALSE(rec.trigger("imu_alert"));  // inside the rate-limit gap
+  EXPECT_TRUE(rec.trigger("final_verdict", /*force=*/true));
+  EXPECT_FALSE(rec.trigger("another", /*force=*/true));  // max_dumps reached
+  EXPECT_EQ(rec.dumps(), 2u);
+
+  std::ifstream is{rec.dump_path()};
+  ASSERT_TRUE(is.is_open()) << rec.dump_path();
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(obs::json_valid(line)) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 11u);  // blackbox header + 10 retained events
+  std::ifstream is2{rec.dump_path()};
+  std::string header;
+  std::getline(is2, header);
+  EXPECT_NE(header.find("\"type\":\"blackbox\""), std::string::npos) << header;
+  EXPECT_NE(header.find("\"session\":3"), std::string::npos) << header;
+  EXPECT_NE(header.find("\"reason\":\"final_verdict\""), std::string::npos)
+      << header;
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Recorder, DisabledProbeAndRecordDoNotAllocate) {
+  obs::set_recorder_enabled(false);
+  obs::RecorderConfig cfg;
+  cfg.capacity = 64;
+  obs::FlightRecorder rec{1, cfg};  // ring preallocated here, before the count
+  const auto before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    bool on = obs::recorder_enabled();
+    // The enabled-path record() itself must also stay allocation-free: the
+    // ring was preallocated at construction.
+    if (!on)
+      rec.record({obs::RecorderEvent::Kind::kChunk, false,
+                  static_cast<std::uint64_t>(i), 0.0, 0.0, 0.0, 0.0});
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+  EXPECT_EQ(rec.recorded(), 10000u);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry exporter.
+
+TEST(Telemetry, EmitsExactCounterAndHistogramDeltas) {
+  auto& reg = obs::Registry::instance();
+  auto& c = reg.counter("test.tel_counter");
+  auto& h = reg.histogram("test.tel_hist");
+  c.reset();
+  h.reset();
+
+  const auto path = std::filesystem::path{::testing::TempDir()} /
+                    "sb_telemetry_deltas.jsonl";
+  {
+    obs::TelemetryExporter exporter{{path.string(), /*interval_ms=*/0.0}};
+    EXPECT_TRUE(exporter.tick(0.0));  // baseline sample
+    c.add(7);
+    for (double v : {0.1, 0.2, 0.3}) h.record(v);
+    EXPECT_TRUE(exporter.tick(1.0e6));
+    EXPECT_EQ(exporter.samples(), 2u);
+  }
+  std::ifstream is{path};
+  ASSERT_TRUE(is.is_open());
+  std::string line1, line2;
+  std::getline(is, line1);
+  std::getline(is, line2);
+  for (const auto& line : {line1, line2}) {
+    EXPECT_TRUE(obs::json_valid(line)) << line;
+    EXPECT_TRUE(obs::metrics_json_wellformed(line)) << line;
+  }
+  // The second sample carries the interval's deltas, not absolute values.
+  EXPECT_NE(line1.find("\"test.tel_counter\":0"), std::string::npos) << line1;
+  EXPECT_NE(line2.find("\"test.tel_counter\":7"), std::string::npos) << line2;
+  EXPECT_NE(line2.find("\"test.tel_hist\":{\"count\":3"), std::string::npos)
+      << line2;
+  EXPECT_NE(line2.find("\"interval_us\":1000000"), std::string::npos) << line2;
+  std::filesystem::remove(path);
+}
+
+TEST(Telemetry, IntervalGatesSamplingAndForceBypasses) {
+  const auto path = std::filesystem::path{::testing::TempDir()} /
+                    "sb_telemetry_interval.jsonl";
+  obs::TelemetryExporter exporter{{path.string(), /*interval_ms=*/1000.0}};
+  EXPECT_TRUE(exporter.tick(0.0));        // first tick always samples
+  EXPECT_FALSE(exporter.tick(0.5e6));     // 500 ms < interval
+  EXPECT_FALSE(exporter.tick(0.999e6));
+  EXPECT_TRUE(exporter.tick(1.25e6));     // interval elapsed
+  EXPECT_FALSE(exporter.tick(1.5e6));
+  EXPECT_TRUE(exporter.tick(1.5e6, /*force=*/true));  // the final flush path
+  EXPECT_EQ(exporter.samples(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(Telemetry, DisabledTickDoesNotAllocate) {
+  obs::set_telemetry("");  // disabled regardless of SB_TELEMETRY
+  const auto before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) obs::telemetry_tick();
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/signature.hpp"
+#include "obs/metrics.hpp"
 #include "stream/inference_scheduler.hpp"
 #include "stream/rca_session.hpp"
 #include "stream/streaming_extractor.hpp"
@@ -234,6 +235,8 @@ TEST_F(StreamServingTest, SchedulerRejectsDegenerateConfigAndDuplicateIds) {
 TEST_F(StreamServingTest, DrainsAllSessionsAndDeliversInOrder) {
   auto a = make_session(2);
   auto b = make_session(1);
+  const auto occupancy_before =
+      obs::Registry::instance().histogram("stream.batch_occupancy").count();
   InferenceScheduler sched{*mapper_};
   sched.attach(a);
   sched.attach(b);
@@ -245,6 +248,15 @@ TEST_F(StreamServingTest, DrainsAllSessionsAndDeliversInOrder) {
   EXPECT_EQ(sched.windows_inferred(), a.windows_staged() + b.windows_staged());
   EXPECT_EQ(a.windows_delivered(), a.windows_staged());
   EXPECT_EQ(b.windows_delivered(), b.windows_staged());
+  // The scheduler surfaces its own load: one occupancy sample per batch,
+  // each within [1, max_batch], and a live-session gauge.
+  const auto occupancy =
+      obs::Registry::instance().histogram("stream.batch_occupancy").snapshot();
+  EXPECT_EQ(occupancy.count - occupancy_before, sched.batches_run());
+  EXPECT_GE(occupancy.min, 1.0);
+  EXPECT_LE(occupancy.max, 16.0);  // default max_batch
+  EXPECT_EQ(obs::Registry::instance().gauge("stream.sessions_active").value(),
+            2.0);
   // Verdict timestamps are monotonically non-decreasing per session.
   for (auto* s : {&a, &b}) {
     double last = 0.0;
