@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/binary_io.hpp"
 
 namespace sb::core {
 namespace {
@@ -16,6 +17,26 @@ std::size_t mode_index(GpsDetectorMode mode) {
 
 bool finite(const Vec3& v) {
   return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+void write_matrix(std::ostream& os, const est::Matrix& m) {
+  util::io::write_pod(os, static_cast<std::uint64_t>(m.rows()));
+  util::io::write_pod(os, static_cast<std::uint64_t>(m.cols()));
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) util::io::write_pod(os, m(r, c));
+}
+
+bool read_matrix(std::istream& is, est::Matrix& m) {
+  std::uint64_t rows = 0, cols = 0;
+  if (!util::io::read_pod(is, rows) || !util::io::read_pod(is, cols)) return false;
+  // Velocity filters are 3-state; anything large here is corrupt bytes.
+  if (rows > 16 || cols > 16) return false;
+  est::Matrix out(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c)
+      if (!util::io::read_pod(is, out(r, c))) return false;
+  m = std::move(out);
+  return true;
 }
 
 }  // namespace
@@ -197,6 +218,84 @@ void GpsRcaDetector::Monitor::step_window(
       trace_out->running_mean.push_back(mean_err);
     }
   }
+}
+
+void GpsRcaDetector::Monitor::save_state(std::ostream& os) const {
+  using util::io::write_pod;
+  write_pod(os, static_cast<std::uint32_t>(mode_index(mode_)));
+  write_pod(os, vel_threshold_);
+  write_pod(os, pos_threshold_);
+  write_pod(os, static_cast<std::uint64_t>(config_.mean_window));
+  write_pod(os, static_cast<std::uint8_t>(seeded_ ? 1 : 0));
+  write_pod(os, static_cast<std::uint8_t>(first_window_ ? 1 : 0));
+  const est::LinearKalmanFilter* kf = nullptr;
+  if (audio_kf_) kf = &audio_kf_->filter();
+  if (fused_kf_) kf = &fused_kf_->filter();
+  write_pod(os, static_cast<std::uint8_t>(kf ? 1 : 0));
+  if (kf) {
+    write_matrix(os, kf->state());
+    write_matrix(os, kf->covariance());
+  }
+  monitor_.save_state(os);
+  write_pod(os, pos_est_);
+  write_pod(os, static_cast<std::uint64_t>(gps_idx_));
+  write_pod(os, prev_t_);
+  write_pod(os, last_fix_t_);
+  write_pod(os, static_cast<std::uint8_t>(result_.attacked ? 1 : 0));
+  write_pod(os, result_.detect_time);
+  write_pod(os, result_.peak_running_mean);
+  write_pod(os, result_.peak_pos_dev);
+}
+
+bool GpsRcaDetector::Monitor::load_state(std::istream& is) {
+  using util::io::read_pod;
+  std::uint32_t mode = 0;
+  double vel_th = 0.0, pos_th = 0.0;
+  std::uint64_t mean_window = 0;
+  if (!read_pod(is, mode) || mode != mode_index(mode_)) return false;
+  // Thresholds are part of the detector configuration, not the state: a
+  // checkpoint taken against different thresholds would silently change
+  // every subsequent verdict, so reject it loudly instead.
+  if (!read_pod(is, vel_th) || vel_th != vel_threshold_) return false;
+  if (!read_pod(is, pos_th) || pos_th != pos_threshold_) return false;
+  if (!read_pod(is, mean_window) || mean_window != config_.mean_window)
+    return false;
+  std::uint8_t seeded = 0, first_window = 0, has_kf = 0;
+  if (!read_pod(is, seeded) || !read_pod(is, first_window) ||
+      !read_pod(is, has_kf))
+    return false;
+  seeded_ = seeded != 0;
+  first_window_ = first_window != 0;
+  audio_kf_.reset();
+  fused_kf_.reset();
+  if (has_kf) {
+    est::Matrix x, p;
+    if (!read_matrix(is, x) || !read_matrix(is, p)) return false;
+    // Re-emplace with a placeholder seed, then overwrite x and P verbatim —
+    // the filter dynamics live in config_.kf, which the guard above pins.
+    est::LinearKalmanFilter* kf;
+    if (mode_ == GpsDetectorMode::kAudioOnly) {
+      audio_kf_.emplace(config_.kf, Vec3{});
+      kf = &audio_kf_->filter();
+    } else {
+      fused_kf_.emplace(config_.kf, Vec3{});
+      kf = &fused_kf_->filter();
+    }
+    kf->set_state(std::move(x));
+    kf->set_covariance(std::move(p));
+  }
+  if (!monitor_.load_state(is)) return false;
+  std::uint64_t gps_idx = 0;
+  std::uint8_t attacked = 0;
+  if (!read_pod(is, pos_est_) || !read_pod(is, gps_idx) ||
+      !read_pod(is, prev_t_) || !read_pod(is, last_fix_t_) ||
+      !read_pod(is, attacked) || !read_pod(is, result_.detect_time) ||
+      !read_pod(is, result_.peak_running_mean) ||
+      !read_pod(is, result_.peak_pos_dev))
+    return false;
+  gps_idx_ = static_cast<std::size_t>(gps_idx);
+  result_.attacked = attacked != 0;
+  return true;
 }
 
 GpsRcaDetector::Result GpsRcaDetector::run(const Flight& flight,

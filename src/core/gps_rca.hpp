@@ -4,6 +4,7 @@
 // when the running mean exceeds the benign-calibrated threshold.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <span>
 #include <vector>
@@ -116,6 +117,14 @@ class GpsRcaDetector {
                      Trace* trace_out = nullptr);
 
     const Result& result() const { return result_; }
+
+    // Bitwise checkpoint of the running estimation state (KF x and P, error
+    // monitor ring, fix cursor, timing).  load_state expects a monitor
+    // constructed with the SAME mode/thresholds/config and returns false on
+    // malformed bytes or a configuration mismatch, leaving the monitor in an
+    // unspecified state.
+    void save_state(std::ostream& os) const;
+    bool load_state(std::istream& is);
 
    private:
     GpsRcaConfig config_;

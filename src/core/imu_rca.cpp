@@ -7,6 +7,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/binary_io.hpp"
 #include "util/stats.hpp"
 
 namespace sb::core {
@@ -272,6 +273,73 @@ std::vector<ImuWindowDecision> ImuRcaDetector::Monitor::add(WindowResiduals raw)
 std::vector<ImuWindowDecision> ImuRcaDetector::Monitor::finish() {
   freeze_baseline();
   return drain();
+}
+
+void ImuRcaDetector::Monitor::save_state(std::ostream& os) const {
+  using util::io::write_pod;
+  write_pod(os, static_cast<std::uint64_t>(reference_windows_));
+  write_pod(os, static_cast<std::uint64_t>(windows_seen_));
+  write_pod(os, static_cast<std::uint8_t>(frozen_ ? 1 : 0));
+  write_pod(os, baseline_sum_);
+  write_pod(os, static_cast<std::uint64_t>(baseline_n_));
+  write_pod(os, baseline_);
+  write_pod(os, static_cast<std::uint64_t>(pending_.size()));
+  for (const auto& w : pending_) {
+    write_pod(os, w.t0);
+    write_pod(os, w.t1);
+    util::io::write_pod_vec(os, w.samples);
+  }
+  const Result& r = state_.result;
+  write_pod(os, static_cast<std::uint8_t>(r.attacked ? 1 : 0));
+  write_pod(os, r.detect_time);
+  write_pod(os, r.max_score);
+  write_pod(os, static_cast<std::uint64_t>(r.windows_tested));
+  write_pod(os, static_cast<std::uint64_t>(r.windows_flagged));
+  write_pod(os, static_cast<std::uint64_t>(r.windows_skipped));
+  write_pod(os, static_cast<std::int64_t>(state_.consecutive));
+}
+
+bool ImuRcaDetector::Monitor::load_state(std::istream& is) {
+  using util::io::read_pod;
+  std::uint64_t ref = 0, seen = 0, baseline_n = 0, n_pending = 0;
+  std::uint8_t frozen = 0;
+  if (!read_pod(is, ref) || ref != reference_windows_) return false;
+  if (!read_pod(is, seen) || !read_pod(is, frozen)) return false;
+  if (!read_pod(is, baseline_sum_) || !read_pod(is, baseline_n) ||
+      !read_pod(is, baseline_))
+    return false;
+  if (!read_pod(is, n_pending)) return false;
+  // A pending backlog can hold at most reference_windows_ buffered windows
+  // (plus one in flight); a wild count here means corrupt bytes.
+  if (n_pending > reference_windows_ + 1) return false;
+  pending_.clear();
+  pending_.reserve(n_pending);
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    WindowResiduals w;
+    if (!read_pod(is, w.t0) || !read_pod(is, w.t1) ||
+        !util::io::read_pod_vec(is, w.samples))
+      return false;
+    pending_.push_back(std::move(w));
+  }
+  Result r;
+  std::uint8_t attacked = 0;
+  std::uint64_t tested = 0, flagged = 0, skipped = 0;
+  std::int64_t consecutive = 0;
+  if (!read_pod(is, attacked) || !read_pod(is, r.detect_time) ||
+      !read_pod(is, r.max_score) || !read_pod(is, tested) ||
+      !read_pod(is, flagged) || !read_pod(is, skipped) ||
+      !read_pod(is, consecutive))
+    return false;
+  windows_seen_ = static_cast<std::size_t>(seen);
+  frozen_ = frozen != 0;
+  baseline_n_ = static_cast<std::size_t>(baseline_n);
+  r.attacked = attacked != 0;
+  r.windows_tested = static_cast<std::size_t>(tested);
+  r.windows_flagged = static_cast<std::size_t>(flagged);
+  r.windows_skipped = static_cast<std::size_t>(skipped);
+  state_.result = r;
+  state_.consecutive = static_cast<int>(consecutive);
+  return true;
 }
 
 }  // namespace sb::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -128,6 +129,15 @@ class ImuRcaDetector {
     std::vector<ImuWindowDecision> finish();
 
     const Result& result() const { return state_.result; }
+    const ImuRcaDetector& detector() const { return *detector_; }
+
+    // Bitwise checkpoint of the running analysis state (baseline
+    // accumulator, pending backlog, step state).  load_state expects a
+    // monitor constructed against the SAME detector and reference-window
+    // count; it returns false on malformed bytes or a configuration
+    // mismatch, leaving the monitor in an unspecified state.
+    void save_state(std::ostream& os) const;
+    bool load_state(std::istream& is);
 
    private:
     void freeze_baseline();

@@ -361,6 +361,12 @@ std::string model_format_tag() {
 }
 
 bool SensoryMapper::save(const std::string& path) const {
+  std::ofstream file{path, std::ios::binary};
+  if (!file) return false;
+  return save(file);
+}
+
+bool SensoryMapper::save(std::ostream& out) const {
   if (!trained_) return false;
   std::ostringstream os{std::ios::binary};
   write_pod(os, static_cast<std::uint32_t>(config_.model));
@@ -392,20 +398,21 @@ bool SensoryMapper::save(const std::string& path) const {
   if (!os) return false;
 
   const std::string payload = os.str();
-  std::ofstream file{path, std::ios::binary};
-  if (!file) return false;
-  write_pod(file, kModelMagic);
-  write_pod(file, kFormatVersion);
-  write_pod(file, static_cast<std::uint64_t>(payload.size()));
-  write_pod(file, util::crc32(payload.data(), payload.size()));
-  file.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  return static_cast<bool>(file);
+  write_pod(out, kModelMagic);
+  write_pod(out, kFormatVersion);
+  write_pod(out, static_cast<std::uint64_t>(payload.size()));
+  write_pod(out, util::crc32(payload.data(), payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  return static_cast<bool>(out);
 }
 
 bool SensoryMapper::load(const std::string& path) {
   std::ifstream file{path, std::ios::binary};
   if (!file) return false;
+  return load(file, path);
+}
 
+bool SensoryMapper::load(std::istream& file, const std::string& path) {
   std::uint64_t magic = 0;
   if (!read_pod(file, magic)) return false;
   if (magic == kLegacyModelMagic) {
@@ -429,12 +436,18 @@ bool SensoryMapper::load(const std::string& path) {
     return false;
   }
   // The declared payload must match the bytes actually present — this both
-  // catches truncation early and bounds the allocation below.
+  // catches truncation early and bounds the allocation below.  The frame
+  // starts wherever this stream was positioned on entry (byte 0 for a model
+  // file; mid-stream for an embedded frame).
+  const auto frame_start = static_cast<std::uint64_t>(
+      static_cast<std::streamoff>(file.tellg()) -
+      static_cast<std::streamoff>(kFrameHeaderBytes));
   file.seekg(0, std::ios::end);
   const auto file_size = static_cast<std::uint64_t>(file.tellg());
-  file.seekg(static_cast<std::streamoff>(kFrameHeaderBytes), std::ios::beg);
-  if (file_size < kFrameHeaderBytes ||
-      payload_size != file_size - kFrameHeaderBytes) {
+  file.seekg(static_cast<std::streamoff>(frame_start + kFrameHeaderBytes),
+             std::ios::beg);
+  if (file_size < frame_start + kFrameHeaderBytes ||
+      payload_size != file_size - frame_start - kFrameHeaderBytes) {
     reject(path, "payload size mismatch (truncated or corrupt)");
     return false;
   }

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -158,6 +159,14 @@ class SensoryMapper {
   // (retrain and re-save) instead of being misparsed.
   bool save(const std::string& path) const;
   bool load(const std::string& path);
+
+  // Stream forms of the same framed format, for in-memory clones (a fleet
+  // shard round-trips the trained mapper through a stringstream to get a
+  // bitwise-identical private copy — model forwards are not reentrant, so
+  // concurrent shards each need their own).  `label` only names the source
+  // in rejection log lines.
+  bool save(std::ostream& os) const;
+  bool load(std::istream& is, const std::string& label = "<stream>");
 
  private:
   // Applies the training-set feature standardization in place.

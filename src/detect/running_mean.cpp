@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/binary_io.hpp"
+
 namespace sb::detect {
 
 RunningMeanMonitor::RunningMeanMonitor(std::size_t window) : window_(window) {
@@ -88,6 +90,40 @@ void RunningVecMeanMonitor::reset() {
   for (auto& s : sum_) s.reset();
   peak_ = 0.0;
   if (window_ > 0) std::fill(buffer_.begin(), buffer_.end(), Vec3{});
+}
+
+void RunningVecMeanMonitor::save_state(std::ostream& os) const {
+  using util::io::write_pod;
+  write_pod(os, static_cast<std::uint64_t>(window_));
+  write_pod(os, static_cast<std::uint64_t>(head_));
+  write_pod(os, static_cast<std::uint64_t>(count_));
+  for (const auto& s : sum_) {
+    write_pod(os, s.raw_sum());
+    write_pod(os, s.compensation());
+  }
+  write_pod(os, peak_);
+  util::io::write_pod_vec(os, buffer_);
+}
+
+bool RunningVecMeanMonitor::load_state(std::istream& is) {
+  using util::io::read_pod;
+  std::uint64_t window = 0, head = 0, count = 0;
+  if (!read_pod(is, window) || window != window_) return false;
+  if (!read_pod(is, head) || !read_pod(is, count)) return false;
+  double sums[3][2];
+  for (auto& s : sums)
+    if (!read_pod(is, s[0]) || !read_pod(is, s[1])) return false;
+  double peak = 0.0;
+  if (!read_pod(is, peak)) return false;
+  std::vector<Vec3> buffer;
+  if (!util::io::read_pod_vec(is, buffer) || buffer.size() != buffer_.size())
+    return false;
+  head_ = static_cast<std::size_t>(head);
+  count_ = static_cast<std::size_t>(count);
+  for (std::size_t a = 0; a < 3; ++a) sum_[a].restore(sums[a][0], sums[a][1]);
+  peak_ = peak;
+  buffer_ = std::move(buffer);
+  return true;
 }
 
 }  // namespace sb::detect

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "util/stats.hpp"
@@ -56,6 +57,13 @@ class RunningVecMeanMonitor {
   double peak() const { return peak_; }
   std::size_t count() const { return count_; }
   void reset();
+
+  // Bitwise checkpoint of the running state (ring contents, cursors and the
+  // compensated-sum word pairs).  load_state expects a monitor constructed
+  // with the SAME window and returns false on malformed bytes or a window
+  // mismatch, leaving the monitor unusable until reset.
+  void save_state(std::ostream& os) const;
+  bool load_state(std::istream& is);
 
  private:
   std::size_t window_;

@@ -58,6 +58,9 @@ class LinearKalmanFilter {
   // Direct state override (used by the customized audio+IMU filter, which
   // re-seeds the predicted state from the IMU-measured kinematics).
   void set_state(Matrix x) { x_ = std::move(x); }
+  // Covariance override for checkpoint restore: a resumed filter must carry
+  // the exact P it had, or the next gain differs and verdicts drift.
+  void set_covariance(Matrix p) { p_ = std::move(p); }
 
  private:
   Matrix x_;

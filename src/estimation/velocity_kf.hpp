@@ -44,6 +44,11 @@ class AudioOnlyVelocityKf {
 
   Vec3 velocity() const;
 
+  // Underlying filter, exposed for session checkpoint/restore (x and P must
+  // round-trip bitwise for a resumed stream to continue identically).
+  LinearKalmanFilter& filter() { return kf_; }
+  const LinearKalmanFilter& filter() const { return kf_; }
+
  private:
   VelocityKfConfig config_;
   LinearKalmanFilter kf_;
@@ -62,6 +67,10 @@ class AudioImuVelocityKf {
   Vec3 coast(double dt);
 
   Vec3 velocity() const;
+
+  // See AudioOnlyVelocityKf::filter().
+  LinearKalmanFilter& filter() { return kf_; }
+  const LinearKalmanFilter& filter() const { return kf_; }
 
  private:
   VelocityKfConfig config_;

@@ -52,6 +52,10 @@ const char* to_string(RecorderEvent::Kind kind) {
       return "gps_verdict";
     case RecorderEvent::Kind::kSloBreach:
       return "slo_breach";
+    case RecorderEvent::Kind::kAdmit:
+      return "admit";
+    case RecorderEvent::Kind::kThinned:
+      return "thinned";
   }
   return "event";
 }

@@ -46,6 +46,8 @@ struct RecorderEvent {
     kImuVerdict,   // IMU window decision     (v0 = score, v1 = threshold)
     kGpsVerdict,   // GPS fix decision        (v0 = running mean error)
     kSloBreach,    // latency above the p99 target (v0 = seconds, v1 = target)
+    kAdmit,        // fleet admission verdict (v0 = verdict enum, v1 = shard)
+    kThinned,      // window skipped by degraded evidence thinning (v0 = seq)
   };
   Kind kind = Kind::kChunk;
   bool flag = false;       // kind-specific (alert / degraded / ...)

@@ -4,7 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "obs/metrics.hpp"
+#include "obs/log.hpp"
 #include "obs/recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -24,9 +24,34 @@ InferenceScheduler::InferenceScheduler(const core::SensoryMapper& mapper,
     : mapper_(&mapper), config_(config) {
   if (config_.max_batch == 0 || config_.queue_capacity == 0)
     throw std::invalid_argument{"InferenceScheduler: zero batch/capacity"};
-  obs::Registry::instance()
-      .slo("stream.window_to_verdict_seconds")
+  auto& reg = obs::Registry::instance();
+  reg.slo("stream.window_to_verdict_seconds")
       .set_targets({config_.slo_p50_target, config_.slo_p99_target});
+  shed_count_ = &reg.counter("stream.windows_shed");
+  thinned_count_ = &reg.counter("stream.windows_thinned");
+  submitted_count_ = &reg.counter("stream.windows_submitted");
+  batches_count_ = &reg.counter("stream.batches");
+  latency_hist_ = &reg.histogram("stream.window_to_verdict_seconds");
+  occupancy_hist_ = &reg.histogram("stream.batch_occupancy");
+  latency_slo_ = &reg.slo("stream.window_to_verdict_seconds");
+  if (config_.metric_scope.empty()) {
+    active_gauge_ = &reg.gauge("stream.sessions_active");
+    backlog_gauge_ = &reg.gauge("stream.backlog");
+  } else {
+    const std::string& scope = config_.metric_scope;
+    active_gauge_ = &reg.gauge(scope + ".sessions_active");
+    backlog_gauge_ = &reg.gauge(scope + ".backlog");
+    scoped_shed_ = &reg.counter(scope + ".windows_shed");
+    scoped_thinned_ = &reg.counter(scope + ".windows_thinned");
+    scoped_submitted_ = &reg.counter(scope + ".windows_submitted");
+    scoped_batches_ = &reg.counter(scope + ".batches");
+  }
+}
+
+void InferenceScheduler::update_active_gauge() {
+  active_gauge_->set(static_cast<double>(
+      std::count_if(sessions_.begin(), sessions_.end(),
+                    [](const RcaSession* s) { return !s->finished(); })));
 }
 
 void InferenceScheduler::attach(RcaSession& session) {
@@ -36,11 +61,20 @@ void InferenceScheduler::attach(RcaSession& session) {
   if (pos != sessions_.end() && (*pos)->id() == session.id())
     throw std::invalid_argument{"InferenceScheduler: duplicate session id"};
   sessions_.insert(pos, &session);
-  static obs::Gauge& active =
-      obs::Registry::instance().gauge("stream.sessions_active");
-  active.set(static_cast<double>(
-      std::count_if(sessions_.begin(), sessions_.end(),
-                    [](const RcaSession* s) { return !s->finished(); })));
+  update_active_gauge();
+}
+
+void InferenceScheduler::detach(RcaSession& session) {
+  const auto pos = std::lower_bound(
+      sessions_.begin(), sessions_.end(), session.id(),
+      [](const RcaSession* s, std::uint64_t id) { return s->id() < id; });
+  if (pos == sessions_.end() || *pos != &session)
+    throw std::invalid_argument{"InferenceScheduler: detach of unknown session"};
+  if (session.windows_staged() != session.windows_delivered())
+    throw std::logic_error{
+        "InferenceScheduler: detach with in-flight windows — drain first"};
+  sessions_.erase(pos);
+  update_active_gauge();
 }
 
 void InferenceScheduler::collect() {
@@ -55,24 +89,16 @@ void InferenceScheduler::shed_excess() {
     RcaSession::ReadyWindow w = std::move(queue_.front());
     queue_.pop_front();
     ++shed_;
-    static obs::Counter& shed =
-        obs::Registry::instance().counter("stream.windows_shed");
-    shed.add();
+    shed_count_->add();
+    if (scoped_shed_) scoped_shed_->add();
     const core::TimedPrediction pred = shed_prediction(w.span);
-    deliver(std::move(w), pred, /*was_shed=*/true);
+    deliver(std::move(w), pred, Delivery::kShed);
   }
 }
 
 void InferenceScheduler::deliver(RcaSession::ReadyWindow&& window,
                                  const core::TimedPrediction& pred,
-                                 bool was_shed) {
-  // One record per window, amortized over a model forward — not a hot loop,
-  // so the latency histogram stays unconditionally accurate for serving
-  // dashboards and bench percentiles.
-  static obs::Histogram& latency =
-      obs::Registry::instance().histogram("stream.window_to_verdict_seconds");
-  static obs::SloTracker& slo =
-      obs::Registry::instance().slo("stream.window_to_verdict_seconds");
+                                 Delivery how) {
   const auto it = std::lower_bound(
       sessions_.begin(), sessions_.end(), window.session,
       [](const RcaSession* s, std::uint64_t id) { return s->id() < id; });
@@ -80,18 +106,29 @@ void InferenceScheduler::deliver(RcaSession::ReadyWindow&& window,
     throw std::logic_error{"InferenceScheduler: window from unknown session"};
   RcaSession& session = **it;
   session.deliver(pred);
+  // One record per window, amortized over a model forward — not a hot loop,
+  // so the latency histogram stays unconditionally accurate for serving
+  // dashboards and bench percentiles.
   const double now = obs::now_us();
   const double seconds = (now - window.ready_at_us) * 1e-6;
-  latency.record(seconds);
-  slo.record(seconds);
+  latency_hist_->record(seconds);
+  latency_slo_->record(seconds);
   if (obs::FlightRecorder* rec = session.recorder()) {
-    if (was_shed) {
-      rec->record({obs::RecorderEvent::Kind::kShed, true, window.seq, now,
-                   window.span.t1, static_cast<double>(queue_.size()), 0.0});
-      rec->trigger("shed");
-    } else {
-      rec->record({obs::RecorderEvent::Kind::kDeliver, false, window.seq, now,
-                   window.span.t1, seconds, 0.0});
+    switch (how) {
+      case Delivery::kShed:
+        rec->record({obs::RecorderEvent::Kind::kShed, true, window.seq, now,
+                     window.span.t1, static_cast<double>(queue_.size()), 0.0});
+        rec->trigger("shed");
+        break;
+      case Delivery::kThinned:
+        rec->record({obs::RecorderEvent::Kind::kThinned, false, window.seq,
+                     now, window.span.t1, static_cast<double>(window.seq),
+                     0.0});
+        break;
+      case Delivery::kInferred:
+        rec->record({obs::RecorderEvent::Kind::kDeliver, false, window.seq,
+                     now, window.span.t1, seconds, 0.0});
+        break;
     }
     if (seconds > config_.slo_p99_target) {
       rec->record({obs::RecorderEvent::Kind::kSloBreach, true, window.seq, now,
@@ -104,55 +141,87 @@ void InferenceScheduler::deliver(RcaSession::ReadyWindow&& window,
 std::size_t InferenceScheduler::pump() {
   obs::ScopedSpan span{"scheduler_pump", obs::Stage::kPredict};
   // The pump loop is the serving heartbeat, so it doubles as the telemetry
-  // clock: one relaxed atomic load when SB_TELEMETRY is unset.
-  obs::telemetry_tick();
-  static obs::Gauge& active =
-      obs::Registry::instance().gauge("stream.sessions_active");
-  active.set(static_cast<double>(
-      std::count_if(sessions_.begin(), sessions_.end(),
-                    [](const RcaSession* s) { return !s->finished(); })));
+  // clock: one relaxed atomic load when SB_TELEMETRY is unset.  A fleet
+  // shard pumps inside a parallel region and leaves ticking to the fleet.
+  if (config_.telemetry_ticks) obs::telemetry_tick();
+  update_active_gauge();
   collect();
   shed_excess();
-  static obs::Gauge& backlog_gauge =
-      obs::Registry::instance().gauge("stream.backlog");
   if (queue_.empty()) {
-    backlog_gauge.set(0.0);
+    backlog_gauge_->set(0.0);
     return 0;
   }
 
-  const std::size_t n = std::min(config_.max_batch, queue_.size());
+  // Build the batch from the queue front.  Thinned windows (degraded
+  // evidence stride) never reach the model: they retire right here as NaN
+  // deliveries WITHOUT consuming a batch slot — but they still flow through
+  // the queue, because delivery is strictly seq-ordered per session and a
+  // thinned window may sit behind un-inferred older ones.
   std::vector<RcaSession::ReadyWindow> batch;
-  batch.reserve(n);
   std::vector<ml::Tensor> sigs;
-  sigs.reserve(n);
   std::vector<core::WindowSpan> spans;
-  spans.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    batch.push_back(std::move(queue_.front()));
+  batch.reserve(config_.max_batch);
+  sigs.reserve(config_.max_batch);
+  spans.reserve(config_.max_batch);
+  while (batch.size() < config_.max_batch && !queue_.empty()) {
+    RcaSession::ReadyWindow w = std::move(queue_.front());
     queue_.pop_front();
+    if (w.thinned) {
+      ++thinned_;
+      thinned_count_->add();
+      if (scoped_thinned_) scoped_thinned_->add();
+      const core::TimedPrediction pred = shed_prediction(w.span);
+      deliver(std::move(w), pred, Delivery::kThinned);
+      continue;
+    }
+    batch.push_back(std::move(w));
     sigs.push_back(std::move(batch.back().signature));
     spans.push_back(batch.back().span);
   }
-  const auto preds = mapper_->predict_prepared(sigs, spans);
-  for (std::size_t i = 0; i < n; ++i) deliver(std::move(batch[i]), preds[i]);
-
-  inferred_ += n;
-  ++batches_;
-  static obs::Counter& submitted =
-      obs::Registry::instance().counter("stream.windows_submitted");
-  submitted.add(n);
-  static obs::Counter& batches =
-      obs::Registry::instance().counter("stream.batches");
-  batches.add();
-  static obs::Histogram& occupancy =
-      obs::Registry::instance().histogram("stream.batch_occupancy");
-  occupancy.record(static_cast<double>(n));
-  backlog_gauge.set(static_cast<double>(queue_.size()));
+  const std::size_t n = batch.size();
+  if (n > 0) {
+    const auto preds = mapper_->predict_prepared(sigs, spans);
+    for (std::size_t i = 0; i < n; ++i)
+      deliver(std::move(batch[i]), preds[i], Delivery::kInferred);
+    inferred_ += n;
+    ++batches_;
+    submitted_count_->add(n);
+    if (scoped_submitted_) scoped_submitted_->add(n);
+    batches_count_->add();
+    if (scoped_batches_) scoped_batches_->add();
+    occupancy_hist_->record(static_cast<double>(n));
+  }
+  backlog_gauge_->set(static_cast<double>(queue_.size()));
   return n;
 }
 
-void InferenceScheduler::drain() {
-  while (pump() > 0) {
+bool InferenceScheduler::drain(std::size_t max_retired) {
+  // Outstanding work at entry: queued windows plus everything staged but
+  // not yet delivered inside the sessions.  Nothing pushes sensor data
+  // while draining, so retiring more than this means a session is
+  // generating windows from thin air — a bug worth failing loudly on
+  // rather than spinning the serving loop forever.
+  std::size_t budget = max_retired;
+  if (budget == 0) {
+    budget = queue_.size();
+    for (const RcaSession* s : sessions_)
+      budget += s->windows_staged() - s->windows_delivered();
+  }
+  std::size_t retired_total = 0;
+  while (true) {
+    const std::size_t before = inferred_ + shed_ + thinned_;
+    pump();
+    const std::size_t retired = inferred_ + shed_ + thinned_ - before;
+    if (retired == 0) return true;
+    retired_total += retired;
+    if (retired_total > budget) {
+      obs::logf(obs::LogLevel::kError, "stream",
+                "InferenceScheduler: drain aborted after retiring %zu windows "
+                "(budget %zu) — a session keeps producing mid-drain",
+                retired_total, budget);
+      obs::Registry::instance().counter("stream.drain_aborts").add();
+      return false;
+    }
   }
 }
 

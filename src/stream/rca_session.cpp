@@ -62,40 +62,54 @@ void RcaSession::push_audio(const acoustics::MultiChannelAudio& chunk) {
                        static_cast<double>(chunk.num_samples()), 0.0});
   ++audio_chunks_;
   for (auto& w : extractor_.push(chunk)) {
-    // Prepare the signature immediately (the expensive part of serving):
-    // extraction, hooks, channel diagnosis + masking, standardization — the
-    // exact per-window path the offline predict_windows runs.
-    std::array<bool, sensors::kNumMics> healthy{};
-    ml::Tensor sig = mapper_->prepare_signature(w.audio, config_.hooks, &healthy);
-    bool any_masked = false;
-    std::size_t masked = 0;
-    for (std::size_t c = 0; c < sensors::kNumMics; ++c) {
-      if (healthy[c]) continue;
-      ++health_.mic_windows_masked[c];
-      ++masked;
-      any_masked = true;
-    }
+    // Stage the raw slice only; signature preparation (the expensive part of
+    // serving) is deferred to take_ready() so it runs on the pump thread —
+    // in a fleet, the shard's worker — keeping scratch-pool allocations
+    // thread-local.  Thinned windows (degraded evidence) skip it entirely.
+    const bool thinned =
+        config_.evidence_stride > 1 && next_seq_ % config_.evidence_stride != 0;
+    ReadyWindow rw;
+    rw.session = id_;
+    rw.seq = next_seq_++;
+    rw.span = {w.t0, w.t1};
+    rw.audio = std::move(w.audio);
+    rw.thinned = thinned;
+    rw.ready_at_us = obs::now_us();
     ++health_.windows_total;
-    if (any_masked) ++health_.windows_degraded;
-    if (masked > 0) {
-      static obs::Counter& masked_counter =
-          obs::Registry::instance().counter("faults.mic_windows_masked");
-      masked_counter.add(masked);
+    ready_.push_back(std::move(rw));
+  }
+}
+
+void RcaSession::prepare_window(ReadyWindow& w) {
+  // Extraction, hooks, channel diagnosis + masking, standardization — the
+  // exact per-window path the offline predict_windows runs.
+  std::array<bool, sensors::kNumMics> healthy{};
+  w.signature = mapper_->prepare_signature(w.audio, config_.hooks, &healthy);
+  w.audio = {};
+  bool any_masked = false;
+  std::size_t masked = 0;
+  for (std::size_t c = 0; c < sensors::kNumMics; ++c) {
+    if (healthy[c]) continue;
+    ++health_.mic_windows_masked[c];
+    ++masked;
+    any_masked = true;
+  }
+  if (any_masked) ++health_.windows_degraded;
+  if (masked > 0) {
+    static obs::Counter& masked_counter =
+        obs::Registry::instance().counter("faults.mic_windows_masked");
+    masked_counter.add(masked);
+  }
+  if (recorder_) {
+    recorder_->record({obs::RecorderEvent::Kind::kWindow, any_masked, w.seq,
+                       w.ready_at_us, w.span.t1, static_cast<double>(masked),
+                       0.0});
+    if (any_masked) {
+      recorder_->record({obs::RecorderEvent::Kind::kDegrade, true, w.seq,
+                         w.ready_at_us, w.span.t1,
+                         static_cast<double>(health_.windows_degraded), 0.0});
+      recorder_->trigger("health_degraded");
     }
-    const double staged_us = obs::now_us();
-    if (recorder_) {
-      recorder_->record({obs::RecorderEvent::Kind::kWindow, any_masked,
-                         next_seq_, staged_us, w.t1,
-                         static_cast<double>(masked), 0.0});
-      if (any_masked) {
-        recorder_->record({obs::RecorderEvent::Kind::kDegrade, true, next_seq_,
-                           staged_us, w.t1,
-                           static_cast<double>(health_.windows_degraded), 0.0});
-        recorder_->trigger("health_degraded");
-      }
-    }
-    ready_.push_back({id_, next_seq_++, {w.t0, w.t1}, std::move(sig),
-                      staged_us});
   }
 }
 
@@ -110,7 +124,10 @@ void RcaSession::push_gps(std::span<const sim::GpsSample> samples) {
 }
 
 std::vector<RcaSession::ReadyWindow> RcaSession::take_ready() {
-  return std::exchange(ready_, {});
+  auto out = std::exchange(ready_, {});
+  for (auto& w : out)
+    if (!w.thinned) prepare_window(w);
+  return out;
 }
 
 void RcaSession::emit_imu_decisions(

@@ -70,6 +70,13 @@ struct RcaSessionConfig {
   double sample_rate = 16000.0;
   // IMU residual baseline horizon (offline default).
   std::size_t reference_windows = 10;
+  // Degraded-mode evidence thinning: only every evidence_stride-th window
+  // (seq % stride == 0) is prepared and inferred; the rest are delivered as
+  // NaN "thinned" predictions, which the detectors treat exactly like shed
+  // windows (IMU skips, GPS coasts).  1 = full evidence (the offline-
+  // equivalent default); a fleet under admission pressure degrades sessions
+  // to stride 2+ so overload thins evidence instead of growing latency.
+  std::size_t evidence_stride = 1;
   // Optional transforms applied before inference, as in the offline path.
   core::PredictionHooks hooks;
   // Flight-recorder ring/dump settings; the recorder itself is only built
@@ -93,17 +100,25 @@ class RcaSession {
   void push_imu(std::span<const sim::ImuSample> samples);
   void push_gps(std::span<const sim::GpsSample> samples);
 
-  // A window whose signature is prepared (extracted, transformed,
-  // health-masked, standardized) and awaits inference.
+  // A window staged for inference.  push_audio stages the raw audio slice;
+  // take_ready() prepares the signature (extraction, hooks, channel
+  // diagnosis + masking, standardization) on the CALLER's thread — in a
+  // fleet that is the shard's pump worker, so per-thread scratch allocations
+  // are made and returned on the same thread and the steady state stays
+  // zero-alloc.  Thinned windows (evidence_stride) skip preparation
+  // entirely: signature stays empty and `thinned` is set.
   struct ReadyWindow {
     std::uint64_t session = 0;
     std::uint64_t seq = 0;  // window index on the analysis grid
     core::WindowSpan span;
-    ml::Tensor signature;     // [1, C, H, W]
+    acoustics::MultiChannelAudio audio;  // raw slice; released after prep
+    ml::Tensor signature;     // [1, C, H, W]; empty when thinned
+    bool thinned = false;     // skipped by degraded evidence thinning
     double ready_at_us = 0.0; // host clock at staging, for latency metrics
   };
 
-  // Moves out the windows staged since the last call (ascending seq).
+  // Moves out the windows staged since the last call (ascending seq),
+  // preparing each non-thinned window's signature.
   std::vector<ReadyWindow> take_ready();
 
   // Delivers the prediction for the next undelivered window (seq order is
@@ -131,9 +146,45 @@ class RcaSession {
   // into the pipeline, so verdicts are bit-identical either way.
   obs::FlightRecorder* recorder() const { return recorder_.get(); }
 
+  const RcaSessionConfig& config() const { return config_; }
+
+  // Crash-safe checkpoint: serializes the COMPLETE monitor state (extractor
+  // ring, IMU baseline/run state, both GPS monitors with KF x and P, sensor
+  // buffers, cursors, verdict backlog, health) inside an SBSESS01 integrity
+  // frame (magic, version, payload size, CRC-32 — same layout as the model
+  // format).  The session must be quiescent — every staged window taken AND
+  // delivered (drain the scheduler first) — or a logic_error is thrown:
+  // in-flight windows cannot round-trip.  Returns false on I/O failure.
+  bool checkpoint(const std::string& path) const;
+
+  // Rebuilds a session from a checkpoint against the same (or bitwise-equal)
+  // trained mapper and calibrated detectors.  Truncated, bit-flipped,
+  // wrong-magic or version-skewed files — and checkpoints taken under a
+  // different grid, baseline horizon or detector thresholds — are rejected
+  // loudly (obs warning + `stream.checkpoint_rejected` counter) and nullptr
+  // is returned.  `config.evidence_stride` is restored FROM the checkpoint
+  // (the degradation level travels with the session).  Subsequent verdicts
+  // are bitwise-identical to the uninterrupted session (pinned by the
+  // StreamingEquivalence suite).
+  static std::unique_ptr<RcaSession> restore(
+      const std::string& path, const core::SensoryMapper& mapper,
+      const core::ImuRcaDetector& imu_detector,
+      const core::GpsRcaDetector& gps_detector,
+      const RcaSessionConfig& config = {});
+
+  // Reads just the session id from a checkpoint frame (for shard routing
+  // before the full restore).  Returns false on any malformed frame.
+  static bool peek_checkpoint_id(const std::string& path, std::uint64_t* id);
+
  private:
   void emit_imu_decisions(std::vector<core::ImuWindowDecision> decisions,
                           double decided_at);
+  // Signature preparation for one staged window (see ReadyWindow).
+  void prepare_window(ReadyWindow& w);
+  // Checkpoint payload body (everything inside the SBSESS01 frame); defined
+  // in session_checkpoint.cpp.
+  void save_payload(std::ostream& os) const;
+  bool load_payload(std::istream& is);
 
   std::uint64_t id_;
   const core::SensoryMapper* mapper_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/binary_io.hpp"
+
 namespace sb::stream {
 
 StreamingFeatureExtractor::StreamingFeatureExtractor(
@@ -65,6 +67,48 @@ std::vector<core::SensoryMapper::WindowAudio> StreamingFeatureExtractor::push(
   }
   trim();
   return out;
+}
+
+void StreamingFeatureExtractor::save_state(std::ostream& os) const {
+  using util::io::write_pod;
+  write_pod(os, config_.sample_rate);
+  write_pod(os, config_.settle);
+  write_pod(os, config_.stride);
+  write_pod(os, config_.window_seconds);
+  write_pod(os, static_cast<std::uint64_t>(base_));
+  write_pod(os, static_cast<std::uint64_t>(next_abs_));
+  write_pod(os, static_cast<std::uint64_t>(next_window_));
+  write_pod(os, next_t0_);
+  for (const auto& ch : buffer_) util::io::write_pod_vec(os, ch);
+}
+
+bool StreamingFeatureExtractor::load_state(std::istream& is) {
+  using util::io::read_pod;
+  double sample_rate = 0.0, settle = 0.0, stride = 0.0, window_seconds = 0.0;
+  if (!read_pod(is, sample_rate) || sample_rate != config_.sample_rate)
+    return false;
+  if (!read_pod(is, settle) || settle != config_.settle) return false;
+  if (!read_pod(is, stride) || stride != config_.stride) return false;
+  if (!read_pod(is, window_seconds) || window_seconds != config_.window_seconds)
+    return false;
+  std::uint64_t base = 0, next_abs = 0, next_window = 0;
+  double next_t0 = 0.0;
+  if (!read_pod(is, base) || !read_pod(is, next_abs) ||
+      !read_pod(is, next_window) || !read_pod(is, next_t0))
+    return false;
+  std::array<std::vector<double>, sensors::kNumMics> buffer;
+  for (auto& ch : buffer)
+    if (!util::io::read_pod_vec(is, ch)) return false;
+  // Cursor consistency: the buffer holds the stream tail [base_, next_abs_).
+  if (base > next_abs || buffer[0].size() != next_abs - base) return false;
+  for (const auto& ch : buffer)
+    if (ch.size() != buffer[0].size()) return false;
+  base_ = static_cast<std::size_t>(base);
+  next_abs_ = static_cast<std::size_t>(next_abs);
+  next_window_ = static_cast<std::size_t>(next_window);
+  next_t0_ = next_t0;
+  buffer_ = std::move(buffer);
+  return true;
 }
 
 }  // namespace sb::stream

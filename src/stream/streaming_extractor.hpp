@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "acoustics/propagation.hpp"
@@ -51,6 +52,14 @@ class StreamingFeatureExtractor {
   // however long the stream runs (pinned by stream_test).
   std::size_t buffered_samples() const { return buffer_[0].size(); }
   const StreamingExtractorConfig& config() const { return config_; }
+
+  // Bitwise checkpoint of the ring state: buffered tail samples, cursors
+  // and the float-accumulated next_t0_ (the accumulated double itself is
+  // persisted — recomputing settle + k*stride would NOT reproduce it).
+  // load_state expects an extractor constructed with the SAME config and
+  // returns false on malformed bytes or a config mismatch.
+  void save_state(std::ostream& os) const;
+  bool load_state(std::istream& is);
 
  private:
   std::size_t window_begin(double t0) const;

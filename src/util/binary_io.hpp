@@ -1,0 +1,59 @@
+// POD-stream helpers for the CRC-framed binary artifact formats (model
+// files, session checkpoints).  Header-only: the persistence code of each
+// subsystem serializes with these so every format shares one idiom —
+// little-endian in-memory byte images, explicit sizes ahead of variable
+// payloads, read functions that report failure instead of throwing.
+//
+// Framing (magic/version/payload-size/CRC) stays with each format's
+// owner; these helpers only move bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+namespace sb::util::io {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool read_pod(std::istream& is, T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(is);
+}
+
+// Length-prefixed vector of trivially copyable elements.
+template <typename T>
+void write_pod_vec(std::ostream& os, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod(os, static_cast<std::uint64_t>(v.size()));
+  if (!v.empty())
+    os.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+// `max_count` bounds the allocation a corrupt length prefix could demand;
+// the CRC frame normally rejects corruption first, but parsers stay safe
+// even on a colliding checksum.
+template <typename T>
+bool read_pod_vec(std::istream& is, std::vector<T>& v,
+                  std::uint64_t max_count = (1ULL << 32)) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t n = 0;
+  if (!read_pod(is, n) || n > max_count) return false;
+  v.resize(static_cast<std::size_t>(n));
+  if (n > 0)
+    is.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(is);
+}
+
+}  // namespace sb::util::io

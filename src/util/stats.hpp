@@ -52,6 +52,16 @@ class KahanSum {
 
   double value() const { return sum_ + comp_; }
 
+  // Internal parts for bitwise checkpoint/restore: value() alone is lossy
+  // (sum_ + comp_ rounds), so persisting an accumulator mid-stream must
+  // carry both words and restore() them verbatim.
+  double raw_sum() const { return sum_; }
+  double compensation() const { return comp_; }
+  void restore(double sum, double comp) {
+    sum_ = sum;
+    comp_ = comp;
+  }
+
   void reset() {
     sum_ = 0.0;
     comp_ = 0.0;

@@ -626,6 +626,78 @@ StreamOutcome run_streaming(const Flight& f, const SensoryMapper& m,
   return out;
 }
 
+// run_streaming with a simulated server crash at mid-flight: the session is
+// drained, checkpointed (SBSESS01), destroyed together with its scheduler,
+// then restored into a NEW session on a NEW scheduler which serves the rest
+// of the stream.  Everything downstream — events, trace, report — must be
+// bitwise identical to the uninterrupted paths.
+StreamOutcome run_streaming_with_restart(const Flight& f,
+                                         const SensoryMapper& m,
+                                         const PredictionHooks& hooks = {},
+                                         std::size_t chunk = 1600) {
+  const auto& p = pipeline();
+  stream::RcaSessionConfig sc;
+  sc.hooks = hooks;
+  sc.recorder.out_dir = ::testing::TempDir();
+  auto session =
+      std::make_unique<stream::RcaSession>(1, m, *p.imu_det, *p.gps_det, sc);
+  auto sched = std::make_unique<stream::InferenceScheduler>(m);
+  sched->attach(*session);
+
+  const auto audio = continuous_recording(f, m);
+  const double fs = audio.sample_rate;
+  const std::size_t total = audio.num_samples();
+  std::size_t imu_i = 0, gps_i = 0;
+  bool restarted = false;
+  StreamOutcome out;
+  for (std::size_t begin = 0; begin < total; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, total);
+    const double until = static_cast<double>(end) / fs;
+    std::size_t imu_hi = imu_i;
+    while (imu_hi < f.log.imu.size() && f.log.imu[imu_hi].t <= until) ++imu_hi;
+    session->push_imu(std::span{f.log.imu}.subspan(imu_i, imu_hi - imu_i));
+    imu_i = imu_hi;
+    std::size_t gps_hi = gps_i;
+    while (gps_hi < f.log.gps.size() && f.log.gps[gps_hi].t <= until) ++gps_hi;
+    session->push_gps(std::span{f.log.gps}.subspan(gps_i, gps_hi - gps_i));
+    gps_i = gps_hi;
+
+    acoustics::MultiChannelAudio slice;
+    slice.sample_rate = fs;
+    for (std::size_t c = 0; c < sensors::kNumMics; ++c)
+      slice.channels[c].assign(
+          audio.channels[c].begin() + static_cast<std::ptrdiff_t>(begin),
+          audio.channels[c].begin() + static_cast<std::ptrdiff_t>(end));
+    session->push_audio(slice);
+    sched->pump();
+    for (auto& e : session->poll_verdicts()) out.events.push_back(e);
+
+    if (!restarted && end >= total / 2) {
+      restarted = true;
+      sched->drain();
+      for (auto& e : session->poll_verdicts()) out.events.push_back(e);
+      out.shed += sched->windows_shed();
+      const std::string path = ::testing::TempDir() + "sb_midflight.sbsess";
+      EXPECT_TRUE(session->checkpoint(path));
+      // Crash: the old scheduler and session go away entirely.
+      sched.reset();
+      session.reset();
+      session = stream::RcaSession::restore(path, m, *p.imu_det, *p.gps_det, sc);
+      EXPECT_NE(session, nullptr);
+      if (!session) return out;
+      sched = std::make_unique<stream::InferenceScheduler>(m);
+      sched->attach(*session);
+    }
+  }
+  session->push_imu(std::span{f.log.imu}.subspan(imu_i));
+  session->push_gps(std::span{f.log.gps}.subspan(gps_i));
+  sched->drain();
+  for (auto& e : session->poll_verdicts()) out.events.push_back(e);
+  out.shed += sched->windows_shed();
+  out.report = session->finish(&out.trace);
+  return out;
+}
+
 void expect_health_eq(const faults::HealthReport& a,
                       const faults::HealthReport& b) {
   for (std::size_t c = 0; c < sensors::kNumMics; ++c)
@@ -781,6 +853,28 @@ TEST(StreamingEquivalence, GpsSpoofFlightMatchesOffline) {
   const auto off = engine.analyze(test::lab(), f);
   EXPECT_TRUE(off.gps_attacked);
   check_equivalence(f);
+}
+
+TEST(StreamingEquivalence, CheckpointRestoreMidFlightIsBitwiseIdentical) {
+  // A crash-and-restore at mid-flight must be invisible in the evidence: the
+  // restored session's remaining verdicts, full decision trace and final
+  // report stay bitwise identical to the offline analysis (and hence to the
+  // uninterrupted streaming path) at 1 and 4 threads.  An attack flight, so
+  // the verdict being preserved is a non-vacuous one.
+  const auto f = imu_attack_flight(attacks::ImuAttackType::kAccelDos, 421);
+  const auto& p = pipeline();
+  const auto& m = stream_mapper();
+  RcaEngine engine{m, *p.imu_det, *p.gps_det};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool::set_threads(threads);
+    RcaDecisionTrace off_tr;
+    const auto off = engine.analyze(test::lab(), f, {}, &off_tr);
+    EXPECT_TRUE(off.imu_attacked);
+    const auto on = run_streaming_with_restart(f, m);
+    EXPECT_EQ(on.shed, 0u) << "threads " << threads;
+    expect_equivalent(off, off_tr, on);
+  }
+  util::ThreadPool::set_threads(0);
 }
 
 // Restores the process-wide recorder switch on scope exit.

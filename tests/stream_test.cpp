@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/signature.hpp"
 #include "obs/metrics.hpp"
+#include "stream/fleet_server.hpp"
 #include "stream/inference_scheduler.hpp"
 #include "stream/rca_session.hpp"
 #include "stream/streaming_extractor.hpp"
@@ -200,6 +205,30 @@ class StreamServingTest : public ::testing::Test {
     session.push_gps(flight_->log.gps);
   }
 
+  // Incremental variant: pushes only the [t0, t1) stretch of every stream,
+  // so a session can be fed in phases (checkpoint mid-flight, then resume).
+  void feed_range(RcaSession& session, double t0, double t1) {
+    const auto lo = std::min(
+        static_cast<std::size_t>(std::llround(t0 * audio_->sample_rate)),
+        audio_->num_samples());
+    const auto hi = std::min(
+        static_cast<std::size_t>(std::llround(t1 * audio_->sample_rate)),
+        audio_->num_samples());
+    if (hi > lo) session.push_audio(slice(*audio_, lo, hi));
+    const auto& imu = flight_->log.imu;
+    std::size_t ia = 0, ib = 0;
+    while (ia < imu.size() && imu[ia].t < t0) ++ia;
+    ib = ia;
+    while (ib < imu.size() && imu[ib].t < t1) ++ib;
+    session.push_imu(std::span{imu}.subspan(ia, ib - ia));
+    const auto& gps = flight_->log.gps;
+    std::size_t ga = 0, gb = 0;
+    while (ga < gps.size() && gps[ga].t < t0) ++ga;
+    gb = ga;
+    while (gb < gps.size() && gps[gb].t < t1) ++gb;
+    session.push_gps(std::span{gps}.subspan(ga, gb - ga));
+  }
+
   static core::SensoryMapper* mapper_;
   static core::FlightLab* lab_;
   static core::Flight* flight_;
@@ -291,6 +320,372 @@ TEST_F(StreamServingTest, OverflowShedsOldestAndEngagesDegradation) {
   // queue front — still contribute), never silently lost.
   EXPECT_GT(report.health.imu_samples_nonfinite, 0u);
   EXPECT_EQ(report.health.imu_windows_skipped, staged - 2);
+}
+
+// ---------------------------------------------------------------------------
+// Detach / bounded drain (migration + overload-robustness surfaces).
+
+TEST_F(StreamServingTest, DetachRejectsUnknownAndInFlightSessions) {
+  auto a = make_session(11);
+  auto b = make_session(12);
+  InferenceScheduler sched{*mapper_};
+  sched.attach(a);
+  EXPECT_THROW(sched.detach(b), std::invalid_argument);
+  feed(a, 6.0);
+  ASSERT_GT(a.windows_staged(), a.windows_delivered());
+  // In-flight windows would be stranded by a detach — refuse loudly.
+  EXPECT_THROW(sched.detach(a), std::logic_error);
+  sched.drain();
+  sched.detach(a);
+  EXPECT_EQ(sched.sessions_attached(), 0u);
+  EXPECT_THROW(sched.detach(a), std::invalid_argument);
+}
+
+TEST_F(StreamServingTest, DetachedSessionMigratesToAnotherScheduler) {
+  auto a = make_session(13);
+  InferenceScheduler first{*mapper_};
+  first.attach(a);
+  feed_range(a, 0.0, 5.0);
+  first.drain();
+  first.detach(a);
+  // The second scheduler picks the session up mid-flight and serves the
+  // rest; the session never notices the migration.
+  InferenceScheduler second{*mapper_};
+  second.attach(a);
+  feed_range(a, 5.0, 10.0);
+  second.drain();
+  EXPECT_EQ(a.windows_delivered(), a.windows_staged());
+  EXPECT_GT(second.windows_inferred(), 0u);
+  const auto report = a.finish();
+  EXPECT_GT(report.health.windows_total, 0u);
+}
+
+TEST_F(StreamServingTest, BoundedDrainAbortsOnExcessProgress) {
+  auto a = make_session(14);
+  InferenceScheduler sched{*mapper_, {.max_batch = 2}};
+  sched.attach(a);
+  feed(a, 10.0);
+  ASSERT_GT(a.windows_staged(), 3u);
+  const auto aborts_before =
+      obs::Registry::instance().counter("stream.drain_aborts").value();
+  // A one-window budget cannot cover the backlog: the drain must terminate
+  // anyway (returning false) instead of looping, and count the abort.
+  EXPECT_FALSE(sched.drain(1));
+  EXPECT_EQ(obs::Registry::instance().counter("stream.drain_aborts").value(),
+            aborts_before + 1);
+  // An adequate budget (the default: the current backlog) finishes the job.
+  EXPECT_TRUE(sched.drain());
+  EXPECT_EQ(a.windows_delivered(), a.windows_staged());
+}
+
+// ---------------------------------------------------------------------------
+// Evidence thinning (degraded admissions).
+
+TEST_F(StreamServingTest, EvidenceThinningDeliversEveryWindowWithoutInference) {
+  RcaSessionConfig config;
+  config.evidence_stride = 2;
+  RcaSession a{15, *mapper_, *imu_, *gps_, config};
+  InferenceScheduler sched{*mapper_};
+  sched.attach(a);
+  feed(a, 10.0);
+  const std::size_t staged = a.windows_staged();
+  ASSERT_GT(staged, 4u);
+  sched.drain();
+  // Every window is delivered in seq order; the off-stride ones as NaN
+  // without consuming inference capacity.
+  EXPECT_EQ(a.windows_delivered(), staged);
+  const std::size_t expect_inferred = (staged + 1) / 2;  // seq 0, 2, 4, ...
+  EXPECT_EQ(sched.windows_inferred(), expect_inferred);
+  EXPECT_EQ(sched.windows_thinned(), staged - expect_inferred);
+  EXPECT_EQ(sched.windows_shed(), 0u);
+  const auto report = a.finish();
+  // Thinned windows flow through the same degradation accounting as shed
+  // ones: skipped as IMU evidence, never silently lost.
+  EXPECT_GE(report.health.imu_windows_skipped, staged - expect_inferred);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore (SBSESS01).
+
+std::string slurp(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+void spew(const std::string& path, const std::string& bytes) {
+  std::ofstream os{path, std::ios::binary};
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST_F(StreamServingTest, CheckpointRequiresQuiescence) {
+  auto a = make_session(16);
+  InferenceScheduler sched{*mapper_};
+  sched.attach(a);
+  feed(a, 6.0);
+  ASSERT_GT(a.windows_staged(), a.windows_delivered());
+  const std::string path = ::testing::TempDir() + "sb_quiescence.sbsess";
+  EXPECT_THROW(a.checkpoint(path), std::logic_error);
+  sched.drain();
+  EXPECT_TRUE(a.checkpoint(path));
+  std::uint64_t id = 0;
+  EXPECT_TRUE(RcaSession::peek_checkpoint_id(path, &id));
+  EXPECT_EQ(id, 16u);
+  sched.detach(a);
+  a.finish();
+  EXPECT_THROW(a.checkpoint(path), std::logic_error);
+}
+
+TEST_F(StreamServingTest, CheckpointRejectsCorruptFiles) {
+  auto a = make_session(17);
+  InferenceScheduler sched{*mapper_};
+  sched.attach(a);
+  feed(a, 6.0);
+  sched.drain();
+  const std::string path = ::testing::TempDir() + "sb_corrupt.sbsess";
+  ASSERT_TRUE(a.checkpoint(path));
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  auto& rejected = obs::Registry::instance().counter("stream.checkpoint_rejected");
+  const auto rejected_before = rejected.value();
+  std::size_t attempts = 0;
+  const auto expect_rejected = [&](std::string corrupt, const char* what) {
+    spew(path, corrupt);
+    EXPECT_EQ(RcaSession::restore(path, *mapper_, *imu_, *gps_), nullptr)
+        << what;
+    ++attempts;
+  };
+  for (const std::size_t keep :
+       {bytes.size() - 1, bytes.size() / 2, std::size_t{10}})
+    expect_rejected(bytes.substr(0, keep), "truncated file");
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x10;
+  expect_rejected(flipped, "bit flip in the payload");
+  std::string magic = bytes;
+  magic[0] ^= 0xFF;
+  expect_rejected(magic, "foreign magic");
+  std::string version = bytes;
+  version[8] ^= 0xFF;  // format version lives right after the 8-byte magic
+  expect_rejected(version, "version skew");
+  EXPECT_EQ(rejected.value(), rejected_before + attempts);
+
+  // The pristine bytes still restore — the harness, not the format, was
+  // rejecting above.
+  spew(path, bytes);
+  const auto restored = RcaSession::restore(path, *mapper_, *imu_, *gps_);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->id(), 17u);
+}
+
+void expect_same_verdicts(const std::vector<VerdictEvent>& x,
+                          const std::vector<VerdictEvent>& y) {
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(x[i].kind, y[i].kind) << "event " << i;
+    EXPECT_EQ(x[i].decided_at, y[i].decided_at) << "event " << i;
+    EXPECT_EQ(x[i].imu_attacked, y[i].imu_attacked) << "event " << i;
+    EXPECT_EQ(x[i].gps_mode, y[i].gps_mode) << "event " << i;
+    EXPECT_EQ(x[i].imu.score, y[i].imu.score) << "event " << i;
+    EXPECT_EQ(x[i].imu.flagged, y[i].imu.flagged) << "event " << i;
+    EXPECT_EQ(x[i].gps.running_mean_err, y[i].gps.running_mean_err)
+        << "event " << i;
+    EXPECT_EQ(x[i].gps.pos_dev, y[i].gps.pos_dev) << "event " << i;
+    EXPECT_EQ(x[i].gps.alert, y[i].gps.alert) << "event " << i;
+  }
+}
+
+void expect_same_reports(const core::RcaReport& x, const core::RcaReport& y) {
+  EXPECT_EQ(x.imu_attacked, y.imu_attacked);
+  EXPECT_EQ(x.imu_detect_time, y.imu_detect_time);
+  EXPECT_EQ(x.gps_attacked, y.gps_attacked);
+  EXPECT_EQ(x.gps_detect_time, y.gps_detect_time);
+  EXPECT_EQ(x.gps_mode_used, y.gps_mode_used);
+  EXPECT_EQ(x.health.windows_total, y.health.windows_total);
+  EXPECT_EQ(x.health.imu_samples_total, y.health.imu_samples_total);
+  EXPECT_EQ(x.health.imu_windows_skipped, y.health.imu_windows_skipped);
+  EXPECT_EQ(x.health.gps_fixes_total, y.health.gps_fixes_total);
+  EXPECT_EQ(x.health.gps_coast_seconds, y.health.gps_coast_seconds);
+}
+
+TEST_F(StreamServingTest, CheckpointRestoreResumesBitwise) {
+  // Control: one uninterrupted session over the whole flight, fed in the
+  // same two phases.
+  auto control = make_session(18);
+  InferenceScheduler control_sched{*mapper_};
+  control_sched.attach(control);
+  feed_range(control, 0.0, 5.0);
+  control_sched.drain();
+  auto control_events = control.poll_verdicts();
+  feed_range(control, 5.0, 10.0);
+  control_sched.drain();
+  for (auto& e : control.poll_verdicts()) control_events.push_back(e);
+
+  // Subject: checkpoint at the phase boundary, restore into a NEW session
+  // object on a NEW scheduler, serve the identical second phase.
+  auto subject = make_session(18);
+  InferenceScheduler before_sched{*mapper_};
+  before_sched.attach(subject);
+  feed_range(subject, 0.0, 5.0);
+  before_sched.drain();
+  auto subject_events = subject.poll_verdicts();
+  const std::string path = ::testing::TempDir() + "sb_resume.sbsess";
+  ASSERT_TRUE(subject.checkpoint(path));
+
+  const auto resumed = RcaSession::restore(path, *mapper_, *imu_, *gps_);
+  ASSERT_NE(resumed, nullptr);
+  InferenceScheduler after_sched{*mapper_};
+  after_sched.attach(*resumed);
+  feed_range(*resumed, 5.0, 10.0);
+  after_sched.drain();
+  for (auto& e : resumed->poll_verdicts()) subject_events.push_back(e);
+
+  expect_same_verdicts(control_events, subject_events);
+  const auto expected = control.finish();
+  const auto actual = resumed->finish();
+  expect_same_reports(expected, actual);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet server: shard assignment, admission control, migration.
+
+TEST(FleetShard, AssignmentIsPureDeterministicAndCovers) {
+  for (const std::uint64_t id : {0ull, 1ull, 42ull, 1ull << 63}) {
+    EXPECT_EQ(FleetServer::shard_of(id, 4), FleetServer::shard_of(id, 4));
+    EXPECT_LT(FleetServer::shard_of(id, 4), 4u);
+    EXPECT_EQ(FleetServer::shard_of(id, 1), 0u);
+  }
+  // Dense id ranges (the common fleet pattern) must spread across shards,
+  // not stripe into one.
+  std::vector<std::size_t> hits(4, 0);
+  for (std::uint64_t id = 0; id < 256; ++id)
+    ++hits[FleetServer::shard_of(id, 4)];
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_GT(hits[k], 16u) << "shard " << k;
+}
+
+TEST_F(StreamServingTest, FleetAdmissionAdmitsDegradesAndRejects) {
+  FleetServerConfig config;
+  config.num_shards = 2;
+  config.max_sessions_per_shard = 2;
+  config.degrade_sessions_per_shard = 1;
+  config.degraded_evidence_stride = 3;
+  FleetServer fleet{*mapper_, *imu_, *gps_, config};
+
+  // Three ids that land on the SAME shard exercise all three verdicts in
+  // admission order.
+  std::vector<std::uint64_t> ids;
+  const std::size_t shard = FleetServer::shard_of(100, 2);
+  for (std::uint64_t id = 100; ids.size() < 3; ++id)
+    if (FleetServer::shard_of(id, 2) == shard) ids.push_back(id);
+
+  const auto first = fleet.admit(ids[0]);
+  EXPECT_EQ(first.verdict, Admission::kAdmitted);
+  EXPECT_EQ(first.shard, shard);
+  ASSERT_NE(first.session, nullptr);
+  EXPECT_EQ(first.session->config().evidence_stride, 1u);
+
+  const auto second = fleet.admit(ids[1]);
+  EXPECT_EQ(second.verdict, Admission::kDegraded);
+  ASSERT_NE(second.session, nullptr);
+  EXPECT_EQ(second.session->config().evidence_stride, 3u);
+
+  const auto third = fleet.admit(ids[2]);
+  EXPECT_EQ(third.verdict, Admission::kRejected);
+  EXPECT_EQ(third.session, nullptr);
+
+  EXPECT_THROW(fleet.admit(ids[0]), std::invalid_argument);
+  EXPECT_EQ(fleet.find(ids[0]), first.session);
+  EXPECT_EQ(fleet.find(ids[2]), nullptr);
+  EXPECT_EQ(fleet.sessions_live(), 2u);
+}
+
+TEST_F(StreamServingTest, FleetServingMatchesShardedStandaloneBitwise) {
+  // Reference: standalone schedulers with the SAME session->shard mapping
+  // and pump pattern as the fleet, serving serially on the shared trained
+  // mapper.  The fleet adds per-shard mapper clones, parallel shard pumps
+  // and scoped metrics on top — none of which may change a single bit of
+  // any verdict.  (Queue composition must match between the two sides: GPS
+  // fix->window attribution legitimately depends on how deliveries
+  // interleave with pushes, so comparing different queueing layouts — e.g.
+  // one shared queue vs shards — compares different serving schedules.)
+  constexpr std::size_t kShards = 3;
+  FleetServerConfig config;
+  config.num_shards = kShards;
+  FleetServer fleet{*mapper_, *imu_, *gps_, config};
+  const std::vector<std::uint64_t> ids{1, 2, 3, 4};
+  std::vector<RcaSession*> fleet_sessions;
+  for (const auto id : ids)
+    fleet_sessions.push_back(fleet.admit(id).session);
+
+  std::vector<RcaSession> solo_sessions;
+  solo_sessions.reserve(ids.size());
+  for (const auto id : ids) solo_sessions.push_back(make_session(id));
+  std::vector<InferenceScheduler> solo_shards;
+  solo_shards.reserve(kShards);
+  for (std::size_t k = 0; k < kShards; ++k) solo_shards.emplace_back(*mapper_);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    solo_shards[FleetServer::shard_of(ids[i], kShards)].attach(
+        solo_sessions[i]);
+
+  for (const double t : {2.5, 5.0, 7.5, 10.0}) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      feed_range(*fleet_sessions[i], t - 2.5, t);
+      feed_range(solo_sessions[i], t - 2.5, t);
+    }
+    fleet.pump();
+    for (auto& sched : solo_shards) sched.pump();
+  }
+  EXPECT_TRUE(fleet.drain());
+  for (auto& sched : solo_shards) sched.drain();
+  EXPECT_EQ(fleet.windows_shed(), 0u);
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    expect_same_verdicts(solo_sessions[i].poll_verdicts(),
+                         fleet_sessions[i]->poll_verdicts());
+    const auto solo_report = solo_sessions[i].finish();
+    const auto fleet_report = fleet.finish(ids[i]);
+    expect_same_reports(solo_report, fleet_report);
+  }
+  EXPECT_EQ(fleet.sessions_live(), 0u);
+}
+
+TEST_F(StreamServingTest, FleetRestoreMigratesSessionsAcrossShardLayouts) {
+  // Checkpoint from a standalone scheduler (a "one-shard" server)...
+  auto a = make_session(19);
+  InferenceScheduler sched{*mapper_};
+  sched.attach(a);
+  feed_range(a, 0.0, 5.0);
+  sched.drain();
+  const std::string path = ::testing::TempDir() + "sb_migrate.sbsess";
+  ASSERT_TRUE(a.checkpoint(path));
+
+  // ...and restore into a fleet that shards differently: the session lands
+  // on whichever shard its id maps to and resumes there.
+  FleetServerConfig config;
+  config.num_shards = 4;
+  FleetServer fleet{*mapper_, *imu_, *gps_, config};
+  const auto res = fleet.restore(path);
+  ASSERT_NE(res.session, nullptr);
+  EXPECT_EQ(res.shard, FleetServer::shard_of(19, 4));
+  EXPECT_EQ(fleet.find(19), res.session);
+  // A second restore of the same id must not silently fork the session.
+  EXPECT_THROW(fleet.restore(path), std::invalid_argument);
+
+  feed_range(*res.session, 5.0, 10.0);
+  fleet.pump();
+  EXPECT_TRUE(fleet.drain());
+  const auto report = fleet.finish(19);
+  EXPECT_GT(report.health.windows_total, 0u);
+
+  // A corrupt file is rejected, not attached.
+  std::string bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x10;
+  spew(path, bytes);
+  const auto rejected = fleet.restore(path);
+  EXPECT_EQ(rejected.verdict, Admission::kRejected);
+  EXPECT_EQ(rejected.session, nullptr);
 }
 
 }  // namespace
