@@ -14,6 +14,7 @@
 #include "attacks/sound_attack.hpp"
 #include "core/sensory_mapper.hpp"
 #include "dsp/biquad.hpp"
+#include "obs/log.hpp"
 #include "util/stats.hpp"
 
 using namespace sb;
@@ -21,7 +22,7 @@ using namespace sb;
 int main() {
   core::FlightLab lab;
 
-  std::printf("[setup] training a small acoustic model...\n");
+  obs::logf(obs::LogLevel::kInfo, "setup", "training a small acoustic model...");
   const auto scenarios = lab.training_scenarios(2, 18.0);
   std::vector<core::Flight> train_flights;
   for (const auto& s : scenarios) train_flights.push_back(lab.fly(s));

@@ -10,13 +10,14 @@
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
+#include "obs/log.hpp"
 
 using namespace sb;
 
 int main() {
   core::FlightLab lab;
 
-  std::printf("[1/4] training the acoustic model on benign flights...\n");
+  obs::logf(obs::LogLevel::kInfo, "setup", "[1/4] training the acoustic model on benign flights...");
   const auto scenarios = lab.training_scenarios(2, 18.0);
   std::vector<core::Flight> train_flights;
   for (const auto& s : scenarios) train_flights.push_back(lab.fly(s));
@@ -26,7 +27,7 @@ int main() {
   core::SensoryMapper mapper{cfg};
   mapper.fit(lab, train_flights);
 
-  std::printf("[2/4] calibrating both detector stages on benign flights...\n");
+  obs::logf(obs::LogLevel::kInfo, "setup", "[2/4] calibrating both detector stages on benign flights...");
   // Stricter IMU-stage settings for mixed-mission deployments: regime
   // changes (hover -> en-route) shift the model's residual bias, and the
   // IMU verdict here means "untrusted", not necessarily "attacked".
@@ -69,11 +70,12 @@ int main() {
     gps_det.calibrate(audio_cal, core::GpsDetectorMode::kAudioOnly);
     gps_det.calibrate(fused_cal, core::GpsDetectorMode::kAudioImu);
   }
-  std::printf("      velocity-error thresholds: audio-only %.2f, audio+IMU %.2f m/s\n",
-              gps_det.threshold(core::GpsDetectorMode::kAudioOnly),
-              gps_det.threshold(core::GpsDetectorMode::kAudioImu));
+  obs::logf(obs::LogLevel::kInfo, "setup",
+            "velocity-error thresholds: audio-only %.2f, audio+IMU %.2f m/s",
+            gps_det.threshold(core::GpsDetectorMode::kAudioOnly),
+            gps_det.threshold(core::GpsDetectorMode::kAudioImu));
 
-  std::printf("[3/4] the incident: hover mission, spoofer active 15-45 s...\n");
+  obs::logf(obs::LogLevel::kInfo, "run", "[3/4] the incident: hover mission, spoofer active 15-45 s...");
   core::FlightScenario incident;
   incident.mission = sim::Mission::hover({0, 0, -12}, 55.0);
   incident.wind.gust_stddev = 0.4;
@@ -86,11 +88,12 @@ int main() {
   incident.seed = 888;
   const auto flight = lab.fly(incident);
   const Vec3 final_true = flight.log.true_pos[flight.log.true_pos.size() / 2];
-  std::printf("      mid-flight true position: (%.1f, %.1f, %.1f) — hijacked off\n"
-              "      station while the GPS reported all-is-well.\n",
-              final_true.x, final_true.y, final_true.z);
+  obs::logf(obs::LogLevel::kInfo, "run",
+            "mid-flight true position: (%.1f, %.1f, %.1f) — hijacked off "
+            "station while the GPS reported all-is-well",
+            final_true.x, final_true.y, final_true.z);
 
-  std::printf("[4/4] post-incident two-stage RCA...\n");
+  obs::logf(obs::LogLevel::kInfo, "run", "[4/4] post-incident two-stage RCA...");
   core::RcaEngine engine{mapper, imu_det, gps_det};
   const auto report = engine.analyze(lab, flight);
 

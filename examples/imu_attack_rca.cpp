@@ -12,6 +12,7 @@
 #include "core/imu_rca.hpp"
 #include "core/rca_engine.hpp"
 #include "core/sensory_mapper.hpp"
+#include "obs/log.hpp"
 
 using namespace sb;
 
@@ -19,7 +20,7 @@ int main() {
   core::FlightLab lab;
 
   // --- Offline phase: train the sensory mapping on benign flights. ---
-  std::printf("[1/4] flying the benign training campaign...\n");
+  obs::logf(obs::LogLevel::kInfo, "setup", "[1/4] flying the benign training campaign...");
   const auto scenarios = lab.training_scenarios(/*per_family=*/2, /*duration=*/18.0);
   std::vector<core::Flight> train_flights;
   for (const auto& s : scenarios) train_flights.push_back(lab.fly(s));
@@ -28,14 +29,14 @@ int main() {
   cfg.model = ml::ModelKind::kMlp;  // fast; use kMobileNetLite for quality
   cfg.train.epochs = 8;
   core::SensoryMapper mapper{cfg};
-  std::printf("[2/4] training %s on %zu flights...\n",
-              ml::to_string(cfg.model).c_str(), train_flights.size());
+  obs::logf(obs::LogLevel::kInfo, "setup", "[2/4] training %s on %zu flights...",
+            ml::to_string(cfg.model).c_str(), train_flights.size());
   const auto fit = mapper.fit(lab, train_flights);
-  std::printf("      train MSE %.3f, val MSE %.3f\n", fit.final_train_mse,
-              fit.final_val_mse);
+  obs::logf(obs::LogLevel::kInfo, "setup", "train MSE %.3f, val MSE %.3f",
+            fit.final_train_mse, fit.final_val_mse);
 
   // --- Calibrate the benign residual distribution. ---
-  std::printf("[3/4] calibrating the benign residual distribution...\n");
+  obs::logf(obs::LogLevel::kInfo, "setup", "[3/4] calibrating the benign residual distribution...");
   core::ImuRcaDetector detector{core::ImuRcaConfig{}};
   std::vector<core::WindowResiduals> calibration;
   for (std::uint64_t seed = 900; seed < 906; ++seed) {
@@ -48,11 +49,11 @@ int main() {
     calibration.insert(calibration.end(), w.begin(), w.end());
   }
   detector.calibrate(calibration);
-  std::printf("      benign z-residuals: mean %+.3f, std %.3f\n",
-              detector.benign_fit(2).mean, detector.benign_fit(2).stddev);
+  obs::logf(obs::LogLevel::kInfo, "setup", "benign z-residuals: mean %+.3f, std %.3f",
+            detector.benign_fit(2).mean, detector.benign_fit(2).stddev);
 
   // --- The incident: a hover mission that went wobbly at t=12 s. ---
-  std::printf("[4/4] post-incident analysis of the attacked flight...\n");
+  obs::logf(obs::LogLevel::kInfo, "run", "[4/4] post-incident analysis of the attacked flight...");
   core::FlightScenario incident;
   incident.mission = sim::Mission::hover({0, 0, -10}, 30.0);
   incident.wind.gust_stddev = 0.4;

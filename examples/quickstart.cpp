@@ -8,6 +8,7 @@
 #include "core/flight_lab.hpp"
 #include "core/signature.hpp"
 #include "dsp/fft.hpp"
+#include "obs/log.hpp"
 
 using namespace sb;
 
@@ -23,15 +24,15 @@ int main() {
   scenario.wind.gust_stddev = 0.4;
   scenario.seed = 7;
   const core::Flight flight = lab.fly(scenario);
-  std::printf("flew '%s' for %.0f s: %zu IMU samples, %zu GPS fixes\n",
-              flight.log.mission_name.c_str(), flight.log.duration(),
-              flight.log.imu.size(), flight.log.gps.size());
+  obs::logf(obs::LogLevel::kInfo, "run", "flew '%s' for %.0f s: %zu IMU samples, %zu GPS fixes",
+            flight.log.mission_name.c_str(), flight.log.duration(),
+            flight.log.imu.size(), flight.log.gps.size());
 
   // 3. Record 0.5 s of the 4-channel microphone audio mid-flight.
   const auto synth = lab.synthesizer(flight);
   const auto audio = synth.synthesize(flight.log, 8.0, 8.5);
-  std::printf("recorded %zu samples x %d mics at %.0f Hz\n", audio.num_samples(),
-              sensors::kNumMics, audio.sample_rate);
+  obs::logf(obs::LogLevel::kInfo, "run", "recorded %zu samples x %d mics at %.0f Hz",
+            audio.num_samples(), sensors::kNumMics, audio.sample_rate);
 
   // 4. Where is the acoustic energy?  The three rotor-noise groups the
   //    paper identifies (Fig. 2a) show up as spectral peaks.

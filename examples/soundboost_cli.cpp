@@ -22,6 +22,7 @@
 #include "core/sensory_mapper.hpp"
 #include "io/flight_csv.hpp"
 #include "io/wav.hpp"
+#include "obs/log.hpp"
 
 using namespace sb;
 
@@ -142,14 +143,14 @@ int cmd_record(const Args& args) {
 int cmd_train(const Args& args) {
   core::FlightLab lab;
   const int per_family = std::max(1, args.flights / 6);
-  std::printf("flying %d training flights...\n", per_family * 6);
+  obs::logf(obs::LogLevel::kInfo, "setup", "flying %d training flights...", per_family * 6);
   std::vector<core::Flight> flights;
   for (const auto& s : lab.training_scenarios(per_family, 20.0))
     flights.push_back(lab.fly(s));
 
   core::SensoryMapper mapper{mapper_config(args)};
-  std::printf("training %s (%d epochs)...\n", ml::to_string(mapper.config().model).c_str(),
-              args.epochs);
+  obs::logf(obs::LogLevel::kInfo, "setup", "training %s (%d epochs)...",
+            ml::to_string(mapper.config().model).c_str(), args.epochs);
   const auto result = mapper.fit(lab, flights);
   std::printf("train MSE %.4f, val MSE %.4f\n", result.final_train_mse,
               result.final_val_mse);
@@ -174,7 +175,7 @@ int cmd_analyze(const Args& args) {
     return 1;
   }
 
-  std::printf("calibrating detectors on benign flights...\n");
+  obs::logf(obs::LogLevel::kInfo, "setup", "calibrating detectors on benign flights...");
   core::ImuRcaDetector imu_det{core::ImuRcaConfig{}};
   core::GpsRcaDetector gps_det{core::GpsRcaConfig{}};
   std::vector<core::WindowResiduals> imu_cal;
@@ -195,7 +196,7 @@ int cmd_analyze(const Args& args) {
   gps_det.calibrate(audio_cal, core::GpsDetectorMode::kAudioOnly);
   gps_det.calibrate(fused_cal, core::GpsDetectorMode::kAudioImu);
 
-  std::printf("flying the incident (attack: %s)...\n", args.attack.c_str());
+  obs::logf(obs::LogLevel::kInfo, "run", "flying the incident (attack: %s)...", args.attack.c_str());
   const auto flight = lab.fly(make_scenario(args));
   core::RcaEngine engine{mapper, imu_det, gps_det};
   const auto report = engine.analyze(lab, flight);

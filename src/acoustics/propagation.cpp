@@ -9,15 +9,20 @@
 namespace sb::acoustics {
 
 MultiChannelAudio mix_to_mics(
-    const std::array<std::vector<double>, sim::kNumRotors>& rotor_signals,
+    std::span<const std::vector<double>> rotor_signals,
     std::size_t lead_samples, const sensors::MicGeometry& geometry,
     double sample_rate, double ambient_noise, Rng& rng,
-    std::span<const Vec3> flow_body, double directivity) {
+    std::span<const Vec3> flow_body, double directivity,
+    const GroundReflection& ground) {
+  const int num_rotors = geometry.num_rotors;
+  if (rotor_signals.size() != static_cast<std::size_t>(num_rotors))
+    throw std::invalid_argument{"mix_to_mics: rotor count mismatch"};
   const std::size_t total = rotor_signals[0].size();
   if (total < lead_samples)
     throw std::invalid_argument{"mix_to_mics: lead exceeds signal length"};
   const std::size_t n = total - lead_samples;
   const bool with_flow = directivity != 0.0 && flow_body.size() >= n;
+  const bool with_ground = ground.gain_scale != 0.0;
 
   MultiChannelAudio out;
   out.sample_rate = sample_rate;
@@ -25,18 +30,20 @@ MultiChannelAudio mix_to_mics(
 
   // Delay validation stays serial so the throw cannot escape a worker.
   for (int m = 0; m < sensors::kNumMics; ++m)
-    for (int r = 0; r < sim::kNumRotors; ++r) {
+    for (int r = 0; r < num_rotors; ++r) {
       const auto delay = static_cast<std::size_t>(std::llround(
           geometry.delay_s[static_cast<std::size_t>(m)][static_cast<std::size_t>(r)] *
           sample_rate));
-      if (delay > lead_samples)
+      const std::size_t worst =
+          delay + (with_ground ? ground.delay_samples : std::size_t{0});
+      if (worst > lead_samples)
         throw std::invalid_argument{"mix_to_mics: lead too short for delay"};
     }
 
   // Mics mix into disjoint channels, so the rotor superposition can fan out.
   util::parallel_for(static_cast<std::size_t>(sensors::kNumMics), [&](std::size_t mi) {
     auto& ch = out.channels[mi];
-    for (int r = 0; r < sim::kNumRotors; ++r) {
+    for (int r = 0; r < num_rotors; ++r) {
       const auto ri = static_cast<std::size_t>(r);
       const double gain = geometry.gain[mi][ri];
       const auto delay = static_cast<std::size_t>(
@@ -52,6 +59,12 @@ MultiChannelAudio mix_to_mics(
       } else {
         for (std::size_t i = 0; i < n; ++i)
           ch[i] += gain * src[i + lead_samples - delay];
+      }
+      if (with_ground) {
+        const double rgain = gain * ground.gain_scale;
+        const std::size_t rdelay = delay + ground.delay_samples;
+        for (std::size_t i = 0; i < n; ++i)
+          ch[i] += rgain * src[i + lead_samples - rdelay];
       }
     }
   }, 1);

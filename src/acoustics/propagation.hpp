@@ -20,20 +20,34 @@ struct MultiChannelAudio {
   std::size_t num_samples() const { return channels[0].size(); }
 };
 
-// Mixes rotor source signals (one per rotor, all the same length) to the
-// microphone channels.  Each rotor stream must include `lead_samples` of
-// pre-roll so that delayed taps never index before the window start.
+// Ground-effect reflection (image-source approximation, environment
+// profiles): every direct mic/rotor tap gains ONE reflected sibling delayed
+// by `delay_samples` and scaled by `gain_scale` relative to the direct tap.
+// gain_scale == 0 disables the tap entirely — synthesis is then bitwise
+// identical to the no-reflection path.
+struct GroundReflection {
+  double gain_scale = 0.0;
+  std::size_t delay_samples = 0;
+};
+
+// Mixes rotor source signals (one per rotor, all the same length; the count
+// must match geometry.num_rotors) to the microphone channels.  Each rotor
+// stream must include `lead_samples` of pre-roll so that delayed taps —
+// including the ground-reflection tap, when enabled — never index before the
+// window start.
 //
 // `flow_body` (optional, one body-frame air-velocity vector per OUTPUT
 // sample) models airflow directivity: rotor turbulence noise convects
 // downwind, so the gain of rotor r at mic m is scaled by
 // 1 + directivity * (v_body . dir[m][r]).  This per-channel anisotropy is
-// what lets the learned model recover the horizontal motion state.
+// what lets the learned model recover the horizontal motion state.  The
+// reflected tap arrives off the ground, diffuse, and is not flow-modulated.
 MultiChannelAudio mix_to_mics(
-    const std::array<std::vector<double>, sim::kNumRotors>& rotor_signals,
+    std::span<const std::vector<double>> rotor_signals,
     std::size_t lead_samples, const sensors::MicGeometry& geometry,
     double sample_rate, double ambient_noise, Rng& rng,
-    std::span<const Vec3> flow_body = {}, double directivity = 0.0);
+    std::span<const Vec3> flow_body = {}, double directivity = 0.0,
+    const GroundReflection& ground = {});
 
 // Adds an external interfering source (replay speaker / second UAV) at the
 // given body-frame position.  The interferer couples into every mic with

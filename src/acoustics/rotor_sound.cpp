@@ -8,6 +8,19 @@ namespace {
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 }
 
+double motor_unit_detune(std::uint64_t motor_seed, int rotor, double spread) {
+  // splitmix64 finalizer over (seed, rotor) — avalanche so that adjacent
+  // rotor indices land far apart in [-spread, +spread].
+  std::uint64_t z = motor_seed + 0x9E3779B97F4A7C15ULL *
+                                     (static_cast<std::uint64_t>(rotor) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double unit =
+      static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1), 53-bit
+  return (2.0 * unit - 1.0) * spread;
+}
+
 RotorSound::RotorSound(const RotorSoundConfig& config, double sample_rate,
                        double hover_omega, Rng rng)
     : config_(config),

@@ -12,6 +12,8 @@
 // is what makes the acoustic side-channel informative about actuation.
 #pragma once
 
+#include <cstdint>
+
 #include "dsp/biquad.hpp"
 #include "util/rng.hpp"
 
@@ -36,6 +38,15 @@ struct RotorSoundConfig {
   // differences; spectral fingerprints serve the same role here).
   double detune = 0.0;           // fractional shift, e.g. -0.10 .. +0.10
 };
+
+// Deterministic manufacturing-spread detune of one motor/ESC/propeller unit:
+// hashes (airframe motor-unit seed, rotor index) through a splitmix64
+// finalizer and maps the result uniformly onto [-spread, +spread].  The same
+// seed and rotor index always yield the same fingerprint, so every rotor of a
+// scenario airframe gets a distinct, reproducible spectral signature without
+// hand-maintained tables (the scenario catalog feeds these into
+// SynthesizerConfig::rotor_detune).
+double motor_unit_detune(std::uint64_t motor_seed, int rotor, double spread);
 
 // Sample-by-sample synthesizer for ONE rotor; keeps oscillator phases and
 // filter state continuous across calls.

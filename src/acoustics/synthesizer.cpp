@@ -22,11 +22,27 @@ MultiChannelAudio AudioSynthesizer::synthesize(const sim::FlightLog& log, double
   const double fs = config_.sample_rate;
   const double physics_dt = log.rates.physics_dt();
 
-  // Pre-roll long enough to cover the largest mic/rotor delay.
+  const int num_rotors = quad_.num_rotors;
+
+  // Ground-effect reflection (environment profiles): one image-source tap per
+  // mic/rotor pair, delayed by the extra bounce path (~2x altitude) and
+  // scaled by the profile coefficient times the spreading loss of the longer
+  // path relative to a typical on-frame direct distance (0.25 m).
+  GroundReflection ground;
+  if (config_.ground_reflect != 0.0 && config_.ground_altitude_m > 0.0) {
+    const double extra_path = 2.0 * config_.ground_altitude_m;
+    ground.delay_samples = static_cast<std::size_t>(
+        std::llround(extra_path / sensors::kSpeedOfSound * fs));
+    ground.gain_scale = config_.ground_reflect * 0.25 / (0.25 + extra_path);
+  }
+
+  // Pre-roll long enough to cover the largest mic/rotor delay (plus the
+  // reflected tap's extra delay when ground effect is on).
   double max_delay = 0.0;
   for (const auto& per_mic : geometry_.delay_s)
     for (double d : per_mic) max_delay = std::max(max_delay, d);
-  const auto lead = static_cast<std::size_t>(std::ceil(max_delay * fs)) + 1;
+  const auto lead = static_cast<std::size_t>(std::ceil(max_delay * fs)) + 1 +
+                    (ground.gain_scale != 0.0 ? ground.delay_samples : 0);
 
   const auto n = static_cast<std::size_t>(std::llround((t1 - t0) * fs));
   const std::size_t total = n + lead;
@@ -38,17 +54,22 @@ MultiChannelAudio AudioSynthesizer::synthesize(const sim::FlightLog& log, double
   Rng base{seed_ ^ (window_tag * 0x2545F4914F6CDD1DULL + 0x9E3779B9ULL)};
 
   // Per-rotor tone detuning (manufacturing spread); see RotorSoundConfig.
+  // The legacy table is the measured X500 fingerprint and stays the default
+  // when the config carries no explicit per-rotor offsets.
   static constexpr std::array<double, sim::kNumRotors> kDetune{-0.10, -0.035, 0.035,
                                                                0.10};
   // Split the per-rotor rngs up front, in rotor order, so the parallel
   // synthesis below consumes exactly the streams the serial loop would.
-  std::array<Rng, sim::kNumRotors> rotor_rngs{};
-  for (auto& r : rotor_rngs) r = base.split();
+  std::array<Rng, sim::kMaxRotors> rotor_rngs{};
+  for (int r = 0; r < num_rotors; ++r)
+    rotor_rngs[static_cast<std::size_t>(r)] = base.split();
 
-  std::array<std::vector<double>, sim::kNumRotors> rotor_signals;
-  util::parallel_for(static_cast<std::size_t>(sim::kNumRotors), [&](std::size_t ri) {
+  std::array<std::vector<double>, sim::kMaxRotors> rotor_signals;
+  util::parallel_for(static_cast<std::size_t>(num_rotors), [&](std::size_t ri) {
     RotorSoundConfig rotor_cfg = config_.rotor;
-    rotor_cfg.detune += kDetune[ri];
+    rotor_cfg.detune += config_.rotor_detune.empty()
+                            ? kDetune[ri % kDetune.size()]
+                            : config_.rotor_detune[ri];
     RotorSound synth{rotor_cfg, fs, quad_.hover_omega(), rotor_rngs[ri]};
     auto& sig = rotor_signals[ri];
     sig.resize(total);
@@ -81,9 +102,11 @@ MultiChannelAudio AudioSynthesizer::synthesize(const sim::FlightLog& log, double
   });
 
   Rng ambient_rng = base.split();
-  return mix_to_mics(rotor_signals, lead, geometry_, fs,
-                     config_.mic_array.ambient_noise, ambient_rng, flow,
-                     config_.flow_directivity);
+  return mix_to_mics(
+      std::span<const std::vector<double>>{rotor_signals.data(),
+                                           static_cast<std::size_t>(num_rotors)},
+      lead, geometry_, fs, config_.mic_array.ambient_noise, ambient_rng, flow,
+      config_.flow_directivity, ground);
 }
 
 }  // namespace sb::acoustics

@@ -18,6 +18,18 @@ struct SynthesizerConfig {
   // Airflow directivity coefficient per (m/s) of body-frame air velocity;
   // see mix_to_mics.
   double flow_directivity = 0.10;
+  // Per-rotor detune offsets added to rotor.detune (one entry per rotor of
+  // the airframe; the scenario catalog derives them via motor_unit_detune).
+  // EMPTY keeps the legacy measured X500 table {-0.10, -0.035, 0.035, 0.10}
+  // (indexed rotor % 4) — the pre-scenario default, bitwise identical for the
+  // default quad.
+  std::vector<double> rotor_detune;
+  // Ground-effect reflection (environment profiles): amplitude coefficient of
+  // the ground-bounced image source (0 = off, bitwise identical to the
+  // no-reflection path) and the above-ground altitude the bounce path is
+  // computed for.
+  double ground_reflect = 0.0;
+  double ground_altitude_m = 0.0;
 };
 
 class AudioSynthesizer {

@@ -13,7 +13,7 @@ bool ActuatorDosAttack::blocking(double t) const {
 void ActuatorDosAttack::apply(double t, sim::RotorCommand& cmd,
                               double omega_min) const {
   if (!blocking(t)) return;
-  for (int r = 0; r < sim::kNumRotors; ++r) {
+  for (int r = 0; r < sim::kMaxRotors; ++r) {
     const auto ri = static_cast<std::size_t>(r);
     if (config_.affects_rotor[ri]) cmd[ri] = omega_min;
   }

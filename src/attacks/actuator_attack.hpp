@@ -17,7 +17,9 @@ struct ActuatorDosConfig {
   double duty = 0.5;        // fraction of each period the PWM is blocked
   // Rotors affected (opposing pairs cannot be attacked uniformly on a
   // quadcopter, as the paper notes; default hits one adjacent pair).
-  bool affects_rotor[sim::kNumRotors] = {true, true, false, false};
+  // Entries at index >= the airframe's rotor count are ignored.
+  bool affects_rotor[sim::kMaxRotors] = {true, true, false, false,
+                                         false, false, false, false};
 };
 
 class ActuatorDosAttack {

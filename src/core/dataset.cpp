@@ -1,6 +1,9 @@
 #include "core/dataset.hpp"
 
 #include <array>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
 
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -15,6 +18,31 @@ struct WindowResult {
 };
 
 }  // namespace
+
+const char* split_mode_name(SplitMode mode) {
+  switch (mode) {
+    case SplitMode::kNone: return "none";
+    case SplitMode::kFlightDisjoint: return "flight-disjoint";
+    case SplitMode::kAirframeDisjoint: return "airframe-disjoint";
+  }
+  return "?";
+}
+
+void enforce_disjoint_split(std::span<const std::int64_t> train_ids,
+                            std::span<const std::int64_t> eval_ids,
+                            SplitMode mode) {
+  if (mode == SplitMode::kNone) return;
+  std::unordered_set<std::int64_t> train_set;
+  for (std::int64_t id : train_ids)
+    if (id != kNoFlightId) train_set.insert(id);
+  for (std::int64_t id : eval_ids) {
+    if (id == kNoFlightId) continue;
+    if (train_set.count(id) != 0)
+      throw std::invalid_argument{
+          std::string{"leaky "} + split_mode_name(mode) + " split: id " +
+          std::to_string(id) + " contributes windows to both train and eval"};
+  }
+}
 
 DatasetBuilder::DatasetBuilder(const DatasetConfig& config, const FlightLab& lab)
     : config_(config), lab_(&lab), shape_(signature_shape(config.signature)) {}
@@ -36,12 +64,22 @@ void DatasetBuilder::append_window(const Flight& flight,
   const Vec3 vel = flight.log.mean_nav_vel(t0, t1);
   for (double v : {accel.x, accel.y, accel.z, vel.x, vel.y, vel.z})
     ys_.push_back(static_cast<float>(v));
+  window_flight_ids_.push_back(kNoFlightId);
   ++count_;
 }
 
 void DatasetBuilder::add_flight(const Flight& flight) {
+  add_flight(flight, kNoFlightId);
+}
+
+void DatasetBuilder::add_flight(const Flight& flight, std::int64_t flight_id) {
+  add_flight(flight, flight_id, *lab_);
+}
+
+void DatasetBuilder::add_flight(const Flight& flight, std::int64_t flight_id,
+                                const FlightLab& lab) {
   obs::ScopedSpan span{"dataset_add_flight", obs::Stage::kSynthesis};
-  const auto synth = lab_->synthesizer(flight);
+  const auto synth = lab.synthesizer(flight);
   const double base = config_.signature.window_seconds;
   const double end = flight.log.duration();
 
@@ -77,6 +115,7 @@ void DatasetBuilder::add_flight(const Flight& flight) {
     if (!r.valid) continue;
     xs_.insert(xs_.end(), r.sig.flat().begin(), r.sig.flat().end());
     ys_.insert(ys_.end(), r.label.begin(), r.label.end());
+    window_flight_ids_.push_back(flight_id);
     ++count_;
   }
 }

@@ -43,6 +43,7 @@ Flight FlightLab::fly(const FlightScenario& scenario) const {
   sim::FlightLog& log = flight.log;
   log.mission_name = scenario.mission.name();
   log.rates = config_.rates;
+  log.num_rotors = quad_params.num_rotors;
   if (scenario.imu_attack) {
     log.imu_attacked = true;
     log.attack_start = scenario.imu_attack->start;

@@ -8,7 +8,9 @@ bool write_truth_csv(const std::string& path, const sim::FlightLog& log,
                      std::size_t stride) {
   std::ofstream os{path};
   if (!os || stride == 0) return false;
-  os << "t,px,py,pz,vx,vy,vz,ax,ay,az,roll,pitch,yaw,w0,w1,w2,w3\n";
+  os << "t,px,py,pz,vx,vy,vz,ax,ay,az,roll,pitch,yaw";
+  for (int r = 0; r < log.num_rotors; ++r) os << ",w" << r;
+  os << '\n';
   for (std::size_t i = 0; i < log.t.size(); i += stride) {
     os << log.t[i] << ',' << log.true_pos[i].x << ',' << log.true_pos[i].y << ','
        << log.true_pos[i].z << ',' << log.true_vel[i].x << ',' << log.true_vel[i].y
@@ -16,7 +18,8 @@ bool write_truth_csv(const std::string& path, const sim::FlightLog& log,
        << log.true_accel[i].y << ',' << log.true_accel[i].z << ','
        << log.true_euler[i].x << ',' << log.true_euler[i].y << ','
        << log.true_euler[i].z;
-    for (double w : log.rotor_omega[i]) os << ',' << w;
+    for (int r = 0; r < log.num_rotors; ++r)
+      os << ',' << log.rotor_omega[i][static_cast<std::size_t>(r)];
     os << '\n';
   }
   return static_cast<bool>(os);

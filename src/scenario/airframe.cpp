@@ -1,0 +1,128 @@
+#include "scenario/airframe.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sb::scenario {
+
+sim::QuadrotorParams AirframeSpec::quad_params() const {
+  sim::QuadrotorParams p;
+  if (legacy_x500) return p;  // the pre-scenario default, bit for bit
+
+  p.num_rotors = num_rotors;
+  p.mass = mass + payload_mass;
+  p.inertia = inertia;
+  p.kf = kf;
+  p.km_over_kf = km_over_kf;
+  p.omega_min = omega_min;
+  p.omega_max = omega_max;
+  p.drag_lin = drag_lin;
+
+  // Regular X-config ring: rotor r sits at angle 2*pi*r/n + pi/n from the
+  // nose (so no rotor points straight forward), spins alternating CW/CCW.
+  // This layout satisfies every balance condition the generalized mixer
+  // assumes: sum(x) = sum(y) = sum(x*y) = sum(s) = sum(s*x) = sum(s*y) = 0.
+  p.custom_layout = true;
+  const double n = static_cast<double>(num_rotors);
+  for (int r = 0; r < num_rotors; ++r) {
+    const double ang =
+        2.0 * std::numbers::pi * static_cast<double>(r) / n + std::numbers::pi / n;
+    p.rotor_pos[static_cast<std::size_t>(r)] =
+        Vec3{arm_length * std::cos(ang), arm_length * std::sin(ang), 0.0};
+    p.rotor_spin[static_cast<std::size_t>(r)] = (r % 2 == 0) ? 1.0 : -1.0;
+  }
+  return p;
+}
+
+std::vector<double> AirframeSpec::rotor_detunes() const {
+  if (legacy_x500) return {};  // synthesizer keeps the measured X500 table
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(num_rotors));
+  for (int r = 0; r < num_rotors; ++r)
+    out.push_back(acoustics::motor_unit_detune(motor_seed, r, detune_spread));
+  return out;
+}
+
+core::FlightLab::Config AirframeSpec::lab_config(core::FlightLab::Config base) const {
+  if (legacy_x500) return base;
+
+  core::FlightLab::Config cfg = base;
+  cfg.quad = quad_params();
+  cfg.synth.rotor.blade_count = blade_count;
+  cfg.synth.rotor.mech_ratio = mech_ratio;
+  cfg.synth.rotor.aero_center_hz = aero_center_hz;
+  cfg.synth.rotor.aero_tone_ratio = aero_tone_ratio;
+  cfg.synth.rotor_detune = rotor_detunes();
+  // Rate-loop torque gains were tuned for the quad's inertia; scaling by the
+  // inertia ratio keeps the angular-rate bandwidth (torque/inertia) of the
+  // heavier frames at the quad's value, so one set of outer-loop gains flies
+  // the whole fleet.
+  const sim::QuadrotorParams ref;  // gain-tuning reference (the X500)
+  cfg.controller.rate_kp *= inertia.x / ref.inertia.x;
+  cfg.controller.rate_kd *= inertia.x / ref.inertia.x;
+  cfg.controller.yaw_rate_kp *= inertia.z / ref.inertia.z;
+  return cfg;
+}
+
+std::vector<AirframeSpec> airframe_catalog() {
+  std::vector<AirframeSpec> out;
+
+  AirframeSpec x500;
+  x500.name = "x500";
+  x500.legacy_x500 = true;
+  x500.motor_seed = 0xA500;
+  out.push_back(x500);
+
+  // 700-class hexarotor: heavier lifter, larger ring, stiffer props driven
+  // slower; ESC tone sits higher relative to the rotation rate (different
+  // pole count), vortex tone lower.
+  AirframeSpec hexa;
+  hexa.name = "hexa-700";
+  hexa.num_rotors = 6;
+  hexa.arm_length = 0.35;
+  hexa.mass = 4.0;
+  hexa.inertia = {0.08, 0.08, 0.14};
+  hexa.kf = 1.3e-5;
+  hexa.km_over_kf = 0.018;
+  hexa.omega_min = 140.0;
+  hexa.omega_max = 1150.0;
+  hexa.drag_lin = 0.55;
+  hexa.blade_count = 2;
+  hexa.mech_ratio = 21.5;
+  hexa.aero_center_hz = 5000.0;
+  hexa.aero_tone_ratio = 41.0;
+  hexa.motor_seed = 0xB700;
+  out.push_back(hexa);
+
+  // 900-class octorotor: camera-rig lifter with a payload delta, tri-blade
+  // props, slowest rotation, lowest aero band.
+  AirframeSpec octo;
+  octo.name = "octo-900";
+  octo.num_rotors = 8;
+  octo.arm_length = 0.45;
+  octo.mass = 6.0;
+  octo.payload_mass = 0.5;
+  octo.inertia = {0.20, 0.20, 0.36};
+  octo.kf = 2.0e-5;
+  octo.km_over_kf = 0.020;
+  octo.omega_min = 130.0;
+  octo.omega_max = 1000.0;
+  octo.drag_lin = 0.85;
+  octo.blade_count = 3;
+  octo.mech_ratio = 23.0;
+  octo.aero_center_hz = 4800.0;
+  octo.aero_tone_ratio = 38.0;
+  octo.motor_seed = 0xC900;
+  out.push_back(octo);
+
+  return out;
+}
+
+const AirframeSpec* find_airframe(std::string_view name) {
+  static const std::vector<AirframeSpec> kCatalog = airframe_catalog();
+  for (const auto& spec : kCatalog)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+}  // namespace sb::scenario

@@ -1,0 +1,72 @@
+// Airframe catalog (ROADMAP item 2): named multirotor specs that
+// deterministically instantiate the physics (sim::QuadrotorParams, including
+// the runtime rotor count, geometry and spin pattern the generalized mixer
+// consumes), the per-rotor acoustics (blade count, motor/ESC tone placement,
+// seeded motor-unit detune fingerprints) and the matching controller gains.
+// The catalog is what turns the single-X500 testbed into a heterogeneous
+// fleet for cross-airframe evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/flight_lab.hpp"
+
+namespace sb::scenario {
+
+struct AirframeSpec {
+  std::string name;
+  int num_rotors = sim::kNumRotors;
+  double arm_length = 0.2546;  // m, hub-to-rotor distance (X-config ring)
+  double mass = 2.0;           // kg, bare airframe
+  double payload_mass = 0.0;   // kg, hub-mounted payload delta
+  Vec3 inertia{0.02, 0.02, 0.04};  // kg m^2, diagonal
+  double kf = 8.0e-6;              // N per (rad/s)^2
+  double km_over_kf = 0.016;
+  double omega_min = 150.0;
+  double omega_max = 1200.0;
+  double drag_lin = 0.35;
+
+  // Acoustic identity: propeller blade count and the motor/ESC tone
+  // placement ratios (RotorSoundConfig), plus the seed of the per-rotor
+  // motor-unit detune hash and its spread.
+  int blade_count = 2;
+  double mech_ratio = 20.0;
+  double aero_center_hz = 5250.0;
+  double aero_tone_ratio = 44.0;
+  std::uint64_t motor_seed = 0;
+  double detune_spread = 0.08;
+
+  // The reference X500 quad keeps the pre-scenario configuration VERBATIM —
+  // default QuadrotorParams, legacy mixer closed form, and the measured
+  // detune table {-0.10, -0.035, 0.035, 0.10} as its calibrated fingerprint
+  // — so catalog flights of this airframe are bitwise identical to every
+  // pre-catalog experiment (pinned by scenario_test).
+  bool legacy_x500 = false;
+
+  // Physics parameters for this airframe (custom ring layout + alternating
+  // spin for non-legacy specs; balanced by construction, see QuadrotorParams).
+  sim::QuadrotorParams quad_params() const;
+
+  // Per-rotor detune offsets via motor_unit_detune(motor_seed, r,
+  // detune_spread); empty for the legacy X500 (synthesizer falls back to the
+  // measured table).
+  std::vector<double> rotor_detunes() const;
+
+  // FlightLab configuration for this airframe on top of `base`: physics,
+  // per-rotor acoustics, and rate-loop controller gains rescaled by the
+  // inertia ratio so the closed-loop bandwidth matches the quad's.  For the
+  // legacy X500 this returns `base` untouched.
+  core::FlightLab::Config lab_config(core::FlightLab::Config base = {}) const;
+};
+
+// The heterogeneous fleet: "x500" (legacy quad), "hexa-700", "octo-900".
+std::vector<AirframeSpec> airframe_catalog();
+
+// Catalog lookup by name; nullptr when unknown.  The pointer aliases a
+// process-lifetime copy of the catalog.
+const AirframeSpec* find_airframe(std::string_view name);
+
+}  // namespace sb::scenario

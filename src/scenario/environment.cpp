@@ -1,0 +1,55 @@
+#include "scenario/environment.hpp"
+
+namespace sb::scenario {
+
+core::FlightLab::Config EnvironmentProfile::apply(core::FlightLab::Config cfg) const {
+  cfg.synth.mic_array.ambient_noise = ambient_noise;
+  cfg.synth.ground_reflect = ground_reflect;
+  cfg.synth.ground_altitude_m = ground_altitude_m;
+  return cfg;
+}
+
+sim::WindConfig EnvironmentProfile::wind() const {
+  sim::WindConfig w;
+  w.mean = wind_mean;
+  w.gust_stddev = gust_stddev;
+  return w;
+}
+
+std::vector<EnvironmentProfile> environment_catalog() {
+  std::vector<EnvironmentProfile> out;
+
+  EnvironmentProfile meadow;
+  meadow.name = "meadow-calm";
+  meadow.wind_mean = {0.6, 0.3, 0.0};
+  meadow.gust_stddev = 0.25;
+  meadow.ambient_noise = 0.002;
+  out.push_back(meadow);
+
+  EnvironmentProfile ridge;
+  ridge.name = "gusty-ridge";
+  ridge.wind_mean = {2.4, 1.2, 0.0};
+  ridge.gust_stddev = 0.85;
+  ridge.ambient_noise = 0.004;
+  out.push_back(ridge);
+
+  EnvironmentProfile pad;
+  pad.name = "low-hover-pad";
+  pad.wind_mean = {1.0, 0.5, 0.0};
+  pad.gust_stddev = 0.4;
+  pad.ambient_noise = 0.006;
+  pad.ground_reflect = 0.7;
+  pad.ground_altitude_m = 2.5;
+  out.push_back(pad);
+
+  return out;
+}
+
+const EnvironmentProfile* find_environment(std::string_view name) {
+  static const std::vector<EnvironmentProfile> kCatalog = environment_catalog();
+  for (const auto& profile : kCatalog)
+    if (profile.name == name) return &profile;
+  return nullptr;
+}
+
+}  // namespace sb::scenario

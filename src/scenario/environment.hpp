@@ -1,0 +1,50 @@
+// Environment profiles: named operating conditions — wind regime, ambient
+// acoustic-noise class, and ground-effect reflection — applied on top of an
+// airframe's FlightLab configuration.  Together with the airframe catalog
+// they span the (airframe x environment) evaluation matrix.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/flight_lab.hpp"
+
+namespace sb::scenario {
+
+struct EnvironmentProfile {
+  std::string name;
+
+  // Wind regime applied to every flight scenario of this environment.
+  Vec3 wind_mean{1.0, 0.5, 0.0};  // m/s, NED
+  double gust_stddev = 0.4;       // m/s
+
+  // Ambient-noise class: stddev of the seeded microphone background noise
+  // (sensors::MicArrayConfig::ambient_noise).
+  double ambient_noise = 0.002;
+
+  // Ground-effect reflection (acoustics::SynthesizerConfig): amplitude
+  // coefficient of the ground-bounced image source and the above-ground
+  // altitude the bounce path is computed for.  0 = free field, which keeps
+  // the synthesis bitwise identical to the pre-scenario path.
+  double ground_reflect = 0.0;
+  double ground_altitude_m = 0.0;
+
+  // Applies this profile's acoustic fields on top of `cfg` (the wind regime
+  // goes into each FlightScenario instead — see ScenarioSet).
+  core::FlightLab::Config apply(core::FlightLab::Config cfg) const;
+
+  // The wind config every flight of this environment flies under.
+  sim::WindConfig wind() const;
+};
+
+// "meadow-calm" (near-free-field, light air), "gusty-ridge" (strong gusty
+// wind, moderate ambient), "low-hover-pad" (low-altitude pad with ground
+// reflection and the noisiest ambient class).
+std::vector<EnvironmentProfile> environment_catalog();
+
+// Catalog lookup by name; nullptr when unknown.  The pointer aliases a
+// process-lifetime copy of the catalog.
+const EnvironmentProfile* find_environment(std::string_view name);
+
+}  // namespace sb::scenario

@@ -15,18 +15,16 @@ MicGeometry compute_geometry(const MicArrayConfig& config,
                             config.ring_radius * std::sin(ang), 0.0};
   }
 
-  const std::array<Vec3, sim::kNumRotors> rotor_pos{
-      Vec3{+quad.arm_lx, -quad.arm_ly, 0.0}, Vec3{+quad.arm_lx, +quad.arm_ly, 0.0},
-      Vec3{-quad.arm_lx, +quad.arm_ly, 0.0}, Vec3{-quad.arm_lx, -quad.arm_ly, 0.0}};
-
+  g.num_rotors = quad.num_rotors;
   for (int m = 0; m < kNumMics; ++m) {
-    for (int r = 0; r < sim::kNumRotors; ++r) {
+    for (int r = 0; r < quad.num_rotors; ++r) {
       const auto mi = static_cast<std::size_t>(m);
       const auto ri = static_cast<std::size_t>(r);
-      const double dist = (g.mic_pos[mi] - rotor_pos[ri]).norm();
+      const Vec3 rotor_pos = quad.rotor_position(r);
+      const double dist = (g.mic_pos[mi] - rotor_pos).norm();
       g.gain[mi][ri] = 1.0 / (1.0 + dist / 0.05);  // near-field 1/(1+r/r0)
       g.delay_s[mi][ri] = dist / kSpeedOfSound;
-      g.dir[mi][ri] = (g.mic_pos[mi] - rotor_pos[ri]).normalized();
+      g.dir[mi][ri] = (g.mic_pos[mi] - rotor_pos).normalized();
     }
   }
   return g;

@@ -24,13 +24,16 @@ struct MicArrayConfig {
 
 struct MicGeometry {
   std::array<Vec3, kNumMics> mic_pos;                       // body frame
+  // Rotor count of the airframe this geometry was computed for; entries at
+  // rotor index >= num_rotors are unused (zero).
+  int num_rotors = sim::kNumRotors;
   // Per (mic, rotor) propagation gain (1/(1+r)) and delay (seconds).
-  std::array<std::array<double, sim::kNumRotors>, kNumMics> gain;
-  std::array<std::array<double, sim::kNumRotors>, kNumMics> delay_s;
+  std::array<std::array<double, sim::kMaxRotors>, kNumMics> gain{};
+  std::array<std::array<double, sim::kMaxRotors>, kNumMics> delay_s{};
   // Unit vector from rotor to mic (body frame) — used for the airflow
   // directivity of rotor noise (turbulence convects downwind, so a mic
   // downstream of a rotor hears it louder).
-  std::array<std::array<Vec3, sim::kNumRotors>, kNumMics> dir;
+  std::array<std::array<Vec3, sim::kMaxRotors>, kNumMics> dir{};
 };
 
 // Computes the fixed propagation geometry for a given quadrotor frame.

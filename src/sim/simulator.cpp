@@ -63,15 +63,16 @@ Vec3 FlightLog::mean_nav_vel(double t0, double t1) const {
   return nav[idx].vel;
 }
 
-std::array<double, kNumRotors> FlightLog::mean_omega(double t0, double t1) const {
-  std::array<double, kNumRotors> out{};
+std::array<double, kMaxRotors> FlightLog::mean_omega(double t0, double t1) const {
+  std::array<double, kMaxRotors> out{};
   const auto [lo, hi] =
       time_range([this](std::size_t i) { return t[i]; }, t.size(), t0, t1);
   if (hi <= lo) return out;
   for (std::size_t i = lo; i < hi; ++i)
-    for (int r = 0; r < kNumRotors; ++r)
+    for (int r = 0; r < num_rotors; ++r)
       out[static_cast<std::size_t>(r)] += rotor_omega[i][static_cast<std::size_t>(r)];
-  for (auto& v : out) v /= static_cast<double>(hi - lo);
+  for (int r = 0; r < num_rotors; ++r)
+    out[static_cast<std::size_t>(r)] /= static_cast<double>(hi - lo);
   return out;
 }
 

@@ -65,8 +65,12 @@ struct FlightLog {
   std::vector<Vec3> true_vel;
   std::vector<Vec3> true_accel;
   std::vector<Vec3> true_euler;
-  std::vector<std::array<double, kNumRotors>> rotor_omega;
+  std::vector<std::array<double, kMaxRotors>> rotor_omega;
   std::vector<Vec3> setpoint;  // mission position setpoint at the physics rate
+
+  // Rotor count of the flown airframe (entries >= num_rotors in rotor_omega
+  // are zero).
+  int num_rotors = kNumRotors;
 
   // Sensor streams as seen by the autopilot and by SoundBoost.
   std::vector<ImuSample> imu;
@@ -97,8 +101,8 @@ struct FlightLog {
   // training flights this is the trustworthy velocity label.
   Vec3 mean_nav_vel(double t0, double t1) const;
 
-  // Mean rotor speeds over [t0, t1).
-  std::array<double, kNumRotors> mean_omega(double t0, double t1) const;
+  // Mean rotor speeds over [t0, t1); entries >= num_rotors stay zero.
+  std::array<double, kMaxRotors> mean_omega(double t0, double t1) const;
 };
 
 // Span forms of the IMU window statistics, shared by the FlightLog methods

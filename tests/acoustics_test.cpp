@@ -5,8 +5,10 @@
 #include "acoustics/propagation.hpp"
 #include "acoustics/rotor_sound.hpp"
 #include "acoustics/synthesizer.hpp"
+#include "core/flight_lab.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/spectrogram.hpp"
+#include "util/checksum.hpp"
 #include "util/stats.hpp"
 
 namespace sb::acoustics {
@@ -248,6 +250,102 @@ TEST(Synthesizer, FasterRotorsAreLouder) {
   for (double x : slow.channels[0]) e_slow += x * x;
   for (double x : fast.channels[0]) e_fast += x * x;
   EXPECT_GT(e_fast, 1.5 * e_slow);
+}
+
+TEST(MotorUnitDetune, DeterministicDistinctAndBounded) {
+  const double spread = 0.08;
+  for (int r = 0; r < 8; ++r) {
+    const double d = motor_unit_detune(0xB700, r, spread);
+    EXPECT_DOUBLE_EQ(d, motor_unit_detune(0xB700, r, spread));  // pure function
+    EXPECT_LE(std::abs(d), spread);
+  }
+  // Distinct across rotors of one unit and across units.
+  EXPECT_NE(motor_unit_detune(0xB700, 0, spread), motor_unit_detune(0xB700, 1, spread));
+  EXPECT_NE(motor_unit_detune(0xB700, 0, spread), motor_unit_detune(0xC900, 0, spread));
+  // Spread scales the same unit draw linearly.
+  EXPECT_DOUBLE_EQ(motor_unit_detune(7, 3, 0.16), 2.0 * motor_unit_detune(7, 3, 0.08));
+}
+
+sim::FlightLog hover_log(const sim::QuadrotorParams& quad, int steps) {
+  sim::FlightLog log;
+  log.rates = sim::SimRates{};
+  const double w = quad.hover_omega();
+  for (int i = 0; i < steps; ++i) {
+    log.t.push_back(i * log.rates.physics_dt());
+    log.rotor_omega.push_back({w, w, w, w});
+    log.true_euler.push_back({});
+    log.true_vel.push_back({});
+  }
+  return log;
+}
+
+TEST(Synthesizer, ExplicitLegacyDetuneTableIsBitwiseIdentical) {
+  // An empty rotor_detune vector means "the measured X500 table"; spelling
+  // that table out must produce the identical waveform, sample for sample.
+  sim::QuadrotorParams quad;
+  const auto log = hover_log(quad, 2000);
+  SynthesizerConfig explicit_cfg;
+  explicit_cfg.rotor_detune = {-0.10, -0.035, 0.035, 0.10};
+  AudioSynthesizer legacy{{}, quad, 42};
+  AudioSynthesizer spelled{explicit_cfg, quad, 42};
+  const auto a = legacy.synthesize(log, 1.0, 1.5);
+  const auto b = spelled.synthesize(log, 1.0, 1.5);
+  ASSERT_EQ(a.num_samples(), b.num_samples());
+  for (std::size_t m = 0; m < a.channels.size(); ++m)
+    for (std::size_t i = 0; i < a.num_samples(); ++i)
+      ASSERT_EQ(a.channels[m][i], b.channels[m][i]);
+}
+
+TEST(Synthesizer, GroundReflectionOffIsBitwiseIdentical) {
+  // Either field at zero gates the image source off entirely — the output
+  // must be bit-identical to the default free-field path.
+  sim::QuadrotorParams quad;
+  const auto log = hover_log(quad, 2000);
+  SynthesizerConfig altitude_only;
+  altitude_only.ground_altitude_m = 2.5;  // coefficient still 0
+  AudioSynthesizer base{{}, quad, 42};
+  AudioSynthesizer gated{altitude_only, quad, 42};
+  const auto a = base.synthesize(log, 1.0, 1.5);
+  const auto b = gated.synthesize(log, 1.0, 1.5);
+  for (std::size_t m = 0; m < a.channels.size(); ++m)
+    for (std::size_t i = 0; i < a.num_samples(); ++i)
+      ASSERT_EQ(a.channels[m][i], b.channels[m][i]);
+}
+
+TEST(Synthesizer, GroundReflectionChangesWaveform) {
+  sim::QuadrotorParams quad;
+  const auto log = hover_log(quad, 2000);
+  SynthesizerConfig ground_cfg;
+  ground_cfg.ground_reflect = 0.7;
+  ground_cfg.ground_altitude_m = 2.5;
+  AudioSynthesizer base{{}, quad, 42};
+  AudioSynthesizer grounded{ground_cfg, quad, 42};
+  const auto a = base.synthesize(log, 1.0, 1.5);
+  const auto b = grounded.synthesize(log, 1.0, 1.5);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.num_samples(); ++i)
+    diff += std::abs(a.channels[0][i] - b.channels[0][i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+// Golden pin: the default quad's synthesized audio window is bitwise
+// identical to the pre-scenario-refactor build (CRC captured before the
+// synthesizer grew runtime rotor counts, detune vectors and ground
+// reflection).  See sim_test's GoldenQuad for the flight-side pins.
+TEST(GoldenQuad, AudioBitwiseIdenticalToSeed) {
+  core::FlightLab lab;
+  core::FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -10}, 10.0);
+  s.wind.mean = {1.0, 0.5, 0.0};
+  s.wind.gust_stddev = 0.4;
+  s.seed = 42;
+  const auto flight = lab.fly(s);
+  const auto synth = lab.synthesizer(flight);
+  const auto audio = synth.synthesize(flight.log, 3.0, 4.0);
+  std::uint32_t crc = 0;
+  for (const auto& ch : audio.channels)
+    for (double x : ch) crc = util::crc32(&x, sizeof x, crc);
+  EXPECT_EQ(crc, 0x950d243bu);
 }
 
 }  // namespace

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/dataset.hpp"
+#include "scenario/airframe.hpp"
+#include "scenario/environment.hpp"
+#include "scenario/scenario_set.hpp"
+#include "util/checksum.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sb::scenario {
+namespace {
+
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::size_t n) { util::ThreadPool::set_threads(n); }
+  ~ThreadCountGuard() { util::ThreadPool::set_threads(0); }
+};
+
+TEST(AirframeCatalog, CoversQuadHexaOcto) {
+  const auto catalog = airframe_catalog();
+  ASSERT_GE(catalog.size(), 3u);
+  const AirframeSpec* x500 = find_airframe("x500");
+  const AirframeSpec* hexa = find_airframe("hexa-700");
+  const AirframeSpec* octo = find_airframe("octo-900");
+  ASSERT_NE(x500, nullptr);
+  ASSERT_NE(hexa, nullptr);
+  ASSERT_NE(octo, nullptr);
+  EXPECT_TRUE(x500->legacy_x500);
+  EXPECT_EQ(hexa->num_rotors, 6);
+  EXPECT_EQ(octo->num_rotors, 8);
+  EXPECT_EQ(find_airframe("no-such-frame"), nullptr);
+}
+
+TEST(AirframeCatalog, RingLayoutsAreBalanced) {
+  // The generalized mixer assumes sum(x) = sum(y) = sum(x*y) = sum(s) =
+  // sum(s*x) = sum(s*y) = 0; the catalog must only emit layouts that
+  // satisfy it.
+  for (const auto& spec : airframe_catalog()) {
+    const auto p = spec.quad_params();
+    double sx = 0, sy = 0, sxy = 0, ss = 0, ssx = 0, ssy = 0;
+    for (int r = 0; r < p.num_rotors; ++r) {
+      const Vec3 pos = p.rotor_position(r);
+      const double s = p.spin(r);
+      sx += pos.x;
+      sy += pos.y;
+      sxy += pos.x * pos.y;
+      ss += s;
+      ssx += s * pos.x;
+      ssy += s * pos.y;
+    }
+    EXPECT_NEAR(sx, 0.0, 1e-9) << spec.name;
+    EXPECT_NEAR(sy, 0.0, 1e-9) << spec.name;
+    EXPECT_NEAR(sxy, 0.0, 1e-9) << spec.name;
+    EXPECT_NEAR(ss, 0.0, 1e-9) << spec.name;
+    EXPECT_NEAR(ssx, 0.0, 1e-9) << spec.name;
+    EXPECT_NEAR(ssy, 0.0, 1e-9) << spec.name;
+  }
+}
+
+TEST(AirframeCatalog, DetuneFingerprintsAreDistinctPerRotor) {
+  const AirframeSpec* hexa = find_airframe("hexa-700");
+  ASSERT_NE(hexa, nullptr);
+  const auto detunes = hexa->rotor_detunes();
+  ASSERT_EQ(detunes.size(), 6u);
+  for (std::size_t a = 0; a < detunes.size(); ++a) {
+    EXPECT_LE(std::abs(detunes[a]), hexa->detune_spread);
+    for (std::size_t b = a + 1; b < detunes.size(); ++b)
+      EXPECT_NE(detunes[a], detunes[b]);
+  }
+  // Legacy X500 keeps the synthesizer's measured table (empty vector).
+  EXPECT_TRUE(find_airframe("x500")->rotor_detunes().empty());
+}
+
+core::FlightScenario golden_scenario() {
+  core::FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -10}, 10.0);
+  s.wind.mean = {1.0, 0.5, 0.0};
+  s.wind.gust_stddev = 0.4;
+  s.seed = 42;
+  return s;
+}
+
+std::uint32_t flight_crc(const core::Flight& flight) {
+  const auto& log = flight.log;
+  std::uint32_t crc = 0;
+  auto add = [&](double v) { crc = util::crc32(&v, sizeof v, crc); };
+  for (std::size_t i = 0; i < log.t.size(); ++i) {
+    add(log.t[i]);
+    add(log.true_pos[i].x);
+    add(log.true_pos[i].y);
+    add(log.true_pos[i].z);
+    for (int r = 0; r < log.num_rotors; ++r)
+      add(log.rotor_omega[i][static_cast<std::size_t>(r)]);
+  }
+  return crc;
+}
+
+TEST(AirframeCatalog, X500IsBitwiseIdenticalToDefaultLab) {
+  // The reference quad through the catalog path must reproduce the plain
+  // FlightLab flight exactly — same truth timeline, same audio seed.
+  const AirframeSpec* x500 = find_airframe("x500");
+  ASSERT_NE(x500, nullptr);
+  core::FlightLab default_lab;
+  core::FlightLab catalog_lab{x500->lab_config()};
+  const auto a = default_lab.fly(golden_scenario());
+  const auto b = catalog_lab.fly(golden_scenario());
+  EXPECT_EQ(a.audio_seed, b.audio_seed);
+  EXPECT_EQ(flight_crc(a), flight_crc(b));
+}
+
+TEST(AirframeCatalog, AllAirframesHoverWithinQuadErrorBound) {
+  // Every catalog frame — with its rescaled controller gains — holds a noisy
+  // closed-loop hover to the same position-error bound as the quad.
+  for (const auto& spec : airframe_catalog()) {
+    core::FlightLab lab{spec.lab_config()};
+    core::FlightScenario s;
+    s.mission = sim::Mission::hover({0, 0, -10}, 12.0);
+    s.wind.mean = {0.8, 0.4, 0.0};
+    s.wind.gust_stddev = 0.3;
+    s.seed = 7;
+    const auto flight = lab.fly(s);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < flight.log.t.size(); ++i)
+      if (flight.log.t[i] > 5.0)
+        max_err = std::max(max_err,
+                           (flight.log.true_pos[i] - Vec3{0, 0, -10}).norm());
+    // The default quad sits at ~0.72 m under this wind/noise draw; every
+    // frame must stay in the same class.
+    EXPECT_LT(max_err, 1.0) << spec.name;
+  }
+}
+
+TEST(EnvironmentCatalog, ProfilesCoverCalmGustyAndGroundEffect) {
+  const auto catalog = environment_catalog();
+  ASSERT_GE(catalog.size(), 3u);
+  ASSERT_NE(find_environment("meadow-calm"), nullptr);
+  const EnvironmentProfile* ridge = find_environment("gusty-ridge");
+  const EnvironmentProfile* pad = find_environment("low-hover-pad");
+  ASSERT_NE(ridge, nullptr);
+  ASSERT_NE(pad, nullptr);
+  EXPECT_GT(ridge->gust_stddev, find_environment("meadow-calm")->gust_stddev);
+  EXPECT_GT(pad->ground_reflect, 0.0);
+  EXPECT_EQ(find_environment("vacuum"), nullptr);
+
+  core::FlightLab::Config cfg = pad->apply({});
+  EXPECT_DOUBLE_EQ(cfg.synth.ground_reflect, pad->ground_reflect);
+  EXPECT_DOUBLE_EQ(cfg.synth.mic_array.ambient_noise, pad->ambient_noise);
+}
+
+ScenarioSetConfig tiny_config() {
+  ScenarioSetConfig cfg;
+  cfg.airframes = airframe_catalog();
+  cfg.environments = environment_catalog();
+  cfg.environments.resize(2);
+  cfg.train_repeats = 1;
+  cfg.calib_repeats = 1;
+  cfg.eval_benign_repeats = 1;
+  cfg.eval_attack_repeats = 1;
+  cfg.train_duration = 6.0;
+  cfg.eval_duration = 20.0;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ScenarioSet, EnumeratesTheFullMatrixDeterministically) {
+  const ScenarioSet set{tiny_config()};
+  // Per (airframe, env): 1 train + 1 calib + 1 eval benign + 2 attacks.
+  const std::size_t per_pair = 5;
+  ASSERT_EQ(set.cells().size(), 3u * 2u * per_pair);
+
+  const ScenarioSet again{tiny_config()};
+  for (std::size_t i = 0; i < set.cells().size(); ++i) {
+    EXPECT_EQ(set.cells()[i].seed, again.cells()[i].seed);
+    EXPECT_EQ(set.cells()[i].flight_id,
+              static_cast<std::int64_t>(i));  // unique, enumeration order
+  }
+}
+
+TEST(ScenarioSet, FlyIsBitIdenticalAcrossThreadCounts) {
+  ScenarioSetConfig cfg = tiny_config();
+  cfg.environments.resize(1);
+  cfg.train_duration = 4.0;
+  const ScenarioSet set{cfg};
+  const auto batch = set.flight_disjoint_split().train;
+  ASSERT_GE(batch.size(), 2u);
+
+  std::vector<std::uint32_t> crc1, crc4;
+  {
+    ThreadCountGuard guard{1};
+    for (const auto& f : set.fly(batch)) crc1.push_back(flight_crc(f));
+  }
+  {
+    ThreadCountGuard guard{4};
+    for (const auto& f : set.fly(batch)) crc4.push_back(flight_crc(f));
+  }
+  EXPECT_EQ(crc1, crc4);
+}
+
+TEST(ScenarioSet, FlightDisjointSplitPartitionsRoles) {
+  const ScenarioSet set{tiny_config()};
+  const TrainEvalSplit split = set.flight_disjoint_split();
+  EXPECT_EQ(split.mode, core::SplitMode::kFlightDisjoint);
+  EXPECT_EQ(split.train.size() + split.calibration.size() + split.eval.size(),
+            set.cells().size());
+  // Disjoint by construction: the guard accepts the annotated corpus.
+  const auto train_ids = ScenarioSet::cell_ids(split.train, split.mode);
+  EXPECT_NO_THROW(enforce_split(train_ids, split));
+}
+
+TEST(ScenarioSet, AirframeDisjointSplitHoldsOutTheAirframe) {
+  const ScenarioSet set{tiny_config()};
+  const TrainEvalSplit split = set.airframe_disjoint_split(1);
+  EXPECT_EQ(split.mode, core::SplitMode::kAirframeDisjoint);
+  ASSERT_FALSE(split.train.empty());
+  ASSERT_FALSE(split.eval.empty());
+  for (const auto& cell : split.train) EXPECT_NE(cell.airframe, 1);
+  for (const auto& cell : split.calibration) EXPECT_NE(cell.airframe, 1);
+  for (const auto& cell : split.eval) EXPECT_EQ(cell.airframe, 1);
+  const auto train_ids = ScenarioSet::cell_ids(split.train, split.mode);
+  EXPECT_NO_THROW(enforce_split(train_ids, split));
+}
+
+TEST(ScenarioSet, LeakySplitIsRejected) {
+  const ScenarioSet set{tiny_config()};
+  // Flight-disjoint: sneak one eval flight's windows into the train corpus.
+  TrainEvalSplit split = set.flight_disjoint_split();
+  auto train_ids = ScenarioSet::cell_ids(split.train, split.mode);
+  train_ids.push_back(split.eval.front().flight_id);
+  EXPECT_THROW(enforce_split(train_ids, split), std::invalid_argument);
+
+  // Airframe-disjoint: training on any flight of the held-out airframe —
+  // even one that is not itself evaluated — is leakage.
+  TrainEvalSplit loao = set.airframe_disjoint_split(2);
+  auto loao_ids = ScenarioSet::cell_ids(loao.train, loao.mode);
+  loao_ids.push_back(2);
+  EXPECT_THROW(enforce_split(loao_ids, loao), std::invalid_argument);
+}
+
+TEST(DatasetGuard, BuilderRecordsProvenancePerWindow) {
+  // The dataset layer records the annotated flight id for every window it
+  // appends, so the guard sees real per-window provenance.
+  core::FlightLab lab;
+  core::DatasetConfig cfg;
+  cfg.stride = 0.5;
+  core::DatasetBuilder builder{cfg, lab};
+  core::FlightScenario s;
+  s.mission = sim::Mission::hover({0, 0, -10}, 5.0);
+  s.seed = 11;
+  const auto flight = lab.fly(s);
+  builder.add_flight(flight, 77);
+  ASSERT_GT(builder.size(), 0u);
+  const auto ids = builder.window_flight_ids();
+  ASSERT_EQ(ids.size(), builder.size());
+  for (std::int64_t id : ids) EXPECT_EQ(id, 77);
+
+  // The un-annotated overload records kNoFlightId, which the guard ignores.
+  builder.add_flight(flight);
+  EXPECT_EQ(builder.window_flight_ids().back(), core::kNoFlightId);
+
+  const std::int64_t eval_ids[] = {77};
+  EXPECT_THROW(core::enforce_disjoint_split(builder.window_flight_ids(), eval_ids,
+                                            core::SplitMode::kFlightDisjoint),
+               std::invalid_argument);
+  const std::int64_t clean_ids[] = {78};
+  EXPECT_NO_THROW(core::enforce_disjoint_split(builder.window_flight_ids(), clean_ids,
+                                               core::SplitMode::kFlightDisjoint));
+  // kNone never throws, whatever the overlap.
+  EXPECT_NO_THROW(core::enforce_disjoint_split(builder.window_flight_ids(), eval_ids,
+                                               core::SplitMode::kNone));
+}
+
+}  // namespace
+}  // namespace sb::scenario

@@ -8,6 +8,8 @@
 #include "sim/quadrotor.hpp"
 #include "sim/simulator.hpp"
 #include "sim/wind.hpp"
+#include "core/flight_lab.hpp"
+#include "util/checksum.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -145,7 +147,7 @@ TEST(Quadrotor, MixerInverseRoundTrip) {
     total += t;
     tq.x += -pos[idx].y * t;
     tq.y += pos[idx].x * t;
-    tq.z += -QuadrotorParams::spin[idx] * p.km_over_kf * t;
+    tq.z += -p.spin(i) * p.km_over_kf * t;
   }
   EXPECT_NEAR(total, thrust, 1e-6);
   EXPECT_NEAR(tq.x, torque.x, 1e-6);
@@ -355,7 +357,7 @@ TEST_P(MixerSweep, RoundTripsRandomRequests) {
     total += t;
     tq.x += -pos[idx].y * t;
     tq.y += pos[idx].x * t;
-    tq.z += -QuadrotorParams::spin[idx] * p.km_over_kf * t;
+    tq.z += -p.spin(i) * p.km_over_kf * t;
   }
   EXPECT_NEAR(total, thrust, 1e-6);
   EXPECT_NEAR(tq.x, torque.x, 1e-6);
@@ -364,6 +366,89 @@ TEST_P(MixerSweep, RoundTripsRandomRequests) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomRequests, MixerSweep, ::testing::Range(0, 8));
+
+// Regular n-rotor X-ring with alternating spin: the balanced custom layout
+// the generalized mixer is specified for (and the one the scenario airframe
+// catalog instantiates).
+QuadrotorParams ring_params(int n, double arm, double mass, double kf) {
+  QuadrotorParams p;
+  p.num_rotors = n;
+  p.custom_layout = true;
+  p.mass = mass;
+  p.kf = kf;
+  const double pi = 3.14159265358979323846;
+  for (int r = 0; r < n; ++r) {
+    const double ang = 2.0 * pi * r / n + pi / n;
+    p.rotor_pos[static_cast<std::size_t>(r)] =
+        Vec3{arm * std::cos(ang), arm * std::sin(ang), 0.0};
+    p.rotor_spin[static_cast<std::size_t>(r)] = (r % 2 == 0) ? 1.0 : -1.0;
+  }
+  return p;
+}
+
+class RingHover : public ::testing::TestWithParam<int> {};
+
+// Hexa and octo frames hold a rotor-speed hover exactly like the quad does:
+// same position/velocity/attitude bounds as Quadrotor.HoverIsEquilibrium.
+TEST_P(RingHover, HoverIsEquilibrium) {
+  const int n = GetParam();
+  QuadrotorParams p = ring_params(n, 0.35, 4.0, 1.3e-5);
+  Quadrotor quad{p};
+  quad.mutable_state().pos = {0, 0, -10};
+  RotorCommand cmd;
+  cmd.fill(p.hover_omega());
+  for (int i = 0; i < 1000; ++i) quad.step(cmd, {}, 0.0025);
+  EXPECT_NEAR(quad.state().pos.z, -10.0, 0.01);
+  EXPECT_NEAR(quad.state().vel.norm(), 0.0, 0.01);
+  EXPECT_NEAR(quad.state().euler.norm(), 0.0, 1e-6);
+}
+
+// The generalized min-norm mixer reconstructs any feasible request on the
+// ring layouts, same tolerance as the quad closed form.
+TEST_P(RingHover, GeneralizedMixerRoundTrip) {
+  const int n = GetParam();
+  QuadrotorParams p = ring_params(n, 0.4, 5.0, 1.6e-5);
+  Rng rng{static_cast<std::uint64_t>(n) * 17 + 3};
+  const double thrust = p.mass * kGravity * rng.uniform(0.85, 1.25);
+  const Vec3 torque{rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1),
+                    rng.uniform(-0.03, 0.03)};
+  const RotorCommand cmd = mix_to_rotors(p, thrust, torque);
+
+  double total = 0.0;
+  Vec3 tq;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double t = p.kf * cmd[idx] * cmd[idx];
+    total += t;
+    tq.x += -p.rotor_position(i).y * t;
+    tq.y += p.rotor_position(i).x * t;
+    tq.z += -p.spin(i) * p.km_over_kf * t;
+  }
+  EXPECT_NEAR(total, thrust, 1e-6);
+  EXPECT_NEAR(tq.x, torque.x, 1e-6);
+  EXPECT_NEAR(tq.y, torque.y, 1e-6);
+  EXPECT_NEAR(tq.z, torque.z, 1e-6);
+}
+
+// Yaw authority comes from the spin pattern: a pure +z (clockwise, NED)
+// torque request must add thrust on counter-spinning rotors (spin -1) and
+// shed it on co-spinning ones (spin +1), on every layout.
+TEST_P(RingHover, YawTorqueFollowsSpinPattern) {
+  const int n = GetParam();
+  QuadrotorParams p = ring_params(n, 0.35, 4.0, 1.3e-5);
+  const double thrust = p.mass * kGravity;
+  const RotorCommand base = mix_to_rotors(p, thrust, {});
+  const RotorCommand yawed = mix_to_rotors(p, thrust, {0, 0, 0.02});
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (p.spin(i) < 0)
+      EXPECT_GT(yawed[idx], base[idx]) << "rotor " << i;
+    else
+      EXPECT_LT(yawed[idx], base[idx]) << "rotor " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HexaOcto, RingHover, ::testing::Values(6, 8));
 
 TEST(ActuatorDosFlight, BlockedRotorsGetQuieterAndVehicleSinks) {
   // §V-B extension: a PWM block waveform on two rotors slows them audibly
@@ -428,6 +513,57 @@ TEST(FlightLog, ImuSamplesInDistinguishesDropoutFromZeroMean) {
   EXPECT_EQ(log.imu_samples_in(0.35, 0.55), 2u);  // samples at 0.4, 0.5
   EXPECT_EQ(log.imu_samples_in(2.0, 3.0), 0u);    // past the log: dropout
   EXPECT_EQ(FlightLog{}.imu_samples_in(0.0, 1.0), 0u);
+}
+
+std::uint32_t crc_d(std::uint32_t crc, double v) {
+  return util::crc32(&v, sizeof v, crc);
+}
+std::uint32_t crc_v(std::uint32_t crc, const Vec3& v) {
+  crc = crc_d(crc, v.x);
+  crc = crc_d(crc, v.y);
+  return crc_d(crc, v.z);
+}
+
+// Golden pin: the default quad's closed-loop flight is bitwise identical to
+// the pre-scenario-refactor build (CRCs captured before QuadrotorParams grew
+// the runtime rotor count / custom layouts).  Any change to these values
+// silently invalidates every cached model and every published bench number.
+TEST(GoldenQuad, FlightBitwiseIdenticalToSeed) {
+  core::FlightLab lab;
+  core::FlightScenario s;
+  s.mission = Mission::hover({0, 0, -10}, 10.0);
+  s.wind.mean = {1.0, 0.5, 0.0};
+  s.wind.gust_stddev = 0.4;
+  s.seed = 42;
+  const auto flight = lab.fly(s);
+  const FlightLog& log = flight.log;
+  ASSERT_EQ(log.num_rotors, kNumRotors);
+
+  std::uint32_t truth = 0;
+  for (std::size_t i = 0; i < log.t.size(); ++i) {
+    truth = crc_d(truth, log.t[i]);
+    truth = crc_v(truth, log.true_pos[i]);
+    truth = crc_v(truth, log.true_vel[i]);
+    truth = crc_v(truth, log.true_accel[i]);
+    truth = crc_v(truth, log.true_euler[i]);
+    for (int r = 0; r < log.num_rotors; ++r)
+      truth = crc_d(truth, log.rotor_omega[i][static_cast<std::size_t>(r)]);
+  }
+  EXPECT_EQ(truth, 0x015887beu);
+
+  std::uint32_t sensors_crc = 0;
+  for (const auto& m : log.imu) {
+    sensors_crc = crc_d(sensors_crc, m.t);
+    sensors_crc = crc_v(sensors_crc, m.gyro);
+    sensors_crc = crc_v(sensors_crc, m.specific_force);
+    sensors_crc = crc_v(sensors_crc, m.accel_ned);
+  }
+  for (const auto& g : log.gps) {
+    sensors_crc = crc_d(sensors_crc, g.t);
+    sensors_crc = crc_v(sensors_crc, g.pos);
+    sensors_crc = crc_v(sensors_crc, g.vel);
+  }
+  EXPECT_EQ(sensors_crc, 0x92db8628u);
 }
 
 }  // namespace
