@@ -330,13 +330,18 @@ inline core::SensoryMapperConfig standard_mapper_config() {
   return cfg;
 }
 
-// Cache filenames carry the model-file format tag, so a format bump (which
-// would make load() reject the file anyway) simply misses the cache and
-// retrains — loudly, via the standard "training ..." log line — instead of
-// tripping over a stale binary every run.
+// Cache filenames carry the model-file format tag AND the trainer schema
+// tag, so either a format bump (which would make load() reject the file
+// anyway) or a training-math change simply misses the cache and retrains —
+// loudly, via the standard "training ..." log line — instead of serving
+// weights trained under superseded math as current results.
+inline std::string cache_tag() {
+  return std::string{core::model_format_tag()} + ml::trainer_schema_tag();
+}
+
 inline std::string cache_path(const core::SensoryMapperConfig& cfg) {
   return (cache_dir() / ("soundboost_bench_" + ml::to_string(cfg.model) + "_" +
-                         core::model_format_tag() + ".bin"))
+                         cache_tag() + ".bin"))
       .string();
 }
 
@@ -387,8 +392,7 @@ inline FitMse fit_cached(core::SensoryMapper& mapper, const std::string& tag,
                          std::span<const core::Flight> flights,
                          const core::FlightLab& flight_lab = lab()) {
   const std::string path =
-      (cache_dir() / ("soundboost_bench_" + tag + "_" +
-                      core::model_format_tag() + ".bin"))
+      (cache_dir() / ("soundboost_bench_" + tag + "_" + cache_tag() + ".bin"))
           .string();
   const std::string sidecar = path + ".mse";
   if (mapper.load(path)) {

@@ -115,8 +115,8 @@ core::SensoryMapper train_fold(const scenario::ScenarioSet& set,
   scenario::enforce_split(builder.window_flight_ids(), split);
 
   const std::string path =
-      (bench::cache_dir() / ("soundboost_bench_" + tag + "_" +
-                             core::model_format_tag() + ".bin"))
+      (bench::cache_dir() /
+       ("soundboost_bench_" + tag + "_" + bench::cache_tag() + ".bin"))
           .string();
   if (mapper.load(path)) {
     obs::logf(obs::LogLevel::kInfo, "cache", "%s", tag.c_str());

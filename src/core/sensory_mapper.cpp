@@ -476,6 +476,9 @@ bool SensoryMapper::load(std::istream& file, const std::string& path) {
     is.read(reinterpret_cast<char*>(p->value.data()),
             static_cast<std::streamsize>(numel * sizeof(float)));
     if (!is) return false;
+    // New weights under the same Param: invalidate packed backward operands
+    // keyed on the version stamp (ml::Conv2D's weight^T pack).
+    p->bump();
   }
 
   const auto state = model_->state();

@@ -184,6 +184,15 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
 
   const std::size_t kdim = in_c_ * k_ * k_;
   const std::size_t patches = oh * ow;
+  // dX operand: weight^T packed [kdim, outC], rebuilt only when the weights
+  // actually changed (Param::version — optimizer steps, load, replica sync).
+  // matmul_nn over the pack keeps matmul_tn's exact per-element ascending-oc
+  // accumulation order but runs the vectorized micro-kernel.
+  if (packed_version_ != weight_.version) {
+    if (packed_wt_.numel() != kdim * out_c_) packed_wt_ = Tensor({kdim, out_c_});
+    pack_transpose(weight_.value.data(), kdim, out_c_, kdim, packed_wt_.data());
+    packed_version_ = weight_.version;
+  }
   // Per-item weight/bias gradient partials, reduced serially in batch order
   // below so the result is independent of the thread count.  Every slot is
   // written before the reduction (matmul_nt with accumulate=false and the
@@ -208,7 +217,7 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
             for (std::size_t p = 0; p < patches; ++p) s += grow[p];
             gb_part[i * out_c_ + oc] = s;
           }
-          matmul_tn(weight_.value.data(), kdim, gi, patches, gcol.data(), patches,
+          matmul_nn(packed_wt_.data(), out_c_, gi, patches, gcol.data(), patches,
                     kdim, out_c_, patches, false);
           col2im_add(gcol.data(), in_c_, h, w, k_, stride_, pad_, oh, ow,
                      grad_in.data() + i * in_c_ * h * w);
@@ -443,6 +452,14 @@ Tensor DepthwiseSeparableBlock::backward(const Tensor& grad_out) {
   return body_.backward(grad_out);
 }
 
+std::unique_ptr<Layer> DepthwiseSeparableBlock::replicate() const {
+  auto body = body_.replicate();
+  if (!body) return nullptr;
+  std::unique_ptr<DepthwiseSeparableBlock> copy{new DepthwiseSeparableBlock()};
+  copy->body_ = std::move(static_cast<Sequential&>(*body));
+  return copy;
+}
+
 ResidualBlock::ResidualBlock(std::size_t in_channels, std::size_t out_channels,
                              std::size_t stride, Rng& rng) {
   main_.emplace<Conv2D>(in_channels, out_channels, 3, stride, 1, rng);
@@ -522,6 +539,23 @@ Tensor ResidualBlock::backward(const Tensor& grad_out) {
   Tensor grad_short = shortcut_ ? shortcut_->backward(g) : g;
   grad_main.add_scaled(grad_short, 1.0f);
   return grad_main;
+}
+
+std::unique_ptr<Layer> ResidualBlock::replicate() const {
+  auto main = main_.replicate();
+  if (!main) return nullptr;
+  std::unique_ptr<Layer> shortcut;
+  if (shortcut_) {
+    shortcut = shortcut_->replicate();
+    if (!shortcut) return nullptr;
+  }
+  std::unique_ptr<ResidualBlock> copy{new ResidualBlock()};
+  copy->main_ = std::move(static_cast<Sequential&>(*main));
+  if (shortcut) {
+    copy->shortcut_.reset(static_cast<Sequential*>(shortcut.release()));
+  }
+  copy->cached_sum_ = cached_sum_;
+  return copy;
 }
 
 std::vector<Param*> ResidualBlock::params() {

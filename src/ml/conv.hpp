@@ -23,6 +23,9 @@ class Conv2D final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<Conv2D>(*this);
+  }
 
  private:
   void forward_reference(const Tensor& x, Tensor& y, std::size_t n, std::size_t h,
@@ -35,6 +38,12 @@ class Conv2D final : public Layer {
   Param weight_;  // [outC, inC, k, k]
   Param bias_;    // [outC]
   Tensor cached_x_;
+  // Backward dX operand weight^T [inC*k*k, outC], packed lazily and keyed on
+  // weight_.version: reused across every backward between optimizer steps
+  // (which bump the version), and routes dX through the vectorized
+  // matmul_nn instead of the scalar-only matmul_tn.
+  Tensor packed_wt_;
+  std::uint64_t packed_version_ = 0;
 };
 
 // Depthwise convolution: one k x k filter per channel.
@@ -47,6 +56,9 @@ class DepthwiseConv2D final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<DepthwiseConv2D>(*this);
+  }
 
  private:
   void forward_reference(const Tensor& x, Tensor& y, std::size_t n, std::size_t h,
@@ -73,8 +85,20 @@ class DepthwiseSeparableBlock final : public Layer {
   std::vector<Param*> params() override { return body_.params(); }
   std::vector<Tensor*> state() override { return body_.state(); }
   bool compile(PlanBuilder& builder) override { return body_.compile(builder); }
+  std::unique_ptr<Layer> replicate() const override;
+  std::size_t shard_stats_size() const override {
+    return body_.shard_stats_size();
+  }
+  void export_shard_stats(std::span<float> out) const override {
+    body_.export_shard_stats(out);
+  }
+  void absorb_shard_stats(std::span<const float> in) override {
+    body_.absorb_shard_stats(in);
+  }
 
  private:
+  DepthwiseSeparableBlock() = default;
+
   Sequential body_;
 };
 
@@ -90,8 +114,27 @@ class ResidualBlock final : public Layer {
   std::vector<Param*> params() override;
   std::vector<Tensor*> state() override;
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override;
+  // Shard stats concatenate main then shortcut — the same structural order
+  // the replica exported in.
+  std::size_t shard_stats_size() const override {
+    return main_.shard_stats_size() +
+           (shortcut_ ? shortcut_->shard_stats_size() : 0);
+  }
+  void export_shard_stats(std::span<float> out) const override {
+    const std::size_t n = main_.shard_stats_size();
+    main_.export_shard_stats(out.subspan(0, n));
+    if (shortcut_) shortcut_->export_shard_stats(out.subspan(n));
+  }
+  void absorb_shard_stats(std::span<const float> in) override {
+    const std::size_t n = main_.shard_stats_size();
+    main_.absorb_shard_stats(in.subspan(0, n));
+    if (shortcut_) shortcut_->absorb_shard_stats(in.subspan(n));
+  }
 
  private:
+  ResidualBlock() = default;
+
   Sequential main_;
   std::unique_ptr<Sequential> shortcut_;  // null = identity
   Tensor cached_sum_;                     // pre-ReLU sum, for the ReLU mask

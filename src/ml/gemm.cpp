@@ -233,4 +233,12 @@ void matmul_tn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
       row_grain(m, k * n));
 }
 
+void pack_transpose(const float* a, std::size_t lda, std::size_t rows,
+                    std::size_t cols, float* dst) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* ai = a + i * lda;
+    for (std::size_t j = 0; j < cols; ++j) dst[j * rows + i] = ai[j];
+  }
+}
+
 }  // namespace sb::ml

@@ -32,4 +32,12 @@ void matmul_tn(const float* a, std::size_t lda, const float* b, std::size_t ldb,
                float* c, std::size_t ldc, std::size_t m, std::size_t k,
                std::size_t n, bool accumulate);
 
+// dst[cols, rows] = transpose of A[rows, cols] (row stride lda), packed.
+// Backward passes pack a weight operand once per weight mutation (keyed on
+// Param::version) so dX can run matmul_nn's vectorized micro-kernel with
+// matmul_tn's exact per-element accumulation order.  Serial on purpose: it
+// is called from inside parallel shard regions.
+void pack_transpose(const float* a, std::size_t lda, std::size_t rows,
+                    std::size_t cols, float* dst);
+
 }  // namespace sb::ml

@@ -2,7 +2,10 @@
 // accumulated in place (classic define-by-layer design; no autograd graph).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "ml/tensor.hpp"
@@ -11,13 +14,25 @@ namespace sb::ml {
 
 class PlanBuilder;
 
+// Monotonic process-wide stamp for parameter mutations (see Param::bump).
+inline std::uint64_t next_param_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 // A learnable parameter and its gradient accumulator.
 struct Param {
   Tensor value;
   Tensor grad;
+  // Bumped by whoever mutates `value` (optimizer steps, model load, replica
+  // weight sync).  Caches derived from the weights — e.g. Conv2D's packed
+  // backward operand — compare against this stamp and repack lazily, so the
+  // pack is reused until the next mutation instead of being rebuilt per call.
+  std::uint64_t version = next_param_version();
 
   explicit Param(Tensor v) : value(std::move(v)), grad(value.shape()) {}
   void zero_grad() { grad.fill(0.0f); }
+  void bump() { version = next_param_version(); }
 };
 
 class Layer {
@@ -46,6 +61,26 @@ class Layer {
   // speedup).  Overrides must reproduce forward(x, false) exactly for the
   // exact ("f64") plan — PlanEquivalence pins this.
   virtual bool compile(PlanBuilder&) { return false; }
+
+  // Deep copy for data-parallel training (DESIGN.md "Training performance").
+  // Model forwards are NOT reentrant (per-layer activation caches), so the
+  // trainer runs concurrent shard forwards on replicas, never on one model.
+  // A replica owns its own weights AND caches; the trainer re-syncs weights
+  // from the primary after each optimizer step.  The default opts out
+  // (returns nullptr) — layers whose copies would share mutable state (e.g.
+  // Dropout's Rng*) keep it, and the trainer falls back to the serial loop.
+  virtual std::unique_ptr<Layer> replicate() const { return nullptr; }
+
+  // Ghost-batch statistics protocol for the sharded trainer: a replica that
+  // computed per-shard batch statistics in its training forward (BatchNorm's
+  // mean/var) exports them here, and the PRIMARY absorbs them — in ascending
+  // shard order, applying the exact running-update expression the serial
+  // forward uses — so persistent state stays deterministic at any thread or
+  // replica count.  Size must be constant per layer; export order == absorb
+  // order (structural traversal).
+  virtual std::size_t shard_stats_size() const { return 0; }
+  virtual void export_shard_stats(std::span<float>) const {}
+  virtual void absorb_shard_stats(std::span<const float>) {}
 };
 
 // Runs sub-layers in order.
@@ -93,6 +128,42 @@ class Sequential final : public Layer {
   // Lowers each child in order; children that opt out become graph-call
   // fallback ops.  Defined in plan.cpp.
   bool compile(PlanBuilder& builder) override;
+
+  // Replicable iff every child is; shard stats concatenate child spans in
+  // layer order (the same structural order on every replica).
+  std::unique_ptr<Layer> replicate() const override {
+    auto copy = std::make_unique<Sequential>();
+    for (const auto& l : layers_) {
+      auto r = l->replicate();
+      if (!r) return nullptr;
+      copy->layers_.push_back(std::move(r));
+    }
+    return copy;
+  }
+
+  std::size_t shard_stats_size() const override {
+    std::size_t n = 0;
+    for (const auto& l : layers_) n += l->shard_stats_size();
+    return n;
+  }
+
+  void export_shard_stats(std::span<float> out) const override {
+    std::size_t off = 0;
+    for (const auto& l : layers_) {
+      const std::size_t n = l->shard_stats_size();
+      l->export_shard_stats(out.subspan(off, n));
+      off += n;
+    }
+  }
+
+  void absorb_shard_stats(std::span<const float> in) override {
+    std::size_t off = 0;
+    for (auto& l : layers_) {
+      const std::size_t n = l->shard_stats_size();
+      l->absorb_shard_stats(in.subspan(off, n));
+      off += n;
+    }
+  }
 
   std::size_t size() const { return layers_.size(); }
 

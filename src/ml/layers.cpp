@@ -162,6 +162,7 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
   cached_n_ = n;
   cached_hw_ = hw;
   cached_mean_.assign(c, 0.0f);
+  cached_var_.assign(c, 0.0f);
   cached_inv_std_.assign(c, 0.0f);
 
   Tensor y = x;
@@ -197,6 +198,7 @@ Tensor BatchNorm::forward(const Tensor& x, bool train) {
     }
     const float inv_std = 1.0f / std::sqrt(var_v + eps_);
     cached_mean_[ch] = mean_v;
+    cached_var_[ch] = var_v;
     cached_inv_std_[ch] = inv_std;
     const float g = gamma_.value[ch], b = beta_.value[ch];
     // Normalization is elementwise (sub, mul, mul, add in the scalar order),

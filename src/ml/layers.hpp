@@ -14,6 +14,9 @@ class Dense final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<Dense>(*this);
+  }
 
   std::size_t in_features() const { return in_; }
   std::size_t out_features() const { return out_; }
@@ -32,6 +35,9 @@ class ReLU final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<ReLU>(*this);
+  }
 
  private:
   float cap_;
@@ -43,6 +49,9 @@ class Tanh final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<Tanh>(*this);
+  }
 
  private:
   Tensor cached_y_;
@@ -61,15 +70,37 @@ class BatchNorm final : public Layer {
   // Folds into the preceding conv/dense weights on the f32 plan; fuses as
   // an exact eval-mode affine epilogue on the f64 plan.
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<BatchNorm>(*this);
+  }
+
+  // Ghost-batch protocol: a replica's training forward caches its shard's
+  // (mean, var); the primary replays the exact serial running-update
+  // expression per shard, in ascending shard order.
+  std::size_t shard_stats_size() const override { return 2 * channels_; }
+  void export_shard_stats(std::span<float> out) const override {
+    for (std::size_t ch = 0; ch < channels_; ++ch) {
+      out[ch] = cached_mean_[ch];
+      out[channels_ + ch] = cached_var_[ch];
+    }
+  }
+  void absorb_shard_stats(std::span<const float> in) override {
+    for (std::size_t ch = 0; ch < channels_; ++ch) {
+      running_mean_[ch] =
+          momentum_ * running_mean_[ch] + (1 - momentum_) * in[ch];
+      running_var_[ch] =
+          momentum_ * running_var_[ch] + (1 - momentum_) * in[channels_ + ch];
+    }
+  }
 
  private:
   std::size_t channels_;
   float momentum_, eps_;
   Param gamma_, beta_;
   Tensor running_mean_, running_var_;
-  // Caches for backward.
+  // Caches for backward (cached_var_ also feeds export_shard_stats).
   Tensor cached_xhat_;
-  std::vector<float> cached_mean_, cached_inv_std_;
+  std::vector<float> cached_mean_, cached_var_, cached_inv_std_;
   std::size_t cached_n_ = 0, cached_hw_ = 0;
 };
 
@@ -79,6 +110,9 @@ class GlobalAvgPool final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<GlobalAvgPool>(*this);
+  }
 
  private:
   Shape cached_shape_;
@@ -90,12 +124,17 @@ class Flatten final : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   bool compile(PlanBuilder& builder) override;
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<Flatten>(*this);
+  }
 
  private:
   Shape cached_shape_;
 };
 
-// Inverted dropout; identity in eval mode.
+// Inverted dropout; identity in eval mode.  Keeps the replicate() opt-out:
+// copies would share the caller's Rng, and concurrent draws would destroy
+// seed determinism — models containing Dropout train on the serial path.
 class Dropout final : public Layer {
  public:
   Dropout(float rate, Rng& rng);

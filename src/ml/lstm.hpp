@@ -22,6 +22,10 @@ class Lstm final : public Layer {
   // layer through the graph-call fallback (bitwise, just not faster).
   bool compile(PlanBuilder&) override { return false; }
 
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<Lstm>(*this);
+  }
+
   std::size_t hidden_size() const { return h_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "ml/model.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace sb::ml {
@@ -18,6 +19,67 @@ MseLoss mse_loss(const Tensor& pred, const Tensor& target) {
   }
   out.value = s / static_cast<double>(pred.numel());
   return out;
+}
+
+ShardLoss shard_mse_loss(const Tensor& pred, const Tensor& target,
+                         float grad_scale) {
+  if (pred.numel() != target.numel())
+    throw std::invalid_argument{"shard_mse_loss: size mismatch"};
+  ShardLoss out;
+  out.grad = Tensor(pred.shape());
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = static_cast<double>(pred[i]) - static_cast<double>(target[i]);
+    out.sq_err += d * d;
+    out.grad[i] = grad_scale * static_cast<float>(d);
+  }
+  return out;
+}
+
+ReplicaTeam::ReplicaTeam(const Layer& primary, std::size_t count) {
+  if (count == 0) count = 1;
+  replicas_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto rep = primary.replicate();
+    if (!rep) {
+      replicas_.clear();
+      replica_params_.clear();
+      return;
+    }
+    replica_params_.push_back(rep->params());
+    // Deep copies carry whatever gradients the primary held; shard backward
+    // passes accumulate, so start from zero.
+    for (Param* p : replica_params_.back()) p->zero_grad();
+    replicas_.push_back(std::move(rep));
+  }
+  free_.resize(count);
+  for (std::size_t i = 0; i < count; ++i) free_[i] = count - 1 - i;
+}
+
+std::size_t ReplicaTeam::acquire() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  available_.wait(lock, [&] { return !free_.empty(); });
+  const std::size_t i = free_.back();
+  free_.pop_back();
+  return i;
+}
+
+void ReplicaTeam::release(std::size_t i) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    free_.push_back(i);
+  }
+  available_.notify_one();
+}
+
+void ReplicaTeam::sync_weights(const std::vector<Param*>& primary_params) {
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    const auto& rp = replica_params_[r];
+    for (std::size_t j = 0; j < rp.size(); ++j) {
+      std::copy_n(primary_params[j]->value.data(),
+                  primary_params[j]->value.numel(), rp[j]->value.data());
+      rp[j]->bump();
+    }
+  }
 }
 
 Tensor predict(Layer& model, const Tensor& x) { return model.forward(x, false); }

@@ -27,6 +27,10 @@ class NeuralOdeBlock final : public Layer {
   // op, so inference plans run it through the graph-call fallback.
   bool compile(PlanBuilder&) override { return false; }
 
+  std::unique_ptr<Layer> replicate() const override {
+    return std::make_unique<NeuralOdeBlock>(*this);
+  }
+
  private:
   // f(h) = W2 tanh(W1 h + b1) + b2, evaluated on [N, D] batches.
   Tensor eval_f(const Tensor& h, Tensor& pre_act) const;

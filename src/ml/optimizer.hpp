@@ -16,6 +16,16 @@ class Optimizer {
   void zero_grad();
   virtual void step() = 0;
 
+  // Fused mutate+clear: equivalent to `step(); zero_grad();`.  Adam
+  // overrides it with a single SIMD sweep per parameter (one load/store
+  // pass instead of two), bitwise-identical to the unfused pair on both
+  // backends.  Callers that drop their explicit zero_grad() in favour of
+  // this must still clear stale gradients once before the first backward.
+  virtual void step_and_zero_grad() {
+    step();
+    zero_grad();
+  }
+
  protected:
   std::vector<Param*> params_;
 };
@@ -35,11 +45,14 @@ class Adam final : public Optimizer {
   // weight_decay is decoupled (AdamW-style).
   Adam(std::vector<Param*> params, double lr, double beta1 = 0.9, double beta2 = 0.999,
        double eps = 1e-8, double weight_decay = 0.0);
-  void step() override;
+  void step() override { run_step(false); }
+  void step_and_zero_grad() override { run_step(true); }
 
   void set_lr(double lr) { lr_ = lr; }
 
  private:
+  void run_step(bool zero_grads);
+
   double lr_, beta1_, beta2_, eps_, weight_decay_;
   long step_count_ = 0;
   std::unordered_map<Param*, Tensor> m_, v_;

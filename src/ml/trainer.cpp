@@ -1,22 +1,91 @@
+// Kernel TU (SB_KERNEL_SOURCES, -ffp-contract=off): the gradient reduction
+// below has scalar and vector paths that must stay bitwise-identical.
 #include "ml/trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <span>
 
 #include "ml/optimizer.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/scratch.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sb::ml {
 namespace {
 
+// Fixed chunk grain for gradient reductions.  Constant on purpose: chunk
+// boundaries must not depend on the thread count or results would stop
+// being bit-identical across SB_THREADS (CLAUDE.md).
+constexpr std::size_t kReduceGrain = 4096;
+
 // Global L2 norm of every parameter gradient.  Only computed while tracing
-// is enabled — it is telemetry, never an input to the optimizer.
+// is enabled — it is telemetry, never an input to the optimizer.  Fixed
+// grain + ascending-chunk combination keeps the gauge thread-count
+// invariant.
 double grad_norm(const std::vector<Param*>& params) {
   double sum = 0.0;
-  for (const Param* p : params)
-    for (const float g : p->grad.flat()) sum += static_cast<double>(g) * g;
+  for (const Param* p : params) {
+    const float* g = p->grad.data();
+    sum += util::parallel_sum(p->grad.numel(), kReduceGrain,
+                              [g](std::size_t b, std::size_t e) {
+                                double s = 0.0;
+                                for (std::size_t i = b; i < e; ++i)
+                                  s += static_cast<double>(g[i]) * g[i];
+                                return s;
+                              });
+  }
   return std::sqrt(sum);
+}
+
+// Reduces per-shard gradient partials (shards * total floats, shard-major)
+// into the primary's Param::grad buffers, adding shards in ASCENDING order
+// for every element.  Chunks write disjoint elements; lanes span independent
+// elements and preserve each element's scalar shard order, so scalar and
+// vector paths agree bitwise and the result is independent of both the
+// thread count and which replica produced which shard.
+void reduce_grad_partials(const std::vector<Param*>& params,
+                          const std::vector<std::size_t>& offsets,
+                          std::size_t total, const float* partials,
+                          std::size_t shards) {
+  util::parallel_for_ranges(
+      total,
+      [&](std::size_t j0, std::size_t j1) {
+        std::size_t pi = static_cast<std::size_t>(
+                             std::upper_bound(offsets.begin(), offsets.end(), j0) -
+                             offsets.begin()) -
+                         1;
+        std::size_t j = j0;
+        while (j < j1) {
+          Param* p = params[pi];
+          const std::size_t lim =
+              std::min(j1, offsets[pi] + p->grad.numel());
+          float* dst = p->grad.data() + (j - offsets[pi]);
+          std::size_t jj = j;
+          if (util::simd_enabled()) {
+            namespace v = util::simd;
+            for (; jj + v::kFloatLanes <= lim; jj += v::kFloatLanes) {
+              v::VFloat acc = v::load(partials + jj);
+              for (std::size_t s = 1; s < shards; ++s)
+                acc = v::add(acc, v::load(partials + s * total + jj));
+              v::store(dst + (jj - j), acc);
+            }
+          }
+          for (; jj < lim; ++jj) {
+            float acc = partials[jj];
+            for (std::size_t s = 1; s < shards; ++s)
+              acc += partials[s * total + jj];
+            dst[jj - j] = acc;
+          }
+          j = lim;
+          ++pi;
+        }
+      },
+      kReduceGrain);
 }
 
 }  // namespace
@@ -48,6 +117,43 @@ TrainResult train_regressor(Layer& model, const RegressionDataset& train,
   Adam opt{params, config.lr, 0.9, 0.999, 1e-8, config.weight_decay};
   Rng shuffle_rng{config.shuffle_seed};
 
+  // Sharded data-parallel engine (TrainConfig::shard_grain).  Falls back to
+  // the serial minibatch loop when sharding is disabled or any layer opts
+  // out of replication (Layer::replicate returning nullptr, e.g. Dropout).
+  const std::size_t grain = config.shard_grain;
+  std::unique_ptr<ReplicaTeam> team;
+  std::size_t max_shards = 0;
+  if (grain > 0) {
+    const std::size_t max_batch = std::min(config.batch_size, n);
+    max_shards = (max_batch + grain - 1) / grain;
+    std::size_t count =
+        config.replicas > 0 ? config.replicas : util::ThreadPool::threads();
+    count = std::max<std::size_t>(1, std::min(count, max_shards));
+    team = std::make_unique<ReplicaTeam>(model, count);
+    if (team->empty()) team.reset();
+  }
+
+  // Flat layout of every parameter gradient, for the shard partial buffers.
+  std::vector<std::size_t> offsets;
+  offsets.reserve(params.size());
+  std::size_t total_params = 0;
+  for (const Param* p : params) {
+    offsets.push_back(total_params);
+    total_params += p->grad.numel();
+  }
+  const std::size_t stats_size = team ? model.shard_stats_size() : 0;
+  const std::size_t ydim = train.y.numel() / n;
+
+  // Pool-backed partial buffers, acquired once per fit: repeat fits hit the
+  // thread-local free lists and ml.workspace.heap_allocs stays flat.
+  util::Scratch<float> grad_partials{team ? max_shards * total_params : 1};
+  util::Scratch<double> err_partials{team ? max_shards : 1};
+  util::Scratch<float> stats_partials{team && stats_size ? max_shards * stats_size : 1};
+
+  // Both engines clear gradients through the fused step_and_zero_grad, so
+  // clear whatever stale gradients the caller's params carry once up front.
+  opt.zero_grad();
+
   double lr = config.lr;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     obs::ScopedSpan epoch_span{"epoch", obs::Stage::kTrain};
@@ -61,19 +167,82 @@ TrainResult train_regressor(Layer& model, const RegressionDataset& train,
     const bool telemetry = obs::enabled();
     for (std::size_t start = 0; start < n; start += config.batch_size) {
       const std::size_t end = std::min(start + config.batch_size, n);
-      std::vector<std::size_t> idx(perm.begin() + static_cast<std::ptrdiff_t>(start),
-                                   perm.begin() + static_cast<std::ptrdiff_t>(end));
-      const Tensor bx = train.x.gather_rows(idx);
-      const Tensor by = train.y.gather_rows(idx);
-
-      opt.zero_grad();
-      const Tensor pred = model.forward(bx, true);
-      const MseLoss loss = mse_loss(pred, by);
-      model.backward(loss.grad);
-      if (telemetry) epoch_grad_norm += grad_norm(params);
-      opt.step();
-
-      epoch_loss += loss.value;
+      const std::size_t rows = end - start;
+      if (team) {
+        const std::size_t shards = (rows + grain - 1) / grain;
+        const float grad_scale = 2.0f / static_cast<float>(rows * ydim);
+        {
+          obs::ScopedSpan shard_span{"train.shards", obs::Stage::kTrain};
+          // One chunk per shard; results are independent of which replica
+          // runs which shard (per-shard output slots), so the pool's
+          // scheduling never shows up in the trained weights.
+          util::parallel_for(
+              shards,
+              [&](std::size_t s) {
+                const std::size_t r0 = start + s * grain;
+                const std::size_t r1 = std::min(r0 + grain, end);
+                const std::span<const std::size_t> rows_idx{perm.data() + r0,
+                                                            r1 - r0};
+                const std::size_t rep_i = team->acquire();
+                Layer& rep = team->replica(rep_i);
+                const Tensor sx = train.x.gather_rows(rows_idx);
+                const Tensor sy = train.y.gather_rows(rows_idx);
+                const Tensor pred = rep.forward(sx, true);
+                const ShardLoss loss = shard_mse_loss(pred, sy, grad_scale);
+                rep.backward(loss.grad);
+                err_partials[s] = loss.sq_err;
+                float* slot = grad_partials.data() + s * total_params;
+                const auto& rp = team->replica_params(rep_i);
+                for (std::size_t j = 0; j < rp.size(); ++j) {
+                  std::copy_n(rp[j]->grad.data(), rp[j]->grad.numel(),
+                              slot + offsets[j]);
+                  rp[j]->zero_grad();
+                }
+                if (stats_size > 0)
+                  rep.export_shard_stats(
+                      {stats_partials.data() + s * stats_size, stats_size});
+                team->release(rep_i);
+              },
+              1);
+        }
+        {
+          obs::ScopedSpan reduce_span{"train.reduce", obs::Stage::kTrain};
+          reduce_grad_partials(params, offsets, total_params,
+                               grad_partials.data(), shards);
+          // Ghost batch-norm: the primary replays the running-stat update
+          // once per shard, in ascending shard order.
+          if (stats_size > 0)
+            for (std::size_t s = 0; s < shards; ++s)
+              model.absorb_shard_stats(
+                  {stats_partials.data() + s * stats_size, stats_size});
+        }
+        double batch_err = 0.0;
+        for (std::size_t s = 0; s < shards; ++s) batch_err += err_partials[s];
+        epoch_loss += batch_err / static_cast<double>(rows * ydim);
+        if (telemetry) {
+          epoch_grad_norm += grad_norm(params);
+          const std::size_t waves = (shards + team->size() - 1) / team->size();
+          obs::Registry::instance()
+              .histogram("train.shard_occupancy")
+              .record(static_cast<double>(shards) /
+                      static_cast<double>(waves * team->size()));
+        }
+        {
+          obs::ScopedSpan step_span{"train.step", obs::Stage::kTrain};
+          opt.step_and_zero_grad();
+          team->sync_weights(params);
+        }
+      } else {
+        const std::span<const std::size_t> rows_idx{perm.data() + start, rows};
+        const Tensor bx = train.x.gather_rows(rows_idx);
+        const Tensor by = train.y.gather_rows(rows_idx);
+        const Tensor pred = model.forward(bx, true);
+        const MseLoss loss = mse_loss(pred, by);
+        model.backward(loss.grad);
+        if (telemetry) epoch_grad_norm += grad_norm(params);
+        opt.step_and_zero_grad();
+        epoch_loss += loss.value;
+      }
       ++batches;
     }
     const double train_mse = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;

@@ -7,7 +7,9 @@
 // tests can compare them in-process.
 //
 // Determinism contract (CLAUDE.md): every operation here is a lane-wise
-// IEEE-754 primitive (load/store/broadcast/add/sub/mul, bitwise logic) or a
+// IEEE-754 primitive (load/store/broadcast/add/sub/mul, correctly-rounded
+// div/sqrt, exact f32→f64 widen / correctly-rounded f64→f32 narrow,
+// bitwise logic) or a
 // compare/select composition with EXACT scalar semantics — vmax/vmin match
 // std::max/std::min including NaN operand-order behaviour, comparisons are
 // ordered (false on NaN) like the scalar operators.  Kernels built on these
@@ -25,6 +27,7 @@
 // payloads everywhere except multi-NaN reductions (pinned by simd_test).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <cstring>
 
@@ -94,6 +97,20 @@ inline VDouble broadcastd(double v) { return _mm256_set1_pd(v); }
 inline VDouble addd(VDouble a, VDouble b) { return _mm256_add_pd(a, b); }
 inline VDouble subd(VDouble a, VDouble b) { return _mm256_sub_pd(a, b); }
 inline VDouble muld(VDouble a, VDouble b) { return _mm256_mul_pd(a, b); }
+// Division and square root are IEEE-754 correctly-rounded on every ISA, so
+// they stay bitwise-identical to the scalar `/` and std::sqrt.
+inline VDouble divd(VDouble a, VDouble b) { return _mm256_div_pd(a, b); }
+inline VDouble sqrtd(VDouble a) { return _mm256_sqrt_pd(a); }
+// widen: load kDoubleLanes floats and convert to doubles (exact).
+inline VDouble widen(const float* p) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+// narrow2: round two double vectors to one float vector (correctly rounded,
+// lo fills the low lanes) — the in-register form of float(double) per lane.
+inline VFloat narrow2(VDouble lo, VDouble hi) {
+  return _mm256_insertf128_ps(_mm256_castps128_ps256(_mm256_cvtpd_ps(lo)),
+                              _mm256_cvtpd_ps(hi), 1);
+}
 // Interleaved-complex helpers ([re, im, re, im] layout, 2 complexes/vector).
 inline VDouble dup_even(VDouble a) { return _mm256_movedup_pd(a); }
 inline VDouble dup_odd(VDouble a) { return _mm256_permute_pd(a, 0xF); }
@@ -136,6 +153,16 @@ inline VDouble broadcastd(double v) { return _mm_set1_pd(v); }
 inline VDouble addd(VDouble a, VDouble b) { return _mm_add_pd(a, b); }
 inline VDouble subd(VDouble a, VDouble b) { return _mm_sub_pd(a, b); }
 inline VDouble muld(VDouble a, VDouble b) { return _mm_mul_pd(a, b); }
+inline VDouble divd(VDouble a, VDouble b) { return _mm_div_pd(a, b); }
+inline VDouble sqrtd(VDouble a) { return _mm_sqrt_pd(a); }
+inline VDouble widen(const float* p) {
+  // 8-byte load of exactly kDoubleLanes floats, then exact f32→f64 convert.
+  __m128i bits = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm_cvtps_pd(_mm_castsi128_ps(bits));
+}
+inline VFloat narrow2(VDouble lo, VDouble hi) {
+  return _mm_movelh_ps(_mm_cvtpd_ps(lo), _mm_cvtpd_ps(hi));
+}
 // One complex per vector: even lane = re, odd lane = im.
 inline VDouble dup_even(VDouble a) { return _mm_shuffle_pd(a, a, 0x0); }
 inline VDouble dup_odd(VDouble a) { return _mm_shuffle_pd(a, a, 0x3); }
@@ -193,6 +220,12 @@ inline VDouble broadcastd(double v) { return vdupq_n_f64(v); }
 inline VDouble addd(VDouble a, VDouble b) { return vaddq_f64(a, b); }
 inline VDouble subd(VDouble a, VDouble b) { return vsubq_f64(a, b); }
 inline VDouble muld(VDouble a, VDouble b) { return vmulq_f64(a, b); }
+inline VDouble divd(VDouble a, VDouble b) { return vdivq_f64(a, b); }
+inline VDouble sqrtd(VDouble a) { return vsqrtq_f64(a); }
+inline VDouble widen(const float* p) { return vcvt_f64_f32(vld1_f32(p)); }
+inline VFloat narrow2(VDouble lo, VDouble hi) {
+  return vcombine_f32(vcvt_f32_f64(lo), vcvt_f32_f64(hi));
+}
 inline VDouble dup_even(VDouble a) { return vdupq_laneq_f64(a, 0); }
 inline VDouble dup_odd(VDouble a) { return vdupq_laneq_f64(a, 1); }
 inline VDouble swap_pairs(VDouble a) { return vextq_f64(a, a, 1); }
@@ -322,6 +355,30 @@ inline VDouble subd(VDouble a, VDouble b) {
 inline VDouble muld(VDouble a, VDouble b) {
   VDouble r;
   for (std::size_t i = 0; i < kDoubleLanes; ++i) r.v[i] = a.v[i] * b.v[i];
+  return r;
+}
+inline VDouble divd(VDouble a, VDouble b) {
+  VDouble r;
+  for (std::size_t i = 0; i < kDoubleLanes; ++i) r.v[i] = a.v[i] / b.v[i];
+  return r;
+}
+inline VDouble sqrtd(VDouble a) {
+  VDouble r;
+  for (std::size_t i = 0; i < kDoubleLanes; ++i) r.v[i] = std::sqrt(a.v[i]);
+  return r;
+}
+inline VDouble widen(const float* p) {
+  VDouble r;
+  for (std::size_t i = 0; i < kDoubleLanes; ++i)
+    r.v[i] = static_cast<double>(p[i]);
+  return r;
+}
+inline VFloat narrow2(VDouble lo, VDouble hi) {
+  VFloat r;
+  for (std::size_t i = 0; i < kDoubleLanes; ++i) {
+    r.v[i] = static_cast<float>(lo.v[i]);
+    r.v[kDoubleLanes + i] = static_cast<float>(hi.v[i]);
+  }
   return r;
 }
 inline VDouble dup_even(VDouble a) {

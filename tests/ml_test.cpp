@@ -639,5 +639,196 @@ TEST(PlanEquivalence, FoldFuseAndPackCountersTally) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Data-parallel training engine (DESIGN.md "Training performance"): shard
+// backward passes on replicas must recompose into the full-batch backward,
+// and the fused optimizer step must match step-then-zero exactly.
+
+// Runs a full batch through `full` and the same rows as two half-batch
+// shards through replicas of `shard_src`, with the trainer's grad scaling
+// (2 / batch_numel on every shard).  Input gradients must match row-for-row
+// BITWISE — each row's backward never touches its batch neighbours.  Summed
+// shard parameter gradients associate differently (per-shard partials added
+// shard-ascending vs one batch-ascending sweep), so they match to tolerance.
+void check_shard_backward_recomposition(Layer& full, const Layer& shard_src,
+                                        const Tensor& x, const Tensor& y) {
+  const std::size_t n = x.dim(0);
+  const std::size_t half = n / 2;
+  ASSERT_EQ(half * 2, n);
+
+  for (Param* p : full.params()) p->zero_grad();
+  const Tensor pred = full.forward(x, true);
+  const float grad_scale = 2.0f / static_cast<float>(pred.numel());
+  const ShardLoss batch_loss = shard_mse_loss(pred, y, grad_scale);
+  const Tensor batch_grad_in = full.backward(batch_loss.grad);
+
+  std::vector<float> shard_grad_in;
+  std::vector<std::vector<double>> shard_param_grads;
+  double shard_sq_err = 0.0;
+  for (std::size_t s = 0; s < 2; ++s) {
+    auto rep = shard_src.replicate();
+    ASSERT_NE(rep, nullptr);
+    for (Param* p : rep->params()) p->zero_grad();
+    const Tensor sx = x.slice_rows(s * half, (s + 1) * half);
+    const Tensor sy = y.slice_rows(s * half, (s + 1) * half);
+    const Tensor sp = rep->forward(sx, true);
+    const ShardLoss loss = shard_mse_loss(sp, sy, grad_scale);
+    shard_sq_err += loss.sq_err;
+    const Tensor gi = rep->backward(loss.grad);
+    for (std::size_t i = 0; i < gi.numel(); ++i) shard_grad_in.push_back(gi[i]);
+    const auto rp = rep->params();
+    shard_param_grads.resize(rp.size());
+    for (std::size_t j = 0; j < rp.size(); ++j) {
+      shard_param_grads[j].resize(rp[j]->grad.numel(), 0.0);
+      for (std::size_t i = 0; i < rp[j]->grad.numel(); ++i)
+        shard_param_grads[j][i] += static_cast<double>(rp[j]->grad[i]);
+    }
+  }
+
+  ASSERT_EQ(shard_grad_in.size(), batch_grad_in.numel());
+  for (std::size_t i = 0; i < shard_grad_in.size(); ++i)
+    ASSERT_EQ(shard_grad_in[i], batch_grad_in[i]) << "grad_in row element " << i;
+  // Shard error sums associate differently from the one-sweep batch sum.
+  EXPECT_NEAR(shard_sq_err, batch_loss.sq_err,
+              1e-12 * std::max(1.0, std::abs(batch_loss.sq_err)));
+
+  const auto fp = full.params();
+  ASSERT_EQ(shard_param_grads.size(), fp.size());
+  for (std::size_t j = 0; j < fp.size(); ++j)
+    for (std::size_t i = 0; i < fp[j]->grad.numel(); ++i) {
+      const double want = fp[j]->grad[i];
+      const double got = shard_param_grads[j][i];
+      EXPECT_NEAR(got, want, 1e-5 * std::max(1.0, std::abs(want)))
+          << "param " << j << " grad " << i;
+    }
+}
+
+TEST(ShardedBackward, DenseRecomposesFromShards) {
+  Rng rng{950};
+  Dense full{6, 4, rng};
+  Rng data_rng{951};
+  const Tensor x = random_tensor({8, 6}, data_rng);
+  const Tensor y = random_tensor({8, 4}, data_rng);
+  check_shard_backward_recomposition(full, full, x, y);
+}
+
+TEST(ShardedBackward, Conv2DRecomposesFromShards) {
+  Rng rng{952};
+  Sequential full;
+  full.emplace<Conv2D>(2, 3, 3, 1, 1, rng);
+  full.emplace<Flatten>();
+  full.emplace<Dense>(3 * 6 * 5, 4, rng);
+  Rng data_rng{953};
+  const Tensor x = random_tensor({8, 2, 6, 5}, data_rng);
+  const Tensor y = random_tensor({8, 4}, data_rng);
+  check_shard_backward_recomposition(full, full, x, y);
+}
+
+TEST(ShardedBackward, LstmRecomposesFromShards) {
+  Rng rng{954};
+  Lstm full{3, 4, 5, rng};
+  Rng data_rng{955};
+  const Tensor x = random_tensor({6, 5, 3}, data_rng);
+  const Tensor y = random_tensor({6, 4}, data_rng);
+  check_shard_backward_recomposition(full, full, x, y);
+}
+
+// Replicated-then-synced weights must be bitwise copies, and the ghost
+// BatchNorm protocol must replay the serial running-stat update exactly.
+TEST(ReplicaTeam, ReplicatesSyncsAndAbsorbsShardStats) {
+  const ModelInputShape in{2, 6, 8};
+  Rng rng{956};
+  const auto primary = make_model(ModelKind::kMobileNetLite, in, 3, rng);
+  ReplicaTeam team{*primary, 2};
+  ASSERT_FALSE(team.empty());
+  ASSERT_EQ(team.size(), 2u);
+
+  const auto params = primary->params();
+  // Perturb the primary, sync, and expect bitwise equality on every replica.
+  for (Param* p : params)
+    for (auto& v : p->value.flat()) v += 0.125f;
+  team.sync_weights(params);
+  for (std::size_t r = 0; r < team.size(); ++r) {
+    const auto& rp = team.replica_params(r);
+    ASSERT_EQ(rp.size(), params.size());
+    for (std::size_t j = 0; j < rp.size(); ++j)
+      for (std::size_t i = 0; i < rp[j]->value.numel(); ++i)
+        ASSERT_EQ(rp[j]->value[i], params[j]->value[i]);
+  }
+
+  // Ghost BN: forwarding a batch on a replica and absorbing its shard stats
+  // into the primary must equal forwarding the same batch on a serial copy.
+  Rng ref_rng{956};
+  const auto reference = make_model(ModelKind::kMobileNetLite, in, 3, ref_rng);
+  Rng data_rng{957};
+  const Tensor batch = random_tensor({4, in.channels, in.height, in.width}, data_rng);
+  (void)reference->forward(batch, true);
+
+  Rng primary_rng{956};
+  const auto ghost_primary = make_model(ModelKind::kMobileNetLite, in, 3, primary_rng);
+  ReplicaTeam fresh_team{*ghost_primary, 1};
+  ASSERT_FALSE(fresh_team.empty());
+  (void)fresh_team.replica(0).forward(batch, true);
+  std::vector<float> stats(fresh_team.replica(0).shard_stats_size());
+  ASSERT_FALSE(stats.empty());
+  fresh_team.replica(0).export_shard_stats(stats);
+  ghost_primary->absorb_shard_stats(stats);
+
+  const auto ref_state = reference->state();
+  const auto ghost_state = ghost_primary->state();
+  ASSERT_EQ(ref_state.size(), ghost_state.size());
+  for (std::size_t t = 0; t < ref_state.size(); ++t)
+    for (std::size_t i = 0; i < ref_state[t]->numel(); ++i)
+      ASSERT_EQ((*ghost_state[t])[i], (*ref_state[t])[i])
+          << "running stat " << t << "[" << i << "]";
+}
+
+// The fused sweep must leave weights bitwise identical to step-then-zero
+// and clear every gradient — at both SIMD backends, which must also agree
+// with each other bitwise (the fused Adam kernel is SIMD-routed).
+TEST(Optimizer, FusedStepMatchesStepThenZeroGradBitwise) {
+  std::vector<float> weights_by_backend[2];
+  int bi = 0;
+  for (const util::SimdBackend backend :
+       {util::SimdBackend::kVector, util::SimdBackend::kScalar}) {
+    SimdBackendGuard simd_guard{backend};
+    Rng rng_a{958};
+    Dense fused{7, 5, rng_a};
+    Rng rng_b{958};
+    Dense unfused{7, 5, rng_b};
+    Adam opt_fused{fused.params(), 0.01, 0.9, 0.999, 1e-8, 0.1};
+    Adam opt_unfused{unfused.params(), 0.01, 0.9, 0.999, 1e-8, 0.1};
+
+    Rng data_rng{959};
+    for (int it = 0; it < 5; ++it) {
+      const Tensor x = random_tensor({4, 7}, data_rng);
+      const Tensor y = random_tensor({4, 5}, data_rng);
+      const auto loss_a = mse_loss(fused.forward(x, true), y);
+      fused.backward(loss_a.grad);
+      const auto loss_b = mse_loss(unfused.forward(x, true), y);
+      unfused.backward(loss_b.grad);
+      opt_fused.step_and_zero_grad();
+      opt_unfused.step();
+      opt_unfused.zero_grad();
+    }
+
+    const auto fp = fused.params();
+    const auto up = unfused.params();
+    for (std::size_t j = 0; j < fp.size(); ++j) {
+      for (std::size_t i = 0; i < fp[j]->value.numel(); ++i)
+        ASSERT_EQ(fp[j]->value[i], up[j]->value[i])
+            << "weight " << j << "[" << i << "]";
+      for (std::size_t i = 0; i < fp[j]->grad.numel(); ++i)
+        ASSERT_EQ(fp[j]->grad[i], 0.0f) << "stale grad " << j << "[" << i << "]";
+      for (float v : fp[j]->value.flat()) weights_by_backend[bi].push_back(v);
+    }
+    ++bi;
+  }
+  ASSERT_EQ(weights_by_backend[0].size(), weights_by_backend[1].size());
+  for (std::size_t i = 0; i < weights_by_backend[0].size(); ++i)
+    ASSERT_EQ(weights_by_backend[0][i], weights_by_backend[1][i])
+        << "Adam vector/scalar divergence at weight " << i;
+}
+
 }  // namespace
 }  // namespace sb::ml

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "ml/conv.hpp"
@@ -219,9 +220,12 @@ TEST(ConvBackendTest, GemmBackendStaysParallelSafe) {
 // Determinism regression: thread count must not change training results.
 
 // Trains a small model end to end and returns every learned weight followed
-// by the model's predictions on a fixed probe batch.
-std::vector<float> train_and_fingerprint(ml::ModelKind kind,
-                                         std::size_t threads) {
+// by the model's predictions on a fixed probe batch.  shard_grain/replicas
+// map straight onto TrainConfig (grain 4 over batch 8 = two shards per
+// batch, so the replicated engine and its reductions actually run).
+std::vector<float> train_and_fingerprint(ml::ModelKind kind, std::size_t threads,
+                                         std::size_t shard_grain = 4,
+                                         std::size_t replicas = 0) {
   ThreadCountGuard guard{threads};
   const ml::ModelInputShape shape{.channels = 2, .height = 8, .width = 12};
   Rng model_rng{900};
@@ -238,6 +242,8 @@ std::vector<float> train_and_fingerprint(ml::ModelKind kind,
   cfg.epochs = 2;
   cfg.batch_size = 8;
   cfg.eval_batch_size = 8;
+  cfg.shard_grain = shard_grain;
+  cfg.replicas = replicas;
   ml::train_regressor(*model, train, val, cfg);
 
   std::vector<float> fingerprint;
@@ -251,19 +257,53 @@ std::vector<float> train_and_fingerprint(ml::ModelKind kind,
   return fingerprint;
 }
 
+void expect_same_fingerprint(const std::vector<float>& a,
+                             const std::vector<float>& b,
+                             const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  ASSERT_FALSE(a.empty()) << what;
+  // memcmp: float equality would pass -0.0 vs 0.0 and miss NaN divergence.
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+      << what;
+}
+
 class DeterminismTest : public ::testing::TestWithParam<ml::ModelKind> {};
 
 TEST_P(DeterminismTest, TrainingIsBitIdenticalAcrossThreadCounts) {
   const auto serial = train_and_fingerprint(GetParam(), 1);
-  const auto parallel = train_and_fingerprint(GetParam(), 4);
-  ASSERT_EQ(serial.size(), parallel.size());
-  ASSERT_FALSE(serial.empty());
-  // memcmp: float equality would pass -0.0 vs 0.0 and miss NaN divergence.
-  EXPECT_EQ(std::memcmp(serial.data(), parallel.data(),
-                        serial.size() * sizeof(float)),
-            0)
-      << "training " << ml::to_string(GetParam())
-      << " diverged between 1 and 4 threads";
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+    const auto parallel = train_and_fingerprint(GetParam(), threads);
+    expect_same_fingerprint(serial, parallel,
+                            "training " + ml::to_string(GetParam()) +
+                                " diverged between 1 and " +
+                                std::to_string(threads) + " threads");
+  }
+}
+
+TEST_P(DeterminismTest, TrainingIsBitIdenticalAcrossReplicaCounts) {
+  // Grain 2 over batch 8 = four shards; replica counts below the shard
+  // count force checkout contention, above it leave replicas idle — neither
+  // may change the trained weights.
+  const auto reference = train_and_fingerprint(GetParam(), 4, 2, 1);
+  for (const std::size_t replicas : {std::size_t{2}, std::size_t{3}, std::size_t{0}}) {
+    const auto run = train_and_fingerprint(GetParam(), 4, 2, replicas);
+    expect_same_fingerprint(reference, run,
+                            "training " + ml::to_string(GetParam()) +
+                                " diverged at replica count " +
+                                std::to_string(replicas));
+  }
+}
+
+TEST_P(DeterminismTest, SingleShardShardedTrainingMatchesSerialLoop) {
+  // One shard per batch (grain >= batch) must reproduce the serial
+  // fallback's floating-point results bitwise: same loss scale, same
+  // gradient association, same BatchNorm running-stat updates.
+  const auto serial = train_and_fingerprint(GetParam(), 4, /*shard_grain=*/0);
+  const auto sharded = train_and_fingerprint(GetParam(), 4, /*shard_grain=*/8);
+  expect_same_fingerprint(serial, sharded,
+                          "single-shard training of " +
+                              ml::to_string(GetParam()) +
+                              " diverged from the serial loop");
 }
 
 INSTANTIATE_TEST_SUITE_P(Models, DeterminismTest,
